@@ -1,0 +1,93 @@
+// Shared infrastructure for the per-figure benchmark drivers.
+//
+// Every driver is deterministic (fixed seeds) and prints a paper-style
+// table. Sizes default to laptop/CI scale; set SUBSEQ_BENCH_SCALE=full in
+// the environment to run the paper's dataset sizes (expect minutes to
+// tens of minutes per figure on one core).
+
+#ifndef SUBSEQ_BENCH_BENCH_COMMON_H_
+#define SUBSEQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/core/sequence.h"
+#include "subseq/core/types.h"
+#include "subseq/data/protein_gen.h"
+#include "subseq/data/song_gen.h"
+#include "subseq/data/trajectory_gen.h"
+#include "subseq/distance/distance.h"
+#include "subseq/frame/window_oracle.h"
+#include "subseq/frame/windowing.h"
+#include "subseq/metric/range_index.h"
+
+namespace subseq::bench {
+
+/// The paper's window length for all three datasets.
+inline constexpr int32_t kWindowLength = 20;
+
+/// True when SUBSEQ_BENCH_SCALE=full.
+bool FullScale();
+
+/// Picks the CI-scale or paper-scale variant.
+template <typename T>
+T Scaled(T ci_value, T full_value) {
+  return FullScale() ? full_value : ci_value;
+}
+
+/// Prints a separator + figure banner.
+void Banner(const std::string& figure, const std::string& description);
+
+/// Builds a protein database holding >= num_windows windows of length 20,
+/// with UniProt-like family redundancy (see data/protein_gen.h).
+SequenceDatabase<char> MakeProteinDb(int32_t num_windows, uint64_t seed);
+
+/// Builds a pitch-sequence (SONGS) database holding >= num_windows windows.
+SequenceDatabase<double> MakeSongDb(int32_t num_windows, uint64_t seed);
+
+/// Builds a trajectory (TRAJ) database holding >= num_windows windows.
+SequenceDatabase<Point2d> MakeTrajDb(int32_t num_windows, uint64_t seed);
+
+/// Query workload: `count` window-length query segments. Half are mutated
+/// copies of database windows (the retrieval scenario the framework
+/// exists for); half are fresh draws from the generator distribution.
+std::vector<std::vector<char>> MakeProteinQueries(
+    const SequenceDatabase<char>& db, const WindowCatalog& catalog,
+    int32_t count, uint64_t seed);
+std::vector<std::vector<double>> MakeSongQueries(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    int32_t count, uint64_t seed);
+std::vector<std::vector<Point2d>> MakeTrajQueries(
+    const SequenceDatabase<Point2d>& db, const WindowCatalog& catalog,
+    int32_t count, uint64_t seed);
+
+/// Builds the named index ("rn", "rn-5", "ct", "mv-5", "mv-20", "mv-50",
+/// "scan") over the oracle.
+std::unique_ptr<RangeIndex> BuildIndex(const std::string& kind,
+                                       const DistanceOracle& oracle);
+
+/// Average fraction (in [0, 1]) of query-to-window distance computations
+/// relative to a full scan, over the given queries at one epsilon.
+template <typename T>
+double AvgComputationFraction(const RangeIndex& index,
+                              const WindowOracle<T>& oracle,
+                              const std::vector<std::vector<T>>& queries,
+                              double epsilon) {
+  int64_t total = 0;
+  for (const auto& q : queries) {
+    QueryStats stats;
+    index.RangeQuery(oracle.SegmentQuery(std::span<const T>(q)), epsilon,
+                     &stats);
+    total += stats.distance_computations;
+  }
+  return static_cast<double>(total) /
+         (static_cast<double>(queries.size()) *
+          static_cast<double>(oracle.size()));
+}
+
+}  // namespace subseq::bench
+
+#endif  // SUBSEQ_BENCH_BENCH_COMMON_H_

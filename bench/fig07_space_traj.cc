@@ -1,0 +1,64 @@
+// Figure 7: reference-net space overhead on TRAJ under DFD and ERP.
+//
+// Paper's observation to reproduce: the trajectory distance distributions
+// have high variance, so the net stays almost tree-like — small average
+// parent counts, and total size less than twice the cover tree's.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/frechet.h"
+
+namespace subseq::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 7", "space overhead, TRAJ: DFD and ERP vs cover tree");
+  const std::vector<int32_t> sizes =
+      FullScale() ? std::vector<int32_t>{10000, 25000, 50000, 100000}
+                  : std::vector<int32_t>{1000, 2000, 4000, 8000};
+
+  const FrechetDistance2D dfd;
+  const ErpDistance2D erp;
+  std::printf("%10s | %10s %10s %10s | %10s %10s %10s\n", "windows",
+              "dfd-par", "dfd-MB", "dfd-ct-MB", "erp-par", "erp-MB",
+              "erp-ct-MB");
+  for (const int32_t n : sizes) {
+    const auto db = MakeTrajDb(n, 41);
+    auto catalog = WindowCatalog::PartitionDatabase(db, kWindowLength);
+    SpaceStats dfd_rn;
+    SpaceStats dfd_ct;
+    SpaceStats erp_rn;
+    SpaceStats erp_ct;
+    int32_t windows = 0;
+    {
+      const WindowOracle<Point2d> oracle(db, catalog.value(), dfd);
+      windows = oracle.size();
+      dfd_rn = BuildIndex("rn", oracle)->ComputeSpaceStats();
+      dfd_ct = BuildIndex("ct", oracle)->ComputeSpaceStats();
+    }
+    {
+      const WindowOracle<Point2d> oracle(db, catalog.value(), erp);
+      erp_rn = BuildIndex("rn", oracle)->ComputeSpaceStats();
+      erp_ct = BuildIndex("ct", oracle)->ComputeSpaceStats();
+    }
+    std::printf("%10d | %10.2f %10.3f %10.3f | %10.2f %10.3f %10.3f\n",
+                windows, dfd_rn.avg_parents,
+                static_cast<double>(dfd_rn.approx_bytes) / 1e6,
+                static_cast<double>(dfd_ct.approx_bytes) / 1e6,
+                erp_rn.avg_parents,
+                static_cast<double>(erp_rn.approx_bytes) / 1e6,
+                static_cast<double>(erp_ct.approx_bytes) / 1e6);
+  }
+  std::printf("\nExpected shape: small avg parents for both distances; "
+              "reference net less than\n~2x the cover tree size.\n");
+}
+
+}  // namespace
+}  // namespace subseq::bench
+
+int main() {
+  subseq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 10: range-query cost on TRAJ / ERP, with the pairwise-distance
+// distribution overlaid (the paper plots both on one figure).
+//
+// Paper's observations to reproduce:
+//  * the index cost curves follow the distance distribution's CDF;
+//  * RN and CT perform similarly here (similar space, tree-like
+//    structure on high-variance data) and both beat MV-20 despite its
+//    ~10x space.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "subseq/core/histogram.h"
+#include "subseq/distance/erp.h"
+
+namespace subseq::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 10", "query cost (% of naive) + distance CDF, TRAJ / ERP");
+  const int32_t windows = Scaled(4000, 100000);
+  const int32_t num_queries = Scaled(40, 100);
+
+  const auto db = MakeTrajDb(windows, 71);
+  auto catalog = WindowCatalog::PartitionDatabase(db, kWindowLength);
+  const ErpDistance2D erp;
+  const WindowOracle<Point2d> oracle(db, catalog.value(), erp);
+  const auto queries = MakeTrajQueries(db, catalog.value(), num_queries, 72);
+
+  // Pairwise distance distribution (for the CDF column).
+  Rng rng(73);
+  Histogram hist(0.0, 2400.0, 48);
+  for (int i = 0; i < Scaled(20000, 100000); ++i) {
+    const ObjectId a = static_cast<ObjectId>(
+        rng.NextBounded(static_cast<uint64_t>(oracle.size())));
+    ObjectId b = static_cast<ObjectId>(
+        rng.NextBounded(static_cast<uint64_t>(oracle.size())));
+    if (a == b) b = (b + 1) % oracle.size();
+    hist.Add(oracle.Distance(a, b));
+  }
+
+  const std::vector<std::string> kinds = {"rn", "ct", "mv-20"};
+  std::vector<std::unique_ptr<RangeIndex>> indexes;
+  for (const auto& kind : kinds) {
+    std::printf("building %s...\n", kind.c_str());
+    indexes.push_back(BuildIndex(kind, oracle));
+  }
+
+  std::printf("\n%8s %10s", "range", "pair-CDF");
+  for (const auto& kind : kinds) std::printf(" %9s", kind.c_str());
+  std::printf("\n");
+  for (const double eps :
+       {5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    std::printf("%8.0f %9.1f%%", eps, 100.0 * hist.CdfAt(eps));
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      const double frac =
+          AvgComputationFraction(*indexes[i], oracle, queries, eps);
+      std::printf(" %8.1f%%", 100.0 * frac);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: rn ~ ct, both well below mv-20 at small "
+              "ranges; curves track\nthe pairwise-distance CDF.\n");
+}
+
+}  // namespace
+}  // namespace subseq::bench
+
+int main() {
+  subseq::bench::Run();
+  return 0;
+}

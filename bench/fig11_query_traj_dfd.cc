@@ -1,0 +1,64 @@
+// Figure 11: range-query cost on TRAJ / DFD — the same setup as Figure 10
+// with the discrete Frechet distance, expected to show the same shape.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "subseq/core/histogram.h"
+#include "subseq/distance/frechet.h"
+
+namespace subseq::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 11", "query cost (% of naive) + distance CDF, TRAJ / DFD");
+  const int32_t windows = Scaled(4000, 100000);
+  const int32_t num_queries = Scaled(40, 100);
+
+  const auto db = MakeTrajDb(windows, 81);
+  auto catalog = WindowCatalog::PartitionDatabase(db, kWindowLength);
+  const FrechetDistance2D dfd;
+  const WindowOracle<Point2d> oracle(db, catalog.value(), dfd);
+  const auto queries = MakeTrajQueries(db, catalog.value(), num_queries, 82);
+
+  Rng rng(83);
+  Histogram hist(0.0, 120.0, 48);
+  for (int i = 0; i < Scaled(20000, 100000); ++i) {
+    const ObjectId a = static_cast<ObjectId>(
+        rng.NextBounded(static_cast<uint64_t>(oracle.size())));
+    ObjectId b = static_cast<ObjectId>(
+        rng.NextBounded(static_cast<uint64_t>(oracle.size())));
+    if (a == b) b = (b + 1) % oracle.size();
+    hist.Add(oracle.Distance(a, b));
+  }
+
+  const std::vector<std::string> kinds = {"rn", "ct", "mv-20"};
+  std::vector<std::unique_ptr<RangeIndex>> indexes;
+  for (const auto& kind : kinds) {
+    std::printf("building %s...\n", kind.c_str());
+    indexes.push_back(BuildIndex(kind, oracle));
+  }
+
+  std::printf("\n%8s %10s", "range", "pair-CDF");
+  for (const auto& kind : kinds) std::printf(" %9s", kind.c_str());
+  std::printf("\n");
+  for (const double eps : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    std::printf("%8.1f %9.1f%%", eps, 100.0 * hist.CdfAt(eps));
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      const double frac =
+          AvgComputationFraction(*indexes[i], oracle, queries, eps);
+      std::printf(" %8.1f%%", 100.0 * frac);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: same as Figure 10 — rn ~ ct, both beating "
+              "mv-20 at small ranges.\n");
+}
+
+}  // namespace
+}  // namespace subseq::bench
+
+int main() {
+  subseq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks of the distance kernels (google-benchmark): exact and
+// early-abandoning variants at window-ish lengths.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/euclidean.h"
+#include "subseq/distance/frechet.h"
+#include "subseq/distance/hamming.h"
+#include "subseq/distance/levenshtein.h"
+
+namespace subseq {
+namespace {
+
+std::vector<double> MakeSeries(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(rng.NextDouble(0.0, 10.0));
+  return v;
+}
+
+std::vector<char> MakeString(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> v;
+  v.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v.push_back("ACDEFGHIKLMNPQRSTVWY"[rng.NextBounded(20)]);
+  }
+  return v;
+}
+
+template <typename Dist>
+void ScalarKernel(benchmark::State& state, const Dist& dist) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = MakeSeries(n, 1);
+  const auto b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Compute(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Erp(benchmark::State& state) {
+  ErpDistance1D d;
+  ScalarKernel(state, d);
+}
+void BM_Dtw(benchmark::State& state) {
+  DtwDistance1D d;
+  ScalarKernel(state, d);
+}
+void BM_Frechet(benchmark::State& state) {
+  FrechetDistance1D d;
+  ScalarKernel(state, d);
+}
+void BM_Euclidean(benchmark::State& state) {
+  EuclideanDistance1D d;
+  ScalarKernel(state, d);
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = MakeString(n, 3);
+  const auto b = MakeString(n, 4);
+  LevenshteinDistance<char> d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Compute(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LevenshteinBounded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double bound = static_cast<double>(state.range(1));
+  const auto a = MakeString(n, 3);
+  const auto b = MakeString(n, 4);
+  LevenshteinDistance<char> d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.ComputeBounded(a, b, bound));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ErpBounded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double bound = static_cast<double>(state.range(1));
+  const auto a = MakeSeries(n, 5);
+  const auto b = MakeSeries(n, 6);
+  ErpDistance1D d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.ComputeBounded(a, b, bound));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_Erp)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_Dtw)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_Frechet)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_Euclidean)->Arg(20)->Arg(100)->Arg(1000);
+BENCHMARK(BM_Levenshtein)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_LevenshteinBounded)
+    ->Args({20, 2})
+    ->Args({20, 8})
+    ->Args({100, 5});
+BENCHMARK(BM_ErpBounded)->Args({20, 4})->Args({20, 40})->Args({100, 10});
+
+}  // namespace
+}  // namespace subseq

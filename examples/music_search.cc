@@ -1,0 +1,87 @@
+// Melody search in pitch sequences (the SONGS scenario): find where a
+// hummed fragment best matches a song database under the discrete Frechet
+// distance, comparing the work done by different index backends.
+//
+//   build/examples/music_search [num_songs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "subseq/data/motif.h"
+#include "subseq/data/song_gen.h"
+#include "subseq/distance/frechet.h"
+#include "subseq/frame/matcher.h"
+
+int main(int argc, char** argv) {
+  using namespace subseq;
+  const int32_t num_songs = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  SongGenerator gen(SongGenOptions{.mean_length = 240, .seed = 4242});
+  SequenceDatabase<double> db;
+
+  // The "hummed" query: a fragment lifted from one song with jitter —
+  // pitch errors of a semitone or two, as a human would produce.
+  SongGenerator query_gen(SongGenOptions{.mean_length = 80, .seed = 11});
+  Sequence<double> query = query_gen.GenerateWithLength(60);
+  SeqId source_song = kInvalidId;
+  Interval source_at;
+  {
+    MotifPlanter planter(12);
+    for (int32_t i = 0; i < num_songs; ++i) {
+      Sequence<double> song = gen.Generate();
+      if (i == num_songs / 2) {
+        // Splice 40 notes of this song into the middle of the query.
+        source_song = static_cast<SeqId>(db.size());
+        source_at = Interval{60, 100};
+        std::vector<double> fragment(
+            song.elements().begin() + 60, song.elements().begin() + 100);
+        for (double& v : fragment) {
+          if ((planter.DrawPosition(10, 1) % 5) == 0) {
+            v = std::min(11.0, std::max(0.0, v + 1.0));
+          }
+        }
+        query = planter.Embed<double>(
+            query, std::span<const double>(fragment), 10);
+      }
+      db.Add(std::move(song));
+    }
+  }
+  std::printf("database: %d songs (%lld notes); query of %d notes carries "
+              "a fragment of song %d\n",
+              db.size(), static_cast<long long>(db.TotalLength()),
+              query.size(), source_song);
+
+  const FrechetDistance1D dfd;
+  for (const IndexKind kind :
+       {IndexKind::kReferenceNet, IndexKind::kCoverTree,
+        IndexKind::kLinearScan}) {
+    MatcherOptions options;
+    options.lambda = 30;
+    options.lambda0 = 2;
+    options.index_kind = kind;
+    auto matcher =
+        std::move(SubsequenceMatcher<double>::Build(db, dfd, options))
+            .ValueOrDie();
+    MatchQueryStats stats;
+    auto nearest = matcher->NearestMatch(query.view(), 3.0, 0.5, &stats);
+    if (!nearest.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   nearest.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s filter computations %8lld | ",
+                matcher->index().name().data(),
+                static_cast<long long>(stats.filter_computations));
+    if (nearest.value().has_value()) {
+      const SubsequenceMatch& m = *nearest.value();
+      std::printf("best: song %d [%d, %d) at DFD %.2f%s\n", m.seq,
+                  m.db.begin, m.db.end, m.distance,
+                  (m.seq == source_song && m.db.Overlaps(source_at))
+                      ? "  <- the source fragment"
+                      : "");
+    } else {
+      std::printf("no match within DFD 3\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: index a handful of strings and find the best matching
+// subsequence pair for a query under the Levenshtein distance.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole public API surface in ~60 lines: build a
+// database, build a SubsequenceMatcher (which windows the database and
+// indexes the windows in a reference net), then run the three query
+// types.
+
+#include <cstdio>
+#include <string>
+
+#include "subseq/core/sequence.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/frame/matcher.h"
+
+int main() {
+  using namespace subseq;
+
+  // 1. A database of sequences. Strings here; time series (double) and
+  //    trajectories (Point2d) work identically.
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence(
+      "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQ", "seq-0"));
+  db.Add(MakeStringSequence(
+      "GGGGGGGGACGTACGTTGCAACGTACGTGGGGGGGGGGGGGGGGGGGGGGGG", "seq-1"));
+  db.Add(MakeStringSequence(
+      "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT", "seq-2"));
+
+  // 2. A consistent + metric distance (Definition 1 / Section 3.3).
+  const LevenshteinDistance<char> distance;
+
+  // 3. The framework. lambda = minimum match length; lambda0 = maximum
+  //    length difference between the two matched subsequences.
+  MatcherOptions options;
+  options.lambda = 16;
+  options.lambda0 = 2;
+  options.index_kind = IndexKind::kReferenceNet;
+  auto matcher_result = SubsequenceMatcher<char>::Build(db, distance, options);
+  if (!matcher_result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 matcher_result.status().ToString().c_str());
+    return 1;
+  }
+  auto matcher = std::move(matcher_result).ValueOrDie();
+  std::printf("indexed %d windows of length %d\n",
+              matcher->catalog().num_windows(), matcher->window_length());
+
+  // The query shares a 24-letter region with seq-1 (one substitution).
+  const Sequence<char> query =
+      MakeStringSequence("AAAAACGTACGTTGCAACGTACGAAAAA");
+
+  // Type II: the longest similar subsequence pair within distance 2.
+  auto longest = matcher->LongestMatch(query.view(), 2.0);
+  if (longest.ok() && longest.value().has_value()) {
+    const SubsequenceMatch& m = *longest.value();
+    const std::string q(query.elements().begin() + m.query.begin,
+                        query.elements().begin() + m.query.end);
+    const auto sx = db.at(m.seq).Subsequence(m.db);
+    const std::string x(sx.begin(), sx.end());
+    std::printf("Type II : query[%d, %d) ~ %s[%d, %d), distance %.0f\n",
+                m.query.begin, m.query.end, db.at(m.seq).label().c_str(),
+                m.db.begin, m.db.end, m.distance);
+    std::printf("          SQ = %s\n          SX = %s\n", q.c_str(),
+                x.c_str());
+  }
+
+  // Type III: the closest pair of length >= lambda, searching distances
+  // up to 6 in unit steps.
+  auto nearest = matcher->NearestMatch(query.view(), 6.0, 1.0);
+  if (nearest.ok() && nearest.value().has_value()) {
+    std::printf("Type III: best distance %.0f at %s[%d, %d)\n",
+                nearest.value()->distance,
+                db.at(nearest.value()->seq).label().c_str(),
+                nearest.value()->db.begin, nearest.value()->db.end);
+  }
+
+  // Type I: every similar pair (can be numerous — the consistency
+  // property makes sub-matches of a match match too).
+  auto all = matcher->RangeSearch(query.view(), 1.0);
+  if (all.ok()) {
+    std::printf("Type I  : %zu similar pairs at epsilon 1\n",
+                all.value().size());
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// The library does not throw exceptions across API boundaries (fallible
+// operations return Status/Result). CHECK macros guard *programming errors*
+// (contract violations) and abort with a message, in the spirit of
+// RocksDB's assert() usage and Abseil's CHECK.
+
+#ifndef SUBSEQ_CORE_CHECK_H_
+#define SUBSEQ_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace subseq::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "subseq: CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace subseq::internal
+
+// Always-on invariant check. Use for cheap contract checks on public APIs.
+#define SUBSEQ_CHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::subseq::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                             \
+  } while (0)
+
+// Debug-only check for hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SUBSEQ_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SUBSEQ_DCHECK(expr) SUBSEQ_CHECK(expr)
+#endif
+
+#endif  // SUBSEQ_CORE_CHECK_H_

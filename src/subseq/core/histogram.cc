@@ -1,0 +1,100 @@
+#include "subseq/core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+Histogram::Histogram(double lo, double hi, int num_buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / num_buckets),
+      counts_(static_cast<size_t>(num_buckets), 0),
+      min_seen_(std::numeric_limits<double>::infinity()),
+      max_seen_(-std::numeric_limits<double>::infinity()) {
+  SUBSEQ_CHECK(hi > lo);
+  SUBSEQ_CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  int idx = static_cast<int>(std::floor((value - lo_) / width_));
+  idx = std::clamp(idx, 0, num_buckets() - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
+}
+
+int64_t Histogram::bucket_count(int i) const {
+  SUBSEQ_CHECK(i >= 0 && i < num_buckets());
+  return counts_[static_cast<size_t>(i)];
+}
+
+double Histogram::bucket_lo(int i) const { return lo_ + width_ * i; }
+double Histogram::bucket_hi(int i) const { return lo_ + width_ * (i + 1); }
+double Histogram::bucket_mid(int i) const {
+  return lo_ + width_ * (i + 0.5);
+}
+
+double Histogram::Fraction(int i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bucket_count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::CdfAt(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  double cum = 0.0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    if (x >= bucket_hi(i)) {
+      cum += static_cast<double>(counts_[static_cast<size_t>(i)]);
+    } else {
+      const double frac_in_bucket = (x - bucket_lo(i)) / width_;
+      cum += frac_in_bucket * static_cast<double>(counts_[static_cast<size_t>(i)]);
+      break;
+    }
+  }
+  return cum / static_cast<double>(total_);
+}
+
+double Histogram::Mean() const {
+  if (total_ == 0) return 0.0;
+  return sum_ / static_cast<double>(total_);
+}
+
+double Histogram::Variance() const {
+  if (total_ == 0) return 0.0;
+  const double mean = Mean();
+  return sum_sq_ / static_cast<double>(total_) - mean * mean;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  int64_t max_count = 1;
+  for (int i = 0; i < num_buckets(); ++i) {
+    max_count = std::max(max_count, bucket_count(i));
+  }
+  char line[160];
+  for (int i = 0; i < num_buckets(); ++i) {
+    const int bar_len =
+        static_cast<int>(40.0 * static_cast<double>(bucket_count(i)) /
+                         static_cast<double>(max_count));
+    std::snprintf(line, sizeof(line), "%10.3f %10lld  %6.2f%%  ",
+                  bucket_mid(i),
+                  static_cast<long long>(bucket_count(i)),
+                  100.0 * Fraction(i));
+    out += line;
+    out.append(static_cast<size_t>(bar_len), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace subseq

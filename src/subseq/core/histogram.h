@@ -1,0 +1,62 @@
+// Fixed-bucket histogram used for the distance-distribution experiments
+// (Figure 4 and the distribution overlays in Figures 10 and 12).
+
+#ifndef SUBSEQ_CORE_HISTOGRAM_H_
+#define SUBSEQ_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace subseq {
+
+/// Equal-width histogram over [lo, hi] with a fixed bucket count.
+///
+/// Values outside the range are clamped into the first/last bucket so that
+/// total mass is preserved (distance distributions have hard bounds anyway).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_buckets);
+
+  void Add(double value);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  int64_t bucket_count(int i) const;
+
+  /// Lower edge of bucket i.
+  double bucket_lo(int i) const;
+  /// Upper edge of bucket i.
+  double bucket_hi(int i) const;
+  /// Midpoint of bucket i (the x-coordinate used when plotting).
+  double bucket_mid(int i) const;
+
+  /// Fraction of mass in bucket i (0 if the histogram is empty).
+  double Fraction(int i) const;
+
+  /// Fraction of values <= x (empirical CDF, linear within buckets).
+  double CdfAt(double x) const;
+
+  double Mean() const;
+  double Variance() const;
+  double Min() const { return min_seen_; }
+  double Max() const { return max_seen_; }
+
+  /// Renders a fixed-width text table: bucket-mid, count, fraction, bar.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_CORE_HISTOGRAM_H_

@@ -1,0 +1,130 @@
+// Sequence<T> and SequenceDatabase<T>: the data model for both strings
+// (T = char) and time series (T = double or Point2d).
+//
+// Terminology follows the paper (Section 3): a sequence X has elements
+// x_1..x_|X| from an alphabet Sigma; a subsequence SX_{a,b} is the
+// *contiguous* run (x_a, ..., x_b). Intervals in this library are half-open
+// 0-based [begin, end).
+
+#ifndef SUBSEQ_CORE_SEQUENCE_H_
+#define SUBSEQ_CORE_SEQUENCE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "subseq/core/check.h"
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+/// A contiguous index interval [begin, end) within a sequence.
+struct Interval {
+  int32_t begin = 0;
+  int32_t end = 0;
+
+  int32_t length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+
+  /// True if this interval fully contains `other`.
+  bool Contains(const Interval& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+
+  /// True if the two intervals share at least one index.
+  bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// An immutable sequence of elements with an optional label.
+///
+/// Sequence is a thin value type over std::vector<T>; copying copies the
+/// elements. Use std::span views (via `view()` / `Subsequence()`) to avoid
+/// copies in hot paths.
+template <typename T>
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<T> elements, std::string label = "")
+      : elements_(std::move(elements)), label_(std::move(label)) {}
+
+  int32_t size() const { return static_cast<int32_t>(elements_.size()); }
+  bool empty() const { return elements_.empty(); }
+  const T& operator[](int32_t i) const {
+    SUBSEQ_DCHECK(i >= 0 && i < size());
+    return elements_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<T>& elements() const { return elements_; }
+  const std::string& label() const { return label_; }
+
+  /// A view over the whole sequence.
+  std::span<const T> view() const { return std::span<const T>(elements_); }
+
+  /// A view over the contiguous subsequence [iv.begin, iv.end).
+  std::span<const T> Subsequence(const Interval& iv) const {
+    SUBSEQ_CHECK(iv.begin >= 0 && iv.end <= size() && iv.begin <= iv.end);
+    return view().subspan(static_cast<size_t>(iv.begin),
+                          static_cast<size_t>(iv.length()));
+  }
+
+  friend bool operator==(const Sequence& a, const Sequence& b) {
+    return a.elements_ == b.elements_;
+  }
+
+ private:
+  std::vector<T> elements_;
+  std::string label_;
+};
+
+/// Builds a char sequence from a string literal / std::string.
+inline Sequence<char> MakeStringSequence(std::string_view s,
+                                         std::string label = "") {
+  return Sequence<char>(std::vector<char>(s.begin(), s.end()),
+                        std::move(label));
+}
+
+/// An in-memory collection of sequences addressed by dense SeqId.
+template <typename T>
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+
+  /// Appends a sequence; returns its id.
+  SeqId Add(Sequence<T> seq) {
+    sequences_.push_back(std::move(seq));
+    return static_cast<SeqId>(sequences_.size() - 1);
+  }
+
+  int32_t size() const { return static_cast<int32_t>(sequences_.size()); }
+  bool empty() const { return sequences_.empty(); }
+
+  const Sequence<T>& at(SeqId id) const {
+    SUBSEQ_CHECK(id >= 0 && id < size());
+    return sequences_[static_cast<size_t>(id)];
+  }
+
+  /// Total number of elements across all sequences.
+  int64_t TotalLength() const {
+    int64_t total = 0;
+    for (const auto& s : sequences_) total += s.size();
+    return total;
+  }
+
+  auto begin() const { return sequences_.begin(); }
+  auto end() const { return sequences_.end(); }
+
+ private:
+  std::vector<Sequence<T>> sequences_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_CORE_SEQUENCE_H_

@@ -1,0 +1,143 @@
+// Status and Result<T>: exception-free error propagation.
+//
+// Follows the Apache Arrow / RocksDB idiom: library functions that can fail
+// return a Status (or a Result<T> carrying either a value or a Status), and
+// callers are expected to inspect it. Pure computational kernels that cannot
+// fail on valid input return plain values and guard their contracts with
+// SUBSEQ_CHECK.
+
+#ifndef SUBSEQ_CORE_STATUS_H_
+#define SUBSEQ_CORE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Typical use:
+///
+///   Status s = index.Build(params);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    SUBSEQ_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; OK if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// The held value. The result must be ok().
+  const T& value() const& {
+    SUBSEQ_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    SUBSEQ_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    SUBSEQ_CHECK(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  /// Moves the value out. The result must be ok().
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace subseq
+
+/// Propagates a non-OK status to the caller.
+#define SUBSEQ_RETURN_NOT_OK(expr)              \
+  do {                                          \
+    ::subseq::Status _subseq_status = (expr);   \
+    if (!_subseq_status.ok()) {                 \
+      return _subseq_status;                    \
+    }                                           \
+  } while (0)
+
+#endif  // SUBSEQ_CORE_STATUS_H_

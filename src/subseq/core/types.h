@@ -1,0 +1,40 @@
+// Element and identifier types shared across the library.
+
+#ifndef SUBSEQ_CORE_TYPES_H_
+#define SUBSEQ_CORE_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace subseq {
+
+/// Identifier of an object inside a metric index (dense, 0-based).
+using ObjectId = int32_t;
+
+/// Identifier of a sequence inside a SequenceDatabase (dense, 0-based).
+using SeqId = int32_t;
+
+/// Invalid sentinel for ObjectId / SeqId.
+inline constexpr int32_t kInvalidId = -1;
+
+/// A point in the plane; the element type for trajectory sequences
+/// (the TRAJ dataset in the paper: tracks from a parking-lot camera).
+struct Point2d {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2d& a, const Point2d& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double PointDistance(const Point2d& a, const Point2d& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_CORE_TYPES_H_

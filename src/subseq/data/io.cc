@@ -1,0 +1,123 @@
+#include "subseq/data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace subseq {
+
+namespace {
+
+Status OpenFailure(const std::string& path) {
+  return Status::IoError("cannot open file: " + path);
+}
+
+}  // namespace
+
+Status WriteStringDatabase(const SequenceDatabase<char>& db,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailure(path);
+  for (const auto& seq : db) {
+    out.write(seq.elements().data(),
+              static_cast<std::streamsize>(seq.elements().size()));
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SequenceDatabase<char>> ReadStringDatabase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailure(path);
+  SequenceDatabase<char> db;
+  std::string line;
+  while (std::getline(in, line)) {
+    db.Add(Sequence<char>(std::vector<char>(line.begin(), line.end())));
+  }
+  return db;
+}
+
+Status WriteScalarDatabase(const SequenceDatabase<double>& db,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailure(path);
+  out.precision(17);
+  for (const auto& seq : db) {
+    bool first = true;
+    for (const double v : seq.elements()) {
+      if (!first) out << ' ';
+      out << v;
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SequenceDatabase<double>> ReadScalarDatabase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailure(path);
+  SequenceDatabase<double> db;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::vector<double> values;
+    double v = 0.0;
+    while (ss >> v) values.push_back(v);
+    if (!ss.eof()) {
+      return Status::IoError("malformed scalar line in " + path);
+    }
+    db.Add(Sequence<double>(std::move(values)));
+  }
+  return db;
+}
+
+Status WriteTrajectoryDatabase(const SequenceDatabase<Point2d>& db,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailure(path);
+  out.precision(17);
+  for (const auto& seq : db) {
+    bool first = true;
+    for (const Point2d& p : seq.elements()) {
+      if (!first) out << ' ';
+      out << p.x << ',' << p.y;
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SequenceDatabase<Point2d>> ReadTrajectoryDatabase(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailure(path);
+  SequenceDatabase<Point2d> db;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::vector<Point2d> points;
+    std::string token;
+    while (ss >> token) {
+      const size_t comma = token.find(',');
+      if (comma == std::string::npos) {
+        return Status::IoError("malformed trajectory token in " + path);
+      }
+      Point2d p;
+      try {
+        p.x = std::stod(token.substr(0, comma));
+        p.y = std::stod(token.substr(comma + 1));
+      } catch (...) {
+        return Status::IoError("malformed trajectory number in " + path);
+      }
+      points.push_back(p);
+    }
+    db.Add(Sequence<Point2d>(std::move(points)));
+  }
+  return db;
+}
+
+}  // namespace subseq

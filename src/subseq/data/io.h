@@ -1,0 +1,35 @@
+// Plain-text persistence for sequence databases, so examples and tools can
+// save generated datasets and reload them across runs.
+//
+// Formats (one sequence per line):
+//   strings       ACDEFG...
+//   scalar series 1.5 2 3.25 ...
+//   trajectories  x,y x,y x,y ...
+
+#ifndef SUBSEQ_DATA_IO_H_
+#define SUBSEQ_DATA_IO_H_
+
+#include <string>
+
+#include "subseq/core/sequence.h"
+#include "subseq/core/status.h"
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+Status WriteStringDatabase(const SequenceDatabase<char>& db,
+                           const std::string& path);
+Result<SequenceDatabase<char>> ReadStringDatabase(const std::string& path);
+
+Status WriteScalarDatabase(const SequenceDatabase<double>& db,
+                           const std::string& path);
+Result<SequenceDatabase<double>> ReadScalarDatabase(const std::string& path);
+
+Status WriteTrajectoryDatabase(const SequenceDatabase<Point2d>& db,
+                               const std::string& path);
+Result<SequenceDatabase<Point2d>> ReadTrajectoryDatabase(
+    const std::string& path);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DATA_IO_H_

@@ -1,0 +1,46 @@
+#include "subseq/data/motif.h"
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+MotifPlanter::MotifPlanter(uint64_t seed) : rng_(seed) {}
+
+std::vector<char> MotifPlanter::Mutate(std::span<const char> motif,
+                                       const MotifOptions& options) {
+  SUBSEQ_CHECK(!options.alphabet.empty());
+  std::vector<char> out(motif.begin(), motif.end());
+  for (char& c : out) {
+    if (rng_.NextBool(options.substitution_rate)) {
+      c = options.alphabet[static_cast<size_t>(
+          rng_.NextBounded(options.alphabet.size()))];
+    }
+  }
+  return out;
+}
+
+std::vector<double> MotifPlanter::Mutate(std::span<const double> motif,
+                                         const MotifOptions& options) {
+  std::vector<double> out(motif.begin(), motif.end());
+  for (double& v : out) v += options.noise_sigma * rng_.NextGaussian();
+  return out;
+}
+
+std::vector<Point2d> MotifPlanter::Mutate(std::span<const Point2d> motif,
+                                          const MotifOptions& options) {
+  std::vector<Point2d> out(motif.begin(), motif.end());
+  for (Point2d& p : out) {
+    p.x += options.noise_sigma * rng_.NextGaussian();
+    p.y += options.noise_sigma * rng_.NextGaussian();
+  }
+  return out;
+}
+
+int32_t MotifPlanter::DrawPosition(int32_t host_length,
+                                   int32_t payload_length) {
+  SUBSEQ_CHECK(payload_length <= host_length);
+  return static_cast<int32_t>(
+      rng_.NextInt(0, host_length - payload_length));
+}
+
+}  // namespace subseq

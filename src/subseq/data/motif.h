@@ -1,0 +1,73 @@
+// Motif planting: embeds mutated copies of a payload subsequence into host
+// sequences, producing ground truth for recall experiments and the
+// integration tests ("does the framework find what we hid?").
+
+#ifndef SUBSEQ_DATA_MOTIF_H_
+#define SUBSEQ_DATA_MOTIF_H_
+
+#include <span>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/core/sequence.h"
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+/// Mutation intensity knobs.
+struct MotifOptions {
+  /// Strings: per-element probability of substituting a random letter.
+  double substitution_rate = 0.10;
+  /// Numeric/trajectory elements: Gaussian jitter standard deviation.
+  double noise_sigma = 0.3;
+  /// Alphabet used for string substitutions.
+  std::string_view alphabet = "ACDEFGHIKLMNPQRSTVWY";
+};
+
+/// Where a copy was planted.
+struct PlantedLocation {
+  SeqId seq = kInvalidId;
+  Interval location;
+};
+
+/// Deterministic motif mutator / embedder.
+class MotifPlanter {
+ public:
+  explicit MotifPlanter(uint64_t seed = 7);
+
+  /// A mutated copy of a string motif (i.i.d. substitutions).
+  std::vector<char> Mutate(std::span<const char> motif,
+                           const MotifOptions& options);
+  /// A mutated copy of a scalar motif (Gaussian jitter).
+  std::vector<double> Mutate(std::span<const double> motif,
+                             const MotifOptions& options);
+  /// A mutated copy of a trajectory motif (isotropic jitter).
+  std::vector<Point2d> Mutate(std::span<const Point2d> motif,
+                              const MotifOptions& options);
+
+  /// A copy of `host` with `payload` overwriting the elements at
+  /// [position, position + |payload|). The payload must fit.
+  template <typename T>
+  Sequence<T> Embed(const Sequence<T>& host, std::span<const T> payload,
+                    int32_t position) {
+    std::vector<T> elements(host.elements());
+    SUBSEQ_CHECK(position >= 0);
+    SUBSEQ_CHECK(position + static_cast<int32_t>(payload.size()) <=
+                 host.size());
+    for (size_t i = 0; i < payload.size(); ++i) {
+      elements[static_cast<size_t>(position) + i] = payload[i];
+    }
+    return Sequence<T>(std::move(elements), host.label());
+  }
+
+  /// A uniformly random in-bounds planting position for a payload of the
+  /// given length inside a host of the given length.
+  int32_t DrawPosition(int32_t host_length, int32_t payload_length);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DATA_MOTIF_H_

@@ -1,0 +1,133 @@
+#include "subseq/data/protein_gen.h"
+
+#include <array>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+namespace {
+
+// UniProtKB/Swiss-Prot amino-acid composition (percent), in the order of
+// kAminoAcids = "ACDEFGHIKLMNPQRSTVWY".
+constexpr std::array<double, 20> kCompositionPercent = {
+    8.25,  // A
+    1.38,  // C
+    5.46,  // D
+    6.71,  // E
+    3.86,  // F
+    7.07,  // G
+    2.27,  // H
+    5.91,  // I
+    5.80,  // K
+    9.65,  // L
+    2.41,  // M
+    4.06,  // N
+    4.74,  // P
+    3.93,  // Q
+    5.53,  // R
+    6.63,  // S
+    5.35,  // T
+    6.86,  // V
+    1.10,  // W
+    2.92,  // Y
+};
+
+// Cumulative distribution over the alphabet, normalized to 1.
+std::array<double, 20> BuildCdf() {
+  std::array<double, 20> cdf{};
+  double total = 0.0;
+  for (const double p : kCompositionPercent) total += p;
+  double acc = 0.0;
+  for (size_t i = 0; i < cdf.size(); ++i) {
+    acc += kCompositionPercent[i] / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+const std::array<double, 20>& Cdf() {
+  static const std::array<double, 20> cdf = BuildCdf();
+  return cdf;
+}
+
+}  // namespace
+
+ProteinGenerator::ProteinGenerator(ProteinGenOptions options)
+    : options_(options), rng_(options.seed) {
+  SUBSEQ_CHECK(options_.mean_length >= 2);
+}
+
+char ProteinGenerator::DrawAminoAcid() {
+  const double u = rng_.NextDouble();
+  const auto& cdf = Cdf();
+  for (size_t i = 0; i < cdf.size(); ++i) {
+    if (u < cdf[i]) return kAminoAcids[i];
+  }
+  return kAminoAcids.back();
+}
+
+Sequence<char> ProteinGenerator::GenerateFresh(int32_t length) {
+  SUBSEQ_CHECK(length >= 0);
+  std::vector<char> elements;
+  elements.reserve(static_cast<size_t>(length));
+  for (int32_t i = 0; i < length; ++i) elements.push_back(DrawAminoAcid());
+  return Sequence<char>(std::move(elements));
+}
+
+Sequence<char> ProteinGenerator::GenerateFamilyVariant() {
+  const Sequence<char>& base = family_pool_[static_cast<size_t>(
+      rng_.NextBounded(family_pool_.size()))];
+  std::vector<char> elements(base.elements());
+  for (char& c : elements) {
+    if (rng_.NextBool(options_.family_mutation_rate)) c = DrawAminoAcid();
+  }
+  return Sequence<char>(std::move(elements));
+}
+
+Sequence<char> ProteinGenerator::GenerateWithLength(int32_t length) {
+  return GenerateFresh(length);
+}
+
+Sequence<char> ProteinGenerator::Generate() {
+  Sequence<char> seq;
+  if (!family_pool_.empty() && rng_.NextBool(options_.family_fraction)) {
+    seq = GenerateFamilyVariant();
+  } else {
+    const int32_t lo = options_.mean_length / 2;
+    const int32_t hi = options_.mean_length + options_.mean_length / 2;
+    seq = GenerateFresh(static_cast<int32_t>(rng_.NextInt(lo, hi)));
+  }
+  // Keep a bounded pool of family seeds; a small pool concentrates
+  // database redundancy into fewer, larger families (UniProt-like).
+  constexpr size_t kPoolCap = 16;
+  if (family_pool_.size() < kPoolCap) {
+    family_pool_.push_back(seq);
+  } else {
+    family_pool_[static_cast<size_t>(rng_.NextBounded(kPoolCap))] = seq;
+  }
+  return seq;
+}
+
+SequenceDatabase<char> ProteinGenerator::GenerateDatabase(
+    int32_t num_sequences) {
+  SequenceDatabase<char> db;
+  for (int32_t i = 0; i < num_sequences; ++i) db.Add(Generate());
+  return db;
+}
+
+SequenceDatabase<char> ProteinGenerator::GenerateDatabaseWithWindows(
+    int32_t num_windows, int32_t window_length) {
+  SUBSEQ_CHECK(window_length >= 1);
+  SequenceDatabase<char> db;
+  int64_t windows = 0;
+  while (windows < num_windows) {
+    Sequence<char> seq = Generate();
+    windows += seq.size() / window_length;
+    db.Add(std::move(seq));
+  }
+  return db;
+}
+
+}  // namespace subseq

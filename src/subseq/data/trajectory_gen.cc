@@ -1,0 +1,73 @@
+#include "subseq/data/trajectory_gen.h"
+
+#include <cmath>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+TrajectoryGenerator::TrajectoryGenerator(TrajectoryGenOptions options)
+    : options_(options), rng_(options.seed) {
+  SUBSEQ_CHECK(options_.mean_length >= 2);
+  SUBSEQ_CHECK(options_.width > 0.0 && options_.height > 0.0);
+  SUBSEQ_CHECK(options_.speed > 0.0);
+}
+
+Sequence<Point2d> TrajectoryGenerator::GenerateWithLength(int32_t length) {
+  SUBSEQ_CHECK(length >= 0);
+  std::vector<Point2d> points;
+  points.reserve(static_cast<size_t>(length));
+  double x = rng_.NextDouble(0.0, options_.width);
+  double y = rng_.NextDouble(0.0, options_.height);
+  double heading = rng_.NextDouble(0.0, 2.0 * M_PI);
+  for (int32_t i = 0; i < length; ++i) {
+    points.push_back(Point2d{x, y});
+    heading += options_.heading_sigma * rng_.NextGaussian();
+    x += options_.speed * std::cos(heading);
+    y += options_.speed * std::sin(heading);
+    // Reflect at the borders (vehicles stay in the lot).
+    if (x < 0.0) {
+      x = -x;
+      heading = M_PI - heading;
+    } else if (x > options_.width) {
+      x = 2.0 * options_.width - x;
+      heading = M_PI - heading;
+    }
+    if (y < 0.0) {
+      y = -y;
+      heading = -heading;
+    } else if (y > options_.height) {
+      y = 2.0 * options_.height - y;
+      heading = -heading;
+    }
+  }
+  return Sequence<Point2d>(std::move(points));
+}
+
+Sequence<Point2d> TrajectoryGenerator::Generate() {
+  const int32_t lo = options_.mean_length / 2;
+  const int32_t hi = options_.mean_length + options_.mean_length / 2;
+  return GenerateWithLength(static_cast<int32_t>(rng_.NextInt(lo, hi)));
+}
+
+SequenceDatabase<Point2d> TrajectoryGenerator::GenerateDatabase(
+    int32_t num_sequences) {
+  SequenceDatabase<Point2d> db;
+  for (int32_t i = 0; i < num_sequences; ++i) db.Add(Generate());
+  return db;
+}
+
+SequenceDatabase<Point2d> TrajectoryGenerator::GenerateDatabaseWithWindows(
+    int32_t num_windows, int32_t window_length) {
+  SUBSEQ_CHECK(window_length >= 1);
+  SequenceDatabase<Point2d> db;
+  int64_t windows = 0;
+  while (windows < num_windows) {
+    Sequence<Point2d> seq = Generate();
+    windows += seq.size() / window_length;
+    db.Add(std::move(seq));
+  }
+  return db;
+}
+
+}  // namespace subseq

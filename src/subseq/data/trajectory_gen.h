@@ -1,0 +1,51 @@
+// TrajectoryGenerator — synthetic stand-in for the paper's TRAJ dataset
+// (object trajectories tracked in a parking-lot video, Wang et al. 2011).
+//
+// Paths are smooth-heading random walks inside a bounded rectangular
+// region: position integrates a velocity whose heading drifts slowly,
+// with reflection at the region borders. This yields the wide-spread,
+// high-variance continuous distance distributions (both ERP and DFD) that
+// drive the paper's Fig. 7 space results and the Fig. 10/11 query plots.
+
+#ifndef SUBSEQ_DATA_TRAJECTORY_GEN_H_
+#define SUBSEQ_DATA_TRAJECTORY_GEN_H_
+
+#include "subseq/core/rng.h"
+#include "subseq/core/sequence.h"
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+/// Generator parameters.
+struct TrajectoryGenOptions {
+  /// Mean trajectory length in samples (uniform in [mean/2, 3*mean/2]).
+  int32_t mean_length = 200;
+  /// Region is [0, width] x [0, height].
+  double width = 100.0;
+  double height = 60.0;
+  /// Distance travelled per sample.
+  double speed = 1.5;
+  /// Standard deviation of per-step heading drift (radians).
+  double heading_sigma = 0.25;
+  uint64_t seed = 3;
+};
+
+/// Generates smooth 2D trajectories in a bounded region.
+class TrajectoryGenerator {
+ public:
+  explicit TrajectoryGenerator(TrajectoryGenOptions options = {});
+
+  Sequence<Point2d> Generate();
+  Sequence<Point2d> GenerateWithLength(int32_t length);
+  SequenceDatabase<Point2d> GenerateDatabase(int32_t num_sequences);
+  SequenceDatabase<Point2d> GenerateDatabaseWithWindows(
+      int32_t num_windows, int32_t window_length);
+
+ private:
+  TrajectoryGenOptions options_;
+  Rng rng_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DATA_TRAJECTORY_GEN_H_

@@ -1,0 +1,113 @@
+#include "subseq/distance/alignment.h"
+
+#include <algorithm>
+
+namespace subseq {
+
+std::optional<std::string> ValidateAlignment(const Alignment& alignment,
+                                             int32_t len_a, int32_t len_b,
+                                             bool allow_gaps) {
+  const auto& c = alignment.couplings;
+  if (len_a == 0 || len_b == 0) {
+    // Degenerate inputs: an empty sequence aligns via gaps only.
+    return std::nullopt;
+  }
+  if (c.empty()) return "alignment has no couplings";
+
+  // Boundary conditions: first coupling touches (0, 0), last touches
+  // (len_a - 1, len_b - 1) — modulo leading/trailing gap steps for
+  // edit-style alignments.
+  auto first_match = std::find_if(c.begin(), c.end(), [](const Coupling& w) {
+    return w.op == AlignOp::kMatch;
+  });
+  if (!allow_gaps) {
+    if (c.front().i != 0 || c.front().j != 0) {
+      return "alignment does not start at (0, 0)";
+    }
+    if (c.back().i != len_a - 1 || c.back().j != len_b - 1) {
+      return "alignment does not end at (|a|-1, |b|-1)";
+    }
+  }
+  (void)first_match;
+
+  // Each element index must be covered by some coupling (continuity),
+  // and indices must be monotone non-decreasing with unit steps.
+  std::vector<bool> a_covered(static_cast<size_t>(len_a), false);
+  std::vector<bool> b_covered(static_cast<size_t>(len_b), false);
+  int32_t prev_i = -1;
+  int32_t prev_j = -1;
+  for (const Coupling& w : c) {
+    if (w.op != AlignOp::kGapB) {
+      if (w.i < 0 || w.i >= len_a) return "a-index out of range";
+    }
+    if (w.op != AlignOp::kGapA) {
+      if (w.j < 0 || w.j >= len_b) return "b-index out of range";
+    }
+    if (w.op == AlignOp::kGapA && !allow_gaps) return "unexpected gap step";
+    if (w.op == AlignOp::kGapB && !allow_gaps) return "unexpected gap step";
+
+    if (w.op != AlignOp::kGapB) a_covered[static_cast<size_t>(w.i)] = true;
+    if (w.op != AlignOp::kGapA) b_covered[static_cast<size_t>(w.j)] = true;
+
+    if (prev_i >= 0) {
+      if (w.i < prev_i || w.j < prev_j) return "alignment not monotone";
+      if (!allow_gaps && (w.i - prev_i > 1 || w.j - prev_j > 1)) {
+        return "alignment not continuous (index jump > 1)";
+      }
+      if (!allow_gaps && w.i == prev_i && w.j == prev_j) {
+        return "repeated coupling";
+      }
+    }
+    if (w.op != AlignOp::kGapB) prev_i = w.i;
+    if (w.op != AlignOp::kGapA) prev_j = w.j;
+  }
+  for (int32_t i = 0; i < len_a; ++i) {
+    if (!a_covered[static_cast<size_t>(i)]) {
+      return "element of a not covered by any coupling";
+    }
+  }
+  for (int32_t j = 0; j < len_b; ++j) {
+    if (!b_covered[static_cast<size_t>(j)]) {
+      return "element of b not covered by any coupling";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Interval> RestrictToRange(const Alignment& alignment,
+                                        const Interval& a_interval) {
+  int32_t c = -1;
+  int32_t d = -1;
+  for (const Coupling& w : alignment.couplings) {
+    if (w.op != AlignOp::kMatch) continue;
+    if (w.i < a_interval.begin || w.i >= a_interval.end) continue;
+    if (c < 0) c = w.j;
+    d = w.j;
+  }
+  if (c < 0) return std::nullopt;
+  return Interval{c, d + 1};
+}
+
+double RestrictedCost(const Alignment& alignment,
+                      const Interval& a_interval) {
+  double total = 0.0;
+  for (const Coupling& w : alignment.couplings) {
+    if (w.op == AlignOp::kGapB) continue;  // no a-index involved
+    if (w.i < a_interval.begin || w.i >= a_interval.end) continue;
+    total += w.cost;
+  }
+  return total;
+}
+
+double RestrictedMaxCost(const Alignment& alignment,
+                         const Interval& a_interval) {
+  double max_cost = 0.0;
+  for (const Coupling& w : alignment.couplings) {
+    if (w.op == AlignOp::kGapB) continue;
+    if (w.i < a_interval.begin || w.i >= a_interval.end) continue;
+    max_cost = std::max(max_cost, w.cost);
+  }
+  return max_cost;
+}
+
+}  // namespace subseq

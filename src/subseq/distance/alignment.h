@@ -1,0 +1,81 @@
+// Alignment (coupling-sequence) representation and validation.
+//
+// Section 4 of the paper expresses DTW, ERP, discrete Frechet and
+// Levenshtein as optimal alignments C = (w_1..w_K), each coupling w_k
+// matching an element of X with an element of Q (or with a gap, for
+// edit-style distances). The consistency proof restricts an optimal
+// alignment of (X, Q) to a subsequence SX and reads off the matched SQ;
+// RestrictToRange implements exactly that construction, and the tests use
+// it to validate consistency empirically.
+
+#ifndef SUBSEQ_DISTANCE_ALIGNMENT_H_
+#define SUBSEQ_DISTANCE_ALIGNMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subseq/core/sequence.h"
+
+namespace subseq {
+
+/// What a single coupling does.
+enum class AlignOp {
+  kMatch,  // a[i] aligned with b[j]
+  kGapA,   // a[i] aligned with the gap element (deletion from a)
+  kGapB,   // b[j] aligned with the gap element (insertion from b)
+};
+
+/// One step of an alignment. For kGapA the index j refers to the position
+/// in b *before* which the gap occurs (and vice versa for kGapB); it is
+/// recorded so paths remain monotone and printable.
+struct Coupling {
+  int32_t i = 0;
+  int32_t j = 0;
+  AlignOp op = AlignOp::kMatch;
+  double cost = 0.0;
+
+  friend bool operator==(const Coupling& x, const Coupling& y) {
+    return x.i == y.i && x.j == y.j && x.op == y.op;
+  }
+};
+
+/// A full alignment between two sequences plus its total distance value
+/// (sum of coupling costs, or max for the discrete Frechet distance).
+struct Alignment {
+  double distance = 0.0;
+  std::vector<Coupling> couplings;
+};
+
+/// Verifies the boundary, monotonicity and continuity properties of an
+/// alignment between sequences of lengths len_a and len_b (Keogh 2002,
+/// restated in Section 4). `allow_gaps` admits kGapA/kGapB steps
+/// (ERP / Levenshtein); otherwise every step must be a kMatch whose indices
+/// advance by at most one (DTW / DFD). Returns an error message, or
+/// std::nullopt if the alignment is valid.
+std::optional<std::string> ValidateAlignment(const Alignment& alignment,
+                                             int32_t len_a, int32_t len_b,
+                                             bool allow_gaps);
+
+/// The paper's consistency construction: given an alignment between a and
+/// b and a subsequence interval of a, returns the interval [c, d] of b
+/// spanned by the couplings that touch the interval (earliest matching
+/// element of the first index, last matching element of the last index).
+/// Returns nullopt if no kMatch coupling touches the interval (possible
+/// only for gap-based distances where the whole interval aligns to gaps).
+std::optional<Interval> RestrictToRange(const Alignment& alignment,
+                                        const Interval& a_interval);
+
+/// Sum of coupling costs restricted to couplings whose a-index lies in
+/// a_interval (used to cross-check the consistency proof: this restricted
+/// cost upper-bounds d(SQ, SX) for sum-based distances).
+double RestrictedCost(const Alignment& alignment, const Interval& a_interval);
+
+/// Max of coupling costs restricted to the interval (Frechet analogue).
+double RestrictedMaxCost(const Alignment& alignment,
+                         const Interval& a_interval);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_ALIGNMENT_H_

@@ -1,0 +1,110 @@
+#include "subseq/distance/consistency.h"
+
+#include <cstdio>
+
+namespace subseq {
+
+template <typename T>
+std::optional<ConsistencyViolation> FindConsistencyViolation(
+    const SequenceDistance<T>& dist, std::span<const T> q,
+    std::span<const T> x, int32_t min_len) {
+  const int32_t nq = static_cast<int32_t>(q.size());
+  const int32_t nx = static_cast<int32_t>(x.size());
+  const double full = dist.Compute(q, x);
+
+  for (int32_t a = 0; a < nx; ++a) {
+    for (int32_t b = a + min_len; b <= nx; ++b) {
+      const auto sx = x.subspan(static_cast<size_t>(a),
+                                static_cast<size_t>(b - a));
+      double best = kInfiniteDistance;
+      for (int32_t c = 0; c < nq && best > full; ++c) {
+        for (int32_t d = c + 1; d <= nq && best > full; ++d) {
+          const auto sq = q.subspan(static_cast<size_t>(c),
+                                    static_cast<size_t>(d - c));
+          best = std::min(best, dist.Compute(sq, sx));
+        }
+      }
+      if (best > full) {
+        return ConsistencyViolation{Interval{a, b}, best, full};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+template <typename T>
+std::optional<std::string> CheckMetricAxioms(
+    const SequenceDistance<T>& dist,
+    const std::vector<std::vector<T>>& samples, double tolerance) {
+  const size_t n = samples.size();
+  // Cache pairwise distances.
+  std::vector<double> d(n * n, 0.0);
+  auto at = [&](size_t i, size_t j) -> double& { return d[i * n + j]; };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      at(i, j) = dist.Compute(std::span<const T>(samples[i]),
+                              std::span<const T>(samples[j]));
+    }
+  }
+
+  char buf[160];
+  for (size_t i = 0; i < n; ++i) {
+    if (at(i, i) != 0.0) {
+      std::snprintf(buf, sizeof(buf), "identity violated: d(s%zu, s%zu) = %g",
+                    i, i, at(i, i));
+      return std::string(buf);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (at(i, j) < 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "non-negativity violated: d(s%zu, s%zu) = %g", i, j,
+                      at(i, j));
+        return std::string(buf);
+      }
+      if (at(i, j) != at(j, i)) {
+        std::snprintf(buf, sizeof(buf),
+                      "symmetry violated: d(s%zu, s%zu)=%g vs d(s%zu, s%zu)=%g",
+                      i, j, at(i, j), j, i, at(j, i));
+        return std::string(buf);
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t k = 0; k < n; ++k) {
+        if (at(i, k) > at(i, j) + at(j, k) + tolerance) {
+          std::snprintf(
+              buf, sizeof(buf),
+              "triangle violated: d(s%zu, s%zu)=%g > d(s%zu, s%zu)=%g + "
+              "d(s%zu, s%zu)=%g",
+              i, k, at(i, k), i, j, at(i, j), j, k, at(j, k));
+          return std::string(buf);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+template std::optional<ConsistencyViolation> FindConsistencyViolation<char>(
+    const SequenceDistance<char>&, std::span<const char>,
+    std::span<const char>, int32_t);
+template std::optional<ConsistencyViolation> FindConsistencyViolation<double>(
+    const SequenceDistance<double>&, std::span<const double>,
+    std::span<const double>, int32_t);
+template std::optional<ConsistencyViolation>
+FindConsistencyViolation<Point2d>(const SequenceDistance<Point2d>&,
+                                  std::span<const Point2d>,
+                                  std::span<const Point2d>, int32_t);
+
+template std::optional<std::string> CheckMetricAxioms<char>(
+    const SequenceDistance<char>&, const std::vector<std::vector<char>>&,
+    double);
+template std::optional<std::string> CheckMetricAxioms<double>(
+    const SequenceDistance<double>&, const std::vector<std::vector<double>>&,
+    double);
+template std::optional<std::string> CheckMetricAxioms<Point2d>(
+    const SequenceDistance<Point2d>&,
+    const std::vector<std::vector<Point2d>>&, double);
+
+}  // namespace subseq

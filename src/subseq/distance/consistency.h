@@ -1,0 +1,74 @@
+// Empirical checkers for the two properties the framework depends on:
+// consistency (Definition 1) and the metric axioms.
+//
+// These are exhaustive / sampled verifiers used by the test suite and by
+// users who want to qualify a custom distance before plugging it into the
+// framework. They are O(|Q|^2 |X|^2) distance evaluations — intended for
+// short sequences, not production data.
+
+#ifndef SUBSEQ_DISTANCE_CONSISTENCY_H_
+#define SUBSEQ_DISTANCE_CONSISTENCY_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "subseq/core/sequence.h"
+#include "subseq/core/types.h"
+#include "subseq/distance/distance.h"
+
+namespace subseq {
+
+/// A counterexample to Definition 1: a subsequence SX of X such that *no*
+/// subsequence SQ of Q satisfies d(SQ, SX) <= d(Q, X).
+struct ConsistencyViolation {
+  Interval sx;               // the offending subsequence of X
+  double best_subseq = 0.0;  // min over SQ of d(SQ, SX)
+  double full = 0.0;         // d(Q, X)
+};
+
+/// Exhaustively verifies consistency of `dist` for the pair (q, x):
+/// for every subsequence SX of x (length >= min_len), checks that some
+/// subsequence SQ of q has d(SQ, SX) <= d(q, x). Returns the first
+/// violation found, or nullopt if the property holds for this pair.
+template <typename T>
+std::optional<ConsistencyViolation> FindConsistencyViolation(
+    const SequenceDistance<T>& dist, std::span<const T> q,
+    std::span<const T> x, int32_t min_len = 1);
+
+/// Verifies the metric axioms (identity, non-negativity, symmetry, and the
+/// triangle inequality over all triples) on the given sample of sequences.
+/// Returns a description of the first violated axiom, or nullopt.
+/// `tolerance` absorbs floating-point rounding in the triangle check.
+template <typename T>
+std::optional<std::string> CheckMetricAxioms(
+    const SequenceDistance<T>& dist,
+    const std::vector<std::vector<T>>& samples, double tolerance = 1e-9);
+
+extern template std::optional<ConsistencyViolation>
+FindConsistencyViolation<char>(const SequenceDistance<char>&,
+                               std::span<const char>, std::span<const char>,
+                               int32_t);
+extern template std::optional<ConsistencyViolation>
+FindConsistencyViolation<double>(const SequenceDistance<double>&,
+                                 std::span<const double>,
+                                 std::span<const double>, int32_t);
+extern template std::optional<ConsistencyViolation>
+FindConsistencyViolation<Point2d>(const SequenceDistance<Point2d>&,
+                                  std::span<const Point2d>,
+                                  std::span<const Point2d>, int32_t);
+
+extern template std::optional<std::string> CheckMetricAxioms<char>(
+    const SequenceDistance<char>&, const std::vector<std::vector<char>>&,
+    double);
+extern template std::optional<std::string> CheckMetricAxioms<double>(
+    const SequenceDistance<double>&, const std::vector<std::vector<double>>&,
+    double);
+extern template std::optional<std::string> CheckMetricAxioms<Point2d>(
+    const SequenceDistance<Point2d>&,
+    const std::vector<std::vector<Point2d>>&, double);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_CONSISTENCY_H_

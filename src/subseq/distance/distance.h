@@ -1,0 +1,63 @@
+// SequenceDistance<T>: the abstract interface all distance measures
+// implement, plus the property flags the framework relies on.
+//
+// The paper's framework (Sections 4-6) needs to know two things about a
+// distance:
+//   * is_consistent(): Definition 1 holds, so the window filter (Lemma 2/3)
+//     has no false dismissals;
+//   * is_metric(): the triangle inequality holds, so metric indexes
+//     (reference net, cover tree, MV pivots) may be used for the filter.
+//
+// Of the shipped distances: Euclidean, Hamming, ERP, discrete Frechet and
+// Levenshtein are metric + consistent; DTW is consistent but NOT metric.
+
+#ifndef SUBSEQ_DISTANCE_DISTANCE_H_
+#define SUBSEQ_DISTANCE_DISTANCE_H_
+
+#include <limits>
+#include <span>
+#include <string_view>
+
+namespace subseq {
+
+/// Sentinel for "no similarity" / length-mismatch for rigid distances.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Abstract distance measure between two element sequences.
+///
+/// Implementations are immutable and thread-compatible: Compute() has no
+/// side effects beyond scratch buffers local to the call.
+template <typename T>
+class SequenceDistance {
+ public:
+  virtual ~SequenceDistance() = default;
+
+  /// The distance between sequences a and b.
+  virtual double Compute(std::span<const T> a, std::span<const T> b) const = 0;
+
+  /// Early-abandoning variant: must return the exact distance if it is
+  /// <= upper_bound, and may return any value > upper_bound otherwise
+  /// (implementations typically return +infinity once every DP state in a
+  /// row exceeds the bound). The default forwards to Compute().
+  virtual double ComputeBounded(std::span<const T> a, std::span<const T> b,
+                                double upper_bound) const {
+    (void)upper_bound;
+    return Compute(a, b);
+  }
+
+  /// Short stable identifier ("erp", "dtw", "levenshtein", ...).
+  virtual std::string_view name() const = 0;
+
+  /// True if the distance obeys symmetry + triangle inequality.
+  virtual bool is_metric() const = 0;
+
+  /// True if the distance obeys the paper's consistency property
+  /// (Definition 1): for all Q, X and every subsequence SX of X there is a
+  /// subsequence SQ of Q with d(SQ, SX) <= d(Q, X).
+  virtual bool is_consistent() const = 0;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_DISTANCE_H_

@@ -1,0 +1,124 @@
+#include "subseq/distance/dtw.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace subseq {
+
+namespace {
+
+// Indexing helper for the (n+1) x (m+1) DP table flattened row-major.
+inline size_t Idx(size_t row, size_t col, size_t stride) {
+  return row * stride + col;
+}
+
+}  // namespace
+
+template <typename T, typename Ground>
+double DtwDistance<T, Ground>::Compute(std::span<const T> a,
+                                       std::span<const T> b) const {
+  return ComputeBounded(a, b, kInfiniteDistance);
+}
+
+template <typename T, typename Ground>
+double DtwDistance<T, Ground>::ComputeBounded(std::span<const T> a,
+                                              std::span<const T> b,
+                                              double upper_bound) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return kInfiniteDistance;
+  if (band_ >= 0 &&
+      std::abs(static_cast<long>(n) - static_cast<long>(m)) > band_) {
+    return kInfiniteDistance;
+  }
+
+  // Two-row DP over the (n+1) x (m+1) grid; row 0 / col 0 are +inf walls
+  // except the (0,0) corner.
+  std::vector<double> prev(m + 1, kInfiniteDistance);
+  std::vector<double> curr(m + 1, kInfiniteDistance);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInfiniteDistance);
+    size_t j_lo = 1;
+    size_t j_hi = m;
+    if (band_ >= 0) {
+      const long lo = static_cast<long>(i) - band_;
+      const long hi = static_cast<long>(i) + band_;
+      j_lo = static_cast<size_t>(std::max(1L, lo));
+      j_hi = static_cast<size_t>(std::min(static_cast<long>(m), hi));
+    }
+    double row_min = kInfiniteDistance;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double best_prev =
+          std::min({prev[j - 1], prev[j], curr[j - 1]});
+      if (best_prev == kInfiniteDistance) continue;
+      const double cost = Ground::Between(a[i - 1], b[j - 1]);
+      curr[j] = best_prev + cost;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > upper_bound) return kInfiniteDistance;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+template <typename T, typename Ground>
+Alignment DtwDistance<T, Ground>::ComputeWithPath(std::span<const T> a,
+                                                  std::span<const T> b) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  Alignment result;
+  if (n == 0 || m == 0) {
+    result.distance = (n == 0 && m == 0) ? 0.0 : kInfiniteDistance;
+    return result;
+  }
+
+  const size_t stride = m + 1;
+  std::vector<double> dp((n + 1) * stride, kInfiniteDistance);
+  dp[Idx(0, 0, stride)] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (band_ >= 0 && std::abs(static_cast<long>(i) -
+                                 static_cast<long>(j)) > band_) {
+        continue;
+      }
+      const double best_prev = std::min({dp[Idx(i - 1, j - 1, stride)],
+                                         dp[Idx(i - 1, j, stride)],
+                                         dp[Idx(i, j - 1, stride)]});
+      if (best_prev == kInfiniteDistance) continue;
+      dp[Idx(i, j, stride)] = best_prev + Ground::Between(a[i - 1], b[j - 1]);
+    }
+  }
+  result.distance = dp[Idx(n, m, stride)];
+  if (result.distance == kInfiniteDistance) return result;
+
+  // Backtrack from (n, m) to (1, 1).
+  size_t i = n;
+  size_t j = m;
+  while (i >= 1 && j >= 1) {
+    result.couplings.push_back(
+        Coupling{static_cast<int32_t>(i - 1), static_cast<int32_t>(j - 1),
+                 AlignOp::kMatch, Ground::Between(a[i - 1], b[j - 1])});
+    if (i == 1 && j == 1) break;
+    const double diag = dp[Idx(i - 1, j - 1, stride)];
+    const double up = dp[Idx(i - 1, j, stride)];
+    const double left = dp[Idx(i, j - 1, stride)];
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(result.couplings.begin(), result.couplings.end());
+  return result;
+}
+
+template class DtwDistance<double, ScalarGround>;
+template class DtwDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq

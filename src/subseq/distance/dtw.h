@@ -1,0 +1,60 @@
+// Dynamic Time Warping (Berndt & Clifford 1994; Keogh 2002).
+//
+// DTW is *consistent* (Section 4 of the paper) but NOT metric — it violates
+// the triangle inequality — so it can be used with the paper's window
+// filter (which only needs consistency) but not with the metric indexes.
+// An optional Sakoe-Chiba band constrains |i - j| <= band.
+
+#ifndef SUBSEQ_DISTANCE_DTW_H_
+#define SUBSEQ_DISTANCE_DTW_H_
+
+#include <span>
+
+#include "subseq/core/types.h"
+#include "subseq/distance/alignment.h"
+#include "subseq/distance/distance.h"
+#include "subseq/distance/ground.h"
+
+namespace subseq {
+
+/// DTW distance: minimum over warping paths of the *sum* of ground costs.
+template <typename T, typename Ground>
+class DtwDistance final : public SequenceDistance<T> {
+ public:
+  /// `band` restricts the warp to |i - j| <= band (Sakoe-Chiba);
+  /// a negative band means unconstrained.
+  explicit DtwDistance(int band = -1) : band_(band) {}
+
+  double Compute(std::span<const T> a, std::span<const T> b) const override;
+
+  double ComputeBounded(std::span<const T> a, std::span<const T> b,
+                        double upper_bound) const override;
+
+  /// Computes the distance together with an optimal warping path
+  /// (couplings are all kMatch; indices may repeat on one side).
+  Alignment ComputeWithPath(std::span<const T> a, std::span<const T> b) const;
+
+  std::string_view name() const override { return "dtw"; }
+  bool is_metric() const override { return false; }
+  /// The band breaks consistency (a window's optimal sub-alignment may
+  /// fall outside the band), so only the unconstrained variant advertises
+  /// the property.
+  bool is_consistent() const override { return band_ < 0; }
+
+  int band() const { return band_; }
+
+ private:
+  int band_;
+};
+
+/// DTW over scalar time series.
+using DtwDistance1D = DtwDistance<double, ScalarGround>;
+/// DTW over planar trajectories.
+using DtwDistance2D = DtwDistance<Point2d, Point2dGround>;
+
+extern template class DtwDistance<double, ScalarGround>;
+extern template class DtwDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_DTW_H_

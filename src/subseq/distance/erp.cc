@@ -1,0 +1,114 @@
+#include "subseq/distance/erp.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace subseq {
+
+template <typename T, typename Ground>
+double ErpDistance<T, Ground>::Compute(std::span<const T> a,
+                                       std::span<const T> b) const {
+  return ComputeBounded(a, b, kInfiniteDistance);
+}
+
+template <typename T, typename Ground>
+double ErpDistance<T, Ground>::ComputeBounded(std::span<const T> a,
+                                              std::span<const T> b,
+                                              double upper_bound) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const T gap = Ground::GapElement();
+
+  // prev/curr are rows of the (n+1) x (m+1) table.
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + Ground::Between(b[j - 1], gap);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = prev[0] + Ground::Between(a[i - 1], gap);
+    double row_min = curr[0];
+    for (size_t j = 1; j <= m; ++j) {
+      const double match =
+          prev[j - 1] + Ground::Between(a[i - 1], b[j - 1]);
+      const double gap_a = prev[j] + Ground::Between(a[i - 1], gap);
+      const double gap_b = curr[j - 1] + Ground::Between(b[j - 1], gap);
+      curr[j] = std::min({match, gap_a, gap_b});
+      row_min = std::min(row_min, curr[j]);
+    }
+    // Costs are non-negative, so the row minimum lower-bounds the result.
+    if (row_min > upper_bound) return kInfiniteDistance;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+template <typename T, typename Ground>
+Alignment ErpDistance<T, Ground>::ComputeWithPath(std::span<const T> a,
+                                                  std::span<const T> b) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t stride = m + 1;
+  const T gap = Ground::GapElement();
+
+  std::vector<double> dp((n + 1) * stride, 0.0);
+  for (size_t j = 1; j <= m; ++j) {
+    dp[j] = dp[j - 1] + Ground::Between(b[j - 1], gap);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    dp[i * stride] = dp[(i - 1) * stride] + Ground::Between(a[i - 1], gap);
+    for (size_t j = 1; j <= m; ++j) {
+      const double match =
+          dp[(i - 1) * stride + (j - 1)] + Ground::Between(a[i - 1], b[j - 1]);
+      const double gap_a =
+          dp[(i - 1) * stride + j] + Ground::Between(a[i - 1], gap);
+      const double gap_b =
+          dp[i * stride + (j - 1)] + Ground::Between(b[j - 1], gap);
+      dp[i * stride + j] = std::min({match, gap_a, gap_b});
+    }
+  }
+
+  Alignment result;
+  result.distance = dp[n * stride + m];
+
+  // Backtrack.
+  size_t i = n;
+  size_t j = m;
+  while (i > 0 || j > 0) {
+    const double here = dp[i * stride + j];
+    if (i > 0 && j > 0) {
+      const double match_cost = Ground::Between(a[i - 1], b[j - 1]);
+      if (dp[(i - 1) * stride + (j - 1)] + match_cost == here) {
+        result.couplings.push_back(Coupling{static_cast<int32_t>(i - 1),
+                                            static_cast<int32_t>(j - 1),
+                                            AlignOp::kMatch, match_cost});
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0) {
+      const double gap_cost = Ground::Between(a[i - 1], gap);
+      if (dp[(i - 1) * stride + j] + gap_cost == here) {
+        result.couplings.push_back(Coupling{static_cast<int32_t>(i - 1),
+                                            static_cast<int32_t>(j),
+                                            AlignOp::kGapA, gap_cost});
+        --i;
+        continue;
+      }
+    }
+    // Must be a gap on b.
+    const double gap_cost = Ground::Between(b[j - 1], gap);
+    result.couplings.push_back(Coupling{static_cast<int32_t>(i),
+                                        static_cast<int32_t>(j - 1),
+                                        AlignOp::kGapB, gap_cost});
+    --j;
+  }
+  std::reverse(result.couplings.begin(), result.couplings.end());
+  return result;
+}
+
+template class ErpDistance<double, ScalarGround>;
+template class ErpDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq

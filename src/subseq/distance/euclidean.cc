@@ -1,0 +1,8 @@
+#include "subseq/distance/euclidean.h"
+
+namespace subseq {
+
+template class EuclideanDistance<double, ScalarGround>;
+template class EuclideanDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq

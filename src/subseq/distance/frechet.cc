@@ -1,0 +1,107 @@
+#include "subseq/distance/frechet.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace subseq {
+
+template <typename T, typename Ground>
+double FrechetDistance<T, Ground>::Compute(std::span<const T> a,
+                                           std::span<const T> b) const {
+  return ComputeBounded(a, b, kInfiniteDistance);
+}
+
+template <typename T, typename Ground>
+double FrechetDistance<T, Ground>::ComputeBounded(std::span<const T> a,
+                                                  std::span<const T> b,
+                                                  double upper_bound) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return kInfiniteDistance;
+
+  // DP over the n x m grid: D(i,j) = max(ground(i,j),
+  //   min(D(i-1,j-1), D(i-1,j), D(i,j-1))).
+  std::vector<double> prev(m, 0.0);
+  std::vector<double> curr(m, 0.0);
+  prev[0] = Ground::Between(a[0], b[0]);
+  for (size_t j = 1; j < m; ++j) {
+    prev[j] = std::max(prev[j - 1], Ground::Between(a[0], b[j]));
+  }
+  for (size_t i = 1; i < n; ++i) {
+    curr[0] = std::max(prev[0], Ground::Between(a[i], b[0]));
+    double row_min = curr[0];
+    for (size_t j = 1; j < m; ++j) {
+      const double reach = std::min({prev[j - 1], prev[j], curr[j - 1]});
+      curr[j] = std::max(reach, Ground::Between(a[i], b[j]));
+      row_min = std::min(row_min, curr[j]);
+    }
+    // D values are non-decreasing along any remaining path (max-compose),
+    // so the row minimum lower-bounds the final value.
+    if (row_min > upper_bound) return kInfiniteDistance;
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+template <typename T, typename Ground>
+Alignment FrechetDistance<T, Ground>::ComputeWithPath(
+    std::span<const T> a, std::span<const T> b) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  Alignment result;
+  if (n == 0 || m == 0) {
+    result.distance = (n == 0 && m == 0) ? 0.0 : kInfiniteDistance;
+    return result;
+  }
+
+  std::vector<double> dp(n * m, 0.0);
+  auto at = [&](size_t i, size_t j) -> double& { return dp[i * m + j]; };
+  at(0, 0) = Ground::Between(a[0], b[0]);
+  for (size_t j = 1; j < m; ++j) {
+    at(0, j) = std::max(at(0, j - 1), Ground::Between(a[0], b[j]));
+  }
+  for (size_t i = 1; i < n; ++i) {
+    at(i, 0) = std::max(at(i - 1, 0), Ground::Between(a[i], b[0]));
+    for (size_t j = 1; j < m; ++j) {
+      const double reach =
+          std::min({at(i - 1, j - 1), at(i - 1, j), at(i, j - 1)});
+      at(i, j) = std::max(reach, Ground::Between(a[i], b[j]));
+    }
+  }
+  result.distance = at(n - 1, m - 1);
+
+  // Backtrack: move to the predecessor with the smallest reach value.
+  size_t i = n - 1;
+  size_t j = m - 1;
+  for (;;) {
+    result.couplings.push_back(
+        Coupling{static_cast<int32_t>(i), static_cast<int32_t>(j),
+                 AlignOp::kMatch, Ground::Between(a[i], b[j])});
+    if (i == 0 && j == 0) break;
+    if (i == 0) {
+      --j;
+    } else if (j == 0) {
+      --i;
+    } else {
+      const double diag = at(i - 1, j - 1);
+      const double up = at(i - 1, j);
+      const double left = at(i, j - 1);
+      if (diag <= up && diag <= left) {
+        --i;
+        --j;
+      } else if (up <= left) {
+        --i;
+      } else {
+        --j;
+      }
+    }
+  }
+  std::reverse(result.couplings.begin(), result.couplings.end());
+  return result;
+}
+
+template class FrechetDistance<double, ScalarGround>;
+template class FrechetDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq

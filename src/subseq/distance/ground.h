@@ -1,0 +1,47 @@
+// Ground (element-level) distances.
+//
+// Sequence distances in this library are templated over a Ground policy
+// that defines how two *elements* compare, and — for gap-based distances
+// such as ERP — what the gap element is. This is what makes the framework
+// generic over alphabets (Section 3 of the paper: Sigma may be a finite
+// character set or a multi-dimensional infinite set).
+
+#ifndef SUBSEQ_DISTANCE_GROUND_H_
+#define SUBSEQ_DISTANCE_GROUND_H_
+
+#include <cmath>
+
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+/// Ground distance for scalar (1-D time series) elements: |a - b|.
+/// The ERP gap element is the origin 0, as in Chen & Ng (VLDB 2004).
+struct ScalarGround {
+  using Element = double;
+  static double Between(double a, double b) { return std::abs(a - b); }
+  static double GapElement() { return 0.0; }
+};
+
+/// Ground distance for planar trajectory elements: Euclidean distance.
+/// The ERP gap element is the origin (0, 0).
+struct Point2dGround {
+  using Element = Point2d;
+  static double Between(const Point2d& a, const Point2d& b) {
+    return PointDistance(a, b);
+  }
+  static Point2d GapElement() { return Point2d{0.0, 0.0}; }
+};
+
+/// Discrete 0/1 ground distance for characters (strings). Used by the
+/// generic kernels when a string is treated as a time series of symbols;
+/// Levenshtein and Hamming have dedicated implementations.
+struct CharGround {
+  using Element = char;
+  static double Between(char a, char b) { return a == b ? 0.0 : 1.0; }
+  static char GapElement() { return '\0'; }
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_GROUND_H_

@@ -1,0 +1,8 @@
+#include "subseq/distance/hamming.h"
+
+namespace subseq {
+
+template class HammingDistance<char>;
+template class HammingDistance<double>;
+
+}  // namespace subseq

@@ -1,0 +1,50 @@
+// Hamming distance: number of mismatching positions between equal-length
+// sequences. Metric and consistent; rigid (no shifts, no gaps).
+
+#ifndef SUBSEQ_DISTANCE_HAMMING_H_
+#define SUBSEQ_DISTANCE_HAMMING_H_
+
+#include <span>
+
+#include "subseq/distance/distance.h"
+
+namespace subseq {
+
+/// Hamming distance over any equality-comparable element type;
+/// +infinity if |a| != |b|.
+template <typename T>
+class HammingDistance final : public SequenceDistance<T> {
+ public:
+  double Compute(std::span<const T> a, std::span<const T> b) const override {
+    if (a.size() != b.size()) return kInfiniteDistance;
+    int64_t mismatches = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      mismatches += (a[i] == b[i]) ? 0 : 1;
+    }
+    return static_cast<double>(mismatches);
+  }
+
+  double ComputeBounded(std::span<const T> a, std::span<const T> b,
+                        double upper_bound) const override {
+    if (a.size() != b.size()) return kInfiniteDistance;
+    int64_t mismatches = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      mismatches += (a[i] == b[i]) ? 0 : 1;
+      if (static_cast<double>(mismatches) > upper_bound) {
+        return kInfiniteDistance;
+      }
+    }
+    return static_cast<double>(mismatches);
+  }
+
+  std::string_view name() const override { return "hamming"; }
+  bool is_metric() const override { return true; }
+  bool is_consistent() const override { return true; }
+};
+
+extern template class HammingDistance<char>;
+extern template class HammingDistance<double>;
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_HAMMING_H_

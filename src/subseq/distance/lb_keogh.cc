@@ -1,0 +1,58 @@
+#include "subseq/distance/lb_keogh.h"
+
+#include <algorithm>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+LbKeoghEnvelope::LbKeoghEnvelope(std::span<const double> query,
+                                 int32_t band) {
+  const int32_t n = static_cast<int32_t>(query.size());
+  if (band < 0 || band >= n) band = n > 0 ? n - 1 : 0;
+  band_ = band;
+  upper_.resize(static_cast<size_t>(n));
+  lower_.resize(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t lo = std::max(0, i - band);
+    const int32_t hi = std::min(n - 1, i + band);
+    double u = query[static_cast<size_t>(lo)];
+    double l = u;
+    for (int32_t j = lo + 1; j <= hi; ++j) {
+      u = std::max(u, query[static_cast<size_t>(j)]);
+      l = std::min(l, query[static_cast<size_t>(j)]);
+    }
+    upper_[static_cast<size_t>(i)] = u;
+    lower_[static_cast<size_t>(i)] = l;
+  }
+}
+
+double LbKeoghEnvelope::LowerBound(std::span<const double> candidate) const {
+  if (static_cast<int32_t>(candidate.size()) != length()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    if (candidate[i] > upper_[i]) {
+      sum += candidate[i] - upper_[i];
+    } else if (candidate[i] < lower_[i]) {
+      sum += lower_[i] - candidate[i];
+    }
+  }
+  return sum;
+}
+
+double LbKeoghEnvelope::LowerBoundAbandoning(
+    std::span<const double> candidate, double cutoff) const {
+  if (static_cast<int32_t>(candidate.size()) != length()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    if (candidate[i] > upper_[i]) {
+      sum += candidate[i] - upper_[i];
+    } else if (candidate[i] < lower_[i]) {
+      sum += lower_[i] - candidate[i];
+    }
+    if (sum > cutoff) return sum;
+  }
+  return sum;
+}
+
+}  // namespace subseq

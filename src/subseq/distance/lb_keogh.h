@@ -1,0 +1,51 @@
+// LB_Keogh (Keogh, VLDB 2002) — the classic cheap lower bound for DTW,
+// referenced by the paper's related work. Because DTW is consistent but
+// not metric, the framework pairs it with a linear scan; precomputing the
+// query envelope and skipping candidates whose LB_Keogh already exceeds
+// epsilon recovers most of the missing pruning.
+//
+// The envelope is built for a Sakoe-Chiba band of width r:
+//   U[i] = max(q[i-r .. i+r]),  L[i] = min(q[i-r .. i+r])
+// and LB(c) = sum_i max(0, c[i] - U[i], L[i] - c[i]) satisfies
+// LB(c) <= DTW_band(q, c) for any candidate c of the same length. With
+// r >= |q| - 1 the bound is also valid for unconstrained DTW.
+
+#ifndef SUBSEQ_DISTANCE_LB_KEOGH_H_
+#define SUBSEQ_DISTANCE_LB_KEOGH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subseq {
+
+/// Precomputed LB_Keogh envelope of one query sequence.
+class LbKeoghEnvelope {
+ public:
+  /// Builds the envelope. `band` < 0 (or >= |query|) selects the full
+  /// width, making the bound valid for unconstrained DTW.
+  LbKeoghEnvelope(std::span<const double> query, int32_t band);
+
+  /// The lower bound for a candidate; 0 (trivially valid) when the
+  /// candidate's length differs from the query's.
+  double LowerBound(std::span<const double> candidate) const;
+
+  /// Early-abandoning variant: may return any value > cutoff once the
+  /// partial sum exceeds it.
+  double LowerBoundAbandoning(std::span<const double> candidate,
+                              double cutoff) const;
+
+  int32_t length() const { return static_cast<int32_t>(upper_.size()); }
+  int32_t band() const { return band_; }
+  std::span<const double> upper() const { return upper_; }
+  std::span<const double> lower() const { return lower_; }
+
+ private:
+  int32_t band_;
+  std::vector<double> upper_;
+  std::vector<double> lower_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_LB_KEOGH_H_

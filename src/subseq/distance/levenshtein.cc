@@ -1,0 +1,100 @@
+#include "subseq/distance/levenshtein.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace subseq {
+
+template <typename T>
+double LevenshteinDistance<T>::Compute(std::span<const T> a,
+                                       std::span<const T> b) const {
+  return ComputeBounded(a, b, kInfiniteDistance);
+}
+
+template <typename T>
+double LevenshteinDistance<T>::ComputeBounded(std::span<const T> a,
+                                              std::span<const T> b,
+                                              double upper_bound) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // The length difference lower-bounds the edit distance.
+  const double len_diff =
+      static_cast<double>(n > m ? n - m : m - n);
+  if (len_diff > upper_bound) return kInfiniteDistance;
+
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<double>(i);
+    double row_min = curr[0];
+    for (size_t j = 1; j <= m; ++j) {
+      const double subst_cost = (a[i - 1] == b[j - 1]) ? 0.0 : 1.0;
+      curr[j] = std::min({prev[j - 1] + subst_cost,  // match / substitute
+                          prev[j] + 1.0,             // delete from a
+                          curr[j - 1] + 1.0});       // insert from b
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > upper_bound) return kInfiniteDistance;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+template <typename T>
+Alignment LevenshteinDistance<T>::ComputeWithPath(std::span<const T> a,
+                                                  std::span<const T> b) const {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t stride = m + 1;
+  std::vector<double> dp((n + 1) * stride, 0.0);
+  for (size_t j = 0; j <= m; ++j) dp[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    dp[i * stride] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const double subst_cost = (a[i - 1] == b[j - 1]) ? 0.0 : 1.0;
+      dp[i * stride + j] = std::min({dp[(i - 1) * stride + (j - 1)] + subst_cost,
+                                     dp[(i - 1) * stride + j] + 1.0,
+                                     dp[i * stride + (j - 1)] + 1.0});
+    }
+  }
+
+  Alignment result;
+  result.distance = dp[n * stride + m];
+
+  size_t i = n;
+  size_t j = m;
+  while (i > 0 || j > 0) {
+    const double here = dp[i * stride + j];
+    if (i > 0 && j > 0) {
+      const double subst_cost = (a[i - 1] == b[j - 1]) ? 0.0 : 1.0;
+      if (dp[(i - 1) * stride + (j - 1)] + subst_cost == here) {
+        result.couplings.push_back(Coupling{static_cast<int32_t>(i - 1),
+                                            static_cast<int32_t>(j - 1),
+                                            AlignOp::kMatch, subst_cost});
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && dp[(i - 1) * stride + j] + 1.0 == here) {
+      result.couplings.push_back(Coupling{static_cast<int32_t>(i - 1),
+                                          static_cast<int32_t>(j),
+                                          AlignOp::kGapA, 1.0});
+      --i;
+      continue;
+    }
+    result.couplings.push_back(Coupling{static_cast<int32_t>(i),
+                                        static_cast<int32_t>(j - 1),
+                                        AlignOp::kGapB, 1.0});
+    --j;
+  }
+  std::reverse(result.couplings.begin(), result.couplings.end());
+  return result;
+}
+
+template class LevenshteinDistance<char>;
+template class LevenshteinDistance<double>;
+
+}  // namespace subseq

@@ -1,0 +1,8 @@
+#include "subseq/distance/lp.h"
+
+namespace subseq {
+
+template class MinkowskiDistance<double, ScalarGround>;
+template class MinkowskiDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq

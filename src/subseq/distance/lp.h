@@ -1,0 +1,86 @@
+// Minkowski (Lp) lockstep distances: the L1 / L2 / L-infinity family over
+// equal-length sequences. Generalizes EuclideanDistance (p = 2); all
+// members with p >= 1 are metric and consistent (an aligned subsequence
+// pair aggregates a subset of the per-position ground costs).
+
+#ifndef SUBSEQ_DISTANCE_LP_H_
+#define SUBSEQ_DISTANCE_LP_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "subseq/core/check.h"
+#include "subseq/core/types.h"
+#include "subseq/distance/distance.h"
+#include "subseq/distance/ground.h"
+
+namespace subseq {
+
+/// Sentinel p for the L-infinity (Chebyshev) member.
+inline constexpr double kLInfinity = 0.0;
+
+/// (sum_i ground(a_i, b_i)^p)^(1/p), or max_i ground(a_i, b_i) for
+/// p == kLInfinity; +infinity when |a| != |b|. Requires p >= 1 or
+/// p == kLInfinity.
+template <typename T, typename Ground>
+class MinkowskiDistance final : public SequenceDistance<T> {
+ public:
+  explicit MinkowskiDistance(double p) : p_(p) {
+    SUBSEQ_CHECK(p == kLInfinity || p >= 1.0);
+  }
+
+  double Compute(std::span<const T> a, std::span<const T> b) const override {
+    return ComputeBounded(a, b, kInfiniteDistance);
+  }
+
+  double ComputeBounded(std::span<const T> a, std::span<const T> b,
+                        double upper_bound) const override {
+    if (a.size() != b.size()) return kInfiniteDistance;
+    if (p_ == kLInfinity) {
+      double max_cost = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        max_cost = std::max(max_cost, Ground::Between(a[i], b[i]));
+        if (max_cost > upper_bound) return kInfiniteDistance;
+      }
+      return max_cost;
+    }
+    const double bound_pow =
+        upper_bound == kInfiniteDistance ? kInfiniteDistance
+                                         : std::pow(upper_bound, p_);
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      sum += std::pow(Ground::Between(a[i], b[i]), p_);
+      // Guard the rare rounding case exactly at the bound.
+      if (sum > bound_pow && std::pow(sum, 1.0 / p_) > upper_bound) {
+        return kInfiniteDistance;
+      }
+    }
+    return std::pow(sum, 1.0 / p_);
+  }
+
+  std::string_view name() const override {
+    return p_ == kLInfinity ? "linf" : (p_ == 1.0 ? "l1" : "lp");
+  }
+  bool is_metric() const override { return true; }
+  bool is_consistent() const override { return true; }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Manhattan distance over scalar series.
+using L1Distance1D = MinkowskiDistance<double, ScalarGround>;
+/// Chebyshev distance over scalar series (construct with kLInfinity).
+using LInfDistance1D = MinkowskiDistance<double, ScalarGround>;
+/// Minkowski distances over trajectories.
+using MinkowskiDistance2D = MinkowskiDistance<Point2d, Point2dGround>;
+
+extern template class MinkowskiDistance<double, ScalarGround>;
+extern template class MinkowskiDistance<Point2d, Point2dGround>;
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_LP_H_

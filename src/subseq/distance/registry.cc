@@ -1,0 +1,80 @@
+#include "subseq/distance/registry.h"
+
+#include <string>
+
+#include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/euclidean.h"
+#include "subseq/distance/frechet.h"
+#include "subseq/distance/hamming.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/distance/lp.h"
+#include "subseq/distance/weighted_edit.h"
+
+namespace subseq {
+
+namespace {
+
+Status UnknownDistance(std::string_view name) {
+  return Status::NotFound("unknown distance measure: " + std::string(name));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SequenceDistance<char>>> MakeStringDistance(
+    std::string_view name) {
+  if (name == "levenshtein") {
+    return std::unique_ptr<SequenceDistance<char>>(
+        new LevenshteinDistance<char>());
+  }
+  if (name == "hamming") {
+    return std::unique_ptr<SequenceDistance<char>>(
+        new HammingDistance<char>());
+  }
+  if (name == "weighted-edit") {
+    return std::unique_ptr<SequenceDistance<char>>(
+        new WeightedEditDistance(SubstitutionCostModel::ProteinClasses()));
+  }
+  return UnknownDistance(name);
+}
+
+Result<std::unique_ptr<SequenceDistance<double>>> MakeScalarDistance(
+    std::string_view name) {
+  using Ptr = std::unique_ptr<SequenceDistance<double>>;
+  if (name == "erp") return Ptr(new ErpDistance1D());
+  if (name == "frechet") return Ptr(new FrechetDistance1D());
+  if (name == "dtw") return Ptr(new DtwDistance1D());
+  if (name == "euclidean") return Ptr(new EuclideanDistance1D());
+  if (name == "levenshtein") return Ptr(new LevenshteinDistance<double>());
+  if (name == "hamming") return Ptr(new HammingDistance<double>());
+  if (name == "l1") return Ptr(new L1Distance1D(1.0));
+  if (name == "linf") return Ptr(new LInfDistance1D(kLInfinity));
+  return UnknownDistance(name);
+}
+
+Result<std::unique_ptr<SequenceDistance<Point2d>>> MakeTrajectoryDistance(
+    std::string_view name) {
+  using Ptr = std::unique_ptr<SequenceDistance<Point2d>>;
+  if (name == "erp") return Ptr(new ErpDistance2D());
+  if (name == "frechet") return Ptr(new FrechetDistance2D());
+  if (name == "dtw") return Ptr(new DtwDistance2D());
+  if (name == "euclidean") return Ptr(new EuclideanDistance2D());
+  if (name == "l1") return Ptr(new MinkowskiDistance2D(1.0));
+  if (name == "linf") return Ptr(new MinkowskiDistance2D(kLInfinity));
+  return UnknownDistance(name);
+}
+
+std::vector<std::string_view> ListStringDistances() {
+  return {"levenshtein", "hamming", "weighted-edit"};
+}
+
+std::vector<std::string_view> ListScalarDistances() {
+  return {"erp",    "frechet",     "dtw",     "euclidean",
+          "l1",     "linf",        "levenshtein", "hamming"};
+}
+
+std::vector<std::string_view> ListTrajectoryDistances() {
+  return {"erp", "frechet", "dtw", "euclidean", "l1", "linf"};
+}
+
+}  // namespace subseq

@@ -1,0 +1,42 @@
+// Name-based factories for the shipped distance measures.
+//
+// Benchmarks, examples and tools select distances by string ("erp",
+// "frechet", "levenshtein", ...); this registry owns the mapping. Custom
+// distances do not need to be registered — anything implementing
+// SequenceDistance<T> plugs into the framework directly.
+
+#ifndef SUBSEQ_DISTANCE_REGISTRY_H_
+#define SUBSEQ_DISTANCE_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "subseq/core/status.h"
+#include "subseq/core/types.h"
+#include "subseq/distance/distance.h"
+
+namespace subseq {
+
+/// Creates a string distance by name: "levenshtein" | "hamming".
+Result<std::unique_ptr<SequenceDistance<char>>> MakeStringDistance(
+    std::string_view name);
+
+/// Creates a scalar time-series distance by name:
+/// "erp" | "frechet" | "dtw" | "euclidean" | "levenshtein" | "hamming".
+Result<std::unique_ptr<SequenceDistance<double>>> MakeScalarDistance(
+    std::string_view name);
+
+/// Creates a trajectory distance by name:
+/// "erp" | "frechet" | "dtw" | "euclidean".
+Result<std::unique_ptr<SequenceDistance<Point2d>>> MakeTrajectoryDistance(
+    std::string_view name);
+
+/// Names accepted by the factory for each element type.
+std::vector<std::string_view> ListStringDistances();
+std::vector<std::string_view> ListScalarDistances();
+std::vector<std::string_view> ListTrajectoryDistances();
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_REGISTRY_H_

@@ -1,0 +1,128 @@
+#include "subseq/frame/candidates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+std::vector<WindowChain> BuildChains(const std::vector<SegmentHit>& hits,
+                                     const WindowCatalog& catalog) {
+  // Collect, per window, the union of query segments that hit it.
+  struct WindowInfo {
+    int32_t q_min = 0;
+    int32_t q_max = 0;
+  };
+  std::unordered_map<ObjectId, WindowInfo> by_window;
+  for (const SegmentHit& hit : hits) {
+    auto [it, inserted] = by_window.try_emplace(
+        hit.window,
+        WindowInfo{hit.query_segment.begin, hit.query_segment.end});
+    if (!inserted) {
+      it->second.q_min = std::min(it->second.q_min, hit.query_segment.begin);
+      it->second.q_max = std::max(it->second.q_max, hit.query_segment.end);
+    }
+  }
+
+  // Sort matched windows by (sequence, index) and sweep for runs.
+  std::vector<ObjectId> windows;
+  windows.reserve(by_window.size());
+  for (const auto& [w, info] : by_window) {
+    (void)info;
+    windows.push_back(w);
+  }
+  std::sort(windows.begin(), windows.end());  // ids are (seq, index)-ordered
+
+  std::vector<WindowChain> chains;
+  size_t i = 0;
+  while (i < windows.size()) {
+    const WindowRef& start = catalog.at(windows[i]);
+    WindowChain chain;
+    chain.seq = start.seq;
+    chain.first_window_index = start.index;
+    chain.length = 1;
+    const WindowInfo& first_info = by_window[windows[i]];
+    chain.query_span = Interval{first_info.q_min, first_info.q_max};
+    size_t j = i + 1;
+    while (j < windows.size() &&
+           catalog.AreConsecutive(windows[j - 1], windows[j])) {
+      const WindowInfo& info = by_window[windows[j]];
+      chain.query_span.begin = std::min(chain.query_span.begin, info.q_min);
+      chain.query_span.end = std::max(chain.query_span.end, info.q_max);
+      ++chain.length;
+      ++j;
+    }
+    chains.push_back(chain);
+    i = j;
+  }
+
+  std::sort(chains.begin(), chains.end(),
+            [](const WindowChain& a, const WindowChain& b) {
+              return a.length > b.length;
+            });
+  return chains;
+}
+
+namespace {
+
+int32_t Clamp(int32_t v, int32_t lo, int32_t hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace
+
+CandidateRegion ExpandHit(const SegmentHit& hit, const WindowCatalog& catalog,
+                          int32_t lambda, int32_t lambda0,
+                          int32_t query_length, int32_t sequence_length) {
+  const int32_t l = catalog.window_length();
+  SUBSEQ_CHECK(l * 2 <= lambda || lambda == l * 2);
+  const WindowRef& ref = catalog.at(hit.window);
+  const int32_t a = hit.query_segment.begin;
+  const int32_t b = hit.query_segment.end;  // exclusive
+  const int32_t c = ref.span.begin;
+
+  CandidateRegion region;
+  region.seq = ref.seq;
+  region.q_begin_min = Clamp(a - l - lambda0, 0, query_length);
+  region.q_begin_max = Clamp(a, 0, query_length);
+  region.q_end_min = Clamp(b, 0, query_length);
+  region.q_end_max = Clamp(b + l + lambda0, 0, query_length);
+  region.x_begin_min = Clamp(c - l, 0, sequence_length);
+  region.x_begin_max = Clamp(c, 0, sequence_length);
+  region.x_end_min = Clamp(c + l, 0, sequence_length);
+  region.x_end_max = Clamp(c + 2 * l, 0, sequence_length);
+  return region;
+}
+
+CandidateRegion ExpandChain(const WindowChain& chain,
+                            const WindowCatalog& catalog, int32_t lambda,
+                            int32_t lambda0, int32_t query_length,
+                            int32_t sequence_length) {
+  (void)lambda;
+  const int32_t l = catalog.window_length();
+  const int32_t chain_begin = chain.first_window_index * l;
+  const int32_t chain_end = chain_begin + chain.length * l;
+
+  // A similar pair may cover only part of the chain (the chain can be
+  // longer than the optimal SX), so begin/end ranges span the whole chain:
+  // SX must fully contain at least one chain window, hence it begins in
+  // (chain_begin - l, chain_end - l] and ends in [chain_begin + l,
+  // chain_end + l); SQ must contain a matched segment, all of which lie
+  // inside the chain's query span, expanded by l + lambda0 per Section 7.
+  CandidateRegion region;
+  region.seq = chain.seq;
+  region.q_begin_min = Clamp(chain.query_span.begin - l - lambda0, 0,
+                             query_length);
+  region.q_begin_max = Clamp(chain.query_span.end, 0, query_length);
+  region.q_end_min = Clamp(chain.query_span.begin, 0, query_length);
+  region.q_end_max = Clamp(chain.query_span.end + l + lambda0, 0,
+                           query_length);
+  region.x_begin_min = Clamp(chain_begin - l, 0, sequence_length);
+  region.x_begin_max = Clamp(chain_end - l, 0, sequence_length);
+  region.x_end_min = Clamp(chain_begin + l, 0, sequence_length);
+  region.x_end_max = Clamp(chain_end + l, 0, sequence_length);
+  return region;
+}
+
+}  // namespace subseq

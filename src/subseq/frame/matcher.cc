@@ -1,0 +1,295 @@
+#include "subseq/frame/matcher.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string>
+
+#include "subseq/core/check.h"
+#include "subseq/metric/linear_scan.h"
+
+namespace subseq {
+
+namespace {
+
+// Dedup key for Type I results.
+using MatchKey = std::array<int32_t, 5>;
+
+MatchKey KeyOf(const SubsequenceMatch& m) {
+  return MatchKey{m.seq, m.query.begin, m.query.end, m.db.begin, m.db.end};
+}
+
+}  // namespace
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
+    const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+    MatcherOptions options) {
+  if (options.lambda < 2 || options.lambda % 2 != 0) {
+    return Status::InvalidArgument("lambda must be even and >= 2");
+  }
+  const int32_t l = options.lambda / 2;
+  if (options.lambda0 < 0 || options.lambda0 >= l) {
+    return Status::InvalidArgument("lambda0 must satisfy 0 <= lambda0 < lambda/2");
+  }
+  if (!dist.is_consistent()) {
+    return Status::InvalidArgument(
+        "the window filter requires a consistent distance (Definition 1); " +
+        std::string(dist.name()) + " does not advertise consistency");
+  }
+  if (options.index_kind != IndexKind::kLinearScan && !dist.is_metric()) {
+    return Status::InvalidArgument(
+        "metric indexes require a metric distance; use "
+        "IndexKind::kLinearScan with " + std::string(dist.name()));
+  }
+  if (options.max_verifications <= 0) {
+    return Status::InvalidArgument("max_verifications must be positive");
+  }
+
+  auto matcher = std::unique_ptr<SubsequenceMatcher<T>>(
+      new SubsequenceMatcher<T>(db, dist, options));
+  auto catalog = WindowCatalog::PartitionDatabase(db, l);
+  SUBSEQ_RETURN_NOT_OK(catalog.status());
+  matcher->catalog_ =
+      std::make_unique<WindowCatalog>(std::move(catalog).value());
+  matcher->oracle_ =
+      std::make_unique<WindowOracle<T>>(db, *matcher->catalog_, dist);
+
+  switch (options.index_kind) {
+    case IndexKind::kReferenceNet: {
+      auto net = std::make_unique<ReferenceNet>(*matcher->oracle_,
+                                                options.reference_net);
+      for (ObjectId id = 0; id < matcher->oracle_->size(); ++id) {
+        SUBSEQ_RETURN_NOT_OK(net->Insert(id));
+      }
+      matcher->index_ = std::move(net);
+      break;
+    }
+    case IndexKind::kCoverTree: {
+      auto tree = std::make_unique<CoverTree>(*matcher->oracle_,
+                                              options.cover_tree);
+      for (ObjectId id = 0; id < matcher->oracle_->size(); ++id) {
+        SUBSEQ_RETURN_NOT_OK(tree->Insert(id));
+      }
+      matcher->index_ = std::move(tree);
+      break;
+    }
+    case IndexKind::kMvIndex:
+      matcher->index_ =
+          std::make_unique<MvIndex>(*matcher->oracle_, options.mv_index);
+      break;
+    case IndexKind::kVpTree:
+      matcher->index_ =
+          std::make_unique<VpTree>(*matcher->oracle_, options.vp_tree);
+      break;
+    case IndexKind::kLinearScan:
+      matcher->index_ =
+          std::make_unique<LinearScan>(matcher->oracle_->size());
+      break;
+  }
+  return matcher;
+}
+
+template <typename T>
+std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
+    std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
+  const int32_t l = catalog_->window_length();
+  const std::vector<Interval> segments = ExtractQuerySegments(
+      static_cast<int32_t>(query.size()), l - options_.lambda0,
+      l + options_.lambda0);
+
+  std::vector<SegmentHit> hits;
+  for (const Interval& seg : segments) {
+    const auto view = query.subspan(static_cast<size_t>(seg.begin),
+                                    static_cast<size_t>(seg.length()));
+    QueryStats qs;
+    const std::vector<ObjectId> ids =
+        index_->RangeQuery(oracle_->SegmentQuery(view), epsilon, &qs);
+    if (stats != nullptr) stats->filter_computations += qs.distance_computations;
+    for (const ObjectId id : ids) {
+      hits.push_back(SegmentHit{
+          seg, id, dist_.Compute(view, oracle_->WindowView(id))});
+    }
+  }
+  if (stats != nullptr) {
+    stats->segments += static_cast<int64_t>(segments.size());
+    stats->hits += static_cast<int64_t>(hits.size());
+  }
+  return hits;
+}
+
+template <typename T>
+template <typename OnMatch>
+bool SubsequenceMatcher<T>::VerifyRegion(std::span<const T> query,
+                                         const CandidateRegion& region,
+                                         double epsilon, int64_t* budget,
+                                         MatchQueryStats* stats,
+                                         OnMatch&& on_match) const {
+  const int32_t lambda = options_.lambda;
+  const int32_t lambda0 = options_.lambda0;
+  const Sequence<T>& seq = db_.at(region.seq);
+
+  for (int32_t qb = region.q_begin_min; qb <= region.q_begin_max; ++qb) {
+    const int32_t qe_lo = std::max(region.q_end_min, qb + lambda);
+    for (int32_t qe = qe_lo; qe <= region.q_end_max; ++qe) {
+      const int32_t qlen = qe - qb;
+      const auto sq = query.subspan(static_cast<size_t>(qb),
+                                    static_cast<size_t>(qlen));
+      for (int32_t xb = region.x_begin_min; xb <= region.x_begin_max; ++xb) {
+        const int32_t xe_lo =
+            std::max({region.x_end_min, xb + lambda, xb + qlen - lambda0});
+        const int32_t xe_hi = std::min(region.x_end_max, xb + qlen + lambda0);
+        for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) {
+          if (--(*budget) < 0) return false;
+          const auto sx = seq.Subsequence(Interval{xb, xe});
+          if (stats != nullptr) ++stats->verifications;
+          const double d = dist_.ComputeBounded(sq, sx, epsilon);
+          if (d <= epsilon) {
+            on_match(SubsequenceMatch{region.seq, Interval{qb, qe},
+                                      Interval{xb, xe}, d});
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+template <typename T>
+Result<std::vector<SubsequenceMatch>> SubsequenceMatcher<T>::RangeSearch(
+    std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
+  const std::vector<SegmentHit> hits = FilterSegments(query, epsilon, stats);
+  std::vector<SubsequenceMatch> matches;
+  std::set<MatchKey> seen;
+  int64_t budget = options_.max_verifications;
+  for (const SegmentHit& hit : hits) {
+    const WindowRef& ref = catalog_->at(hit.window);
+    const CandidateRegion region = ExpandHit(
+        hit, *catalog_, options_.lambda, options_.lambda0,
+        static_cast<int32_t>(query.size()), db_.at(ref.seq).size());
+    const bool ok = VerifyRegion(
+        query, region, epsilon, &budget, stats,
+        [&](const SubsequenceMatch& m) {
+          if (seen.insert(KeyOf(m)).second) matches.push_back(m);
+        });
+    if (!ok) {
+      return Status::OutOfRange(
+          "RangeSearch exceeded max_verifications; Type I enumerates all "
+          "similar pairs — lower epsilon, raise max_verifications, or use "
+          "LongestMatch/NearestMatch");
+    }
+  }
+  return matches;
+}
+
+template <typename T>
+Result<std::optional<SubsequenceMatch>> SubsequenceMatcher<T>::LongestMatch(
+    std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
+  const std::vector<SegmentHit> hits = FilterSegments(query, epsilon, stats);
+  const std::vector<WindowChain> chains = BuildChains(hits, *catalog_);
+  if (stats != nullptr) stats->chains += static_cast<int64_t>(chains.size());
+
+  const int32_t l = catalog_->window_length();
+  const int32_t lambda = options_.lambda;
+  const int32_t lambda0 = options_.lambda0;
+  std::optional<SubsequenceMatch> best;
+  int64_t budget = options_.max_verifications;
+
+  for (const WindowChain& chain : chains) {
+    // A chain of k windows cannot support |SX| >= (k + 2) * l (the match
+    // would contain another window, which would be part of the chain), so
+    // |SQ| < (k + 2) * l + lambda0. Chains are sorted longest-first.
+    const int32_t chain_qlen_bound = (chain.length + 2) * l + lambda0;
+    if (best.has_value() && best->query.length() >= chain_qlen_bound) break;
+
+    const CandidateRegion region = ExpandChain(
+        chain, *catalog_, lambda, lambda0,
+        static_cast<int32_t>(query.size()), db_.at(chain.seq).size());
+    const Sequence<T>& seq = db_.at(chain.seq);
+
+    const int32_t qlen_max = region.q_end_max - region.q_begin_min;
+    bool found_in_chain = false;
+    for (int32_t qlen = qlen_max; qlen >= lambda && !found_in_chain;
+         --qlen) {
+      if (best.has_value() && qlen <= best->query.length()) break;
+      for (int32_t qb = region.q_begin_min;
+           qb <= region.q_begin_max && !found_in_chain; ++qb) {
+        const int32_t qe = qb + qlen;
+        if (qe < region.q_end_min || qe > region.q_end_max) continue;
+        const auto sq = query.subspan(static_cast<size_t>(qb),
+                                      static_cast<size_t>(qlen));
+        for (int32_t xb = region.x_begin_min;
+             xb <= region.x_begin_max && !found_in_chain; ++xb) {
+          const int32_t xe_lo =
+              std::max({region.x_end_min, xb + lambda, xb + qlen - lambda0});
+          const int32_t xe_hi =
+              std::min(region.x_end_max, xb + qlen + lambda0);
+          for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) {
+            if (--budget < 0) {
+              return Status::OutOfRange(
+                  "LongestMatch exceeded max_verifications");
+            }
+            if (stats != nullptr) ++stats->verifications;
+            const auto sx = seq.Subsequence(Interval{xb, xe});
+            const double d = dist_.ComputeBounded(sq, sx, epsilon);
+            if (d <= epsilon) {
+              best = SubsequenceMatch{chain.seq, Interval{qb, qe},
+                                      Interval{xb, xe}, d};
+              found_in_chain = true;  // qlen descends: first hit is max here
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+template <typename T>
+Result<std::optional<SubsequenceMatch>> SubsequenceMatcher<T>::NearestMatch(
+    std::span<const T> query, double epsilon_max, double epsilon_increment,
+    MatchQueryStats* stats) const {
+  if (epsilon_increment <= 0.0 || epsilon_max < 0.0) {
+    return Status::InvalidArgument(
+        "NearestMatch requires epsilon_max >= 0 and epsilon_increment > 0");
+  }
+  // A similar pair at distance d produces a segment hit at epsilon = d
+  // (Lemma 2), so no hits at epsilon_max means no pair at all.
+  if (FilterSegments(query, epsilon_max, stats).empty()) {
+    return std::optional<SubsequenceMatch>();
+  }
+
+  // Binary-search the smallest epsilon that yields any segment hit.
+  double lo = 0.0;
+  double hi = epsilon_max;
+  for (int iter = 0; iter < 48 && hi - lo > epsilon_increment / 2.0;
+       ++iter) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (FilterSegments(query, mid, stats).empty()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  // Grow epsilon until the Type II chain search verifies a pair. The
+  // first success makes the current epsilon optimal up to the increment
+  // (step 3 of the paper's Type III): a smaller epsilon was already
+  // checked and produced nothing.
+  for (double eps = hi; eps <= epsilon_max + epsilon_increment / 2.0;
+       eps += epsilon_increment) {
+    const double clamped = std::min(eps, epsilon_max);
+    auto found = LongestMatch(query, clamped, stats);
+    SUBSEQ_RETURN_NOT_OK(found.status());
+    if (found.value().has_value()) return found;
+    if (clamped >= epsilon_max) break;
+  }
+  return std::optional<SubsequenceMatch>();
+}
+
+template class SubsequenceMatcher<char>;
+template class SubsequenceMatcher<double>;
+template class SubsequenceMatcher<Point2d>;
+
+}  // namespace subseq

@@ -1,0 +1,165 @@
+// SubsequenceMatcher<T> — the paper's five-step framework (Section 7):
+//
+//   1. partition each database sequence into windows of length l = lambda/2
+//   2. index all windows in a metric range index (reference net by default)
+//   3. extract query segments of lengths l - lambda0 .. l + lambda0
+//   4. range-query the index for each segment -> SegmentHits
+//   5. expand hits/chains into candidate (SQ, SX) pairs and verify
+//
+// Steps 1-2 are offline (Build); 3-5 run per query. Three query types are
+// supported (Section 3.2):
+//   Type I   RangeSearch   — all similar pairs
+//   Type II  LongestMatch  — maximize |SQ| subject to similarity
+//   Type III NearestMatch  — minimize distance subject to the length floor
+//
+// Requirements on the distance: consistency always (otherwise the filter
+// may dismiss true matches — Build refuses); metricity whenever a metric
+// index is selected. DTW (consistent, non-metric) is usable with
+// IndexKind::kLinearScan.
+
+#ifndef SUBSEQ_FRAME_MATCHER_H_
+#define SUBSEQ_FRAME_MATCHER_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "subseq/core/sequence.h"
+#include "subseq/core/status.h"
+#include "subseq/distance/distance.h"
+#include "subseq/frame/candidates.h"
+#include "subseq/frame/window_oracle.h"
+#include "subseq/frame/windowing.h"
+#include "subseq/metric/cover_tree.h"
+#include "subseq/metric/mv_index.h"
+#include "subseq/metric/range_index.h"
+#include "subseq/metric/reference_net.h"
+#include "subseq/metric/vp_tree.h"
+
+namespace subseq {
+
+/// Which index backs the window filter.
+enum class IndexKind {
+  kReferenceNet,
+  kCoverTree,
+  kMvIndex,
+  kVpTree,
+  kLinearScan,
+};
+
+/// Framework parameters.
+struct MatcherOptions {
+  /// lambda — minimum length of a reported subsequence (Section 3.1).
+  /// Must be even and >= 2; windows have length lambda / 2.
+  int32_t lambda = 40;
+  /// lambda0 — maximum length difference between SQ and SX; also the
+  /// query-segment length slack. Must satisfy 0 <= lambda0 < lambda / 2.
+  int32_t lambda0 = 2;
+  /// Index used for step 4.
+  IndexKind index_kind = IndexKind::kReferenceNet;
+  ReferenceNetOptions reference_net;
+  CoverTreeOptions cover_tree;
+  MvIndexOptions mv_index;
+  VpTreeOptions vp_tree;
+  /// Safety cap on step-5 distance verifications per query; exceeded =>
+  /// Status::OutOfRange (Type I can be combinatorial by design).
+  int64_t max_verifications = 5'000'000;
+};
+
+/// A verified pair of similar subsequences.
+struct SubsequenceMatch {
+  SeqId seq = kInvalidId;  // database sequence
+  Interval query;          // SQ within the query
+  Interval db;             // SX within the database sequence
+  double distance = 0.0;
+
+  friend bool operator==(const SubsequenceMatch& a,
+                         const SubsequenceMatch& b) {
+    return a.seq == b.seq && a.query == b.query && a.db == b.db;
+  }
+};
+
+/// Accounting for one query through the pipeline.
+struct MatchQueryStats {
+  int64_t segments = 0;                // query segments extracted (step 3)
+  int64_t filter_computations = 0;     // index distance computations (step 4)
+  int64_t hits = 0;                    // segment hits (step 4 output)
+  int64_t chains = 0;                  // consecutive-window chains
+  int64_t verifications = 0;           // step-5 distance computations
+};
+
+/// The framework. Holds references to the database and the distance,
+/// which must outlive the matcher. Move-only.
+template <typename T>
+class SubsequenceMatcher {
+ public:
+  /// Builds windows + index (steps 1-2). Validates options and the
+  /// distance's properties.
+  static Result<std::unique_ptr<SubsequenceMatcher<T>>> Build(
+      const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+      MatcherOptions options = {});
+
+  SubsequenceMatcher(const SubsequenceMatcher&) = delete;
+  SubsequenceMatcher& operator=(const SubsequenceMatcher&) = delete;
+
+  /// Steps 3-4: all (query segment, window) pairs within epsilon.
+  std::vector<SegmentHit> FilterSegments(std::span<const T> query,
+                                         double epsilon,
+                                         MatchQueryStats* stats = nullptr) const;
+
+  /// Type I: every pair (SQ, SX) with |SQ| >= lambda, |SX| >= lambda,
+  /// ||SQ| - |SX|| <= lambda0 and d(SQ, SX) <= epsilon.
+  Result<std::vector<SubsequenceMatch>> RangeSearch(
+      std::span<const T> query, double epsilon,
+      MatchQueryStats* stats = nullptr) const;
+
+  /// Type II: a match maximizing |SQ| subject to the Type I constraints,
+  /// or nullopt if no similar pair exists at this epsilon.
+  Result<std::optional<SubsequenceMatch>> LongestMatch(
+      std::span<const T> query, double epsilon,
+      MatchQueryStats* stats = nullptr) const;
+
+  /// Type III (Section 7): binary-searches the smallest epsilon that
+  /// produces any segment hit, then runs the Type II chain search at that
+  /// epsilon, growing it by epsilon_increment until a verified pair
+  /// appears. The returned match's distance is within epsilon_increment
+  /// of the true minimum (the paper's algorithm: "if we find some
+  /// results, the current epsilon is optimal"). Returns nullopt if no
+  /// pair exists with distance <= epsilon_max.
+  Result<std::optional<SubsequenceMatch>> NearestMatch(
+      std::span<const T> query, double epsilon_max, double epsilon_increment,
+      MatchQueryStats* stats = nullptr) const;
+
+  const WindowCatalog& catalog() const { return *catalog_; }
+  const RangeIndex& index() const { return *index_; }
+  const MatcherOptions& options() const { return options_; }
+  int32_t window_length() const { return catalog_->window_length(); }
+
+ private:
+  SubsequenceMatcher(const SequenceDatabase<T>& db,
+                     const SequenceDistance<T>& dist, MatcherOptions options)
+      : db_(db), dist_(dist), options_(options) {}
+
+  /// Verifies all pairs in a region; invokes `on_match` for each pair
+  /// within epsilon. Returns false if the verification cap was exhausted.
+  template <typename OnMatch>
+  bool VerifyRegion(std::span<const T> query, const CandidateRegion& region,
+                    double epsilon, int64_t* budget,
+                    MatchQueryStats* stats, OnMatch&& on_match) const;
+
+  const SequenceDatabase<T>& db_;
+  const SequenceDistance<T>& dist_;
+  MatcherOptions options_;
+  std::unique_ptr<WindowCatalog> catalog_;
+  std::unique_ptr<WindowOracle<T>> oracle_;
+  std::unique_ptr<RangeIndex> index_;
+};
+
+extern template class SubsequenceMatcher<char>;
+extern template class SubsequenceMatcher<double>;
+extern template class SubsequenceMatcher<Point2d>;
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_FRAME_MATCHER_H_

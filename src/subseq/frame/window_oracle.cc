@@ -1,0 +1,9 @@
+#include "subseq/frame/window_oracle.h"
+
+namespace subseq {
+
+template class WindowOracle<char>;
+template class WindowOracle<double>;
+template class WindowOracle<Point2d>;
+
+}  // namespace subseq

@@ -1,0 +1,69 @@
+// WindowOracle<T> — step 2's glue: presents the database windows plus a
+// SequenceDistance as a DistanceOracle, so any metric index (reference
+// net, cover tree, MV pivots) can index them unchanged.
+
+#ifndef SUBSEQ_FRAME_WINDOW_ORACLE_H_
+#define SUBSEQ_FRAME_WINDOW_ORACLE_H_
+
+#include <span>
+
+#include "subseq/core/sequence.h"
+#include "subseq/core/types.h"
+#include "subseq/distance/distance.h"
+#include "subseq/frame/windowing.h"
+#include "subseq/metric/oracle.h"
+
+namespace subseq {
+
+/// Adapts (database, catalog, distance) to the metric layer. The three
+/// referenced objects must outlive the oracle.
+template <typename T>
+class WindowOracle final : public DistanceOracle {
+ public:
+  WindowOracle(const SequenceDatabase<T>& db, const WindowCatalog& catalog,
+               const SequenceDistance<T>& dist)
+      : db_(db), catalog_(catalog), dist_(dist) {}
+
+  int32_t size() const override { return catalog_.num_windows(); }
+
+  double Distance(ObjectId a, ObjectId b) const override {
+    return dist_.Compute(WindowView(a), WindowView(b));
+  }
+
+  double DistanceBounded(ObjectId a, ObjectId b,
+                         double upper_bound) const override {
+    return dist_.ComputeBounded(WindowView(a), WindowView(b), upper_bound);
+  }
+
+  /// The elements of a window.
+  std::span<const T> WindowView(ObjectId window) const {
+    const WindowRef& ref = catalog_.at(window);
+    return db_.at(ref.seq).Subsequence(ref.span);
+  }
+
+  /// A query-side distance function measuring a query segment against
+  /// database windows. The segment view must stay valid while the
+  /// function is in use.
+  QueryDistanceFn SegmentQuery(std::span<const T> segment) const {
+    return [this, segment](ObjectId window) {
+      return dist_.Compute(segment, WindowView(window));
+    };
+  }
+
+  const SequenceDistance<T>& distance() const { return dist_; }
+  const WindowCatalog& catalog() const { return catalog_; }
+  const SequenceDatabase<T>& database() const { return db_; }
+
+ private:
+  const SequenceDatabase<T>& db_;
+  const WindowCatalog& catalog_;
+  const SequenceDistance<T>& dist_;
+};
+
+extern template class WindowOracle<char>;
+extern template class WindowOracle<double>;
+extern template class WindowOracle<Point2d>;
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_FRAME_WINDOW_ORACLE_H_

@@ -1,0 +1,72 @@
+#include "subseq/frame/windowing.h"
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+Result<WindowCatalog> WindowCatalog::Partition(
+    const std::vector<int32_t>& sequence_lengths, int32_t window_length) {
+  if (window_length < 1) {
+    return Status::InvalidArgument("window_length must be >= 1");
+  }
+  WindowCatalog catalog;
+  catalog.window_length_ = window_length;
+  catalog.first_window_.reserve(sequence_lengths.size() + 1);
+  for (size_t s = 0; s < sequence_lengths.size(); ++s) {
+    const int32_t len = sequence_lengths[s];
+    if (len < 0) {
+      return Status::InvalidArgument("sequence length must be >= 0");
+    }
+    catalog.first_window_.push_back(
+        static_cast<int32_t>(catalog.windows_.size()));
+    const int32_t count = len / window_length;
+    for (int32_t w = 0; w < count; ++w) {
+      WindowRef ref;
+      ref.seq = static_cast<SeqId>(s);
+      ref.index = w;
+      ref.span = Interval{w * window_length, (w + 1) * window_length};
+      catalog.windows_.push_back(ref);
+    }
+  }
+  catalog.first_window_.push_back(
+      static_cast<int32_t>(catalog.windows_.size()));
+  return catalog;
+}
+
+const WindowRef& WindowCatalog::at(ObjectId window) const {
+  SUBSEQ_CHECK(window >= 0 && window < num_windows());
+  return windows_[static_cast<size_t>(window)];
+}
+
+int32_t WindowCatalog::WindowsInSequence(SeqId seq) const {
+  SUBSEQ_CHECK(seq >= 0 && seq < num_sequences());
+  return first_window_[static_cast<size_t>(seq) + 1] -
+         first_window_[static_cast<size_t>(seq)];
+}
+
+ObjectId WindowCatalog::WindowId(SeqId seq, int32_t index) const {
+  SUBSEQ_CHECK(seq >= 0 && seq < num_sequences());
+  SUBSEQ_CHECK(index >= 0 && index < WindowsInSequence(seq));
+  return first_window_[static_cast<size_t>(seq)] + index;
+}
+
+bool WindowCatalog::AreConsecutive(ObjectId a, ObjectId b) const {
+  const WindowRef& wa = at(a);
+  const WindowRef& wb = at(b);
+  return wa.seq == wb.seq && wb.index == wa.index + 1;
+}
+
+std::vector<Interval> ExtractQuerySegments(int32_t query_length,
+                                           int32_t min_len, int32_t max_len) {
+  SUBSEQ_CHECK(min_len >= 1);
+  SUBSEQ_CHECK(max_len >= min_len);
+  std::vector<Interval> segments;
+  for (int32_t len = min_len; len <= max_len; ++len) {
+    for (int32_t begin = 0; begin + len <= query_length; ++begin) {
+      segments.push_back(Interval{begin, begin + len});
+    }
+  }
+  return segments;
+}
+
+}  // namespace subseq

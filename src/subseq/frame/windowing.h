@@ -1,0 +1,92 @@
+// Windowing — step 1 and step 3 of the paper's five-step pipeline
+// (Section 7): partition every database sequence into fixed windows of
+// length l = lambda/2 (Lemma 2 requires l <= lambda/2 for the filter to be
+// lossless), and extract from the query all segments with lengths from
+// l - lambda0 to l + lambda0.
+//
+// The catalog is element-type agnostic: it maps dense window ObjectIds to
+// (sequence, interval) pairs and answers adjacency questions (needed for
+// the Type II "consecutive windows" concatenation).
+
+#ifndef SUBSEQ_FRAME_WINDOWING_H_
+#define SUBSEQ_FRAME_WINDOWING_H_
+
+#include <vector>
+
+#include "subseq/core/sequence.h"
+#include "subseq/core/status.h"
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+/// Where a database window lives.
+struct WindowRef {
+  SeqId seq = kInvalidId;
+  /// 0-based index of this window within its sequence.
+  int32_t index = 0;
+  /// Element interval [begin, end) within the sequence; length == l.
+  Interval span;
+};
+
+/// The fixed-length window partition of a sequence database.
+///
+/// Windows are aligned at offsets 0, l, 2l, ... within each sequence; a
+/// trailing remainder shorter than l is not indexed (any subsequence of
+/// length >= lambda = 2l still fully contains an aligned window, so the
+/// filter loses nothing — see Lemma 2).
+class WindowCatalog {
+ public:
+  /// Partitions sequences with the given lengths into windows of length
+  /// `window_length`. Fails if window_length < 1.
+  static Result<WindowCatalog> Partition(
+      const std::vector<int32_t>& sequence_lengths, int32_t window_length);
+
+  /// Convenience: partition an in-memory database.
+  template <typename T>
+  static Result<WindowCatalog> PartitionDatabase(
+      const SequenceDatabase<T>& db, int32_t window_length) {
+    std::vector<int32_t> lengths;
+    lengths.reserve(static_cast<size_t>(db.size()));
+    for (const auto& seq : db) lengths.push_back(seq.size());
+    return Partition(lengths, window_length);
+  }
+
+  int32_t window_length() const { return window_length_; }
+  int32_t num_windows() const {
+    return static_cast<int32_t>(windows_.size());
+  }
+  int32_t num_sequences() const {
+    // first_window_ carries a trailing sentinel entry.
+    return first_window_.empty()
+               ? 0
+               : static_cast<int32_t>(first_window_.size()) - 1;
+  }
+
+  /// The (sequence, interval) of a window id.
+  const WindowRef& at(ObjectId window) const;
+
+  /// Number of windows of one sequence.
+  int32_t WindowsInSequence(SeqId seq) const;
+
+  /// The window id of window `index` of sequence `seq`.
+  ObjectId WindowId(SeqId seq, int32_t index) const;
+
+  /// True if b is the window immediately following a in the same sequence.
+  bool AreConsecutive(ObjectId a, ObjectId b) const;
+
+ private:
+  int32_t window_length_ = 0;
+  std::vector<WindowRef> windows_;
+  // first_window_[seq] = id of the first window of seq (or the id the
+  // next sequence would get, if seq has none); sentinel entry at the end.
+  std::vector<int32_t> first_window_;
+};
+
+/// Step 3: all segments of lengths [min_len, max_len] at every offset of a
+/// query of length query_length — at most (2*lambda0 + 1) * |Q| segments.
+std::vector<Interval> ExtractQuerySegments(int32_t query_length,
+                                           int32_t min_len, int32_t max_len);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_FRAME_WINDOWING_H_

@@ -1,0 +1,14 @@
+#include "subseq/metric/counting_oracle.h"
+
+#include <utility>
+
+namespace subseq {
+
+QueryDistanceFn CountingQueryFn(QueryDistanceFn fn, int64_t* counter) {
+  return [fn = std::move(fn), counter](ObjectId id) {
+    ++*counter;
+    return fn(id);
+  };
+}
+
+}  // namespace subseq

@@ -1,0 +1,47 @@
+// CountingOracle: decorates a DistanceOracle / QueryDistanceFn with a
+// distance-computation counter. Indexes count their own query-side calls;
+// this decorator is used to account for *build-side* computations and in
+// tests to assert pruning behaviour.
+
+#ifndef SUBSEQ_METRIC_COUNTING_ORACLE_H_
+#define SUBSEQ_METRIC_COUNTING_ORACLE_H_
+
+#include <cstdint>
+
+#include "subseq/metric/oracle.h"
+
+namespace subseq {
+
+/// Wraps an oracle and counts every Distance() call.
+class CountingOracle final : public DistanceOracle {
+ public:
+  explicit CountingOracle(const DistanceOracle& base) : base_(base) {}
+
+  int32_t size() const override { return base_.size(); }
+
+  double Distance(ObjectId a, ObjectId b) const override {
+    ++count_;
+    return base_.Distance(a, b);
+  }
+
+  double DistanceBounded(ObjectId a, ObjectId b,
+                         double upper_bound) const override {
+    ++count_;
+    return base_.DistanceBounded(a, b, upper_bound);
+  }
+
+  int64_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  const DistanceOracle& base_;
+  mutable int64_t count_ = 0;
+};
+
+/// Wraps a query function and counts every call through a caller-owned
+/// counter (the function object is copyable; the counter is shared).
+QueryDistanceFn CountingQueryFn(QueryDistanceFn fn, int64_t* counter);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_COUNTING_ORACLE_H_

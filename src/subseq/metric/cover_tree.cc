@@ -1,0 +1,377 @@
+#include "subseq/metric/cover_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <queue>
+
+#include "subseq/distance/distance.h"
+
+#include "subseq/core/check.h"
+#include "subseq/metric/knn.h"
+
+namespace subseq {
+
+CoverTree::CoverTree(const DistanceOracle& oracle, CoverTreeOptions options)
+    : oracle_(oracle), options_(options) {
+  SUBSEQ_CHECK(options_.base_radius > 0.0);
+}
+
+CoverTree CoverTree::BuildAll(const DistanceOracle& oracle,
+                              CoverTreeOptions options) {
+  CoverTree tree(oracle, options);
+  for (ObjectId id = 0; id < oracle.size(); ++id) {
+    const Status s = tree.Insert(id);
+    SUBSEQ_CHECK(s.ok());
+  }
+  return tree;
+}
+
+double CoverTree::Radius(int32_t level) const {
+  return std::ldexp(options_.base_radius, level);
+}
+
+std::vector<CoverTree::Edge>* CoverTree::FindList(Node& node,
+                                                  int32_t level) {
+  for (auto& [lvl, members] : node.lists) {
+    if (lvl == level) return &members;
+  }
+  return nullptr;
+}
+
+const std::vector<CoverTree::Edge>* CoverTree::FindList(const Node& node,
+                                                        int32_t level) const {
+  for (const auto& [lvl, members] : node.lists) {
+    if (lvl == level) return &members;
+  }
+  return nullptr;
+}
+
+Status CoverTree::Insert(ObjectId id) {
+  if (Contains(id)) {
+    return Status::AlreadyExists("object already in cover tree");
+  }
+  ++num_objects_;
+  if (root_ < 0) {
+    nodes_.push_back(Node{id, 0, -1, {}, {}});
+    root_ = 0;
+    object_node_[id] = 0;
+    return Status::OK();
+  }
+
+  // Bounded computations are cacheable: descent bounds only shrink (see
+  // the matching comment in reference_net.cc).
+  std::unordered_map<int32_t, double> cache;
+  auto dist = [&](int32_t ni, double bound) {
+    auto it = cache.find(ni);
+    if (it != cache.end()) return it->second;
+    const double d = oracle_.DistanceBounded(
+        id, nodes_[static_cast<size_t>(ni)].object, bound);
+    ++build_stats_.distance_computations;
+    cache.emplace(ni, d);
+    return d;
+  };
+
+  Node& root = nodes_[static_cast<size_t>(root_)];
+  const double d_root = dist(root_, kInfiniteDistance);
+  if (d_root == 0.0) {
+    root.duplicates.push_back(id);
+    object_node_[id] = root_;
+    return Status::OK();
+  }
+  while (d_root > Radius(root.top_level)) ++root.top_level;
+
+  // Same wide-set descent as the reference net; the only difference is
+  // that placement picks a single (closest) parent.
+  int32_t level = root.top_level;
+  std::vector<int32_t> wide = {root_};
+  for (;;) {
+    std::vector<int32_t> candidates = wide;
+    for (const int32_t ni : wide) {
+      const std::vector<Edge>* list =
+          FindList(nodes_[static_cast<size_t>(ni)], level);
+      if (list != nullptr) {
+        for (const Edge& edge : *list) candidates.push_back(edge.child);
+      }
+    }
+
+    std::vector<int32_t> wide_next;
+    bool has_narrow = false;
+    for (const int32_t ni : candidates) {
+      const double d = dist(ni, Radius(level));
+      if (d == 0.0) {
+        nodes_[static_cast<size_t>(ni)].duplicates.push_back(id);
+        object_node_[id] = ni;
+        return Status::OK();
+      }
+      if (d <= Radius(level)) {
+        wide_next.push_back(ni);
+        if (d <= Radius(level - 1)) has_narrow = true;
+      }
+    }
+    std::sort(wide_next.begin(), wide_next.end());
+    wide_next.erase(std::unique(wide_next.begin(), wide_next.end()),
+                    wide_next.end());
+
+    if (!has_narrow) {
+      int32_t best_parent = -1;
+      double best_d = kInfiniteDistance;
+      for (const int32_t ni : wide) {
+        const double d = dist(ni, Radius(level));
+        if (d <= Radius(level) && d < best_d) {
+          best_d = d;
+          best_parent = ni;
+        }
+      }
+      SUBSEQ_CHECK(best_parent >= 0);
+      const int32_t node_index = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(Node{id, level - 1, best_parent, {}, {}});
+      object_node_[id] = node_index;
+      Node& p = nodes_[static_cast<size_t>(best_parent)];
+      std::vector<Edge>* list = FindList(p, level);
+      if (list == nullptr) {
+        p.lists.emplace_back(level, std::vector<Edge>{});
+        std::sort(p.lists.begin(), p.lists.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first > b.first;
+                  });
+        list = FindList(p, level);
+      }
+      list->push_back(Edge{node_index, best_d});
+      return Status::OK();
+    }
+    wide = std::move(wide_next);
+    --level;
+  }
+}
+
+bool CoverTree::Contains(ObjectId id) const {
+  return object_node_.find(id) != object_node_.end();
+}
+
+std::vector<ObjectId> CoverTree::RangeQuery(const QueryDistanceFn& query,
+                                            double epsilon,
+                                            QueryStats* stats) const {
+  std::vector<ObjectId> results;
+  int64_t computations = 0;
+  if (root_ >= 0) {
+    std::vector<uint8_t> emitted(nodes_.size(), 0);
+    std::deque<int32_t> queue = {root_};
+    while (!queue.empty()) {
+      const int32_t ni = queue.front();
+      queue.pop_front();
+      if (emitted[static_cast<size_t>(ni)]) continue;
+      const Node& n = nodes_[static_cast<size_t>(ni)];
+      ++computations;
+      const double d = query(n.object);
+      const double subtree_bound = Radius(n.top_level + 1);
+      if (d + subtree_bound <= epsilon) {
+        CollectSubtree(ni, &results, &emitted);
+        continue;
+      }
+      if (d - subtree_bound > epsilon) continue;
+      if (d <= epsilon) {
+        results.push_back(n.object);
+        results.insert(results.end(), n.duplicates.begin(),
+                       n.duplicates.end());
+      }
+      for (const auto& [list_level, members] : n.lists) {
+        // Per-edge triangle bounds, identical to the reference net's
+        // strengthened Algorithm 3 — but a tree gives each child only one
+        // parent, i.e., a single chance to be decided cheaply.
+        if (d - Radius(list_level + 1) > epsilon) continue;
+        const double child_subtree_bound = Radius(list_level);
+        for (const Edge& edge : members) {
+          const int32_t child = edge.child;
+          if (emitted[static_cast<size_t>(child)]) continue;
+          const double lower = std::fabs(d - edge.distance);
+          const double upper = d + edge.distance;
+          if (lower - child_subtree_bound > epsilon) {
+            emitted[static_cast<size_t>(child)] = 1;
+            continue;
+          }
+          if (upper + child_subtree_bound <= epsilon) {
+            CollectSubtree(child, &results, &emitted);
+            continue;
+          }
+          const Node& c = nodes_[static_cast<size_t>(child)];
+          if (c.lists.empty()) {
+            if (upper <= epsilon) {
+              results.push_back(c.object);
+              results.insert(results.end(), c.duplicates.begin(),
+                             c.duplicates.end());
+              emitted[static_cast<size_t>(child)] = 1;
+              continue;
+            }
+            if (lower > epsilon) {
+              emitted[static_cast<size_t>(child)] = 1;
+              continue;
+            }
+          }
+          queue.push_back(child);
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(results.size());
+  }
+  return results;
+}
+
+std::vector<Neighbor> CoverTree::NearestNeighbors(
+    const QueryDistanceFn& query, int32_t k, QueryStats* stats) const {
+  KnnCollector collector(k);
+  int64_t computations = 0;
+  if (root_ >= 0 && k > 0) {
+    using Entry = std::pair<double, int32_t>;  // (lower bound, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        frontier;
+    frontier.emplace(0.0, root_);
+    while (!frontier.empty()) {
+      const auto [bound, ni] = frontier.top();
+      frontier.pop();
+      if (collector.Full() && bound >= collector.Threshold()) break;
+      const Node& n = nodes_[static_cast<size_t>(ni)];
+      ++computations;
+      const double d = query(n.object);
+      collector.Offer(n.object, d);
+      for (const ObjectId dup : n.duplicates) collector.Offer(dup, d);
+      for (const auto& [list_level, members] : n.lists) {
+        const double child_subtree_bound = Radius(list_level);
+        for (const Edge& edge : members) {
+          const double child_bound = std::max(
+              0.0, std::fabs(d - edge.distance) - child_subtree_bound);
+          if (collector.Full() && child_bound >= collector.Threshold()) {
+            continue;  // a tree: this subtree is unreachable elsewhere
+          }
+          frontier.emplace(child_bound, edge.child);
+        }
+      }
+    }
+  }
+  std::vector<Neighbor> out = collector.Take();
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+void CoverTree::CollectSubtree(int32_t node_index, std::vector<ObjectId>* out,
+                               std::vector<uint8_t>* emitted) const {
+  std::deque<int32_t> queue = {node_index};
+  while (!queue.empty()) {
+    const int32_t ni = queue.front();
+    queue.pop_front();
+    if ((*emitted)[static_cast<size_t>(ni)]) continue;
+    (*emitted)[static_cast<size_t>(ni)] = 1;
+    const Node& n = nodes_[static_cast<size_t>(ni)];
+    out->push_back(n.object);
+    out->insert(out->end(), n.duplicates.begin(), n.duplicates.end());
+    for (const auto& [lvl, members] : n.lists) {
+      (void)lvl;
+      for (const Edge& edge : members) queue.push_back(edge.child);
+    }
+  }
+}
+
+SpaceStats CoverTree::ComputeSpaceStats() const {
+  SpaceStats s;
+  int64_t entries = 0;
+  int64_t duplicates = 0;
+  int32_t min_level = 0;
+  int32_t max_level = 0;
+  bool first = true;
+  for (const Node& n : nodes_) {
+    duplicates += static_cast<int64_t>(n.duplicates.size());
+    for (const auto& [lvl, members] : n.lists) {
+      (void)lvl;
+      entries += static_cast<int64_t>(members.size());
+    }
+    if (first) {
+      min_level = max_level = n.top_level;
+      first = false;
+    } else {
+      min_level = std::min(min_level, n.top_level);
+      max_level = std::max(max_level, n.top_level);
+    }
+  }
+  s.num_objects = num_objects_;
+  s.num_nodes = static_cast<int64_t>(nodes_.size());
+  s.num_list_entries = entries;
+  s.avg_parents = nodes_.size() > 1 ? 1.0 : 0.0;  // it is a tree
+  s.num_levels = nodes_.empty() ? 0 : max_level - min_level + 1;
+  // Same byte model as the reference net (edges store a distance).
+  s.approx_bytes = 32 * s.num_nodes + 16 * entries + 4 * duplicates;
+  return s;
+}
+
+std::optional<std::string> CoverTree::CheckInvariants() const {
+  char buf[256];
+  if (root_ < 0) {
+    if (num_objects_ != 0) return "empty tree but num_objects != 0";
+    return std::nullopt;
+  }
+  for (int32_t ni = 0; ni < static_cast<int32_t>(nodes_.size()); ++ni) {
+    const Node& n = nodes_[static_cast<size_t>(ni)];
+    if (ni != root_ && n.parent < 0) {
+      std::snprintf(buf, sizeof(buf), "non-root node %d has no parent", ni);
+      return std::string(buf);
+    }
+    for (const auto& [lvl, members] : n.lists) {
+      if (lvl > n.top_level) {
+        std::snprintf(buf, sizeof(buf), "list above node %d's top level",
+                      ni);
+        return std::string(buf);
+      }
+      for (const Edge& edge : members) {
+        const Node& c = nodes_[static_cast<size_t>(edge.child)];
+        if (c.top_level != lvl - 1) {
+          std::snprintf(buf, sizeof(buf), "child %d at wrong level",
+                        edge.child);
+          return std::string(buf);
+        }
+        const double d = oracle_.Distance(n.object, c.object);
+        if (d > Radius(lvl)) {
+          std::snprintf(buf, sizeof(buf),
+                        "covering violated: d(%d, %d)=%g > %g", n.object,
+                        c.object, d, Radius(lvl));
+          return std::string(buf);
+        }
+        if (d != edge.distance) {
+          std::snprintf(buf, sizeof(buf), "stale edge distance at node %d",
+                        n.object);
+          return std::string(buf);
+        }
+      }
+    }
+  }
+  for (size_t a = 0; a < nodes_.size(); ++a) {
+    for (size_t b = a + 1; b < nodes_.size(); ++b) {
+      const Node& u = nodes_[a];
+      const Node& v = nodes_[b];
+      if (u.top_level != v.top_level) continue;
+      const double d = oracle_.Distance(u.object, v.object);
+      if (d <= Radius(u.top_level)) {
+        std::snprintf(buf, sizeof(buf),
+                      "separation violated at level %d: d(%d, %d)=%g",
+                      u.top_level, u.object, v.object, d);
+        return std::string(buf);
+      }
+    }
+  }
+  std::vector<ObjectId> reached;
+  std::vector<uint8_t> emitted(nodes_.size(), 0);
+  CollectSubtree(root_, &reached, &emitted);
+  if (static_cast<int32_t>(reached.size()) != num_objects_) {
+    std::snprintf(buf, sizeof(buf), "reachability violated: %zu vs %d",
+                  reached.size(), num_objects_);
+    return std::string(buf);
+  }
+  return std::nullopt;
+}
+
+}  // namespace subseq

@@ -1,0 +1,48 @@
+#include "subseq/metric/knn.h"
+
+#include <algorithm>
+
+#include "subseq/core/check.h"
+#include "subseq/distance/distance.h"
+
+namespace subseq {
+
+namespace {
+
+// Max-heap order: the *worst* (largest distance, then largest id) on top.
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+KnnCollector::KnnCollector(int32_t k) : k_(k) { SUBSEQ_CHECK(k >= 0); }
+
+void KnnCollector::Offer(ObjectId id, double distance) {
+  if (k_ == 0) return;
+  const Neighbor candidate{id, distance};
+  if (!Full()) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return;
+  }
+  if (!HeapLess(candidate, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = candidate;
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+}
+
+double KnnCollector::Threshold() const {
+  if (!Full()) return kInfiniteDistance;
+  return heap_.front().distance;
+}
+
+std::vector<Neighbor> KnnCollector::Take() {
+  std::vector<Neighbor> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+}  // namespace subseq

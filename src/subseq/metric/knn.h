@@ -1,0 +1,46 @@
+// KnnCollector: bounded max-heap of the k best neighbors seen so far.
+// Shared by every index's NearestNeighbors implementation.
+
+#ifndef SUBSEQ_METRIC_KNN_H_
+#define SUBSEQ_METRIC_KNN_H_
+
+#include <vector>
+
+#include "subseq/metric/range_index.h"
+
+namespace subseq {
+
+/// Collects candidate (id, distance) pairs and keeps the k closest.
+/// Ties at the k-th distance are broken toward smaller ids, making the
+/// result deterministic regardless of offer order.
+class KnnCollector {
+ public:
+  explicit KnnCollector(int32_t k);
+
+  /// Offers a candidate; keeps it if it beats the current k-th best.
+  void Offer(ObjectId id, double distance);
+
+  /// True once k candidates are held.
+  bool Full() const { return static_cast<int32_t>(heap_.size()) >= k_; }
+
+  /// The pruning threshold: the k-th best distance, or +infinity while
+  /// fewer than k candidates are held. Subtrees whose distance lower
+  /// bound is >= this value cannot improve the result (given the
+  /// smaller-id tie-break, equal-distance candidates from a pruned
+  /// subtree are not needed for correctness of the distances, and the
+  /// deterministic tie-break is only guaranteed among offered
+  /// candidates).
+  double Threshold() const;
+
+  /// Extracts the result, sorted by (distance, id) ascending.
+  std::vector<Neighbor> Take();
+
+ private:
+  int32_t k_;
+  // Max-heap ordered by (distance, id): the worst kept neighbor on top.
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_KNN_H_

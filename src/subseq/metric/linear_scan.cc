@@ -1,0 +1,46 @@
+#include "subseq/metric/linear_scan.h"
+
+#include "subseq/metric/knn.h"
+
+namespace subseq {
+
+std::vector<ObjectId> LinearScan::RangeQuery(const QueryDistanceFn& query,
+                                             double epsilon,
+                                             QueryStats* stats) const {
+  std::vector<ObjectId> results;
+  int64_t computations = 0;
+  for (ObjectId id = 0; id < num_objects_; ++id) {
+    ++computations;
+    if (query(id) <= epsilon) results.push_back(id);
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(results.size());
+  }
+  return results;
+}
+
+std::vector<Neighbor> LinearScan::NearestNeighbors(
+    const QueryDistanceFn& query, int32_t k, QueryStats* stats) const {
+  KnnCollector collector(k);
+  for (ObjectId id = 0; id < num_objects_; ++id) {
+    collector.Offer(id, query(id));
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = num_objects_;
+  }
+  std::vector<Neighbor> out = collector.Take();
+  if (stats != nullptr) {
+    stats->result_count = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+SpaceStats LinearScan::ComputeSpaceStats() const {
+  SpaceStats s;
+  s.num_objects = num_objects_;
+  s.approx_bytes = 0;  // no structure beyond the data itself
+  return s;
+}
+
+}  // namespace subseq

@@ -1,0 +1,37 @@
+// LinearScan: the naive baseline — computes the query distance to every
+// object. Serves as the denominator of the paper's "% of distance
+// computations" metric and as ground truth in index-equivalence tests.
+
+#ifndef SUBSEQ_METRIC_LINEAR_SCAN_H_
+#define SUBSEQ_METRIC_LINEAR_SCAN_H_
+
+#include "subseq/metric/range_index.h"
+
+namespace subseq {
+
+/// Exhaustive range search over n objects: always n distance computations.
+class LinearScan final : public RangeIndex {
+ public:
+  explicit LinearScan(int32_t num_objects) : num_objects_(num_objects) {}
+
+  std::string_view name() const override { return "linear-scan"; }
+  int32_t size() const override { return num_objects_; }
+
+  std::vector<ObjectId> RangeQuery(const QueryDistanceFn& query,
+                                   double epsilon,
+                                   QueryStats* stats) const override;
+
+  std::vector<Neighbor> NearestNeighbors(const QueryDistanceFn& query,
+                                         int32_t k,
+                                         QueryStats* stats) const override;
+
+  SpaceStats ComputeSpaceStats() const override;
+  BuildStats build_stats() const override { return BuildStats{}; }
+
+ private:
+  int32_t num_objects_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_LINEAR_SCAN_H_

@@ -1,0 +1,164 @@
+#include "subseq/metric/mv_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subseq/distance/distance.h"
+
+#include "subseq/core/check.h"
+#include "subseq/core/rng.h"
+#include "subseq/metric/knn.h"
+
+namespace subseq {
+
+MvIndex::MvIndex(const DistanceOracle& oracle, MvIndexOptions options)
+    : oracle_(oracle), options_(options), num_objects_(oracle.size()) {
+  SUBSEQ_CHECK(options_.num_references > 0);
+  const int32_t n = num_objects_;
+  const int32_t k = std::min(options_.num_references, n);
+  if (n == 0) return;
+
+  // Candidate pool and evaluation sample (without replacement when small).
+  Rng rng(options_.seed);
+  const int32_t pool = std::min(options_.sample_size, n);
+  std::vector<ObjectId> ids(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  // Partial Fisher-Yates: the first `pool` entries are a uniform sample.
+  for (int32_t i = 0; i < pool; ++i) {
+    const int32_t j =
+        i + static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n - i)));
+    std::swap(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+  }
+
+  // Maximum-variance selection: score each candidate by the variance of
+  // its distances to the sample, take the top k.
+  std::vector<std::pair<double, ObjectId>> scored;
+  scored.reserve(static_cast<size_t>(pool));
+  for (int32_t c = 0; c < pool; ++c) {
+    const ObjectId cand = ids[static_cast<size_t>(c)];
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int32_t s = 0; s < pool; ++s) {
+      const double d = oracle_.Distance(cand, ids[static_cast<size_t>(s)]);
+      ++build_stats_.distance_computations;
+      sum += d;
+      sum_sq += d * d;
+    }
+    const double mean = sum / pool;
+    const double var = sum_sq / pool - mean * mean;
+    scored.emplace_back(var, cand);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  references_.reserve(static_cast<size_t>(k));
+  for (int32_t j = 0; j < k; ++j) {
+    references_.push_back(scored[static_cast<size_t>(j)].second);
+  }
+
+  // Precompute the n x k pivot table.
+  table_.resize(static_cast<size_t>(n) * static_cast<size_t>(k));
+  for (int32_t x = 0; x < n; ++x) {
+    for (int32_t j = 0; j < k; ++j) {
+      table_[static_cast<size_t>(x) * static_cast<size_t>(k) +
+             static_cast<size_t>(j)] =
+          oracle_.Distance(x, references_[static_cast<size_t>(j)]);
+      ++build_stats_.distance_computations;
+    }
+  }
+}
+
+std::vector<ObjectId> MvIndex::RangeQuery(const QueryDistanceFn& query,
+                                          double epsilon,
+                                          QueryStats* stats) const {
+  std::vector<ObjectId> results;
+  int64_t computations = 0;
+  const int32_t n = num_objects_;
+  const int32_t k = static_cast<int32_t>(references_.size());
+  if (n > 0) {
+    // Distances from the query to each reference.
+    std::vector<double> dq(static_cast<size_t>(k));
+    for (int32_t j = 0; j < k; ++j) {
+      ++computations;
+      dq[static_cast<size_t>(j)] = query(references_[static_cast<size_t>(j)]);
+    }
+    for (ObjectId x = 0; x < n; ++x) {
+      double lower = 0.0;
+      double upper = kInfiniteDistance;
+      const double* row =
+          &table_[static_cast<size_t>(x) * static_cast<size_t>(k)];
+      for (int32_t j = 0; j < k; ++j) {
+        const double dr = dq[static_cast<size_t>(j)];
+        lower = std::max(lower, std::fabs(dr - row[j]));
+        upper = std::min(upper, dr + row[j]);
+      }
+      if (lower > epsilon) continue;  // pruned, no computation
+      if (upper <= epsilon) {
+        results.push_back(x);  // accepted, no computation
+        continue;
+      }
+      ++computations;
+      if (query(x) <= epsilon) results.push_back(x);
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(results.size());
+  }
+  return results;
+}
+
+std::vector<Neighbor> MvIndex::NearestNeighbors(const QueryDistanceFn& query,
+                                                int32_t k,
+                                                QueryStats* stats) const {
+  KnnCollector collector(k);
+  int64_t computations = 0;
+  const int32_t n = num_objects_;
+  const int32_t refs = static_cast<int32_t>(references_.size());
+  if (n > 0 && k > 0) {
+    std::vector<double> dq(static_cast<size_t>(refs));
+    for (int32_t j = 0; j < refs; ++j) {
+      ++computations;
+      dq[static_cast<size_t>(j)] = query(references_[static_cast<size_t>(j)]);
+    }
+    // Per-object lower bounds from the pivot table, scanned best-first:
+    // once the bound reaches the current k-th distance, the rest of the
+    // database cannot improve the result.
+    std::vector<std::pair<double, ObjectId>> order;
+    order.reserve(static_cast<size_t>(n));
+    for (ObjectId x = 0; x < n; ++x) {
+      double lower = 0.0;
+      const double* row =
+          &table_[static_cast<size_t>(x) * static_cast<size_t>(refs)];
+      for (int32_t j = 0; j < refs; ++j) {
+        lower = std::max(lower, std::fabs(dq[static_cast<size_t>(j)] - row[j]));
+      }
+      order.emplace_back(lower, x);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [lower, x] : order) {
+      if (collector.Full() && lower >= collector.Threshold()) break;
+      ++computations;
+      collector.Offer(x, query(x));
+    }
+  }
+  std::vector<Neighbor> out = collector.Take();
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+SpaceStats MvIndex::ComputeSpaceStats() const {
+  SpaceStats s;
+  s.num_objects = num_objects_;
+  s.num_nodes = static_cast<int64_t>(references_.size());
+  s.num_list_entries = static_cast<int64_t>(table_.size());
+  s.avg_parents = static_cast<double>(references_.size());
+  s.num_levels = 1;
+  s.approx_bytes = static_cast<int64_t>(table_.size()) * 8 +
+                   static_cast<int64_t>(references_.size()) * 4;
+  return s;
+}
+
+}  // namespace subseq

@@ -1,0 +1,69 @@
+// MvIndex — reference-based indexing with Maximum-Variance reference
+// selection (Venkateswaran et al., VLDB 2006), the "MV-k" baseline of the
+// paper's Figs. 8-11.
+//
+// Build: pick k references maximizing the variance of their distances to a
+// data sample, then precompute the full n x k object-to-reference distance
+// table. Query: compute the k query-to-reference distances, derive per-
+// object lower/upper bounds from the triangle inequality
+//   |d(q, r) - d(x, r)| <= d(q, x) <= d(q, r) + d(x, r)
+// and only evaluate the true distance for objects whose bounds straddle
+// epsilon. Space is Theta(n * k) — the "large space requirement in
+// practice" the paper holds against this family.
+
+#ifndef SUBSEQ_METRIC_MV_INDEX_H_
+#define SUBSEQ_METRIC_MV_INDEX_H_
+
+#include <vector>
+
+#include "subseq/metric/range_index.h"
+
+namespace subseq {
+
+/// MV index tunables.
+struct MvIndexOptions {
+  /// k — number of references (paper: MV-5, MV-20, MV-50).
+  int32_t num_references = 5;
+  /// Candidate/sample pool size for the variance estimate.
+  int32_t sample_size = 200;
+  /// Seed for candidate sampling.
+  uint64_t seed = 42;
+};
+
+/// Pivot-table range index with maximum-variance reference selection.
+class MvIndex final : public RangeIndex {
+ public:
+  /// Builds the index over all oracle objects. The oracle must outlive
+  /// the index.
+  MvIndex(const DistanceOracle& oracle, MvIndexOptions options = {});
+
+  std::string_view name() const override { return "mv-index"; }
+  int32_t size() const override { return num_objects_; }
+
+  std::vector<ObjectId> RangeQuery(const QueryDistanceFn& query,
+                                   double epsilon,
+                                   QueryStats* stats) const override;
+
+  std::vector<Neighbor> NearestNeighbors(const QueryDistanceFn& query,
+                                         int32_t k,
+                                         QueryStats* stats) const override;
+
+  SpaceStats ComputeSpaceStats() const override;
+  BuildStats build_stats() const override { return build_stats_; }
+
+  /// The selected reference objects, most-variant first.
+  const std::vector<ObjectId>& references() const { return references_; }
+
+ private:
+  const DistanceOracle& oracle_;
+  MvIndexOptions options_;
+  int32_t num_objects_ = 0;
+  std::vector<ObjectId> references_;
+  // Row-major n x k: table_[x * k + j] = d(object x, reference j).
+  std::vector<double> table_;
+  BuildStats build_stats_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_MV_INDEX_H_

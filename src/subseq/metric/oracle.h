@@ -1,0 +1,83 @@
+// DistanceOracle: how metric indexes see the data.
+//
+// The indexes in this library (reference net, cover tree, MV pivots) are
+// fully generic: they never touch sequences. They index opaque dense
+// ObjectIds and obtain distances from a DistanceOracle (database-to-
+// database) at build time and from a QueryDistanceFn (query-to-database)
+// at query time. Any metric domain can be indexed this way; the
+// subsequence framework adapts fixed-length windows + a SequenceDistance
+// through frame/window_oracle.h.
+
+#ifndef SUBSEQ_METRIC_ORACLE_H_
+#define SUBSEQ_METRIC_ORACLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "subseq/core/types.h"
+
+namespace subseq {
+
+/// Distance access to a fixed collection of n objects with ids 0..n-1.
+/// Implementations must be symmetric with d(x, x) = 0 and satisfy the
+/// triangle inequality (the indexes' pruning is unsound otherwise).
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Number of indexed objects.
+  virtual int32_t size() const = 0;
+
+  /// Distance between database objects a and b.
+  virtual double Distance(ObjectId a, ObjectId b) const = 0;
+
+  /// Early-abandoning variant: must return the exact distance when it is
+  /// <= upper_bound and may return any value > upper_bound otherwise.
+  /// Index construction uses this to skip most of the DP work on far
+  /// pairs. The default forwards to Distance().
+  virtual double DistanceBounded(ObjectId a, ObjectId b,
+                                 double upper_bound) const {
+    (void)upper_bound;
+    return Distance(a, b);
+  }
+};
+
+/// Distance from an (external) query object to a database object.
+using QueryDistanceFn = std::function<double(ObjectId)>;
+
+/// An oracle over an explicit vector of points with a callable distance —
+/// handy for tests and small in-memory datasets.
+template <typename Point, typename Fn>
+class VectorOracle final : public DistanceOracle {
+ public:
+  VectorOracle(std::vector<Point> points, Fn fn)
+      : points_(std::move(points)), fn_(std::move(fn)) {}
+
+  int32_t size() const override {
+    return static_cast<int32_t>(points_.size());
+  }
+
+  double Distance(ObjectId a, ObjectId b) const override {
+    return fn_(points_[static_cast<size_t>(a)],
+               points_[static_cast<size_t>(b)]);
+  }
+
+  const Point& point(ObjectId id) const {
+    return points_[static_cast<size_t>(id)];
+  }
+
+  /// A query function measuring from `q` using this oracle's distance.
+  QueryDistanceFn QueryFrom(Point q) const {
+    return [this, q = std::move(q)](ObjectId id) {
+      return fn_(q, points_[static_cast<size_t>(id)]);
+    };
+  }
+
+ private:
+  std::vector<Point> points_;
+  Fn fn_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_ORACLE_H_

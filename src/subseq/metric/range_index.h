@@ -1,0 +1,97 @@
+// RangeIndex: the common interface of all metric indexes, plus the
+// statistics structs behind the paper's evaluation metrics.
+//
+// The paper's headline query metric (Figs. 8-11) is the *percentage of
+// distance computations* an index performs relative to the naive linear
+// scan; QueryStats::distance_computations feeds that. The space metric
+// (Figs. 5-7) is node/list counts and byte estimates via SpaceStats.
+
+#ifndef SUBSEQ_METRIC_RANGE_INDEX_H_
+#define SUBSEQ_METRIC_RANGE_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "subseq/metric/oracle.h"
+
+namespace subseq {
+
+/// Per-query accounting.
+struct QueryStats {
+  /// Query-to-object distance evaluations performed.
+  int64_t distance_computations = 0;
+  /// Objects returned.
+  int64_t result_count = 0;
+};
+
+/// Index construction accounting.
+struct BuildStats {
+  /// Object-to-object distance evaluations performed during build.
+  int64_t distance_computations = 0;
+};
+
+/// Structural size of an index (Figures 5-7).
+struct SpaceStats {
+  /// Objects represented (== oracle size once fully built).
+  int64_t num_objects = 0;
+  /// Internal nodes (reference-net/cover-tree nodes; MV: references).
+  int64_t num_nodes = 0;
+  /// Total parent->child list entries (reference lists; MV: table cells).
+  int64_t num_list_entries = 0;
+  /// Average number of parents per node (1.0 for a tree).
+  double avg_parents = 0.0;
+  /// Number of levels (hierarchical indexes only).
+  int32_t num_levels = 0;
+  /// Estimated resident bytes of the index structure.
+  int64_t approx_bytes = 0;
+};
+
+/// One k-nearest-neighbor result.
+struct Neighbor {
+  ObjectId id = kInvalidId;
+  double distance = 0.0;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// A metric range index over the objects of a DistanceOracle.
+class RangeIndex {
+ public:
+  virtual ~RangeIndex() = default;
+
+  /// Short stable identifier ("reference-net", "cover-tree", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Number of indexed objects.
+  virtual int32_t size() const = 0;
+
+  /// Returns every ObjectId whose distance to the query is <= epsilon.
+  /// Exact (no false positives or negatives) for metric distances.
+  /// Order of results is unspecified. `stats` (optional) receives the
+  /// distance-computation count for this query.
+  virtual std::vector<ObjectId> RangeQuery(const QueryDistanceFn& query,
+                                           double epsilon,
+                                           QueryStats* stats = nullptr) const = 0;
+
+  /// Returns the k objects closest to the query, sorted by ascending
+  /// distance. Exact for metric distances: the returned distance multiset
+  /// is optimal; among objects tied exactly at the k-th distance the
+  /// choice is index-dependent. Returns fewer than k neighbors only when
+  /// the index holds fewer objects.
+  virtual std::vector<Neighbor> NearestNeighbors(
+      const QueryDistanceFn& query, int32_t k,
+      QueryStats* stats = nullptr) const = 0;
+
+  /// Structural size of the index.
+  virtual SpaceStats ComputeSpaceStats() const = 0;
+
+  /// Distance computations spent building the index.
+  virtual BuildStats build_stats() const = 0;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_RANGE_INDEX_H_

@@ -1,0 +1,87 @@
+#include "subseq/metric/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace subseq {
+
+namespace {
+
+constexpr char kMagic[] = "subseq-refnet v1";
+
+}  // namespace
+
+Status SaveReferenceNet(const ReferenceNet& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open file: " + path);
+  out.precision(17);
+  out << kMagic << '\n';
+  out << net.options().base_radius << ' ' << net.options().max_parents
+      << '\n';
+  const auto nodes = net.Export();
+  out << nodes.size() << '\n';
+  for (const auto& node : nodes) {
+    out << node.object << ' ' << node.top_level << ' '
+        << node.duplicates.size() << ' ' << node.edges.size();
+    for (const ObjectId dup : node.duplicates) out << ' ' << dup;
+    for (const auto& [lvl, child, distance] : node.edges) {
+      out << ' ' << lvl << ' ' << child << ' ' << distance;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ReferenceNet> LoadReferenceNet(const DistanceOracle& oracle,
+                                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a subseq reference-net file: " +
+                                   path);
+  }
+  ReferenceNetOptions options;
+  size_t node_count = 0;
+  if (!(in >> options.base_radius >> options.max_parents >> node_count)) {
+    return Status::IoError("truncated reference-net header in " + path);
+  }
+  if (options.base_radius <= 0.0 || options.max_parents < 0) {
+    return Status::InvalidArgument("invalid reference-net options in " +
+                                   path);
+  }
+
+  std::vector<ReferenceNet::ExportedNode> nodes;
+  nodes.reserve(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    ReferenceNet::ExportedNode node;
+    size_t num_duplicates = 0;
+    size_t num_edges = 0;
+    if (!(in >> node.object >> node.top_level >> num_duplicates >>
+          num_edges)) {
+      return Status::IoError("truncated node record in " + path);
+    }
+    node.duplicates.resize(num_duplicates);
+    for (size_t d = 0; d < num_duplicates; ++d) {
+      if (!(in >> node.duplicates[d])) {
+        return Status::IoError("truncated duplicate list in " + path);
+      }
+    }
+    node.edges.reserve(num_edges);
+    for (size_t e = 0; e < num_edges; ++e) {
+      int32_t lvl = 0;
+      ObjectId child = kInvalidId;
+      double distance = 0.0;
+      if (!(in >> lvl >> child >> distance)) {
+        return Status::IoError("truncated edge list in " + path);
+      }
+      node.edges.emplace_back(lvl, child, distance);
+    }
+    nodes.push_back(std::move(node));
+  }
+  return ReferenceNet::Import(oracle, options, nodes);
+}
+
+}  // namespace subseq

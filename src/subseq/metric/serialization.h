@@ -1,0 +1,35 @@
+// Persistence for the reference net: builds are the expensive part of the
+// pipeline (millions of distance computations at paper scale), so the
+// structure can be saved after construction and reloaded instantly
+// against the same oracle.
+//
+// Format: a line-oriented text header ("subseq-refnet v1") followed by
+// one line per node (object id, top level, duplicates, child edges with
+// their stored distances). The oracle itself is NOT serialized — the
+// caller must reload the net against an oracle presenting the same
+// objects under the same ids and distance; LoadReferenceNet spot-checks a
+// sample of stored edge distances against the oracle and fails loudly on
+// mismatch.
+
+#ifndef SUBSEQ_METRIC_SERIALIZATION_H_
+#define SUBSEQ_METRIC_SERIALIZATION_H_
+
+#include <string>
+
+#include "subseq/core/status.h"
+#include "subseq/metric/reference_net.h"
+
+namespace subseq {
+
+/// Writes the net's structure to `path`.
+Status SaveReferenceNet(const ReferenceNet& net, const std::string& path);
+
+/// Reads a net written by SaveReferenceNet and re-hangs it on `oracle`.
+/// Verifies the format, internal consistency (levels, parent links) and a
+/// sample of edge distances against the oracle.
+Result<ReferenceNet> LoadReferenceNet(const DistanceOracle& oracle,
+                                      const std::string& path);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_SERIALIZATION_H_

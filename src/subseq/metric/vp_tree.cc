@@ -1,0 +1,179 @@
+#include "subseq/metric/vp_tree.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "subseq/core/check.h"
+#include "subseq/core/rng.h"
+#include "subseq/metric/knn.h"
+
+namespace subseq {
+
+VpTree::VpTree(const DistanceOracle& oracle, VpTreeOptions options)
+    : oracle_(oracle), options_(options), num_objects_(oracle.size()) {
+  SUBSEQ_CHECK(options_.leaf_size >= 1);
+  if (num_objects_ == 0) return;
+  std::vector<ObjectId> ids(static_cast<size_t>(num_objects_));
+  for (int32_t i = 0; i < num_objects_; ++i) {
+    ids[static_cast<size_t>(i)] = i;
+  }
+  root_ = BuildSubtree(&ids, 0, num_objects_, options_.seed);
+}
+
+int32_t VpTree::BuildSubtree(std::vector<ObjectId>* ids, int32_t begin,
+                             int32_t end, uint64_t seed) {
+  const int32_t count = end - begin;
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (count <= options_.leaf_size) {
+    nodes_[static_cast<size_t>(node_index)].bucket.assign(
+        ids->begin() + begin, ids->begin() + end);
+    return node_index;
+  }
+
+  // Pick a random vantage point and move it to the front.
+  Rng rng(seed);
+  const int32_t pick =
+      begin + static_cast<int32_t>(rng.NextBounded(
+                  static_cast<uint64_t>(count)));
+  std::swap((*ids)[static_cast<size_t>(begin)],
+            (*ids)[static_cast<size_t>(pick)]);
+  const ObjectId vantage = (*ids)[static_cast<size_t>(begin)];
+
+  // Distances of the remaining subset to the vantage point.
+  std::vector<std::pair<double, ObjectId>> by_distance;
+  by_distance.reserve(static_cast<size_t>(count - 1));
+  for (int32_t i = begin + 1; i < end; ++i) {
+    const double d = oracle_.Distance(vantage, (*ids)[static_cast<size_t>(i)]);
+    ++build_stats_.distance_computations;
+    by_distance.emplace_back(d, (*ids)[static_cast<size_t>(i)]);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  const size_t mid = by_distance.size() / 2;
+  const double mu = by_distance.empty() ? 0.0 : by_distance[mid].first;
+  const double radius =
+      by_distance.empty() ? 0.0 : by_distance.back().first;
+  for (size_t i = 0; i < by_distance.size(); ++i) {
+    (*ids)[static_cast<size_t>(begin) + 1 + i] = by_distance[i].second;
+  }
+  // Inside: distances <= mu -> indices [begin+1, split); outside: rest.
+  int32_t split = begin + 1;
+  for (const auto& [d, id] : by_distance) {
+    (void)id;
+    if (d <= mu) ++split;
+  }
+
+  Node& n = nodes_[static_cast<size_t>(node_index)];
+  n.vantage = vantage;
+  n.mu = mu;
+  n.radius = radius;
+  // nodes_ may reallocate during recursion; write child indices through
+  // the vector afterwards.
+  const int32_t inside = (split > begin + 1)
+                             ? BuildSubtree(ids, begin + 1, split,
+                                            rng.NextU64())
+                             : -1;
+  const int32_t outside =
+      (split < end) ? BuildSubtree(ids, split, end, rng.NextU64()) : -1;
+  nodes_[static_cast<size_t>(node_index)].inside = inside;
+  nodes_[static_cast<size_t>(node_index)].outside = outside;
+  return node_index;
+}
+
+std::vector<ObjectId> VpTree::RangeQuery(const QueryDistanceFn& query,
+                                         double epsilon,
+                                         QueryStats* stats) const {
+  std::vector<ObjectId> results;
+  int64_t computations = 0;
+  if (root_ >= 0) {
+    std::vector<int32_t> stack = {root_};
+    while (!stack.empty()) {
+      const Node& n = nodes_[static_cast<size_t>(stack.back())];
+      stack.pop_back();
+      if (n.vantage == kInvalidId) {
+        for (const ObjectId id : n.bucket) {
+          ++computations;
+          if (query(id) <= epsilon) results.push_back(id);
+        }
+        continue;
+      }
+      ++computations;
+      const double d = query(n.vantage);
+      if (d <= epsilon) results.push_back(n.vantage);
+      // Inside subset lies in the ball B(vantage, mu); outside in the
+      // shell (mu, radius]. Standard vp-tree pruning:
+      if (n.inside >= 0 && d - n.mu <= epsilon) stack.push_back(n.inside);
+      if (n.outside >= 0 && n.mu - d <= epsilon &&
+          d - n.radius <= epsilon) {
+        stack.push_back(n.outside);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(results.size());
+  }
+  return results;
+}
+
+std::vector<Neighbor> VpTree::NearestNeighbors(const QueryDistanceFn& query,
+                                               int32_t k,
+                                               QueryStats* stats) const {
+  KnnCollector collector(k);
+  int64_t computations = 0;
+  if (root_ >= 0 && k > 0) {
+    using Entry = std::pair<double, int32_t>;  // (lower bound, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        frontier;
+    frontier.emplace(0.0, root_);
+    while (!frontier.empty()) {
+      const auto [bound, ni] = frontier.top();
+      frontier.pop();
+      if (collector.Full() && bound >= collector.Threshold()) break;
+      const Node& n = nodes_[static_cast<size_t>(ni)];
+      if (n.vantage == kInvalidId) {
+        for (const ObjectId id : n.bucket) {
+          ++computations;
+          collector.Offer(id, query(id));
+        }
+        continue;
+      }
+      ++computations;
+      const double d = query(n.vantage);
+      collector.Offer(n.vantage, d);
+      if (n.inside >= 0) {
+        frontier.emplace(std::max(0.0, d - n.mu), n.inside);
+      }
+      if (n.outside >= 0) {
+        frontier.emplace(std::max(0.0, std::max(n.mu - d, d - n.radius)),
+                         n.outside);
+      }
+    }
+  }
+  std::vector<Neighbor> out = collector.Take();
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+SpaceStats VpTree::ComputeSpaceStats() const {
+  SpaceStats s;
+  s.num_objects = num_objects_;
+  s.num_nodes = static_cast<int64_t>(nodes_.size());
+  int64_t bucket_entries = 0;
+  for (const Node& n : nodes_) {
+    bucket_entries += static_cast<int64_t>(n.bucket.size());
+  }
+  s.num_list_entries = bucket_entries;
+  s.avg_parents = 1.0;
+  s.num_levels = 0;  // binary depth is not level-structured
+  // Byte model: vantage id + two doubles + two child indices (~32B) per
+  // node, 4B per bucket entry.
+  s.approx_bytes = 32 * s.num_nodes + 4 * bucket_entries;
+  return s;
+}
+
+}  // namespace subseq

@@ -1,0 +1,70 @@
+// VpTree — the vantage-point tree (Yianilos, SODA 1993), another classic
+// metric-space baseline from the paper's related work (Section 2).
+//
+// A binary tree: each internal node holds a vantage point and the median
+// distance mu of its subset to that point; the inside child holds objects
+// with d(vp, x) <= mu, the outside child the rest. Range and kNN queries
+// prune with the triangle inequality against (mu, the subset radius).
+
+#ifndef SUBSEQ_METRIC_VP_TREE_H_
+#define SUBSEQ_METRIC_VP_TREE_H_
+
+#include <vector>
+
+#include "subseq/metric/range_index.h"
+
+namespace subseq {
+
+/// Vp-tree tunables.
+struct VpTreeOptions {
+  /// Subsets of at most this size become leaf buckets.
+  int32_t leaf_size = 8;
+  /// Seed for vantage-point sampling.
+  uint64_t seed = 17;
+};
+
+/// A static vantage-point tree built over all oracle objects at
+/// construction. The oracle must outlive the index.
+class VpTree final : public RangeIndex {
+ public:
+  explicit VpTree(const DistanceOracle& oracle, VpTreeOptions options = {});
+
+  std::string_view name() const override { return "vp-tree"; }
+  int32_t size() const override { return num_objects_; }
+
+  std::vector<ObjectId> RangeQuery(const QueryDistanceFn& query,
+                                   double epsilon,
+                                   QueryStats* stats) const override;
+
+  std::vector<Neighbor> NearestNeighbors(const QueryDistanceFn& query,
+                                         int32_t k,
+                                         QueryStats* stats) const override;
+
+  SpaceStats ComputeSpaceStats() const override;
+  BuildStats build_stats() const override { return build_stats_; }
+
+ private:
+  struct Node {
+    ObjectId vantage = kInvalidId;
+    double mu = 0.0;      // median distance of the subset to the vantage
+    double radius = 0.0;  // max distance of the subset to the vantage
+    int32_t inside = -1;  // subset with d <= mu (node index or -1)
+    int32_t outside = -1; // subset with d > mu
+    // Leaf payload (empty for internal nodes).
+    std::vector<ObjectId> bucket;
+  };
+
+  int32_t BuildSubtree(std::vector<ObjectId>* ids, int32_t begin,
+                       int32_t end, uint64_t seed);
+
+  const DistanceOracle& oracle_;
+  VpTreeOptions options_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int32_t num_objects_ = 0;
+  BuildStats build_stats_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_METRIC_VP_TREE_H_

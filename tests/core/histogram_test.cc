@@ -1,0 +1,96 @@
+#include "subseq/core/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace subseq {
+namespace {
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.num_buckets(), 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_mid(2), 5.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(HistogramTest, CountsLandInCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bucket 0
+  h.Add(3.0);   // bucket 1
+  h.Add(9.99);  // bucket 4
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(4), 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-5.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(4), 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(HistogramTest, FractionSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.Add(i / 100.0);
+  double total = 0.0;
+  for (int b = 0; b < h.num_buckets(); ++b) total += h.Fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, MeanAndVariance) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(2.0);
+  h.Add(4.0);
+  h.Add(6.0);
+  EXPECT_NEAR(h.Mean(), 4.0, 1e-12);
+  EXPECT_NEAR(h.Variance(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, MinMaxTracked) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(3.0);
+  h.Add(7.5);
+  h.Add(1.25);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.25);
+  EXPECT_DOUBLE_EQ(h.Max(), 7.5);
+}
+
+TEST(HistogramTest, CdfMonotoneAndBounded) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) h.Add((i % 100) / 10.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    const double c = h.CdfAt(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.CdfAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(11.0), 1.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringHasOneLinePerBucket) {
+  Histogram h(0.0, 1.0, 3);
+  h.Add(0.1);
+  const std::string s = h.ToString();
+  int newlines = 0;
+  for (char c : s) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 3);
+}
+
+}  // namespace
+}  // namespace subseq

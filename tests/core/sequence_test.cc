@@ -1,0 +1,86 @@
+#include "subseq/core/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace subseq {
+namespace {
+
+TEST(IntervalTest, LengthAndEmpty) {
+  EXPECT_EQ((Interval{2, 7}).length(), 5);
+  EXPECT_TRUE((Interval{3, 3}).empty());
+  EXPECT_FALSE((Interval{3, 4}).empty());
+}
+
+TEST(IntervalTest, Contains) {
+  const Interval outer{0, 10};
+  EXPECT_TRUE(outer.Contains(Interval{0, 10}));
+  EXPECT_TRUE(outer.Contains(Interval{3, 5}));
+  EXPECT_FALSE(outer.Contains(Interval{5, 11}));
+  EXPECT_FALSE((Interval{3, 5}).Contains(outer));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE((Interval{0, 5}).Overlaps(Interval{4, 8}));
+  EXPECT_TRUE((Interval{4, 8}).Overlaps(Interval{0, 5}));
+  EXPECT_FALSE((Interval{0, 5}).Overlaps(Interval{5, 8}));  // half-open
+  EXPECT_FALSE((Interval{0, 2}).Overlaps(Interval{3, 4}));
+}
+
+TEST(SequenceTest, BasicAccess) {
+  const Sequence<double> s({1.0, 2.0, 3.0}, "demo");
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_EQ(s.label(), "demo");
+}
+
+TEST(SequenceTest, SubsequenceView) {
+  const Sequence<double> s({1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto view = s.Subsequence(Interval{1, 4});
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_DOUBLE_EQ(view[0], 2.0);
+  EXPECT_DOUBLE_EQ(view[2], 4.0);
+}
+
+TEST(SequenceTest, FullViewMatchesElements) {
+  const Sequence<char> s = MakeStringSequence("HELLO");
+  EXPECT_EQ(s.size(), 5);
+  EXPECT_EQ(s.view()[0], 'H');
+  EXPECT_EQ(s.view()[4], 'O');
+}
+
+TEST(SequenceTest, EqualityIgnoresLabel) {
+  const Sequence<char> a = MakeStringSequence("AB", "one");
+  const Sequence<char> b = MakeStringSequence("AB", "two");
+  EXPECT_EQ(a, b);
+}
+
+TEST(SequenceDatabaseTest, AddAndRetrieve) {
+  SequenceDatabase<char> db;
+  EXPECT_TRUE(db.empty());
+  const SeqId id0 = db.Add(MakeStringSequence("AAA"));
+  const SeqId id1 = db.Add(MakeStringSequence("CCCCC"));
+  EXPECT_EQ(id0, 0);
+  EXPECT_EQ(id1, 1);
+  EXPECT_EQ(db.size(), 2);
+  EXPECT_EQ(db.at(1).size(), 5);
+}
+
+TEST(SequenceDatabaseTest, TotalLength) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("AAA"));
+  db.Add(MakeStringSequence("CCCCC"));
+  EXPECT_EQ(db.TotalLength(), 8);
+}
+
+TEST(SequenceDatabaseTest, RangeForIteration) {
+  SequenceDatabase<double> db;
+  db.Add(Sequence<double>({1.0}));
+  db.Add(Sequence<double>({2.0, 3.0}));
+  int count = 0;
+  for (const auto& seq : db) count += seq.size();
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace subseq

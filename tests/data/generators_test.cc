@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subseq/data/motif.h"
+#include "subseq/data/protein_gen.h"
+#include "subseq/data/song_gen.h"
+#include "subseq/data/trajectory_gen.h"
+
+namespace subseq {
+namespace {
+
+TEST(ProteinGeneratorTest, DeterministicForSeed) {
+  ProteinGenerator a(ProteinGenOptions{.mean_length = 50, .seed = 5});
+  ProteinGenerator b(ProteinGenOptions{.mean_length = 50, .seed = 5});
+  EXPECT_EQ(a.Generate(), b.Generate());
+}
+
+TEST(ProteinGeneratorTest, UsesOnlyAminoAcidAlphabet) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 200, .seed = 6});
+  const Sequence<char> seq = gen.Generate();
+  for (int32_t i = 0; i < seq.size(); ++i) {
+    EXPECT_NE(kAminoAcids.find(seq[i]), std::string_view::npos);
+  }
+}
+
+TEST(ProteinGeneratorTest, LengthsWithinBand) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 100, .seed = 7});
+  for (int i = 0; i < 20; ++i) {
+    const Sequence<char> seq = gen.Generate();
+    EXPECT_GE(seq.size(), 50);
+    EXPECT_LE(seq.size(), 150);
+  }
+}
+
+TEST(ProteinGeneratorTest, CompositionRoughlyMatchesUniprot) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 1000, .seed = 8});
+  int64_t leucine = 0;
+  int64_t tryptophan = 0;
+  int64_t total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Sequence<char> seq = gen.Generate();
+    for (int32_t j = 0; j < seq.size(); ++j) {
+      leucine += (seq[j] == 'L');
+      tryptophan += (seq[j] == 'W');
+      ++total;
+    }
+  }
+  // L ~9.7%, W ~1.1% in UniProt.
+  EXPECT_NEAR(static_cast<double>(leucine) / total, 0.0965, 0.01);
+  EXPECT_NEAR(static_cast<double>(tryptophan) / total, 0.011, 0.005);
+}
+
+TEST(ProteinGeneratorTest, DatabaseWithWindowsHasEnough) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 100, .seed = 9});
+  const auto db = gen.GenerateDatabaseWithWindows(500, 20);
+  int64_t windows = 0;
+  for (const auto& seq : db) windows += seq.size() / 20;
+  EXPECT_GE(windows, 500);
+}
+
+TEST(SongGeneratorTest, PitchesStayInRange) {
+  SongGenerator gen(SongGenOptions{.mean_length = 300, .seed = 10});
+  const Sequence<double> seq = gen.Generate();
+  for (int32_t i = 0; i < seq.size(); ++i) {
+    EXPECT_GE(seq[i], 0.0);
+    EXPECT_LE(seq[i], 11.0);
+    EXPECT_DOUBLE_EQ(seq[i], std::floor(seq[i]));  // integral pitches
+  }
+}
+
+TEST(SongGeneratorTest, DeterministicForSeed) {
+  SongGenerator a(SongGenOptions{.seed = 11});
+  SongGenerator b(SongGenOptions{.seed = 11});
+  EXPECT_EQ(a.Generate(), b.Generate());
+}
+
+TEST(SongGeneratorTest, RepetitionProbabilityShows) {
+  SongGenerator gen(SongGenOptions{
+      .mean_length = 2000, .repeat_probability = 0.5, .seed = 12});
+  const Sequence<double> seq = gen.GenerateWithLength(2000);
+  int64_t repeats = 0;
+  for (int32_t i = 1; i < seq.size(); ++i) repeats += (seq[i] == seq[i - 1]);
+  // Repeats come from sustains plus zero-step moves; must be well above
+  // the uniform-random baseline.
+  EXPECT_GT(static_cast<double>(repeats) / seq.size(), 0.4);
+}
+
+TEST(TrajectoryGeneratorTest, StaysInRegion) {
+  TrajectoryGenerator gen(TrajectoryGenOptions{.mean_length = 500,
+                                               .seed = 13});
+  const Sequence<Point2d> seq = gen.Generate();
+  for (int32_t i = 0; i < seq.size(); ++i) {
+    EXPECT_GE(seq[i].x, -1e-9);
+    EXPECT_LE(seq[i].x, 100.0 + 1e-9);
+    EXPECT_GE(seq[i].y, -1e-9);
+    EXPECT_LE(seq[i].y, 60.0 + 1e-9);
+  }
+}
+
+TEST(TrajectoryGeneratorTest, StepsAreSpeedBounded) {
+  TrajectoryGenerator gen(TrajectoryGenOptions{.mean_length = 300,
+                                               .speed = 2.0, .seed = 14});
+  const Sequence<Point2d> seq = gen.GenerateWithLength(300);
+  for (int32_t i = 1; i < seq.size(); ++i) {
+    // Reflections can fold a step but never lengthen it beyond the speed.
+    EXPECT_LE(PointDistance(seq[i], seq[i - 1]), 2.0 + 1e-9);
+  }
+}
+
+TEST(TrajectoryGeneratorTest, DeterministicForSeed) {
+  TrajectoryGenerator a(TrajectoryGenOptions{.seed = 15});
+  TrajectoryGenerator b(TrajectoryGenOptions{.seed = 15});
+  EXPECT_EQ(a.Generate(), b.Generate());
+}
+
+TEST(TrajectoryGeneratorTest, SmoothPathsNotIid) {
+  // Consecutive-step distance must be far below the diameter; i.i.d.
+  // points would average ~40% of it.
+  TrajectoryGenerator gen(TrajectoryGenOptions{.seed = 16});
+  const Sequence<Point2d> seq = gen.GenerateWithLength(400);
+  double mean_step = 0.0;
+  for (int32_t i = 1; i < seq.size(); ++i) {
+    mean_step += PointDistance(seq[i], seq[i - 1]);
+  }
+  mean_step /= (seq.size() - 1);
+  EXPECT_LT(mean_step, 3.0);
+}
+
+TEST(MotifPlanterTest, StringMutationRespectsRate) {
+  MotifPlanter planter(17);
+  std::vector<char> motif(1000, 'A');
+  MotifOptions options;
+  options.substitution_rate = 0.2;
+  const auto mutated = planter.Mutate(std::span<const char>(motif), options);
+  int changed = 0;
+  for (size_t i = 0; i < mutated.size(); ++i) changed += (mutated[i] != 'A');
+  // ~20% substitution, minus ~1/20 that re-draw 'A'.
+  EXPECT_NEAR(changed / 1000.0, 0.19, 0.05);
+}
+
+TEST(MotifPlanterTest, ScalarMutationIsJitter) {
+  MotifPlanter planter(18);
+  std::vector<double> motif(500, 5.0);
+  MotifOptions options;
+  options.noise_sigma = 0.1;
+  const auto mutated =
+      planter.Mutate(std::span<const double>(motif), options);
+  for (const double v : mutated) EXPECT_NEAR(v, 5.0, 1.0);
+}
+
+TEST(MotifPlanterTest, EmbedOverwritesAtPosition) {
+  MotifPlanter planter(19);
+  const Sequence<char> host = MakeStringSequence("AAAAAAAAAA");
+  const std::vector<char> payload = {'C', 'G', 'T'};
+  const Sequence<char> result =
+      planter.Embed<char>(host, payload, 4);
+  EXPECT_EQ(result, MakeStringSequence("AAAACGTAAA"));
+}
+
+TEST(MotifPlanterTest, DrawPositionInBounds) {
+  MotifPlanter planter(20);
+  for (int i = 0; i < 200; ++i) {
+    const int32_t pos = planter.DrawPosition(100, 30);
+    EXPECT_GE(pos, 0);
+    EXPECT_LE(pos, 70);
+  }
+}
+
+}  // namespace
+}  // namespace subseq

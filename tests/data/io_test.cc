@@ -1,0 +1,114 @@
+#include "subseq/data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "subseq/data/protein_gen.h"
+#include "subseq/data/song_gen.h"
+#include "subseq/data/trajectory_gen.h"
+
+namespace subseq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, StringRoundTrip) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 40, .seed = 1});
+  const auto db = gen.GenerateDatabase(5);
+  const std::string path = TempPath("strings.txt");
+  ASSERT_TRUE(WriteStringDatabase(db, path).ok());
+  auto loaded = ReadStringDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), db.size());
+  for (SeqId i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded.value().at(i), db.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ScalarRoundTrip) {
+  SongGenerator gen(SongGenOptions{.mean_length = 30, .seed = 2});
+  const auto db = gen.GenerateDatabase(4);
+  const std::string path = TempPath("series.txt");
+  ASSERT_TRUE(WriteScalarDatabase(db, path).ok());
+  auto loaded = ReadScalarDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), db.size());
+  for (SeqId i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded.value().at(i), db.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TrajectoryRoundTrip) {
+  TrajectoryGenerator gen(TrajectoryGenOptions{.mean_length = 25, .seed = 3});
+  const auto db = gen.GenerateDatabase(3);
+  const std::string path = TempPath("traj.txt");
+  ASSERT_TRUE(WriteTrajectoryDatabase(db, path).ok());
+  auto loaded = ReadTrajectoryDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), db.size());
+  for (SeqId i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded.value().at(i), db.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadStringDatabase("/nonexistent/nowhere.txt").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadScalarDatabase("/nonexistent/nowhere.txt").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(
+      ReadTrajectoryDatabase("/nonexistent/nowhere.txt").status().code(),
+      StatusCode::kIoError);
+}
+
+TEST(IoTest, UnwritablePathIsIoError) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("ACGT"));
+  EXPECT_EQ(WriteStringDatabase(db, "/nonexistent/dir/out.txt").code(),
+            StatusCode::kIoError);
+}
+
+TEST(IoTest, MalformedScalarFileRejected) {
+  const std::string path = TempPath("bad_series.txt");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1.0 2.0 oops 3.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadScalarDatabase(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MalformedTrajectoryFileRejected) {
+  const std::string path = TempPath("bad_traj.txt");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1.0,2.0 3.0\n", f);  // second token has no comma
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadTrajectoryDatabase(path).status().code(),
+            StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyDatabaseRoundTrip) {
+  SequenceDatabase<char> db;
+  const std::string path = TempPath("empty.txt");
+  ASSERT_TRUE(WriteStringDatabase(db, path).ok());
+  auto loaded = ReadStringDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subseq

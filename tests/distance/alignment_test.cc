@@ -1,0 +1,167 @@
+#include "subseq/distance/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/frechet.h"
+#include "subseq/distance/levenshtein.h"
+
+namespace subseq {
+namespace {
+
+Alignment Diagonal(int32_t n, double cost_each = 0.0) {
+  Alignment al;
+  for (int32_t i = 0; i < n; ++i) {
+    al.couplings.push_back(Coupling{i, i, AlignOp::kMatch, cost_each});
+    al.distance += cost_each;
+  }
+  return al;
+}
+
+TEST(ValidateAlignmentTest, AcceptsDiagonal) {
+  const Alignment al = Diagonal(4);
+  EXPECT_FALSE(ValidateAlignment(al, 4, 4, false).has_value());
+}
+
+TEST(ValidateAlignmentTest, RejectsEmptyForNonEmptyInputs) {
+  Alignment al;
+  EXPECT_TRUE(ValidateAlignment(al, 3, 3, false).has_value());
+}
+
+TEST(ValidateAlignmentTest, RejectsWrongBoundary) {
+  Alignment al = Diagonal(3);
+  al.couplings.erase(al.couplings.begin());  // now starts at (1, 1)
+  EXPECT_TRUE(ValidateAlignment(al, 3, 3, false).has_value());
+}
+
+TEST(ValidateAlignmentTest, RejectsNonMonotone) {
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{1, 1, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{1, 0, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{2, 2, AlignOp::kMatch, 0});
+  EXPECT_TRUE(ValidateAlignment(al, 3, 3, false).has_value());
+}
+
+TEST(ValidateAlignmentTest, RejectsDiscontinuity) {
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{2, 2, AlignOp::kMatch, 0});  // skips 1
+  EXPECT_TRUE(ValidateAlignment(al, 3, 3, false).has_value());
+}
+
+TEST(ValidateAlignmentTest, RejectsUncoveredElement) {
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{1, 0, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{2, 2, AlignOp::kMatch, 0});
+  // b[1] never coupled; also discontinuous.
+  EXPECT_TRUE(ValidateAlignment(al, 3, 3, false).has_value());
+}
+
+TEST(ValidateAlignmentTest, RejectsGapsWhenNotAllowed) {
+  Alignment al = Diagonal(3);
+  al.couplings.insert(al.couplings.begin() + 1,
+                      Coupling{1, 0, AlignOp::kGapA, 1.0});
+  EXPECT_TRUE(ValidateAlignment(al, 3, 3, false).has_value());
+}
+
+TEST(RestrictToRangeTest, DiagonalMapsIdentically) {
+  const Alignment al = Diagonal(5);
+  const auto iv = RestrictToRange(al, Interval{1, 4});
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, (Interval{1, 4}));
+}
+
+TEST(RestrictToRangeTest, WarpedPathWidensRange) {
+  // a[0] matches b[0], b[1], b[2]; a[1] matches b[3].
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{0, 1, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{0, 2, AlignOp::kMatch, 0});
+  al.couplings.push_back(Coupling{1, 3, AlignOp::kMatch, 0});
+  const auto iv = RestrictToRange(al, Interval{0, 1});
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, (Interval{0, 3}));
+}
+
+TEST(RestrictToRangeTest, NoMatchInRangeReturnsNullopt) {
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kGapA, 1.0});
+  al.couplings.push_back(Coupling{1, 0, AlignOp::kMatch, 0.0});
+  EXPECT_FALSE(RestrictToRange(al, Interval{0, 1}).has_value());
+  EXPECT_TRUE(RestrictToRange(al, Interval{1, 2}).has_value());
+}
+
+TEST(RestrictedCostTest, SumsOnlyInRangeCouplings) {
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kMatch, 1.0});
+  al.couplings.push_back(Coupling{1, 1, AlignOp::kMatch, 2.0});
+  al.couplings.push_back(Coupling{2, 2, AlignOp::kMatch, 4.0});
+  EXPECT_DOUBLE_EQ(RestrictedCost(al, Interval{1, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(RestrictedCost(al, Interval{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(RestrictedMaxCost(al, Interval{0, 2}), 2.0);
+}
+
+TEST(RestrictedCostTest, GapBCouplingsExcluded) {
+  Alignment al;
+  al.couplings.push_back(Coupling{0, 0, AlignOp::kMatch, 1.0});
+  al.couplings.push_back(Coupling{0, 1, AlignOp::kGapB, 5.0});
+  al.couplings.push_back(Coupling{1, 2, AlignOp::kMatch, 2.0});
+  // The gap-B coupling consumes b only; it has no a-index in [0, 2).
+  EXPECT_DOUBLE_EQ(RestrictedCost(al, Interval{0, 2}), 3.0);
+}
+
+// The Section 4 theorem, checked through real optimal alignments: for every
+// interval of a, the restricted cost bounds the induced subsequence pair's
+// distance, and the restricted cost never exceeds the full distance.
+TEST(ConsistencyConstructionTest, ErpRestrictedCostBoundsSubDistance) {
+  ErpDistance1D d;
+  const std::vector<double> a = {1, 4, 2, 8, 5, 7};
+  const std::vector<double> b = {1, 2, 9, 5, 6};
+  const Alignment al = d.ComputeWithPath(a, b);
+  for (int32_t begin = 0; begin < 6; ++begin) {
+    for (int32_t end = begin + 1; end <= 6; ++end) {
+      const Interval ia{begin, end};
+      const double restricted = RestrictedCost(al, ia);
+      EXPECT_LE(restricted, al.distance + 1e-9);
+      const auto ib = RestrictToRange(al, ia);
+      if (!ib.has_value()) continue;
+      const double sub = d.Compute(
+          std::span<const double>(a).subspan(
+              static_cast<size_t>(begin), static_cast<size_t>(end - begin)),
+          std::span<const double>(b).subspan(
+              static_cast<size_t>(ib->begin),
+              static_cast<size_t>(ib->length())));
+      EXPECT_LE(sub, al.distance + 1e-9);
+    }
+  }
+}
+
+TEST(ConsistencyConstructionTest, FrechetRestrictedMaxBoundsSubDistance) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {1, 4, 2, 8, 5};
+  const std::vector<double> b = {2, 3, 7, 6, 5, 4};
+  const Alignment al = d.ComputeWithPath(a, b);
+  for (int32_t begin = 0; begin < 5; ++begin) {
+    for (int32_t end = begin + 1; end <= 5; ++end) {
+      const Interval ia{begin, end};
+      EXPECT_LE(RestrictedMaxCost(al, ia), al.distance + 1e-9);
+      const auto ib = RestrictToRange(al, ia);
+      ASSERT_TRUE(ib.has_value());
+      const double sub = d.Compute(
+          std::span<const double>(a).subspan(
+              static_cast<size_t>(begin), static_cast<size_t>(end - begin)),
+          std::span<const double>(b).subspan(
+              static_cast<size_t>(ib->begin),
+              static_cast<size_t>(ib->length())));
+      EXPECT_LE(sub, al.distance + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subseq

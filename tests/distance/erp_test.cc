@@ -1,0 +1,120 @@
+#include "subseq/distance/erp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/alignment.h"
+
+namespace subseq {
+namespace {
+
+TEST(ErpTest, IdenticalSequencesAtZero) {
+  ErpDistance1D d;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, a), 0.0);
+}
+
+TEST(ErpTest, EmptyAgainstSequenceSumsGapCosts) {
+  // ERP charges unmatched elements their distance to the gap element (0).
+  ErpDistance1D d;
+  const std::vector<double> a = {1.0, -2.0, 3.0};
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(d.Compute(a, empty), 6.0);
+  EXPECT_DOUBLE_EQ(d.Compute(empty, a), 6.0);
+  EXPECT_DOUBLE_EQ(d.Compute(empty, empty), 0.0);
+}
+
+TEST(ErpTest, KnownValueWithGap) {
+  // (1,2,3) vs (1,3): cheapest alignment matches 1~1, 3~3 and gaps the 2,
+  // costing |2 - 0| = 2.
+  ErpDistance1D d;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 2.0);
+}
+
+TEST(ErpTest, PrefersSubstitutionWhenCheaper) {
+  const std::vector<double> a = {5.0, 5.1};
+  const std::vector<double> b = {5.0, 5.0};
+  ErpDistance1D d;
+  EXPECT_NEAR(d.Compute(a, b), 0.1, 1e-12);
+}
+
+TEST(ErpTest, SymmetricOnRandomInputs) {
+  ErpDistance1D d;
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    const int na = 1 + static_cast<int>(rng.NextBounded(9));
+    const int nb = 1 + static_cast<int>(rng.NextBounded(9));
+    for (int i = 0; i < na; ++i) a.push_back(rng.NextDouble(-3, 3));
+    for (int i = 0; i < nb; ++i) b.push_back(rng.NextDouble(-3, 3));
+    EXPECT_DOUBLE_EQ(d.Compute(a, b), d.Compute(b, a));
+  }
+}
+
+TEST(ErpTest, TriangleInequalityOnRandomTriples) {
+  ErpDistance1D d;
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto make = [&rng]() {
+      std::vector<double> v;
+      const int n = 1 + static_cast<int>(rng.NextBounded(7));
+      for (int i = 0; i < n; ++i) v.push_back(rng.NextDouble(-2, 2));
+      return v;
+    };
+    const auto x = make();
+    const auto y = make();
+    const auto z = make();
+    EXPECT_LE(d.Compute(x, z),
+              d.Compute(x, y) + d.Compute(y, z) + 1e-9);
+  }
+}
+
+TEST(ErpTest, BoundedAbandonsAndMatches) {
+  ErpDistance1D d;
+  const std::vector<double> a = {10.0, 10.0, 10.0};
+  const std::vector<double> b = {0.5, 0.5, 0.5};
+  EXPECT_GT(d.ComputeBounded(a, b, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(a, b, 1e9), d.Compute(a, b));
+}
+
+TEST(ErpTest, PathCostMatchesDistance) {
+  ErpDistance1D d;
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    const int na = 1 + static_cast<int>(rng.NextBounded(8));
+    const int nb = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < na; ++i) a.push_back(rng.NextDouble(0, 4));
+    for (int i = 0; i < nb; ++i) b.push_back(rng.NextDouble(0, 4));
+    const Alignment al = d.ComputeWithPath(a, b);
+    EXPECT_DOUBLE_EQ(al.distance, d.Compute(a, b));
+    double sum = 0.0;
+    for (const Coupling& c : al.couplings) sum += c.cost;
+    EXPECT_NEAR(sum, al.distance, 1e-9);
+    const auto err = ValidateAlignment(al, na, nb, /*allow_gaps=*/true);
+    EXPECT_FALSE(err.has_value()) << *err;
+  }
+}
+
+TEST(ErpTest, GapElementIsOriginIn2D) {
+  ErpDistance2D d;
+  const std::vector<Point2d> a = {{3.0, 4.0}};
+  const std::vector<Point2d> empty;
+  EXPECT_DOUBLE_EQ(d.Compute(a, empty), 5.0);
+}
+
+TEST(ErpTest, PropertyFlags) {
+  ErpDistance1D d;
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_TRUE(d.is_consistent());
+  EXPECT_EQ(d.name(), "erp");
+}
+
+}  // namespace
+}  // namespace subseq

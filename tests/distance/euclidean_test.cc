@@ -1,0 +1,83 @@
+#include "subseq/distance/euclidean.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace subseq {
+namespace {
+
+TEST(EuclideanTest, KnownValue1D) {
+  EuclideanDistance1D d;
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 5.0);
+}
+
+TEST(EuclideanTest, IdenticalSequencesAreAtZero) {
+  EuclideanDistance1D d;
+  const std::vector<double> a = {1.5, -2.0, 7.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, a), 0.0);
+}
+
+TEST(EuclideanTest, LengthMismatchIsInfinite) {
+  EuclideanDistance1D d;
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_EQ(d.Compute(a, b), kInfiniteDistance);
+}
+
+TEST(EuclideanTest, EmptySequences) {
+  EuclideanDistance1D d;
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(d.Compute(empty, empty), 0.0);
+}
+
+TEST(EuclideanTest, KnownValue2D) {
+  EuclideanDistance2D d;
+  const std::vector<Point2d> a = {{0.0, 0.0}, {1.0, 1.0}};
+  const std::vector<Point2d> b = {{3.0, 4.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 5.0);
+}
+
+TEST(EuclideanTest, BoundedExactWithinBound) {
+  EuclideanDistance1D d;
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(a, b, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(a, b, 100.0), 5.0);
+}
+
+TEST(EuclideanTest, BoundedAbandonsAboveBound) {
+  EuclideanDistance1D d;
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_GT(d.ComputeBounded(a, b, 4.9), 4.9);
+}
+
+TEST(EuclideanTest, PropertyFlags) {
+  EuclideanDistance1D d;
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_TRUE(d.is_consistent());
+  EXPECT_EQ(d.name(), "euclidean");
+}
+
+TEST(EuclideanTest, PrefixDistanceNeverExceedsFull) {
+  // The consistency argument for Euclidean: aligned subsequences sum a
+  // subset of the squared terms.
+  EuclideanDistance1D d;
+  const std::vector<double> a = {1.0, 5.0, 2.0, 8.0, 3.0};
+  const std::vector<double> b = {2.0, 3.0, 4.0, 4.0, 9.0};
+  const double full = d.Compute(a, b);
+  for (size_t len = 1; len <= a.size(); ++len) {
+    for (size_t off = 0; off + len <= a.size(); ++off) {
+      const double sub = d.Compute(
+          std::span<const double>(a).subspan(off, len),
+          std::span<const double>(b).subspan(off, len));
+      EXPECT_LE(sub, full + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subseq

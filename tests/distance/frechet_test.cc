@@ -1,0 +1,142 @@
+#include "subseq/distance/frechet.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/alignment.h"
+
+namespace subseq {
+namespace {
+
+TEST(FrechetTest, IdenticalSequencesAtZero) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {1.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, a), 0.0);
+}
+
+TEST(FrechetTest, MaxOfMatchedCosts) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {1.0, 2.0, 0.5};
+  // Aligned 1:1 is optimal here; the max coupling cost is 2.
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 2.0);
+}
+
+TEST(FrechetTest, WarpingReducesMax) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {0.0, 10.0, 0.0};
+  const std::vector<double> b = {0.0, 0.1, 10.0, 0.0};
+  // b's extra 0.1 can couple with a's first 0.
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 0.1);
+}
+
+TEST(FrechetTest, TimeShiftIsFree) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {1, 1, 1, 2, 2, 2, 3, 3, 3};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 0.0);
+}
+
+TEST(FrechetTest, SingleElements) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {4.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 3.0);
+}
+
+TEST(FrechetTest, EmptySequenceIsInfinite) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {1.0};
+  const std::vector<double> empty;
+  EXPECT_EQ(d.Compute(a, empty), kInfiniteDistance);
+  EXPECT_DOUBLE_EQ(d.Compute(empty, empty), 0.0);
+}
+
+TEST(FrechetTest, SymmetricOnRandomInputs) {
+  FrechetDistance1D d;
+  Rng rng(43);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    const int na = 1 + static_cast<int>(rng.NextBounded(9));
+    const int nb = 1 + static_cast<int>(rng.NextBounded(9));
+    for (int i = 0; i < na; ++i) a.push_back(rng.NextDouble(-5, 5));
+    for (int i = 0; i < nb; ++i) b.push_back(rng.NextDouble(-5, 5));
+    EXPECT_DOUBLE_EQ(d.Compute(a, b), d.Compute(b, a));
+  }
+}
+
+TEST(FrechetTest, TriangleInequalityOnRandomTriples) {
+  FrechetDistance1D d;
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto make = [&rng]() {
+      std::vector<double> v;
+      const int n = 1 + static_cast<int>(rng.NextBounded(7));
+      for (int i = 0; i < n; ++i) v.push_back(rng.NextDouble(-2, 2));
+      return v;
+    };
+    const auto x = make();
+    const auto y = make();
+    const auto z = make();
+    EXPECT_LE(d.Compute(x, z), d.Compute(x, y) + d.Compute(y, z) + 1e-9);
+  }
+}
+
+TEST(FrechetTest, DominatedByMaxPairwiseGap) {
+  // DFD never exceeds the ground distance between the farthest pair of
+  // coupled elements under the identity alignment.
+  FrechetDistance1D d;
+  const std::vector<double> a = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> b = {0.5, 1.5, 2.5, 3.5};
+  EXPECT_LE(d.Compute(a, b), 0.5 + 1e-12);
+}
+
+TEST(FrechetTest, BoundedAbandons) {
+  FrechetDistance1D d;
+  const std::vector<double> a = {0, 0, 0};
+  const std::vector<double> b = {9, 9, 9};
+  EXPECT_GT(d.ComputeBounded(a, b, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(a, b, 100.0), 9.0);
+}
+
+TEST(FrechetTest, PathMaxMatchesDistance) {
+  FrechetDistance1D d;
+  Rng rng(51);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    const int na = 1 + static_cast<int>(rng.NextBounded(8));
+    const int nb = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < na; ++i) a.push_back(rng.NextDouble(0, 6));
+    for (int i = 0; i < nb; ++i) b.push_back(rng.NextDouble(0, 6));
+    const Alignment al = d.ComputeWithPath(a, b);
+    EXPECT_DOUBLE_EQ(al.distance, d.Compute(a, b));
+    double max_cost = 0.0;
+    for (const Coupling& c : al.couplings) {
+      max_cost = std::max(max_cost, c.cost);
+    }
+    EXPECT_NEAR(max_cost, al.distance, 1e-9);
+    const auto err = ValidateAlignment(al, na, nb, /*allow_gaps=*/false);
+    EXPECT_FALSE(err.has_value()) << *err;
+  }
+}
+
+TEST(FrechetTest, Works2D) {
+  FrechetDistance2D d;
+  const std::vector<Point2d> a = {{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<Point2d> b = {{0, 1}, {1, 1}, {2, 1}};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 1.0);
+}
+
+TEST(FrechetTest, PropertyFlags) {
+  FrechetDistance1D d;
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_TRUE(d.is_consistent());
+  EXPECT_EQ(d.name(), "frechet");
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,69 @@
+#include "subseq/distance/hamming.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace subseq {
+namespace {
+
+std::vector<char> Str(std::string_view s) {
+  return std::vector<char>(s.begin(), s.end());
+}
+
+TEST(HammingTest, KnownValues) {
+  HammingDistance<char> d;
+  EXPECT_DOUBLE_EQ(d.Compute(Str("ACGT"), Str("ACGT")), 0.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str("ACGT"), Str("ACGA")), 1.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str("AAAA"), Str("TTTT")), 4.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str("karolin"), Str("kathrin")), 3.0);
+}
+
+TEST(HammingTest, LengthMismatchIsInfinite) {
+  HammingDistance<char> d;
+  EXPECT_EQ(d.Compute(Str("AC"), Str("ACG")), kInfiniteDistance);
+}
+
+TEST(HammingTest, EmptySequencesAtZero) {
+  HammingDistance<char> d;
+  EXPECT_DOUBLE_EQ(d.Compute(Str(""), Str("")), 0.0);
+}
+
+TEST(HammingTest, BoundedAbandons) {
+  HammingDistance<char> d;
+  EXPECT_GT(d.ComputeBounded(Str("AAAA"), Str("TTTT"), 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(Str("AAAA"), Str("TTTA"), 3.0), 3.0);
+}
+
+TEST(HammingTest, WorksOnDoubles) {
+  HammingDistance<double> d;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 1.0);
+}
+
+TEST(HammingTest, PropertyFlags) {
+  HammingDistance<char> d;
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_TRUE(d.is_consistent());
+  EXPECT_EQ(d.name(), "hamming");
+}
+
+TEST(HammingTest, AlignedSubsequenceNeverExceedsFull) {
+  HammingDistance<char> d;
+  const auto a = Str("AACCGGTTAC");
+  const auto b = Str("ATCCGATTCC");
+  const double full = d.Compute(a, b);
+  for (size_t len = 1; len <= a.size(); ++len) {
+    for (size_t off = 0; off + len <= a.size(); ++off) {
+      const double sub =
+          d.Compute(std::span<const char>(a).subspan(off, len),
+                    std::span<const char>(b).subspan(off, len));
+      EXPECT_LE(sub, full);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subseq

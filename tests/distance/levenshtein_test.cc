@@ -1,0 +1,134 @@
+#include "subseq/distance/levenshtein.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/alignment.h"
+
+namespace subseq {
+namespace {
+
+std::vector<char> Str(std::string_view s) {
+  return std::vector<char>(s.begin(), s.end());
+}
+
+TEST(LevenshteinTest, ClassicExamples) {
+  LevenshteinDistance<char> d;
+  EXPECT_DOUBLE_EQ(d.Compute(Str("kitten"), Str("sitting")), 3.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str("flaw"), Str("lawn")), 2.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str("intention"), Str("execution")), 5.0);
+}
+
+TEST(LevenshteinTest, EmptyAgainstString) {
+  LevenshteinDistance<char> d;
+  EXPECT_DOUBLE_EQ(d.Compute(Str(""), Str("abc")), 3.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str("abc"), Str("")), 3.0);
+  EXPECT_DOUBLE_EQ(d.Compute(Str(""), Str("")), 0.0);
+}
+
+TEST(LevenshteinTest, IdenticalAtZero) {
+  LevenshteinDistance<char> d;
+  EXPECT_DOUBLE_EQ(d.Compute(Str("PROTEIN"), Str("PROTEIN")), 0.0);
+}
+
+TEST(LevenshteinTest, BoundedByLongerLength) {
+  LevenshteinDistance<char> d;
+  Rng rng(61);
+  const std::string_view alphabet = "ACGT";
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<char> a;
+    std::vector<char> b;
+    const size_t na = 1 + rng.NextBounded(12);
+    const size_t nb = 1 + rng.NextBounded(12);
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(alphabet[rng.NextBounded(4)]);
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(alphabet[rng.NextBounded(4)]);
+    }
+    const double dist = d.Compute(a, b);
+    EXPECT_LE(dist, static_cast<double>(std::max(na, nb)));
+    EXPECT_GE(dist, static_cast<double>(na > nb ? na - nb : nb - na));
+  }
+}
+
+TEST(LevenshteinTest, BoundedShortCircuitsOnLengthGap) {
+  LevenshteinDistance<char> d;
+  EXPECT_GT(d.ComputeBounded(Str("AAAAAAAAAA"), Str("A"), 3.0), 3.0);
+}
+
+TEST(LevenshteinTest, BoundedExactWithinBound) {
+  LevenshteinDistance<char> d;
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(Str("kitten"), Str("sitting"), 3.0),
+                   3.0);
+  EXPECT_GT(d.ComputeBounded(Str("kitten"), Str("sitting"), 2.0), 2.0);
+}
+
+TEST(LevenshteinTest, EditScriptMatchesDistance) {
+  LevenshteinDistance<char> d;
+  const auto a = Str("kitten");
+  const auto b = Str("sitting");
+  const Alignment al = d.ComputeWithPath(a, b);
+  EXPECT_DOUBLE_EQ(al.distance, 3.0);
+  double sum = 0.0;
+  for (const Coupling& c : al.couplings) sum += c.cost;
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  const auto err = ValidateAlignment(al, 6, 7, /*allow_gaps=*/true);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST(LevenshteinTest, EditScriptOnRandomPairs) {
+  LevenshteinDistance<char> d;
+  Rng rng(67);
+  const std::string_view alphabet = "ACGT";
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<char> a;
+    std::vector<char> b;
+    const int na = 1 + static_cast<int>(rng.NextBounded(10));
+    const int nb = 1 + static_cast<int>(rng.NextBounded(10));
+    for (int i = 0; i < na; ++i) a.push_back(alphabet[rng.NextBounded(4)]);
+    for (int i = 0; i < nb; ++i) b.push_back(alphabet[rng.NextBounded(4)]);
+    const Alignment al = d.ComputeWithPath(a, b);
+    EXPECT_DOUBLE_EQ(al.distance, d.Compute(a, b));
+    const auto err = ValidateAlignment(al, na, nb, /*allow_gaps=*/true);
+    EXPECT_FALSE(err.has_value()) << *err;
+  }
+}
+
+TEST(LevenshteinTest, TriangleInequalityOnRandomTriples) {
+  LevenshteinDistance<char> d;
+  Rng rng(71);
+  const std::string_view alphabet = "AC";
+  auto make = [&]() {
+    std::vector<char> v;
+    const int n = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < n; ++i) v.push_back(alphabet[rng.NextBounded(2)]);
+    return v;
+  };
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto x = make();
+    const auto y = make();
+    const auto z = make();
+    EXPECT_LE(d.Compute(x, z), d.Compute(x, y) + d.Compute(y, z));
+  }
+}
+
+TEST(LevenshteinTest, WorksOnDoubles) {
+  LevenshteinDistance<double> d;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 1.0);
+}
+
+TEST(LevenshteinTest, PropertyFlags) {
+  LevenshteinDistance<char> d;
+  EXPECT_TRUE(d.is_metric());
+  EXPECT_TRUE(d.is_consistent());
+  EXPECT_EQ(d.name(), "levenshtein");
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,172 @@
+#include "subseq/distance/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/consistency.h"
+#include "subseq/distance/euclidean.h"
+#include "subseq/distance/lb_keogh.h"
+#include "subseq/distance/dtw.h"
+
+namespace subseq {
+namespace {
+
+TEST(MinkowskiTest, L1KnownValue) {
+  L1Distance1D d(1.0);
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 6.0);
+  EXPECT_EQ(d.name(), "l1");
+}
+
+TEST(MinkowskiTest, LInfKnownValue) {
+  LInfDistance1D d(kLInfinity);
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 3.0);
+  EXPECT_EQ(d.name(), "linf");
+}
+
+TEST(MinkowskiTest, P2MatchesEuclidean) {
+  MinkowskiDistance<double, ScalarGround> lp(2.0);
+  EuclideanDistance1D euclid;
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 6; ++i) {
+      a.push_back(rng.NextDouble(-5, 5));
+      b.push_back(rng.NextDouble(-5, 5));
+    }
+    EXPECT_NEAR(lp.Compute(a, b), euclid.Compute(a, b), 1e-9);
+  }
+}
+
+TEST(MinkowskiTest, LengthMismatchInfinite) {
+  L1Distance1D d(1.0);
+  EXPECT_EQ(d.Compute(std::vector<double>{1.0},
+                      std::vector<double>{1.0, 2.0}),
+            kInfiniteDistance);
+}
+
+TEST(MinkowskiTest, MetricAxiomsAcrossP) {
+  Rng rng(5);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> s;
+    for (int j = 0; j < 5; ++j) s.push_back(rng.NextDouble(-3, 3));
+    samples.push_back(std::move(s));
+  }
+  for (const double p : {1.0, 1.5, 2.0, 3.0, kLInfinity}) {
+    MinkowskiDistance<double, ScalarGround> d(p);
+    const auto violation = CheckMetricAxioms(d, samples, 1e-9);
+    EXPECT_FALSE(violation.has_value()) << "p=" << p << ": " << *violation;
+  }
+}
+
+TEST(MinkowskiTest, ConsistencyAcrossP) {
+  Rng rng(7);
+  for (const double p : {1.0, 2.0, kLInfinity}) {
+    MinkowskiDistance<double, ScalarGround> d(p);
+    std::vector<double> q;
+    std::vector<double> x;
+    for (int i = 0; i < 6; ++i) {
+      q.push_back(rng.NextDouble(0, 4));
+      x.push_back(rng.NextDouble(0, 4));
+    }
+    const auto violation = FindConsistencyViolation<double>(d, q, x, 1);
+    EXPECT_FALSE(violation.has_value()) << "p=" << p;
+  }
+}
+
+TEST(MinkowskiTest, BoundedAbandons) {
+  L1Distance1D d(1.0);
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> b = {5, 5, 5, 5};
+  EXPECT_GT(d.ComputeBounded(a, b, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(a, b, 20.0), 20.0);
+}
+
+TEST(MinkowskiTest, Works2D) {
+  MinkowskiDistance2D d(1.0);
+  const std::vector<Point2d> a = {{0, 0}, {1, 1}};
+  const std::vector<Point2d> b = {{3, 4}, {1, 1}};
+  EXPECT_DOUBLE_EQ(d.Compute(a, b), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// LB_Keogh.
+
+TEST(LbKeoghTest, EnvelopeContainsQuery) {
+  Rng rng(11);
+  std::vector<double> q;
+  for (int i = 0; i < 20; ++i) q.push_back(rng.NextDouble(0, 10));
+  const LbKeoghEnvelope env(q, 3);
+  for (size_t i = 0; i < q.size(); ++i) {
+    EXPECT_LE(env.lower()[i], q[i]);
+    EXPECT_GE(env.upper()[i], q[i]);
+  }
+}
+
+TEST(LbKeoghTest, LowerBoundsBandedDtw) {
+  Rng rng(13);
+  for (const int band : {1, 3, 8}) {
+    DtwDistance1D dtw(band);
+    std::vector<double> q;
+    for (int i = 0; i < 16; ++i) q.push_back(rng.NextDouble(0, 8));
+    const LbKeoghEnvelope env(q, band);
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<double> c;
+      for (int i = 0; i < 16; ++i) c.push_back(rng.NextDouble(0, 8));
+      const double lb = env.LowerBound(c);
+      const double exact = dtw.Compute(q, c);
+      EXPECT_LE(lb, exact + 1e-9) << "band " << band;
+    }
+  }
+}
+
+TEST(LbKeoghTest, FullBandLowerBoundsUnconstrainedDtw) {
+  Rng rng(17);
+  DtwDistance1D dtw;  // unconstrained
+  std::vector<double> q;
+  for (int i = 0; i < 14; ++i) q.push_back(rng.NextDouble(0, 6));
+  const LbKeoghEnvelope env(q, -1);  // full width
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> c;
+    for (int i = 0; i < 14; ++i) c.push_back(rng.NextDouble(0, 6));
+    EXPECT_LE(env.LowerBound(c), dtw.Compute(q, c) + 1e-9);
+  }
+}
+
+TEST(LbKeoghTest, SelfBoundIsZero) {
+  std::vector<double> q = {1, 5, 3, 2, 8};
+  const LbKeoghEnvelope env(q, 2);
+  EXPECT_DOUBLE_EQ(env.LowerBound(q), 0.0);
+}
+
+TEST(LbKeoghTest, LengthMismatchIsTrivialBound) {
+  std::vector<double> q = {1, 2, 3};
+  const LbKeoghEnvelope env(q, 1);
+  EXPECT_DOUBLE_EQ(env.LowerBound(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(LbKeoghTest, AbandoningMatchesExactUnderCutoff) {
+  Rng rng(19);
+  std::vector<double> q;
+  for (int i = 0; i < 12; ++i) q.push_back(rng.NextDouble(0, 5));
+  const LbKeoghEnvelope env(q, 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> c;
+    for (int i = 0; i < 12; ++i) c.push_back(rng.NextDouble(0, 5));
+    const double exact = env.LowerBound(c);
+    EXPECT_DOUBLE_EQ(env.LowerBoundAbandoning(c, exact + 1.0), exact);
+    if (exact > 0.0) {
+      EXPECT_GT(env.LowerBoundAbandoning(c, exact / 2.0), exact / 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subseq

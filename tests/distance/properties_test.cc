@@ -1,0 +1,237 @@
+// Parameterized property sweeps across all shipped distances: the metric
+// axioms (when advertised) and the paper's consistency property
+// (Definition 1), verified empirically by exhaustive subsequence search on
+// random inputs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/core/types.h"
+#include "subseq/distance/consistency.h"
+#include "subseq/distance/registry.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::RandomSeries;
+using ::subseq::testing::RandomString;
+using ::subseq::testing::RandomTrack;
+
+// ---------------------------------------------------------------------------
+// Scalar time-series distances.
+
+class ScalarDistanceProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {
+ protected:
+  std::unique_ptr<SequenceDistance<double>> MakeDistance() {
+    auto result = MakeScalarDistance(std::get<0>(GetParam()));
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ScalarDistanceProperties, MetricAxiomsWhenAdvertised) {
+  const auto dist = MakeDistance();
+  if (!dist->is_metric()) GTEST_SKIP() << "distance is not metric";
+  Rng rng(seed());
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back(
+        RandomSeries(&rng, 3 + static_cast<int32_t>(rng.NextBounded(5))));
+  }
+  // Rigid distances need equal lengths to produce finite values; include
+  // a same-length batch as well.
+  for (int i = 0; i < 6; ++i) samples.push_back(RandomSeries(&rng, 5));
+  const auto violation = CheckMetricAxioms(*dist, samples);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST_P(ScalarDistanceProperties, ConsistencyWhenAdvertised) {
+  const auto dist = MakeDistance();
+  if (!dist->is_consistent()) {
+    GTEST_SKIP() << "distance is not consistent";
+  }
+  Rng rng(seed() + 1000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto q = RandomSeries(&rng, 6, 0.0, 4.0);
+    const auto x = RandomSeries(&rng, 6, 0.0, 4.0);
+    const auto violation = FindConsistencyViolation<double>(*dist, q, x, 1);
+    EXPECT_FALSE(violation.has_value())
+        << dist->name() << ": subsequence [" << violation->sx.begin << ", "
+        << violation->sx.end << ") best=" << violation->best_subseq
+        << " full=" << violation->full;
+  }
+}
+
+TEST_P(ScalarDistanceProperties, SelfDistanceIsZero) {
+  const auto dist = MakeDistance();
+  Rng rng(seed() + 2000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = RandomSeries(&rng, 1 + static_cast<int32_t>(
+                                          rng.NextBounded(10)));
+    EXPECT_DOUBLE_EQ(dist->Compute(a, a), 0.0);
+  }
+}
+
+TEST_P(ScalarDistanceProperties, BoundedAgreesWithExactWithinBound) {
+  const auto dist = MakeDistance();
+  Rng rng(seed() + 3000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 4 + static_cast<int>(rng.NextBounded(5));
+    const auto a = RandomSeries(&rng, n, 0.0, 3.0);
+    const auto b = RandomSeries(&rng, n, 0.0, 3.0);
+    const double exact = dist->Compute(a, b);
+    const double bounded = dist->ComputeBounded(a, b, exact);
+    EXPECT_DOUBLE_EQ(bounded, exact);
+    const double abandoned = dist->ComputeBounded(a, b, exact / 2.0 - 1e-9);
+    if (exact > 0.0) EXPECT_GT(abandoned, exact / 2.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScalarDistances, ScalarDistanceProperties,
+    ::testing::Combine(::testing::Values("erp", "frechet", "dtw",
+                                         "euclidean", "l1", "linf",
+                                         "levenshtein", "hamming"),
+                       ::testing::Values(101, 202, 303)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// String distances.
+
+class StringDistanceProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {
+ protected:
+  std::unique_ptr<SequenceDistance<char>> MakeDistance() {
+    auto result = MakeStringDistance(std::get<0>(GetParam()));
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(StringDistanceProperties, MetricAxioms) {
+  const auto dist = MakeDistance();
+  ASSERT_TRUE(dist->is_metric());
+  Rng rng(seed());
+  std::vector<std::vector<char>> samples;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(
+        RandomString(&rng, 3 + static_cast<int32_t>(rng.NextBounded(6))));
+  }
+  for (int i = 0; i < 6; ++i) samples.push_back(RandomString(&rng, 5));
+  const auto violation = CheckMetricAxioms(*dist, samples);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST_P(StringDistanceProperties, Consistency) {
+  const auto dist = MakeDistance();
+  ASSERT_TRUE(dist->is_consistent());
+  Rng rng(seed() + 500);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto q = RandomString(&rng, 7);
+    const auto x = RandomString(&rng, 7);
+    const auto violation = FindConsistencyViolation<char>(*dist, q, x, 1);
+    EXPECT_FALSE(violation.has_value())
+        << dist->name() << " violated consistency";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStringDistances, StringDistanceProperties,
+    ::testing::Combine(::testing::Values("levenshtein", "hamming"),
+                       ::testing::Values(11, 22, 33)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Trajectory distances.
+
+class TrajectoryDistanceProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {
+ protected:
+  std::unique_ptr<SequenceDistance<Point2d>> MakeDistance() {
+    auto result = MakeTrajectoryDistance(std::get<0>(GetParam()));
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TrajectoryDistanceProperties, MetricAxiomsWhenAdvertised) {
+  const auto dist = MakeDistance();
+  if (!dist->is_metric()) GTEST_SKIP();
+  Rng rng(seed());
+  std::vector<std::vector<Point2d>> samples;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(
+        RandomTrack(&rng, 3 + static_cast<int32_t>(rng.NextBounded(4))));
+  }
+  for (int i = 0; i < 5; ++i) samples.push_back(RandomTrack(&rng, 4));
+  const auto violation = CheckMetricAxioms(*dist, samples);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST_P(TrajectoryDistanceProperties, ConsistencyWhenAdvertised) {
+  const auto dist = MakeDistance();
+  if (!dist->is_consistent()) GTEST_SKIP();
+  Rng rng(seed() + 500);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto q = RandomTrack(&rng, 5);
+    const auto x = RandomTrack(&rng, 5);
+    const auto violation =
+        FindConsistencyViolation<Point2d>(*dist, q, x, 1);
+    EXPECT_FALSE(violation.has_value())
+        << dist->name() << " violated consistency";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrajectoryDistances, TrajectoryDistanceProperties,
+    ::testing::Combine(::testing::Values("erp", "frechet", "dtw",
+                                         "euclidean", "l1", "linf"),
+                       ::testing::Values(7, 77)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// DTW famously violates the triangle inequality; document it with a
+// concrete counterexample so the is_metric() == false flag stays honest.
+TEST(DtwNonMetric, TriangleCounterexampleExists) {
+  auto dtw = std::move(MakeScalarDistance("dtw")).ValueOrDie();
+  bool violated = false;
+  Rng rng(424242);
+  for (int trial = 0; trial < 4000 && !violated; ++trial) {
+    auto make = [&rng]() {
+      std::vector<double> v;
+      const int n = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int i = 0; i < n; ++i) {
+        v.push_back(static_cast<double>(rng.NextBounded(3)));
+      }
+      return v;
+    };
+    const auto x = make();
+    const auto y = make();
+    const auto z = make();
+    if (dtw->Compute(x, z) > dtw->Compute(x, y) + dtw->Compute(y, z) + 1e-9) {
+      violated = true;
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace subseq

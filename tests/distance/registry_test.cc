@@ -1,0 +1,56 @@
+#include "subseq/distance/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace subseq {
+namespace {
+
+TEST(RegistryTest, StringDistancesResolve) {
+  for (const auto name : ListStringDistances()) {
+    auto result = MakeStringDistance(name);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, ScalarDistancesResolve) {
+  for (const auto name : ListScalarDistances()) {
+    auto result = MakeScalarDistance(name);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, TrajectoryDistancesResolve) {
+  for (const auto name : ListTrajectoryDistances()) {
+    auto result = MakeTrajectoryDistance(name);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNamesAreNotFound) {
+  EXPECT_EQ(MakeStringDistance("dtw").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MakeScalarDistance("bogus").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MakeTrajectoryDistance("levenshtein").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, EvaluationDistancesAreMetricAndConsistent) {
+  // The paper's experiments use Levenshtein (PROTEINS) and ERP / DFD
+  // (SONGS, TRAJ) precisely because they are metric *and* consistent.
+  EXPECT_TRUE(MakeStringDistance("levenshtein").value()->is_metric());
+  EXPECT_TRUE(MakeStringDistance("levenshtein").value()->is_consistent());
+  EXPECT_TRUE(MakeScalarDistance("erp").value()->is_metric());
+  EXPECT_TRUE(MakeStringDistance("weighted-edit").value()->is_metric());
+  EXPECT_TRUE(MakeScalarDistance("l1").value()->is_consistent());
+  EXPECT_TRUE(MakeScalarDistance("linf").value()->is_metric());
+  EXPECT_TRUE(MakeScalarDistance("frechet").value()->is_metric());
+  EXPECT_FALSE(MakeScalarDistance("dtw").value()->is_metric());
+  EXPECT_TRUE(MakeScalarDistance("dtw").value()->is_consistent());
+}
+
+}  // namespace
+}  // namespace subseq

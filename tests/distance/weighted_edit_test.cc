@@ -1,0 +1,161 @@
+#include "subseq/distance/weighted_edit.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/consistency.h"
+#include "subseq/distance/levenshtein.h"
+
+namespace subseq {
+namespace {
+
+std::vector<char> Str(std::string_view s) {
+  return std::vector<char>(s.begin(), s.end());
+}
+
+TEST(SubstitutionCostModelTest, UnitCostsMatchLevenshtein) {
+  const WeightedEditDistance weighted(
+      SubstitutionCostModel::UnitCosts("ACGT"));
+  const LevenshteinDistance<char> lev;
+  Rng rng(7);
+  const std::string_view alphabet = "ACGT";
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<char> a;
+    std::vector<char> b;
+    const int na = static_cast<int>(rng.NextBounded(10));
+    const int nb = static_cast<int>(rng.NextBounded(10));
+    for (int i = 0; i < na; ++i) a.push_back(alphabet[rng.NextBounded(4)]);
+    for (int i = 0; i < nb; ++i) b.push_back(alphabet[rng.NextBounded(4)]);
+    EXPECT_DOUBLE_EQ(weighted.Compute(a, b), lev.Compute(a, b));
+  }
+}
+
+TEST(SubstitutionCostModelTest, RejectsAsymmetricMatrix) {
+  std::vector<double> sub = {0.0, 1.0,  //
+                             2.0, 0.0};
+  EXPECT_EQ(SubstitutionCostModel::Create("AB", std::move(sub), {1.0, 1.0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SubstitutionCostModelTest, RejectsNonZeroDiagonal) {
+  std::vector<double> sub = {0.5, 1.0,  //
+                             1.0, 0.0};
+  EXPECT_FALSE(
+      SubstitutionCostModel::Create("AB", std::move(sub), {1.0, 1.0}).ok());
+}
+
+TEST(SubstitutionCostModelTest, RejectsTriangleViolation) {
+  // sub(A,C) = 5 > sub(A,B) + sub(B,C) = 2.
+  std::vector<double> sub = {0.0, 1.0, 5.0,  //
+                             1.0, 0.0, 1.0,  //
+                             5.0, 1.0, 0.0};
+  EXPECT_FALSE(SubstitutionCostModel::Create("ABC", std::move(sub),
+                                             {1.0, 1.0, 1.0})
+                   .ok());
+}
+
+TEST(SubstitutionCostModelTest, RejectsSubstitutionAboveTwoGaps) {
+  // sub(A,B) = 3 > gap(A) + gap(B) = 2: delete+insert would be cheaper,
+  // and the extended cost function would not be a metric.
+  std::vector<double> sub = {0.0, 3.0,  //
+                             3.0, 0.0};
+  EXPECT_FALSE(
+      SubstitutionCostModel::Create("AB", std::move(sub), {1.0, 1.0}).ok());
+}
+
+TEST(SubstitutionCostModelTest, ProteinClassesIsValid) {
+  const SubstitutionCostModel model = SubstitutionCostModel::ProteinClasses();
+  EXPECT_EQ(model.alphabet().size(), 20u);
+  // Within-group cheaper than across-group.
+  EXPECT_DOUBLE_EQ(model.Substitution('L', 'I'), 0.5);  // both hydrophobic
+  EXPECT_DOUBLE_EQ(model.Substitution('L', 'D'), 1.0);
+  EXPECT_DOUBLE_EQ(model.Substitution('K', 'K'), 0.0);
+}
+
+TEST(WeightedEditTest, ConservativeSubstitutionIsCheaper) {
+  const WeightedEditDistance d(SubstitutionCostModel::ProteinClasses());
+  // L->I (same group) vs L->D (different group).
+  EXPECT_LT(d.Compute(Str("MLK"), Str("MIK")),
+            d.Compute(Str("MLK"), Str("MDK")));
+}
+
+TEST(WeightedEditTest, MetricAxiomsOnRandomProteins) {
+  const WeightedEditDistance d(SubstitutionCostModel::ProteinClasses());
+  Rng rng(13);
+  const std::string_view alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  std::vector<std::vector<char>> samples;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<char> s;
+    const int n = 2 + static_cast<int>(rng.NextBounded(6));
+    for (int j = 0; j < n; ++j) {
+      s.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    samples.push_back(std::move(s));
+  }
+  const auto violation = CheckMetricAxioms(d, samples);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST(WeightedEditTest, ConsistencyOnRandomProteins) {
+  const WeightedEditDistance d(SubstitutionCostModel::ProteinClasses());
+  Rng rng(17);
+  const std::string_view alphabet = "ACDEFGHIKL";
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<char> q;
+    std::vector<char> x;
+    for (int i = 0; i < 6; ++i) {
+      q.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+      x.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    const auto violation = FindConsistencyViolation<char>(d, q, x, 1);
+    EXPECT_FALSE(violation.has_value());
+  }
+}
+
+TEST(WeightedEditTest, BoundedAgreesWithExact) {
+  const WeightedEditDistance d(SubstitutionCostModel::ProteinClasses());
+  const auto a = Str("MKTAYIAK");
+  const auto b = Str("MKTWYIGK");
+  const double exact = d.Compute(a, b);
+  EXPECT_DOUBLE_EQ(d.ComputeBounded(a, b, exact), exact);
+  EXPECT_GT(d.ComputeBounded(a, b, exact / 2.0 - 1e-9), exact / 2.0 - 1e-9);
+}
+
+TEST(WeightedEditTest, PathCostMatchesDistance) {
+  const WeightedEditDistance d(SubstitutionCostModel::ProteinClasses());
+  Rng rng(19);
+  const std::string_view alphabet = "ACDEFGHIKLMNPQRSTVWY";
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<char> a;
+    std::vector<char> b;
+    const int na = 1 + static_cast<int>(rng.NextBounded(8));
+    const int nb = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int i = 0; i < na; ++i) {
+      a.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    const Alignment al = d.ComputeWithPath(a, b);
+    EXPECT_DOUBLE_EQ(al.distance, d.Compute(a, b));
+    double sum = 0.0;
+    for (const Coupling& c : al.couplings) sum += c.cost;
+    EXPECT_NEAR(sum, al.distance, 1e-9);
+    const auto err = ValidateAlignment(al, na, nb, /*allow_gaps=*/true);
+    EXPECT_FALSE(err.has_value()) << *err;
+  }
+}
+
+TEST(WeightedEditTest, EmptySequences) {
+  const WeightedEditDistance d(SubstitutionCostModel::ProteinClasses());
+  EXPECT_DOUBLE_EQ(d.Compute(Str(""), Str("")), 0.0);
+  EXPECT_NEAR(d.Compute(Str("AC"), Str("")), 1.6, 1e-12);  // two gaps @0.8
+}
+
+}  // namespace
+}  // namespace subseq

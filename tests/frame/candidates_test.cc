@@ -1,0 +1,121 @@
+#include "subseq/frame/candidates.h"
+
+#include <gtest/gtest.h>
+
+namespace subseq {
+namespace {
+
+WindowCatalog MakeCatalog(std::vector<int32_t> lengths, int32_t l) {
+  auto result = WindowCatalog::Partition(lengths, l);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).ValueOrDie();
+}
+
+TEST(BuildChainsTest, EmptyHitsYieldNoChains) {
+  const WindowCatalog catalog = MakeCatalog({40}, 5);
+  EXPECT_TRUE(BuildChains({}, catalog).empty());
+}
+
+TEST(BuildChainsTest, SingleHitSingleChain) {
+  const WindowCatalog catalog = MakeCatalog({40}, 5);
+  const std::vector<SegmentHit> hits = {{Interval{3, 8}, 2, 1.0}};
+  const auto chains = BuildChains(hits, catalog);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].seq, 0);
+  EXPECT_EQ(chains[0].first_window_index, 2);
+  EXPECT_EQ(chains[0].length, 1);
+  EXPECT_EQ(chains[0].query_span, (Interval{3, 8}));
+}
+
+TEST(BuildChainsTest, ConsecutiveWindowsMerge) {
+  const WindowCatalog catalog = MakeCatalog({40}, 5);
+  const std::vector<SegmentHit> hits = {
+      {Interval{0, 5}, 1, 1.0},
+      {Interval{5, 10}, 2, 1.0},
+      {Interval{9, 14}, 3, 1.0},
+      {Interval{20, 25}, 6, 1.0},  // separate chain
+  };
+  const auto chains = BuildChains(hits, catalog);
+  ASSERT_EQ(chains.size(), 2u);
+  // Longest first.
+  EXPECT_EQ(chains[0].length, 3);
+  EXPECT_EQ(chains[0].first_window_index, 1);
+  EXPECT_EQ(chains[0].query_span, (Interval{0, 14}));
+  EXPECT_EQ(chains[1].length, 1);
+  EXPECT_EQ(chains[1].first_window_index, 6);
+}
+
+TEST(BuildChainsTest, ChainsDoNotCrossSequences) {
+  const WindowCatalog catalog = MakeCatalog({10, 10}, 5);
+  // Windows 0,1 belong to seq 0; windows 2,3 to seq 1.
+  const std::vector<SegmentHit> hits = {
+      {Interval{0, 5}, 1, 1.0},
+      {Interval{0, 5}, 2, 1.0},
+  };
+  const auto chains = BuildChains(hits, catalog);
+  ASSERT_EQ(chains.size(), 2u);
+  EXPECT_EQ(chains[0].length, 1);
+  EXPECT_EQ(chains[1].length, 1);
+}
+
+TEST(BuildChainsTest, DuplicateHitsOnSameWindowMergeQuerySpans) {
+  const WindowCatalog catalog = MakeCatalog({40}, 5);
+  const std::vector<SegmentHit> hits = {
+      {Interval{0, 5}, 2, 1.0},
+      {Interval{10, 16}, 2, 0.5},
+  };
+  const auto chains = BuildChains(hits, catalog);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].query_span, (Interval{0, 16}));
+}
+
+TEST(ExpandHitTest, PaperRanges) {
+  // l = 5, lambda = 10, lambda0 = 2; hit: segment [7, 12) on window 4
+  // (db offset 20). Paper: SQ start in [a-l-lambda0, a], end in
+  // [b, b+l+lambda0]; SX start in [c-l, c], end in [c+l, c+2l].
+  const WindowCatalog catalog = MakeCatalog({60}, 5);
+  const SegmentHit hit{Interval{7, 12}, 4, 1.0};
+  const CandidateRegion r = ExpandHit(hit, catalog, 10, 2,
+                                      /*query_length=*/40,
+                                      /*sequence_length=*/60);
+  EXPECT_EQ(r.seq, 0);
+  EXPECT_EQ(r.q_begin_min, 0);   // 7 - 5 - 2
+  EXPECT_EQ(r.q_begin_max, 7);
+  EXPECT_EQ(r.q_end_min, 12);
+  EXPECT_EQ(r.q_end_max, 19);    // 12 + 5 + 2
+  EXPECT_EQ(r.x_begin_min, 15);  // 20 - 5
+  EXPECT_EQ(r.x_begin_max, 20);
+  EXPECT_EQ(r.x_end_min, 25);    // 20 + 5
+  EXPECT_EQ(r.x_end_max, 30);    // 20 + 10
+}
+
+TEST(ExpandHitTest, ClampsToSequenceBounds) {
+  const WindowCatalog catalog = MakeCatalog({20}, 5);
+  const SegmentHit hit{Interval{0, 5}, 0, 1.0};
+  const CandidateRegion r = ExpandHit(hit, catalog, 10, 2, 12, 20);
+  EXPECT_GE(r.q_begin_min, 0);
+  EXPECT_LE(r.q_end_max, 12);
+  EXPECT_GE(r.x_begin_min, 0);
+  EXPECT_LE(r.x_end_max, 20);
+}
+
+TEST(ExpandChainTest, CoversWholeChain) {
+  const WindowCatalog catalog = MakeCatalog({100}, 5);
+  WindowChain chain;
+  chain.seq = 0;
+  chain.first_window_index = 4;  // db offset 20
+  chain.length = 3;              // spans [20, 35)
+  chain.query_span = Interval{10, 28};
+  const CandidateRegion r = ExpandChain(chain, catalog, 10, 2, 50, 100);
+  EXPECT_EQ(r.x_begin_min, 15);  // 20 - 5
+  EXPECT_EQ(r.x_begin_max, 30);  // 35 - 5
+  EXPECT_EQ(r.x_end_min, 25);    // 20 + 5
+  EXPECT_EQ(r.x_end_max, 40);    // 35 + 5
+  EXPECT_EQ(r.q_begin_min, 3);   // 10 - 5 - 2
+  EXPECT_EQ(r.q_begin_max, 28);
+  EXPECT_EQ(r.q_end_min, 10);
+  EXPECT_EQ(r.q_end_max, 35);    // 28 + 5 + 2
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,479 @@
+#include "subseq/frame/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/levenshtein.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::BruteForceRangeSearch;
+using ::subseq::testing::RandomString;
+using ::subseq::testing::SortMatches;
+
+// ---------------------------------------------------------------------------
+// Build validation.
+
+TEST(MatcherBuildTest, RejectsOddLambda) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("ACGTACGTACGT"));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 7;
+  const auto result = SubsequenceMatcher<char>::Build(db, dist, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatcherBuildTest, RejectsBadLambda0) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("ACGTACGTACGT"));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 4;  // must be < lambda / 2
+  EXPECT_EQ(SubsequenceMatcher<char>::Build(db, dist, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  options.lambda0 = -1;
+  EXPECT_EQ(SubsequenceMatcher<char>::Build(db, dist, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MatcherBuildTest, RejectsNonMetricDistanceWithMetricIndex) {
+  SequenceDatabase<double> db;
+  db.Add(Sequence<double>({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}));
+  const DtwDistance1D dtw;
+  MatcherOptions options;
+  options.lambda = 6;
+  options.lambda0 = 1;
+  options.index_kind = IndexKind::kReferenceNet;
+  EXPECT_EQ(SubsequenceMatcher<double>::Build(db, dtw, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MatcherBuildTest, AcceptsDtwWithLinearScan) {
+  SequenceDatabase<double> db;
+  db.Add(Sequence<double>({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}));
+  const DtwDistance1D dtw;
+  MatcherOptions options;
+  options.lambda = 6;
+  options.lambda0 = 1;
+  options.index_kind = IndexKind::kLinearScan;
+  EXPECT_TRUE(SubsequenceMatcher<double>::Build(db, dtw, options).ok());
+}
+
+TEST(MatcherBuildTest, RejectsBandedDtwEvenWithLinearScan) {
+  // A banded DTW is not consistent, so the filter would dismiss matches.
+  SequenceDatabase<double> db;
+  db.Add(Sequence<double>({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}));
+  const DtwDistance1D banded(2);
+  MatcherOptions options;
+  options.lambda = 6;
+  options.lambda0 = 1;
+  options.index_kind = IndexKind::kLinearScan;
+  EXPECT_EQ(SubsequenceMatcher<double>::Build(db, banded, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MatcherBuildTest, WindowLengthIsHalfLambda) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("ACGTACGTACGTACGTACGT"));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  EXPECT_EQ(matcher->window_length(), 4);
+  EXPECT_EQ(matcher->catalog().num_windows(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Filter behaviour (steps 3-4).
+
+TEST(MatcherFilterTest, IdenticalSubsequenceProducesHits) {
+  // The database contains the query's middle verbatim, so segments must
+  // hit at epsilon 0.
+  const Sequence<char> query =
+      MakeStringSequence("WWWWACGTACGTACGTWWWW");
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("KKKKKKKKACGTACGTACGTKKKKKKKK"));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  MatchQueryStats stats;
+  const auto hits = matcher->FilterSegments(query.view(), 0.0, &stats);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_GT(stats.segments, 0);
+  EXPECT_GT(stats.filter_computations, 0);
+}
+
+TEST(MatcherFilterTest, NoSpuriousHitsAtZeroEpsilonOnDisjointAlphabets) {
+  const Sequence<char> query = MakeStringSequence("AAAAAAAAAAAAAAAA");
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("CCCCCCCCCCCCCCCCCCCCCCCC"));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  EXPECT_TRUE(matcher->FilterSegments(query.view(), 0.0, nullptr).empty());
+}
+
+// Lemma 2/3 no-false-dismissal at the filter level: for every true match
+// (found by brute force) with distance <= lambda0, some window fully inside
+// its SX must be hit.
+TEST(MatcherFilterTest, FilterNeverDismissesTrueMatches) {
+  Rng rng(321);
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+
+  for (int trial = 0; trial < 5; ++trial) {
+    SequenceDatabase<char> db;
+    db.Add(Sequence<char>(RandomString(&rng, 40, "ACG")));
+    const auto query_elems = RandomString(&rng, 24, "ACG");
+    auto matcher =
+        std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+            .ValueOrDie();
+
+    const double eps = 2.0;  // == lambda0, the lossless regime
+    const auto truth = BruteForceRangeSearch<char>(
+        db, dist, query_elems, eps, options.lambda, options.lambda0);
+    const auto hits = matcher->FilterSegments(query_elems, eps, nullptr);
+    std::set<ObjectId> hit_windows;
+    for (const auto& h : hits) hit_windows.insert(h.window);
+
+    for (const auto& match : truth) {
+      bool some_window_hit = false;
+      for (ObjectId w = 0; w < matcher->catalog().num_windows(); ++w) {
+        if (matcher->catalog().at(w).seq != match.seq) continue;
+        if (!match.db.Contains(matcher->catalog().at(w).span)) continue;
+        if (hit_windows.count(w) > 0) {
+          some_window_hit = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(some_window_hit)
+          << "match SX=[" << match.db.begin << "," << match.db.end
+          << ") d=" << match.distance << " dismissed by the filter";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Type I.
+
+TEST(MatcherTypeITest, ResultsAreSoundAndVerified) {
+  Rng rng(654);
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  SequenceDatabase<char> db;
+  db.Add(Sequence<char>(RandomString(&rng, 36, "ACG")));
+  const auto query_elems = RandomString(&rng, 20, "ACG");
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+
+  const double eps = 2.0;
+  auto result = matcher->RangeSearch(query_elems, eps);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto truth = BruteForceRangeSearch<char>(
+      db, dist, query_elems, eps, options.lambda, options.lambda0);
+  std::set<std::array<int32_t, 5>> truth_keys;
+  for (const auto& m : truth) {
+    truth_keys.insert({m.seq, m.query.begin, m.query.end, m.db.begin,
+                       m.db.end});
+  }
+  for (const auto& m : result.value()) {
+    // Every reported match is a true match (correct distance, in truth).
+    EXPECT_LE(m.distance, eps);
+    EXPECT_DOUBLE_EQ(
+        m.distance,
+        dist.Compute(std::span<const char>(query_elems)
+                         .subspan(static_cast<size_t>(m.query.begin),
+                                  static_cast<size_t>(m.query.length())),
+                     db.at(m.seq).Subsequence(m.db)));
+    EXPECT_TRUE(truth_keys.count({m.seq, m.query.begin, m.query.end,
+                                  m.db.begin, m.db.end}) > 0);
+  }
+  // No duplicates.
+  std::set<std::array<int32_t, 5>> seen;
+  for (const auto& m : result.value()) {
+    EXPECT_TRUE(seen.insert({m.seq, m.query.begin, m.query.end, m.db.begin,
+                             m.db.end})
+                    .second);
+  }
+}
+
+TEST(MatcherTypeITest, FindsPlantedExactCopy) {
+  // Exact copies must be reported by Type I at epsilon 0.
+  const std::string motif = "ACGTTGCAACGTTGCA";  // length 16
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("GGGGGGGG" + motif + "GGGGGGGG"));
+  const Sequence<char> query =
+      MakeStringSequence("TTTT" + motif + "TTTT");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 16;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  auto result = matcher->RangeSearch(query.view(), 0.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool found = false;
+  for (const auto& m : result.value()) {
+    if (m.query == (Interval{4, 20}) && m.db == (Interval{8, 24})) {
+      found = true;
+      EXPECT_DOUBLE_EQ(m.distance, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MatcherTypeITest, VerificationCapReturnsOutOfRange) {
+  Rng rng(987);
+  SequenceDatabase<char> db;
+  db.Add(Sequence<char>(RandomString(&rng, 60, "AC")));
+  const auto query_elems = RandomString(&rng, 40, "AC");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  options.max_verifications = 10;  // absurdly small
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  const auto result = matcher->RangeSearch(query_elems, 4.0);
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Type II.
+
+TEST(MatcherTypeIITest, MatchesBruteForceOptimumInLosslessRegime) {
+  Rng rng(111);
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    SequenceDatabase<char> db;
+    db.Add(Sequence<char>(RandomString(&rng, 34, "ACG")));
+    const auto query_elems = RandomString(&rng, 22, "ACG");
+    auto matcher =
+        std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+            .ValueOrDie();
+
+    const double eps = 2.0;
+    const auto truth = BruteForceRangeSearch<char>(
+        db, dist, query_elems, eps, options.lambda, options.lambda0);
+    int32_t best_len = 0;
+    for (const auto& m : truth) {
+      best_len = std::max(best_len, m.query.length());
+    }
+
+    auto result = matcher->LongestMatch(query_elems, eps);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (best_len == 0) {
+      EXPECT_FALSE(result.value().has_value());
+    } else {
+      ASSERT_TRUE(result.value().has_value());
+      EXPECT_EQ(result.value()->query.length(), best_len)
+          << "trial " << trial;
+      EXPECT_LE(result.value()->distance, eps);
+    }
+  }
+}
+
+TEST(MatcherTypeIITest, FindsLongPlantedMotif) {
+  // A long shared region (3x lambda) with one substitution per half.
+  const std::string motif = "ACGTTGCATGCAATGCACGTTGCA";  // length 24
+  std::string mutated = motif;
+  mutated[5] = 'A';
+  mutated[17] = 'C';
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("GGGGGG" + mutated + "GGGGGGGG"));
+  const Sequence<char> query = MakeStringSequence("TT" + motif + "TTTT");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  auto result = matcher->LongestMatch(query.view(), 2.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result.value().has_value());
+  const SubsequenceMatch& m = *result.value();
+  // The planted region is query [2, 26) vs db [6, 30).
+  EXPECT_GE(m.query.length(), 20);
+  EXPECT_TRUE(m.query.Overlaps(Interval{2, 26}));
+  EXPECT_TRUE(m.db.Overlaps(Interval{6, 30}));
+  EXPECT_LE(m.distance, 2.0);
+}
+
+TEST(MatcherTypeIITest, NoMatchBelowLambdaLength) {
+  // The shared region is shorter than lambda, so Type II must return
+  // nothing even though short similar fragments exist.
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("CCCCCCCCACGTCCCCCCCCCCCC"));
+  const Sequence<char> query = MakeStringSequence("TTTTTTTTACGTTTTTTTTT");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 12;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  auto result = matcher->LongestMatch(query.view(), 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Type III.
+
+TEST(MatcherTypeIIITest, FindsNearMinimumDistanceMatch) {
+  Rng rng(222);
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+
+  for (int trial = 0; trial < 3; ++trial) {
+    SequenceDatabase<char> db;
+    db.Add(Sequence<char>(RandomString(&rng, 30, "ACG")));
+    const auto query_elems = RandomString(&rng, 20, "ACG");
+    auto matcher =
+        std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+            .ValueOrDie();
+
+    // Brute-force minimum over the lossless regime.
+    const auto truth = BruteForceRangeSearch<char>(
+        db, dist, query_elems, 2.0, options.lambda, options.lambda0);
+    double best = kInfiniteDistance;
+    for (const auto& m : truth) best = std::min(best, m.distance);
+
+    auto result = matcher->NearestMatch(query_elems, 2.0, 1.0);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (best == kInfiniteDistance) {
+      EXPECT_FALSE(result.value().has_value());
+    } else {
+      ASSERT_TRUE(result.value().has_value());
+      // Type III is exact up to the epsilon increment (Section 7).
+      EXPECT_GE(result.value()->distance, best);
+      EXPECT_LE(result.value()->distance, best + 1.0) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MatcherTypeIIITest, ExactCopyGivesZeroDistance) {
+  const std::string motif = "ACGTTGCAACGTTGCA";
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("GGGGGGGG" + motif + "GGGG"));
+  const Sequence<char> query = MakeStringSequence("TT" + motif + "TT");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 16;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  auto result = matcher->NearestMatch(query.view(), 4.0, 1.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result.value().has_value());
+  EXPECT_DOUBLE_EQ(result.value()->distance, 0.0);
+}
+
+TEST(MatcherTypeIIITest, ReturnsNulloptWhenNothingWithinEpsilonMax) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("CCCCCCCCCCCCCCCCCCCCCCCC"));
+  const Sequence<char> query = MakeStringSequence("AAAAAAAAAAAAAAAAAAAA");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  auto result = matcher->NearestMatch(query.view(), 1.0, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().has_value());
+}
+
+TEST(MatcherTypeIIITest, RejectsBadIncrement) {
+  SequenceDatabase<char> db;
+  db.Add(MakeStringSequence("ACGTACGTACGTACGT"));
+  const Sequence<char> query = MakeStringSequence("ACGTACGTACGT");
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                     .ValueOrDie();
+  EXPECT_EQ(matcher->NearestMatch(query.view(), 2.0, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Index-backend independence: the pipeline must produce identical answers
+// regardless of which index runs the filter.
+
+TEST(MatcherBackendTest, AllIndexesGiveSameTypeIIAnswer) {
+  Rng rng(333);
+  SequenceDatabase<double> db;
+  {
+    std::vector<double> elems;
+    for (int i = 0; i < 60; ++i) {
+      elems.push_back(static_cast<double>(rng.NextBounded(6)));
+    }
+    db.Add(Sequence<double>(std::move(elems)));
+  }
+  std::vector<double> query_elems;
+  for (int i = 0; i < 30; ++i) {
+    query_elems.push_back(static_cast<double>(rng.NextBounded(6)));
+  }
+  const ErpDistance1D dist;
+
+  std::optional<int32_t> reference_len;
+  for (const IndexKind kind :
+       {IndexKind::kReferenceNet, IndexKind::kCoverTree, IndexKind::kMvIndex,
+        IndexKind::kLinearScan}) {
+    MatcherOptions options;
+    options.lambda = 10;
+    options.lambda0 = 2;
+    options.index_kind = kind;
+    auto matcher =
+        std::move(SubsequenceMatcher<double>::Build(db, dist, options))
+            .ValueOrDie();
+    auto result = matcher->LongestMatch(query_elems, 6.0);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const int32_t len =
+        result.value().has_value() ? result.value()->query.length() : -1;
+    if (!reference_len.has_value()) {
+      reference_len = len;
+    } else {
+      EXPECT_EQ(len, *reference_len) << "index kind differs";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,133 @@
+#include "subseq/frame/windowing.h"
+
+#include <gtest/gtest.h>
+
+namespace subseq {
+namespace {
+
+TEST(WindowCatalogTest, PartitionBasic) {
+  auto result = WindowCatalog::Partition({10, 25, 4}, 5);
+  ASSERT_TRUE(result.ok());
+  const WindowCatalog& c = result.value();
+  EXPECT_EQ(c.window_length(), 5);
+  EXPECT_EQ(c.num_sequences(), 3);
+  EXPECT_EQ(c.num_windows(), 2 + 5 + 0);
+  EXPECT_EQ(c.WindowsInSequence(0), 2);
+  EXPECT_EQ(c.WindowsInSequence(1), 5);
+  EXPECT_EQ(c.WindowsInSequence(2), 0);
+}
+
+TEST(WindowCatalogTest, WindowSpansAreAligned) {
+  auto result = WindowCatalog::Partition({12}, 4);
+  ASSERT_TRUE(result.ok());
+  const WindowCatalog& c = result.value();
+  ASSERT_EQ(c.num_windows(), 3);
+  EXPECT_EQ(c.at(0).span, (Interval{0, 4}));
+  EXPECT_EQ(c.at(1).span, (Interval{4, 8}));
+  EXPECT_EQ(c.at(2).span, (Interval{8, 12}));
+  EXPECT_EQ(c.at(1).seq, 0);
+  EXPECT_EQ(c.at(1).index, 1);
+}
+
+TEST(WindowCatalogTest, TrailingRemainderDropped) {
+  auto result = WindowCatalog::Partition({11}, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_windows(), 2);
+}
+
+TEST(WindowCatalogTest, WindowIdRoundTrips) {
+  auto result = WindowCatalog::Partition({8, 12, 8}, 4);
+  ASSERT_TRUE(result.ok());
+  const WindowCatalog& c = result.value();
+  for (SeqId s = 0; s < c.num_sequences(); ++s) {
+    for (int32_t w = 0; w < c.WindowsInSequence(s); ++w) {
+      const ObjectId id = c.WindowId(s, w);
+      EXPECT_EQ(c.at(id).seq, s);
+      EXPECT_EQ(c.at(id).index, w);
+    }
+  }
+}
+
+TEST(WindowCatalogTest, ConsecutiveWithinSequenceOnly) {
+  auto result = WindowCatalog::Partition({8, 8}, 4);
+  ASSERT_TRUE(result.ok());
+  const WindowCatalog& c = result.value();
+  EXPECT_TRUE(c.AreConsecutive(0, 1));
+  EXPECT_FALSE(c.AreConsecutive(1, 0));
+  // Window 1 is the last of sequence 0; window 2 is the first of
+  // sequence 1 — adjacent ids but not consecutive windows.
+  EXPECT_FALSE(c.AreConsecutive(1, 2));
+  EXPECT_TRUE(c.AreConsecutive(2, 3));
+}
+
+TEST(WindowCatalogTest, InvalidWindowLength) {
+  EXPECT_EQ(WindowCatalog::Partition({10}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WindowCatalog::Partition({10}, -3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WindowCatalogTest, NegativeLengthRejected) {
+  EXPECT_EQ(WindowCatalog::Partition({10, -1}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Lemma 2's geometric core: any subsequence of length >= 2l fully contains
+// an aligned window — as long as it lies inside the windowed prefix of the
+// sequence (the trailing remainder is shorter than l, so a subsequence of
+// length >= 2l cannot fit inside it alone).
+TEST(WindowCatalogTest, Lemma2EveryLongIntervalContainsAWindow) {
+  const int32_t l = 5;
+  const int32_t n = 47;
+  auto result = WindowCatalog::Partition({n}, l);
+  ASSERT_TRUE(result.ok());
+  const WindowCatalog& c = result.value();
+  for (int32_t begin = 0; begin + 2 * l <= n; ++begin) {
+    for (int32_t end = begin + 2 * l; end <= n; ++end) {
+      bool contains = false;
+      for (ObjectId w = 0; w < c.num_windows() && !contains; ++w) {
+        contains = Interval{begin, end}.Contains(c.at(w).span);
+      }
+      EXPECT_TRUE(contains) << "[" << begin << ", " << end << ")";
+    }
+  }
+}
+
+TEST(ExtractQuerySegmentsTest, CountMatchesFormula) {
+  // (2*lambda0 + 1) lengths, |Q| - len + 1 offsets each.
+  const int32_t q = 30;
+  const int32_t l = 10;
+  const int32_t lambda0 = 2;
+  const auto segments = ExtractQuerySegments(q, l - lambda0, l + lambda0);
+  int64_t expected = 0;
+  for (int32_t len = l - lambda0; len <= l + lambda0; ++len) {
+    expected += q - len + 1;
+  }
+  EXPECT_EQ(static_cast<int64_t>(segments.size()), expected);
+  // Upper bound from the paper: at most (2*lambda0 + 1) * |Q| segments.
+  EXPECT_LE(static_cast<int64_t>(segments.size()),
+            static_cast<int64_t>(2 * lambda0 + 1) * q);
+}
+
+TEST(ExtractQuerySegmentsTest, AllSegmentsInBoundsAndRightLengths) {
+  const auto segments = ExtractQuerySegments(20, 8, 12);
+  for (const Interval& seg : segments) {
+    EXPECT_GE(seg.begin, 0);
+    EXPECT_LE(seg.end, 20);
+    EXPECT_GE(seg.length(), 8);
+    EXPECT_LE(seg.length(), 12);
+  }
+}
+
+TEST(ExtractQuerySegmentsTest, QueryShorterThanSegments) {
+  EXPECT_TRUE(ExtractQuerySegments(5, 8, 12).empty());
+}
+
+TEST(ExtractQuerySegmentsTest, SingleLengthSingleOffset) {
+  const auto segments = ExtractQuerySegments(10, 10, 10);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0], (Interval{0, 10}));
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,179 @@
+// k-nearest-neighbor correctness across every index: the returned
+// distance multiset must equal the linear-scan ground truth, for point
+// spaces and for real sequence-window oracles.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "subseq/core/rng.h"
+#include "subseq/data/protein_gen.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/frame/window_oracle.h"
+#include "subseq/metric/cover_tree.h"
+#include "subseq/metric/knn.h"
+#include "subseq/metric/linear_scan.h"
+#include "subseq/metric/mv_index.h"
+#include "subseq/metric/reference_net.h"
+#include "subseq/metric/vp_tree.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+TEST(KnnCollectorTest, KeepsKBest) {
+  KnnCollector c(3);
+  c.Offer(0, 5.0);
+  c.Offer(1, 1.0);
+  c.Offer(2, 3.0);
+  c.Offer(3, 2.0);
+  c.Offer(4, 9.0);
+  const auto out = c.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Neighbor{1, 1.0}));
+  EXPECT_EQ(out[1], (Neighbor{3, 2.0}));
+  EXPECT_EQ(out[2], (Neighbor{2, 3.0}));
+}
+
+TEST(KnnCollectorTest, ThresholdTracksKthBest) {
+  KnnCollector c(2);
+  EXPECT_EQ(c.Threshold(), kInfiniteDistance);
+  c.Offer(0, 4.0);
+  EXPECT_EQ(c.Threshold(), kInfiniteDistance);
+  c.Offer(1, 2.0);
+  EXPECT_DOUBLE_EQ(c.Threshold(), 4.0);
+  c.Offer(2, 1.0);
+  EXPECT_DOUBLE_EQ(c.Threshold(), 2.0);
+}
+
+TEST(KnnCollectorTest, ZeroK) {
+  KnnCollector c(0);
+  c.Offer(0, 1.0);
+  EXPECT_TRUE(c.Take().empty());
+}
+
+TEST(KnnCollectorTest, TiesPreferSmallerIds) {
+  KnnCollector c(2);
+  c.Offer(5, 1.0);
+  c.Offer(3, 1.0);
+  c.Offer(7, 1.0);
+  const auto out = c.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3);
+  EXPECT_EQ(out[1].id, 5);
+}
+
+std::unique_ptr<RangeIndex> MakeIndex(const std::string& kind,
+                                      const DistanceOracle& oracle) {
+  if (kind == "reference-net") {
+    auto net = std::make_unique<ReferenceNet>(oracle);
+    for (ObjectId id = 0; id < oracle.size(); ++id) {
+      EXPECT_TRUE(net->Insert(id).ok());
+    }
+    return net;
+  }
+  if (kind == "cover-tree") {
+    auto tree = std::make_unique<CoverTree>(oracle);
+    for (ObjectId id = 0; id < oracle.size(); ++id) {
+      EXPECT_TRUE(tree->Insert(id).ok());
+    }
+    return tree;
+  }
+  if (kind == "mv-index") return std::make_unique<MvIndex>(oracle);
+  if (kind == "vp-tree") return std::make_unique<VpTree>(oracle);
+  ADD_FAILURE() << "unknown kind " << kind;
+  return nullptr;
+}
+
+class KnnEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KnnEquivalence, PointSpaceMatchesLinearScan) {
+  Rng rng(99);
+  std::vector<double> pts;
+  for (int i = 0; i < 300; ++i) pts.push_back(rng.NextDouble(0.0, 100.0));
+  const ScalarPointOracle oracle(pts);
+  const auto index = MakeIndex(GetParam(), oracle);
+  ASSERT_NE(index, nullptr);
+  LinearScan scan(oracle.size());
+
+  for (const int32_t k : {1, 3, 10, 50}) {
+    for (int q = 0; q < 10; ++q) {
+      const double query_point = rng.NextDouble(-10.0, 110.0);
+      const auto expected =
+          scan.NearestNeighbors(oracle.QueryFrom(query_point), k, nullptr);
+      const auto actual =
+          index->NearestNeighbors(oracle.QueryFrom(query_point), k, nullptr);
+      ASSERT_EQ(actual.size(), expected.size()) << GetParam() << " k=" << k;
+      for (size_t i = 0; i < actual.size(); ++i) {
+        // Ties at the boundary may resolve to different ids; the distance
+        // sequence must match exactly, and every returned distance must
+        // be truthful.
+        EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance)
+            << GetParam() << " k=" << k << " i=" << i;
+        EXPECT_DOUBLE_EQ(oracle.QueryFrom(query_point)(actual[i].id),
+                         actual[i].distance);
+      }
+    }
+  }
+}
+
+TEST_P(KnnEquivalence, KLargerThanDatabaseReturnsEverything) {
+  const ScalarPointOracle oracle({1.0, 5.0, 9.0});
+  const auto index = MakeIndex(GetParam(), oracle);
+  const auto out =
+      index->NearestNeighbors(oracle.QueryFrom(4.0), 10, nullptr);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].distance, 1.0);  // 5.0
+  EXPECT_DOUBLE_EQ(out[2].distance, 5.0);  // 9.0
+}
+
+TEST_P(KnnEquivalence, ProteinWindowsUnderLevenshtein) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 100, .seed = 17});
+  const SequenceDatabase<char> db = gen.GenerateDatabaseWithWindows(150, 10);
+  auto catalog = WindowCatalog::PartitionDatabase(db, 10);
+  ASSERT_TRUE(catalog.ok());
+  const LevenshteinDistance<char> dist;
+  const WindowOracle<char> oracle(db, catalog.value(), dist);
+  const auto index = MakeIndex(GetParam(), oracle);
+  LinearScan scan(oracle.size());
+
+  ProteinGenerator query_gen(ProteinGenOptions{.mean_length = 100,
+                                               .seed = 18});
+  for (int q = 0; q < 5; ++q) {
+    const Sequence<char> query = query_gen.GenerateWithLength(10);
+    const auto fn = oracle.SegmentQuery(query.view());
+    const auto expected = scan.NearestNeighbors(fn, 5, nullptr);
+    const auto actual = index->NearestNeighbors(fn, 5, nullptr);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST_P(KnnEquivalence, PrunesComparedToScan) {
+  Rng rng(123);
+  std::vector<double> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back(rng.NextDouble(0.0, 1000.0));
+  const ScalarPointOracle oracle(pts);
+  const auto index = MakeIndex(GetParam(), oracle);
+  QueryStats stats;
+  index->NearestNeighbors(oracle.QueryFrom(500.0), 5, &stats);
+  EXPECT_LT(stats.distance_computations, oracle.size())
+      << GetParam() << " did not prune at all";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, KnnEquivalence,
+                         ::testing::Values("reference-net", "cover-tree",
+                                           "mv-index", "vp-tree"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace subseq

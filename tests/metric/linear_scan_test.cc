@@ -1,0 +1,60 @@
+#include "subseq/metric/linear_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+TEST(LinearScanTest, FindsAllWithinRange) {
+  const ScalarPointOracle oracle({0.0, 1.0, 2.0, 3.0, 10.0});
+  LinearScan scan(oracle.size());
+  QueryStats stats;
+  auto results = scan.RangeQuery(oracle.QueryFrom(1.5), 1.5, &stats);
+  std::sort(results.begin(), results.end());
+  EXPECT_EQ(results, (std::vector<ObjectId>{0, 1, 2, 3}));
+  EXPECT_EQ(stats.distance_computations, 5);
+  EXPECT_EQ(stats.result_count, 4);
+}
+
+TEST(LinearScanTest, EmptyDatabase) {
+  LinearScan scan(0);
+  QueryStats stats;
+  const auto results = scan.RangeQuery([](ObjectId) { return 0.0; }, 1.0,
+                                       &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(stats.distance_computations, 0);
+}
+
+TEST(LinearScanTest, ZeroRangeMatchesExactOnly) {
+  const ScalarPointOracle oracle({0.0, 1.0, 1.0, 2.0});
+  LinearScan scan(oracle.size());
+  auto results = scan.RangeQuery(oracle.QueryFrom(1.0), 0.0, nullptr);
+  std::sort(results.begin(), results.end());
+  EXPECT_EQ(results, (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(LinearScanTest, AlwaysComputesEveryDistance) {
+  const ScalarPointOracle oracle({0.0, 100.0, 200.0});
+  LinearScan scan(oracle.size());
+  QueryStats stats;
+  scan.RangeQuery(oracle.QueryFrom(-50.0), 1.0, &stats);
+  EXPECT_EQ(stats.distance_computations, 3);
+  EXPECT_EQ(stats.result_count, 0);
+}
+
+TEST(LinearScanTest, SpaceStatsAreEmpty) {
+  LinearScan scan(1000);
+  const SpaceStats s = scan.ComputeSpaceStats();
+  EXPECT_EQ(s.num_objects, 1000);
+  EXPECT_EQ(s.approx_bytes, 0);
+  EXPECT_EQ(scan.name(), "linear-scan");
+}
+
+}  // namespace
+}  // namespace subseq

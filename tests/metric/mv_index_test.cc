@@ -1,0 +1,108 @@
+#include "subseq/metric/mv_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "subseq/core/rng.h"
+#include "subseq/metric/linear_scan.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+std::vector<double> RandomPoints(uint64_t seed, int n, double lo, double hi) {
+  Rng rng(seed);
+  std::vector<double> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.NextDouble(lo, hi));
+  return pts;
+}
+
+TEST(MvIndexTest, SelectsRequestedNumberOfReferences) {
+  const ScalarPointOracle oracle(RandomPoints(3, 100, 0.0, 50.0));
+  MvIndexOptions options;
+  options.num_references = 7;
+  MvIndex index(oracle, options);
+  EXPECT_EQ(index.references().size(), 7u);
+}
+
+TEST(MvIndexTest, FewerObjectsThanReferences) {
+  const ScalarPointOracle oracle({1.0, 2.0});
+  MvIndexOptions options;
+  options.num_references = 10;
+  MvIndex index(oracle, options);
+  EXPECT_EQ(index.references().size(), 2u);
+}
+
+TEST(MvIndexTest, RangeQueryMatchesLinearScan) {
+  const ScalarPointOracle oracle(RandomPoints(5, 200, 0.0, 100.0));
+  MvIndex index(oracle);
+  LinearScan scan(oracle.size());
+  Rng rng(6);
+  for (int q = 0; q < 30; ++q) {
+    const double query_point = rng.NextDouble(-10.0, 110.0);
+    const double eps = rng.NextDouble(0.0, 25.0);
+    auto expected = scan.RangeQuery(oracle.QueryFrom(query_point), eps,
+                                    nullptr);
+    auto actual = index.RangeQuery(oracle.QueryFrom(query_point), eps,
+                                   nullptr);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(MvIndexTest, NeverComputesMoreThanScanPlusReferences) {
+  const ScalarPointOracle oracle(RandomPoints(7, 300, 0.0, 100.0));
+  MvIndexOptions options;
+  options.num_references = 5;
+  MvIndex index(oracle, options);
+  QueryStats stats;
+  index.RangeQuery(oracle.QueryFrom(50.0), 5.0, &stats);
+  EXPECT_LE(stats.distance_computations, 300 + 5);
+}
+
+TEST(MvIndexTest, PrunesOnSmallRanges) {
+  const ScalarPointOracle oracle(RandomPoints(9, 500, 0.0, 1000.0));
+  MvIndex index(oracle);
+  QueryStats stats;
+  index.RangeQuery(oracle.QueryFrom(500.0), 1.0, &stats);
+  EXPECT_LT(stats.distance_computations, 250);
+}
+
+TEST(MvIndexTest, SpaceIsTableSized) {
+  const ScalarPointOracle oracle(RandomPoints(11, 100, 0.0, 50.0));
+  MvIndexOptions options;
+  options.num_references = 5;
+  MvIndex index(oracle, options);
+  const SpaceStats s = index.ComputeSpaceStats();
+  EXPECT_EQ(s.num_list_entries, 100 * 5);
+  // 10x more references -> ~10x more space (the MV-50 vs MV-5 contrast).
+  MvIndexOptions big_options;
+  big_options.num_references = 50;
+  MvIndex big(oracle, big_options);
+  EXPECT_EQ(big.ComputeSpaceStats().num_list_entries, 100 * 50);
+}
+
+TEST(MvIndexTest, EmptyDatabase) {
+  const ScalarPointOracle oracle({});
+  MvIndex index(oracle);
+  QueryStats stats;
+  EXPECT_TRUE(index.RangeQuery([](ObjectId) { return 0.0; }, 1.0, &stats)
+                  .empty());
+  EXPECT_EQ(stats.distance_computations, 0);
+}
+
+TEST(MvIndexTest, DeterministicForFixedSeed) {
+  const ScalarPointOracle oracle(RandomPoints(13, 150, 0.0, 70.0));
+  MvIndexOptions options;
+  options.seed = 1234;
+  MvIndex a(oracle, options);
+  MvIndex b(oracle, options);
+  EXPECT_EQ(a.references(), b.references());
+}
+
+}  // namespace
+}  // namespace subseq

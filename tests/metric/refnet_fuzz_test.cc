@@ -1,0 +1,93 @@
+// Randomized stress test: interleaved inserts, deletes and range queries
+// on the reference net, checked against a simple model (a set of live
+// points + brute-force search) plus the structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/metric/reference_net.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+class ReferenceNetFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReferenceNetFuzz, InterleavedOperationsStayExact) {
+  Rng rng(GetParam());
+  // Clustered + uniform mixture, with exact duplicates sprinkled in.
+  std::vector<double> points;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.NextBool(0.3)) {
+      const double center = 20.0 * static_cast<double>(rng.NextBounded(5));
+      points.push_back(center + rng.NextDouble(-0.2, 0.2));
+    } else if (rng.NextBool(0.1) && !points.empty()) {
+      points.push_back(points[rng.NextBounded(points.size())]);  // dup
+    } else {
+      points.push_back(rng.NextDouble(0.0, 100.0));
+    }
+  }
+  const ScalarPointOracle oracle(points);
+
+  ReferenceNetOptions options;
+  options.max_parents =
+      static_cast<int32_t>(rng.NextBounded(3)) * 2;  // 0, 2, or 4
+  ReferenceNet net(oracle, options);
+  std::vector<bool> live(points.size(), false);
+  int64_t live_count = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const ObjectId id =
+        static_cast<ObjectId>(rng.NextBounded(points.size()));
+    const int op = static_cast<int>(rng.NextBounded(10));
+    if (op < 6) {
+      // Insert (possibly already present).
+      const Status s = net.Insert(id);
+      if (live[static_cast<size_t>(id)]) {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+      } else {
+        EXPECT_TRUE(s.ok());
+        live[static_cast<size_t>(id)] = true;
+        ++live_count;
+      }
+    } else if (op < 8) {
+      // Delete (possibly absent).
+      const Status s = net.Delete(id);
+      if (live[static_cast<size_t>(id)]) {
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        live[static_cast<size_t>(id)] = false;
+        --live_count;
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kNotFound);
+      }
+    } else {
+      // Range query against the model.
+      const double q = rng.NextDouble(-5.0, 105.0);
+      const double eps = rng.NextDouble(0.0, 15.0);
+      std::vector<ObjectId> expected;
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (live[i] && std::fabs(points[i] - q) <= eps) {
+          expected.push_back(static_cast<ObjectId>(i));
+        }
+      }
+      auto actual = net.RangeQuery(oracle.QueryFrom(q), eps, nullptr);
+      std::sort(actual.begin(), actual.end());
+      ASSERT_EQ(actual, expected) << "step " << step;
+    }
+    EXPECT_EQ(net.size(), live_count);
+  }
+  const auto violation = net.CheckInvariants();
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceNetFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace subseq

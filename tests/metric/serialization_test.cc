@@ -1,0 +1,184 @@
+#include "subseq/metric/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "subseq/core/rng.h"
+#include "subseq/data/protein_gen.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/frame/window_oracle.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<double> RandomPoints(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<double> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.NextDouble(0.0, 80.0));
+  return pts;
+}
+
+TEST(SerializationTest, RoundTripPreservesQueries) {
+  const ScalarPointOracle oracle(RandomPoints(1, 150));
+  const ReferenceNet original = ReferenceNet::BuildAll(oracle);
+  const std::string path = TempPath("net.refnet");
+  ASSERT_TRUE(SaveReferenceNet(original, path).ok());
+
+  auto loaded = LoadReferenceNet(oracle, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), original.size());
+  EXPECT_FALSE(loaded.value().CheckInvariants().has_value());
+
+  Rng rng(2);
+  for (int q = 0; q < 20; ++q) {
+    const double query_point = rng.NextDouble(0.0, 80.0);
+    const double eps = rng.NextDouble(0.0, 10.0);
+    auto expected =
+        original.RangeQuery(oracle.QueryFrom(query_point), eps, nullptr);
+    auto actual = loaded.value().RangeQuery(oracle.QueryFrom(query_point),
+                                            eps, nullptr);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripWithDuplicatesAndOptions) {
+  std::vector<double> pts = RandomPoints(3, 80);
+  pts.push_back(pts[0]);
+  pts.push_back(pts[0]);
+  const ScalarPointOracle oracle(pts);
+  ReferenceNetOptions options;
+  options.base_radius = 0.5;
+  options.max_parents = 3;
+  const ReferenceNet original = ReferenceNet::BuildAll(oracle, options);
+  const std::string path = TempPath("net_opts.refnet");
+  ASSERT_TRUE(SaveReferenceNet(original, path).ok());
+  auto loaded = LoadReferenceNet(oracle, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().options().base_radius, 0.5);
+  EXPECT_EQ(loaded.value().options().max_parents, 3);
+  EXPECT_EQ(loaded.value().size(), original.size());
+  EXPECT_FALSE(loaded.value().CheckInvariants().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripOnProteinWindows) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 100, .seed = 5});
+  const auto db = gen.GenerateDatabaseWithWindows(120, 10);
+  auto catalog = WindowCatalog::PartitionDatabase(db, 10);
+  ASSERT_TRUE(catalog.ok());
+  const LevenshteinDistance<char> dist;
+  const WindowOracle<char> oracle(db, catalog.value(), dist);
+  const ReferenceNet original = ReferenceNet::BuildAll(oracle);
+
+  const std::string path = TempPath("net_proteins.refnet");
+  ASSERT_TRUE(SaveReferenceNet(original, path).ok());
+  auto loaded = LoadReferenceNet(oracle, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Reloading costs zero build distance computations.
+  EXPECT_EQ(loaded.value().build_stats().distance_computations, 0);
+  EXPECT_FALSE(loaded.value().CheckInvariants().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyNetRoundTrips) {
+  const ScalarPointOracle oracle({});
+  ReferenceNet net(oracle);
+  const std::string path = TempPath("net_empty.refnet");
+  ASSERT_TRUE(SaveReferenceNet(net, path).ok());
+  auto loaded = LoadReferenceNet(oracle, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bogus.refnet");
+  {
+    std::ofstream out(path);
+    out << "not a refnet\n";
+  }
+  const ScalarPointOracle oracle({1.0});
+  EXPECT_EQ(LoadReferenceNet(oracle, path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsMissingFile) {
+  const ScalarPointOracle oracle({1.0});
+  EXPECT_EQ(LoadReferenceNet(oracle, "/nonexistent/net.refnet")
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializationTest, RejectsWrongDataset) {
+  // Save against one dataset, reload against shuffled points: the edge
+  // distance spot-check must catch the mismatch.
+  const auto pts = RandomPoints(7, 100);
+  const ScalarPointOracle oracle(pts);
+  const ReferenceNet net = ReferenceNet::BuildAll(oracle);
+  const std::string path = TempPath("net_mismatch.refnet");
+  ASSERT_TRUE(SaveReferenceNet(net, path).ok());
+
+  std::vector<double> shuffled(pts.rbegin(), pts.rend());
+  const ScalarPointOracle other(shuffled);
+  const auto loaded = LoadReferenceNet(other, path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  const ScalarPointOracle oracle(RandomPoints(9, 50));
+  const ReferenceNet net = ReferenceNet::BuildAll(oracle);
+  const std::string path = TempPath("net_trunc.refnet");
+  ASSERT_TRUE(SaveReferenceNet(net, path).ok());
+  // Truncate the file in half.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::getline(in, contents, '\0');
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  EXPECT_FALSE(LoadReferenceNet(oracle, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedNetSupportsInsertAndDelete) {
+  const ScalarPointOracle oracle(RandomPoints(11, 100));
+  ReferenceNet original(oracle);
+  for (ObjectId id = 0; id < 80; ++id) {
+    ASSERT_TRUE(original.Insert(id).ok());
+  }
+  const std::string path = TempPath("net_mutate.refnet");
+  ASSERT_TRUE(SaveReferenceNet(original, path).ok());
+  auto loaded = LoadReferenceNet(oracle, path);
+  ASSERT_TRUE(loaded.ok());
+  // Keep inserting the remaining objects and delete a few.
+  for (ObjectId id = 80; id < 100; ++id) {
+    ASSERT_TRUE(loaded.value().Insert(id).ok());
+  }
+  ASSERT_TRUE(loaded.value().Delete(5).ok());
+  ASSERT_TRUE(loaded.value().Delete(50).ok());
+  EXPECT_EQ(loaded.value().size(), 98);
+  EXPECT_FALSE(loaded.value().CheckInvariants().has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,109 @@
+#include "subseq/metric/vp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "subseq/core/rng.h"
+#include "subseq/metric/linear_scan.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+std::vector<double> RandomPoints(uint64_t seed, int n, double lo, double hi) {
+  Rng rng(seed);
+  std::vector<double> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.NextDouble(lo, hi));
+  return pts;
+}
+
+TEST(VpTreeTest, EmptyTree) {
+  const ScalarPointOracle oracle({});
+  VpTree tree(oracle);
+  EXPECT_TRUE(tree.RangeQuery([](ObjectId) { return 0.0; }, 5.0, nullptr)
+                  .empty());
+  EXPECT_TRUE(
+      tree.NearestNeighbors([](ObjectId) { return 0.0; }, 3, nullptr)
+          .empty());
+}
+
+TEST(VpTreeTest, SingleObject) {
+  const ScalarPointOracle oracle({4.0});
+  VpTree tree(oracle);
+  EXPECT_EQ(tree.RangeQuery(oracle.QueryFrom(4.5), 1.0, nullptr),
+            (std::vector<ObjectId>{0}));
+  EXPECT_TRUE(tree.RangeQuery(oracle.QueryFrom(9.0), 1.0, nullptr).empty());
+}
+
+TEST(VpTreeTest, RangeQueryMatchesLinearScan) {
+  const ScalarPointOracle oracle(RandomPoints(3, 250, 0.0, 100.0));
+  const VpTree tree(oracle);
+  LinearScan scan(oracle.size());
+  Rng rng(4);
+  for (int q = 0; q < 30; ++q) {
+    const double query_point = rng.NextDouble(-10.0, 110.0);
+    const double eps = rng.NextDouble(0.0, 20.0);
+    auto expected = scan.RangeQuery(oracle.QueryFrom(query_point), eps,
+                                    nullptr);
+    auto actual = tree.RangeQuery(oracle.QueryFrom(query_point), eps,
+                                  nullptr);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(VpTreeTest, LeafSizeVariantsStayCorrect) {
+  const ScalarPointOracle oracle(RandomPoints(5, 120, 0.0, 50.0));
+  LinearScan scan(oracle.size());
+  for (const int32_t leaf_size : {1, 4, 32, 200}) {
+    VpTreeOptions options;
+    options.leaf_size = leaf_size;
+    const VpTree tree(oracle, options);
+    auto expected = scan.RangeQuery(oracle.QueryFrom(25.0), 6.0, nullptr);
+    auto actual = tree.RangeQuery(oracle.QueryFrom(25.0), 6.0, nullptr);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "leaf_size " << leaf_size;
+  }
+}
+
+TEST(VpTreeTest, PrunesOnSmallRanges) {
+  const ScalarPointOracle oracle(RandomPoints(7, 600, 0.0, 1000.0));
+  const VpTree tree(oracle);
+  QueryStats stats;
+  tree.RangeQuery(oracle.QueryFrom(500.0), 2.0, &stats);
+  EXPECT_LT(stats.distance_computations, oracle.size() / 2);
+}
+
+TEST(VpTreeTest, HandlesDuplicates) {
+  const ScalarPointOracle oracle({5.0, 5.0, 5.0, 5.0, 9.0});
+  const VpTree tree(oracle);
+  auto hits = tree.RangeQuery(oracle.QueryFrom(5.0), 0.0, nullptr);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<ObjectId>{0, 1, 2, 3}));
+}
+
+TEST(VpTreeTest, DeterministicForSeed) {
+  const auto pts = RandomPoints(11, 100, 0.0, 60.0);
+  const ScalarPointOracle oracle(pts);
+  const VpTree a(oracle);
+  const VpTree b(oracle);
+  EXPECT_EQ(a.build_stats().distance_computations,
+            b.build_stats().distance_computations);
+}
+
+TEST(VpTreeTest, SpaceIsLinear) {
+  const ScalarPointOracle small_oracle(RandomPoints(13, 300, 0.0, 100.0));
+  const ScalarPointOracle big_oracle(RandomPoints(13, 600, 0.0, 100.0));
+  const VpTree small(small_oracle);
+  const VpTree big(big_oracle);
+  EXPECT_LT(big.ComputeSpaceStats().approx_bytes,
+            3 * small.ComputeSpaceStats().approx_bytes);
+}
+
+}  // namespace
+}  // namespace subseq
