@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -142,6 +143,64 @@ std::vector<std::vector<Point2d>> MakeTrajQueries(
         }
         return out;
       });
+}
+
+namespace {
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no inf/nan literals; emit null for non-finite metrics.
+void PrintJsonNumber(std::FILE* f, double value) {
+  if (std::isfinite(value)) {
+    std::fprintf(f, "%.17g", value);
+  } else {
+    std::fprintf(f, "null");
+  }
+}
+
+}  // namespace
+
+bool WriteBenchJson(const std::string& path, const std::string& benchmark,
+                    const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"scale\": \"%s\",\n",
+               EscapeJson(benchmark).c_str(), FullScale() ? "full" : "ci");
+  std::fprintf(f, "  \"records\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "    {\"name\": \"%s\"", EscapeJson(r.name).c_str());
+    for (const auto& [key, value] : r.metrics) {
+      std::fprintf(f, ", \"%s\": ", EscapeJson(key).c_str());
+      PrintJsonNumber(f, value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  const bool ok = std::ferror(f) == 0;
+  return std::fclose(f) == 0 && ok;
 }
 
 std::unique_ptr<RangeIndex> BuildIndex(const std::string& kind,

@@ -10,10 +10,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "subseq/core/rng.h"
+#include "subseq/exec/exec_context.h"
+#include "subseq/exec/stats_sink.h"
 #include "subseq/core/sequence.h"
 #include "subseq/core/types.h"
 #include "subseq/data/protein_gen.h"
@@ -70,23 +74,39 @@ std::unique_ptr<RangeIndex> BuildIndex(const std::string& kind,
                                        const DistanceOracle& oracle);
 
 /// Average fraction (in [0, 1]) of query-to-window distance computations
-/// relative to a full scan, over the given queries at one epsilon.
+/// relative to a full scan, over the given queries at one epsilon. The
+/// workload is issued as one BatchRangeQuery over `exec`; counts (and so
+/// the reported fraction) are identical at any thread setting.
 template <typename T>
 double AvgComputationFraction(const RangeIndex& index,
                               const WindowOracle<T>& oracle,
                               const std::vector<std::vector<T>>& queries,
-                              double epsilon) {
-  int64_t total = 0;
+                              double epsilon,
+                              const ExecContext& exec = {}) {
+  std::vector<QueryDistanceFn> fns;
+  fns.reserve(queries.size());
   for (const auto& q : queries) {
-    QueryStats stats;
-    index.RangeQuery(oracle.SegmentQuery(std::span<const T>(q)), epsilon,
-                     &stats);
-    total += stats.distance_computations;
+    fns.push_back(oracle.SegmentQuery(std::span<const T>(q)));
   }
-  return static_cast<double>(total) /
+  StatsSink sink;
+  index.BatchRangeQuery(fns, epsilon, exec, &sink);
+  return static_cast<double>(sink.distance_computations()) /
          (static_cast<double>(queries.size()) *
           static_cast<double>(oracle.size()));
 }
+
+/// One machine-readable benchmark record: a row name plus named numeric
+/// metrics.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Writes `{"benchmark": ..., "scale": ..., "records": [...]}` to `path`
+/// (the machine-readable counterpart of the printed tables). Returns
+/// false if the file cannot be written.
+bool WriteBenchJson(const std::string& path, const std::string& benchmark,
+                    const std::vector<BenchRecord>& records);
 
 }  // namespace subseq::bench
 

@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "subseq/core/rng.h"
+#include "subseq/exec/exec_context.h"
 #include "subseq/metric/cover_tree.h"
 #include "subseq/metric/linear_scan.h"
 #include "subseq/metric/mv_index.h"
 #include "subseq/metric/oracle.h"
 #include "subseq/metric/reference_net.h"
+#include "subseq/metric/vp_tree.h"
 
 namespace subseq {
 namespace {
@@ -106,6 +108,56 @@ void BM_MvIndexRangeQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Thread scaling of the exec layer (the second benchmark argument is
+// ExecContext::num_threads). Results are identical at every setting;
+// only wall-clock should move.
+void BM_MvIndexBuildThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const PointOracle oracle(MakePoints(n, 7));
+  MvIndexOptions options;
+  options.num_references = 20;
+  options.sample_size = 400;
+  options.exec = ExecContext{threads};
+  for (auto _ : state) {
+    const MvIndex index(oracle, options);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_VpTreeBuildThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const PointOracle oracle(MakePoints(n, 7));
+  VpTreeOptions options;
+  options.exec = ExecContext{threads};
+  for (auto _ : state) {
+    const VpTree tree(oracle, options);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BatchRangeQueryThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const PointOracle oracle(MakePoints(n, 9));
+  const LinearScan scan(oracle.size());
+  Rng rng(10);
+  std::vector<QueryDistanceFn> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(oracle.QueryFrom(rng.NextDouble(0.0, 1000.0)));
+  }
+  const ExecContext exec{threads};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scan.BatchRangeQuery(queries, 10.0, exec, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+
 BENCHMARK(BM_ReferenceNetBuild)->Arg(1000)->Arg(5000);
 BENCHMARK(BM_CoverTreeBuild)->Arg(1000)->Arg(5000);
 BENCHMARK(BM_ReferenceNetRangeQuery)
@@ -117,6 +169,19 @@ BENCHMARK(BM_MvIndexRangeQuery)
     ->Args({10000, 1})
     ->Args({10000, 10})
     ->Args({10000, 100});
+BENCHMARK(BM_MvIndexBuildThreads)
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({5000, 4})
+    ->Args({5000, 8});
+BENCHMARK(BM_VpTreeBuildThreads)
+    ->Args({20000, 1})
+    ->Args({20000, 4});
+BENCHMARK(BM_BatchRangeQueryThreads)
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Args({20000, 8});
 
 }  // namespace
 }  // namespace subseq

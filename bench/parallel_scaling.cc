@@ -1,0 +1,140 @@
+// Thread-scaling of the execution layer: index construction and batched
+// range queries on PROTEINS / Levenshtein at 1/2/4/8 threads.
+//
+// Prints a table and writes BENCH_parallel_scaling.json (machine-readable,
+// consumed by CI trend tooling). Also cross-checks that every thread
+// count returns element-wise identical query results — the determinism
+// contract of the exec layer.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "subseq/core/check.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/exec/exec_context.h"
+#include "subseq/exec/stats_sink.h"
+#include "subseq/frame/window_oracle.h"
+#include "subseq/frame/windowing.h"
+#include "subseq/metric/linear_scan.h"
+#include "subseq/metric/mv_index.h"
+#include "subseq/metric/reference_net.h"
+#include "subseq/metric/vp_tree.h"
+
+namespace subseq::bench {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+int Run() {
+  Banner("parallel_scaling",
+         "exec-layer thread scaling: build + batched queries (PROTEINS / "
+         "Levenshtein)");
+
+  const int32_t num_windows = Scaled(400, 5000);
+  const int32_t num_queries = Scaled(60, 200);
+  const double epsilon = 2.0;
+
+  const SequenceDatabase<char> db = MakeProteinDb(num_windows, 2024);
+  auto catalog =
+      WindowCatalog::PartitionDatabase(db, kWindowLength).ValueOrDie();
+  const LevenshteinDistance<char> dist;
+  const WindowOracle<char> oracle(db, catalog, dist);
+  const auto queries = MakeProteinQueries(db, catalog, num_queries, 7);
+  std::vector<QueryDistanceFn> fns;
+  fns.reserve(queries.size());
+  for (const auto& q : queries) {
+    fns.push_back(oracle.SegmentQuery(std::span<const char>(q)));
+  }
+
+  std::printf("windows=%d queries=%d epsilon=%.1f\n\n", oracle.size(),
+              num_queries, epsilon);
+  std::printf("%8s %12s %12s %12s %14s %14s\n", "threads", "mv_build_ms",
+              "vp_build_ms", "rn_build_ms", "rn_query_ms", "scan_query_ms");
+
+  std::vector<BenchRecord> records;
+  std::vector<std::vector<ObjectId>> reference_results;
+  double base_build = 0.0;
+  double base_query = 0.0;
+  for (const int32_t threads : {1, 2, 4, 8}) {
+    ExecContext exec{threads};
+
+    auto t0 = std::chrono::steady_clock::now();
+    MvIndexOptions mv_options;
+    mv_options.num_references = 20;
+    mv_options.exec = exec;
+    const MvIndex mv(oracle, mv_options);
+    const double mv_build_ms = MillisSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    VpTreeOptions vp_options;
+    vp_options.exec = exec;
+    const VpTree vp(oracle, vp_options);
+    const double vp_build_ms = MillisSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    ReferenceNetOptions rn_options;
+    rn_options.exec = exec;
+    const ReferenceNet rn = ReferenceNet::BuildAll(oracle, rn_options);
+    const double rn_build_ms = MillisSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    StatsSink sink;
+    const auto rn_results = rn.BatchRangeQuery(fns, epsilon, exec, &sink);
+    const double rn_query_ms = MillisSince(t0);
+
+    const LinearScan scan(oracle.size());
+    t0 = std::chrono::steady_clock::now();
+    const auto scan_results = scan.BatchRangeQuery(fns, epsilon, exec,
+                                                   nullptr);
+    const double scan_query_ms = MillisSince(t0);
+
+    // Determinism: every thread count must reproduce the 1-thread
+    // results element-wise.
+    if (reference_results.empty()) {
+      reference_results = rn_results;
+    } else {
+      SUBSEQ_CHECK(rn_results == reference_results);
+    }
+
+    std::printf("%8d %12.1f %12.1f %12.1f %14.1f %14.1f\n", threads,
+                mv_build_ms, vp_build_ms, rn_build_ms, rn_query_ms,
+                scan_query_ms);
+
+    const double build_ms = mv_build_ms + vp_build_ms + rn_build_ms;
+    const double query_ms = rn_query_ms + scan_query_ms;
+    if (threads == 1) {
+      base_build = build_ms;
+      base_query = query_ms;
+    }
+    records.push_back(BenchRecord{
+        "threads=" + std::to_string(threads),
+        {{"threads", static_cast<double>(threads)},
+         {"mv_build_ms", mv_build_ms},
+         {"vp_build_ms", vp_build_ms},
+         {"rn_build_ms", rn_build_ms},
+         {"rn_query_ms", rn_query_ms},
+         {"scan_query_ms", scan_query_ms},
+         {"build_speedup", build_ms > 0.0 ? base_build / build_ms : 0.0},
+         {"query_speedup", query_ms > 0.0 ? base_query / query_ms : 0.0},
+         {"filter_computations",
+          static_cast<double>(sink.distance_computations())}}});
+  }
+
+  const std::string path = "BENCH_parallel_scaling.json";
+  if (!WriteBenchJson(path, "parallel_scaling", records)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace subseq::bench
+
+int main() { return subseq::bench::Run(); }

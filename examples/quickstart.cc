@@ -37,6 +37,10 @@ int main() {
   options.lambda = 16;
   options.lambda0 = 2;
   options.index_kind = IndexKind::kReferenceNet;
+  // Index build and the segment filter run on all cores by default
+  // (options.exec.num_threads = 0); results are identical at any
+  // setting, so this is purely a wall-clock knob.
+  options.exec.num_threads = 0;
   auto matcher_result = SubsequenceMatcher<char>::Build(db, distance, options);
   if (!matcher_result.ok()) {
     std::fprintf(stderr, "build failed: %s\n",

@@ -1,0 +1,43 @@
+// ExecContext: the execution knobs shared by index construction and
+// batched queries.
+//
+// Every parallel section in the library partitions its work by *index*
+// (deterministic chunk boundaries derived from the problem size) and
+// merges per-chunk results in chunk order, never in completion order.
+// Results are therefore element-wise identical at any num_threads
+// setting; the knob trades wall-clock time only.
+
+#ifndef SUBSEQ_EXEC_EXEC_CONTEXT_H_
+#define SUBSEQ_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <thread>
+
+namespace subseq {
+
+/// std::thread::hardware_concurrency() with a floor of 1 — the single
+/// resolution point shared by ExecContext and the ThreadPool sizing.
+inline int32_t ResolveHardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int32_t>(hw);
+}
+
+/// Execution configuration for parallel build and query paths.
+struct ExecContext {
+  /// Worker-thread budget for parallel sections. 0 (the default) resolves
+  /// to the hardware concurrency; 1 keeps everything on the calling
+  /// thread.
+  int32_t num_threads = 0;
+
+  /// The effective thread budget (always >= 1).
+  int32_t ResolvedThreads() const {
+    return num_threads > 0 ? num_threads : ResolveHardwareConcurrency();
+  }
+};
+
+/// A context pinned to the calling thread.
+inline ExecContext SequentialExec() { return ExecContext{1}; }
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_EXEC_EXEC_CONTEXT_H_

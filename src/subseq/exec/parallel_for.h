@@ -1,0 +1,84 @@
+// ParallelFor: the library's one parallel-loop primitive.
+//
+// Determinism contract: the partition of [0, n) depends only on n, the
+// resolved thread budget and the grain — never on scheduling. Chunks are
+// contiguous and ascending (chunk c covers a range strictly before chunk
+// c+1), so callers that write results into index-addressed slots, or
+// collect per-chunk outputs and concatenate them in chunk order,
+// reproduce the sequential order exactly at any thread count.
+
+#ifndef SUBSEQ_EXEC_PARALLEL_FOR_H_
+#define SUBSEQ_EXEC_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "subseq/exec/exec_context.h"
+#include "subseq/exec/thread_pool.h"
+
+namespace subseq {
+
+/// Runs body(begin, end, chunk) over a disjoint, exhaustive partition of
+/// [0, n) and returns the number of chunks used (0 when n <= 0). Chunk 0
+/// executes on the calling thread; the rest go to the shared pool. At
+/// most min(exec.ResolvedThreads(), ceil(n / grain)) chunks are created,
+/// so short loops over cheap work run inline rather than paying pool
+/// latency (individual chunks may still be somewhat smaller than `grain`
+/// — the range is split evenly over the chunk count). Nested calls —
+/// issued from
+/// inside a pool worker — run inline as a single chunk, so recursive
+/// builds cannot deadlock the pool. `body` must not throw and must only
+/// touch disjoint state across chunks (or publish through atomics, e.g.
+/// a StatsSink).
+template <typename Body>
+int32_t ParallelFor(const ExecContext& exec, int64_t n, const Body& body,
+                    int64_t grain = 1) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  ThreadPool& pool = ThreadPool::Shared();
+  // Never split finer than can actually run concurrently (pool workers
+  // plus the calling thread): extra chunks would only add queue traffic.
+  // Chunk count never changes results — merges are index-ordered.
+  const int64_t budget =
+      std::min({static_cast<int64_t>(exec.ResolvedThreads()),
+                (n + grain - 1) / grain,
+                static_cast<int64_t>(pool.num_threads()) + 1});
+  if (budget <= 1 || pool.InWorker()) {
+    body(int64_t{0}, n, int32_t{0});
+    return 1;
+  }
+
+  const int32_t chunks = static_cast<int32_t>(budget);
+  const int64_t base = n / chunks;
+  const int64_t extra = n % chunks;
+  const auto bounds = [base, extra](int32_t c) {
+    const int64_t begin =
+        static_cast<int64_t>(c) * base + std::min<int64_t>(c, extra);
+    const int64_t end = begin + base + (c < extra ? 1 : 0);
+    return std::pair<int64_t, int64_t>{begin, end};
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int32_t pending = chunks - 1;
+  for (int32_t c = 1; c < chunks; ++c) {
+    const auto [begin, end] = bounds(c);
+    pool.Submit([&body, &mu, &cv, &pending, begin, end, c] {
+      body(begin, end, c);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) cv.notify_one();
+    });
+  }
+  const auto [begin0, end0] = bounds(0);
+  body(begin0, end0, int32_t{0});
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&pending] { return pending == 0; });
+  return chunks;
+}
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_EXEC_PARALLEL_FOR_H_

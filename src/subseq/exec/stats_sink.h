@@ -1,0 +1,52 @@
+// StatsSink: thread-safe accounting shared by concurrent build and query
+// shards.
+//
+// The paper's evaluation metrics are exact distance-computation counts
+// (Figs. 8-11), so the counters must stay exact under concurrency.
+// Shards accumulate locally and publish once per chunk with relaxed
+// atomic adds: every count lands exactly once, no ordering is implied,
+// and readers observe exact totals after the parallel section has joined
+// (ParallelFor only returns once all chunks finished).
+
+#ifndef SUBSEQ_EXEC_STATS_SINK_H_
+#define SUBSEQ_EXEC_STATS_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace subseq {
+
+/// Atomic counters for the accounting every index and the matcher keep.
+class StatsSink {
+ public:
+  StatsSink() = default;
+  StatsSink(const StatsSink&) = delete;
+  StatsSink& operator=(const StatsSink&) = delete;
+
+  void AddDistanceComputations(int64_t n) {
+    distance_computations_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddResults(int64_t n) {
+    results_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  int64_t distance_computations() const {
+    return distance_computations_.load(std::memory_order_relaxed);
+  }
+  int64_t results() const {
+    return results_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    distance_computations_.store(0, std::memory_order_relaxed);
+    results_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> distance_computations_{0};
+  std::atomic<int64_t> results_{0};
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_EXEC_STATS_SINK_H_

@@ -1,0 +1,70 @@
+#include "subseq/exec/thread_pool.h"
+
+#include <utility>
+
+#include "subseq/exec/exec_context.h"
+
+namespace subseq {
+
+namespace {
+
+// Which pool (if any) owns the current thread; lets ParallelFor detect
+// nested parallelism and degrade to inline execution.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int32_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorker() const { return current_worker_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: workers must outlive all static destructors
+  // that might still issue queries.
+  static ThreadPool* pool = new ThreadPool(HardwareConcurrency());
+  return *pool;
+}
+
+int32_t ThreadPool::HardwareConcurrency() {
+  return ResolveHardwareConcurrency();
+}
+
+}  // namespace subseq

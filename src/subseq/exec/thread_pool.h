@@ -1,0 +1,69 @@
+// ThreadPool: a fixed-size worker pool behind every parallel section in
+// the library.
+//
+// Workers are started once and block on a condition variable between
+// tasks, so the per-batch cost of a parallel section is a handful of
+// enqueue/notify operations — cheap against the metric-space distance
+// computations (dynamic-programming alignments over windows) the pool
+// exists to spread out. One process-wide pool sized to the hardware is
+// shared by all indexes and matchers (Shared()); ExecContext::num_threads
+// caps how many *chunks* a section splits into, not how many workers
+// exist, which keeps results independent of the machine's core count.
+
+#ifndef SUBSEQ_EXEC_THREAD_POOL_H_
+#define SUBSEQ_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subseq {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t num_threads() const {
+    return static_cast<int32_t>(workers_.size());
+  }
+
+  /// Enqueues a task for execution on some worker. Tasks must not throw
+  /// (the library is exception-free); a task that escapes with an
+  /// exception terminates the process.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers. Parallel
+  /// sections check this and run nested loops inline instead of
+  /// deadlocking on their own pool.
+  bool InWorker() const;
+
+  /// The process-wide pool, sized to the hardware, created on first use
+  /// and kept alive for the life of the process.
+  static ThreadPool& Shared();
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int32_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_EXEC_THREAD_POOL_H_

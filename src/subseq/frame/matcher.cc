@@ -6,6 +6,8 @@
 #include <string>
 
 #include "subseq/core/check.h"
+#include "subseq/exec/parallel_for.h"
+#include "subseq/exec/stats_sink.h"
 #include "subseq/metric/linear_scan.h"
 
 namespace subseq {
@@ -44,6 +46,19 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
   }
   if (options.max_verifications <= 0) {
     return Status::InvalidArgument("max_verifications must be positive");
+  }
+
+  // One knob governs all parallel sections: the matcher's ExecContext is
+  // pushed down into every index build — unless the caller explicitly
+  // set that index's own exec (num_threads != 0), which wins.
+  if (options.reference_net.exec.num_threads == 0) {
+    options.reference_net.exec = options.exec;
+  }
+  if (options.mv_index.exec.num_threads == 0) {
+    options.mv_index.exec = options.exec;
+  }
+  if (options.vp_tree.exec.num_threads == 0) {
+    options.vp_tree.exec = options.exec;
   }
 
   auto matcher = std::unique_ptr<SubsequenceMatcher<T>>(
@@ -98,21 +113,53 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
       static_cast<int32_t>(query.size()), l - options_.lambda0,
       l + options_.lambda0);
 
-  std::vector<SegmentHit> hits;
+  // Step 4 as ONE batch: a query function per segment, all issued to the
+  // index together. The index fans the batch out over options_.exec and
+  // accounts exactly through the sink.
+  std::vector<QueryDistanceFn> segment_queries;
+  segment_queries.reserve(segments.size());
   for (const Interval& seg : segments) {
-    const auto view = query.subspan(static_cast<size_t>(seg.begin),
-                                    static_cast<size_t>(seg.length()));
-    QueryStats qs;
-    const std::vector<ObjectId> ids =
-        index_->RangeQuery(oracle_->SegmentQuery(view), epsilon, &qs);
-    if (stats != nullptr) stats->filter_computations += qs.distance_computations;
-    for (const ObjectId id : ids) {
-      hits.push_back(SegmentHit{
-          seg, id, dist_.Compute(view, oracle_->WindowView(id))});
+    segment_queries.push_back(oracle_->SegmentQuery(
+        query.subspan(static_cast<size_t>(seg.begin),
+                      static_cast<size_t>(seg.length()))));
+  }
+  StatsSink sink;
+  const std::vector<std::vector<ObjectId>> batched =
+      index_->BatchRangeQuery(segment_queries, epsilon, options_.exec,
+                              &sink);
+
+  // Deterministic merge: hits land in (segment order, per-segment result
+  // order) — batched[i] is already indexed by segment, so concatenation
+  // is the stable segment-order sort, identical to issuing the segments
+  // one at a time.
+  size_t total_hits = 0;
+  for (const auto& ids : batched) total_hits += ids.size();
+  std::vector<SegmentHit> hits;
+  hits.reserve(total_hits);
+  for (size_t i = 0; i < batched.size(); ++i) {
+    for (const ObjectId id : batched[i]) {
+      hits.push_back(SegmentHit{segments[i], id, 0.0});
     }
   }
+  // Second parallel pass: the exact segment-to-window distances step 5
+  // orders its verification by. Slot-addressed writes keep it
+  // deterministic.
+  ParallelFor(options_.exec, static_cast<int64_t>(hits.size()),
+              [&](int64_t lo, int64_t hi, int32_t) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  SegmentHit& hit = hits[static_cast<size_t>(i)];
+                  const auto view = query.subspan(
+                      static_cast<size_t>(hit.query_segment.begin),
+                      static_cast<size_t>(hit.query_segment.length()));
+                  hit.distance =
+                      dist_.Compute(view, oracle_->WindowView(hit.window));
+                }
+              },
+              /*grain=*/8);
+
   if (stats != nullptr) {
     stats->segments += static_cast<int64_t>(segments.size());
+    stats->filter_computations += sink.distance_computations();
     stats->hits += static_cast<int64_t>(hits.size());
   }
   return hits;

@@ -28,6 +28,7 @@
 #include "subseq/core/sequence.h"
 #include "subseq/core/status.h"
 #include "subseq/distance/distance.h"
+#include "subseq/exec/exec_context.h"
 #include "subseq/frame/candidates.h"
 #include "subseq/frame/window_oracle.h"
 #include "subseq/frame/windowing.h"
@@ -65,6 +66,13 @@ struct MatcherOptions {
   /// Safety cap on step-5 distance verifications per query; exceeded =>
   /// Status::OutOfRange (Type I can be combinatorial by design).
   int64_t max_verifications = 5'000'000;
+  /// Thread budget for index construction (step 2) and the batched
+  /// segment filter (step 4). num_threads = 0 (the default) uses the
+  /// hardware concurrency; 1 is fully sequential. Results and stats are
+  /// identical at any setting — the knob trades wall-clock time only.
+  /// Pushed down into reference_net / mv_index / vp_tree at Build unless
+  /// that index's own exec was set explicitly (num_threads != 0).
+  ExecContext exec;
 };
 
 /// A verified pair of similar subsequences.

@@ -11,4 +11,11 @@ QueryDistanceFn CountingQueryFn(QueryDistanceFn fn, int64_t* counter) {
   };
 }
 
+QueryDistanceFn CountingQueryFn(QueryDistanceFn fn, StatsSink* sink) {
+  return [fn = std::move(fn), sink](ObjectId id) {
+    sink->AddDistanceComputations(1);
+    return fn(id);
+  };
+}
+
 }  // namespace subseq

@@ -6,13 +6,18 @@
 #ifndef SUBSEQ_METRIC_COUNTING_ORACLE_H_
 #define SUBSEQ_METRIC_COUNTING_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 
+#include "subseq/exec/stats_sink.h"
 #include "subseq/metric/oracle.h"
 
 namespace subseq {
 
-/// Wraps an oracle and counts every Distance() call.
+/// Wraps an oracle and counts every Distance() call. Safe to share across
+/// the threads of a parallel build: the counter is atomic (relaxed
+/// ordering — counts are exact, no synchronization is implied; read the
+/// total after the build has joined).
 class CountingOracle final : public DistanceOracle {
  public:
   explicit CountingOracle(const DistanceOracle& base) : base_(base) {}
@@ -20,27 +25,33 @@ class CountingOracle final : public DistanceOracle {
   int32_t size() const override { return base_.size(); }
 
   double Distance(ObjectId a, ObjectId b) const override {
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
     return base_.Distance(a, b);
   }
 
   double DistanceBounded(ObjectId a, ObjectId b,
                          double upper_bound) const override {
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
     return base_.DistanceBounded(a, b, upper_bound);
   }
 
-  int64_t count() const { return count_; }
-  void Reset() { count_ = 0; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
 
  private:
   const DistanceOracle& base_;
-  mutable int64_t count_ = 0;
+  mutable std::atomic<int64_t> count_{0};
 };
 
 /// Wraps a query function and counts every call through a caller-owned
 /// counter (the function object is copyable; the counter is shared).
+/// Single-threaded use only — for concurrent callers use the StatsSink
+/// overload below.
 QueryDistanceFn CountingQueryFn(QueryDistanceFn fn, int64_t* counter);
+
+/// As above, but counts through a thread-safe sink; the returned function
+/// may be invoked from any number of threads concurrently.
+QueryDistanceFn CountingQueryFn(QueryDistanceFn fn, StatsSink* sink);
 
 }  // namespace subseq
 

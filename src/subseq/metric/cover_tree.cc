@@ -153,10 +153,18 @@ bool CoverTree::Contains(ObjectId id) const {
 std::vector<ObjectId> CoverTree::RangeQuery(const QueryDistanceFn& query,
                                             double epsilon,
                                             QueryStats* stats) const {
+  std::vector<uint8_t> emitted;
+  return RangeQueryWithScratch(query, epsilon, stats, &emitted);
+}
+
+std::vector<ObjectId> CoverTree::RangeQueryWithScratch(
+    const QueryDistanceFn& query, double epsilon, QueryStats* stats,
+    std::vector<uint8_t>* emitted_scratch) const {
   std::vector<ObjectId> results;
   int64_t computations = 0;
   if (root_ >= 0) {
-    std::vector<uint8_t> emitted(nodes_.size(), 0);
+    std::vector<uint8_t>& emitted = *emitted_scratch;
+    emitted.assign(nodes_.size(), 0);
     std::deque<int32_t> queue = {root_};
     while (!queue.empty()) {
       const int32_t ni = queue.front();

@@ -87,6 +87,12 @@ class CoverTree final : public RangeIndex {
   };
 
   double Radius(int32_t level) const;
+  /// Tuned batch hook: the RangeQuery body over a caller-owned
+  /// visited-marks buffer (resized and zeroed here), letting the default
+  /// BatchRangeQuery reuse one allocation across a chunk's queries.
+  std::vector<ObjectId> RangeQueryWithScratch(
+      const QueryDistanceFn& query, double epsilon, QueryStats* stats,
+      std::vector<uint8_t>* emitted) const override;
   std::vector<Edge>* FindList(Node& node, int32_t level);
   const std::vector<Edge>* FindList(const Node& node, int32_t level) const;
   void CollectSubtree(int32_t node_index, std::vector<ObjectId>* out,

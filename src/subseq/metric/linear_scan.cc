@@ -1,5 +1,6 @@
 #include "subseq/metric/linear_scan.h"
 
+#include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
 
 namespace subseq {
@@ -16,6 +17,44 @@ std::vector<ObjectId> LinearScan::RangeQuery(const QueryDistanceFn& query,
   if (stats != nullptr) {
     stats->distance_computations = computations;
     stats->result_count = static_cast<int64_t>(results.size());
+  }
+  return results;
+}
+
+std::vector<std::vector<ObjectId>> LinearScan::BatchRangeQuery(
+    std::span<const QueryDistanceFn> queries, double epsilon,
+    const ExecContext& exec, StatsSink* sink) const {
+  const int64_t num_queries = static_cast<int64_t>(queries.size());
+  if (num_queries >= exec.ResolvedThreads()) {
+    return RangeIndex::BatchRangeQuery(queries, epsilon, exec, sink);
+  }
+  // Fewer queries than threads: shard each scan across object ranges.
+  std::vector<std::vector<ObjectId>> results(queries.size());
+  std::vector<std::vector<ObjectId>> parts(
+      static_cast<size_t>(exec.ResolvedThreads()));
+  for (int64_t q = 0; q < num_queries; ++q) {
+    const QueryDistanceFn& query = queries[static_cast<size_t>(q)];
+    const int32_t chunks = ParallelFor(
+        exec, num_objects_,
+        [&](int64_t begin, int64_t end, int32_t chunk) {
+          std::vector<ObjectId>& out = parts[static_cast<size_t>(chunk)];
+          out.clear();
+          for (int64_t id = begin; id < end; ++id) {
+            if (query(static_cast<ObjectId>(id)) <= epsilon) {
+              out.push_back(static_cast<ObjectId>(id));
+            }
+          }
+        },
+        /*grain=*/64);
+    std::vector<ObjectId>& merged = results[static_cast<size_t>(q)];
+    for (int32_t c = 0; c < chunks; ++c) {
+      const std::vector<ObjectId>& part = parts[static_cast<size_t>(c)];
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    if (sink != nullptr) {
+      sink->AddDistanceComputations(num_objects_);
+      sink->AddResults(static_cast<int64_t>(merged.size()));
+    }
   }
   return results;
 }

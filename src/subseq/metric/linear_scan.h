@@ -21,6 +21,14 @@ class LinearScan final : public RangeIndex {
                                    double epsilon,
                                    QueryStats* stats) const override;
 
+  /// Tuned batch execution. Wide batches parallelize across queries; a
+  /// batch narrower than the thread budget shards each scan across
+  /// object ranges instead (per-chunk results concatenate in chunk order,
+  /// which equals the sequential ascending-id order).
+  std::vector<std::vector<ObjectId>> BatchRangeQuery(
+      std::span<const QueryDistanceFn> queries, double epsilon,
+      const ExecContext& exec, StatsSink* sink) const override;
+
   std::vector<Neighbor> NearestNeighbors(const QueryDistanceFn& query,
                                          int32_t k,
                                          QueryStats* stats) const override;

@@ -7,6 +7,8 @@
 
 #include "subseq/core/check.h"
 #include "subseq/core/rng.h"
+#include "subseq/exec/parallel_for.h"
+#include "subseq/exec/stats_sink.h"
 #include "subseq/metric/knn.h"
 
 namespace subseq {
@@ -31,23 +33,30 @@ MvIndex::MvIndex(const DistanceOracle& oracle, MvIndexOptions options)
   }
 
   // Maximum-variance selection: score each candidate by the variance of
-  // its distances to the sample, take the top k.
-  std::vector<std::pair<double, ObjectId>> scored;
-  scored.reserve(static_cast<size_t>(pool));
-  for (int32_t c = 0; c < pool; ++c) {
-    const ObjectId cand = ids[static_cast<size_t>(c)];
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (int32_t s = 0; s < pool; ++s) {
-      const double d = oracle_.Distance(cand, ids[static_cast<size_t>(s)]);
-      ++build_stats_.distance_computations;
-      sum += d;
-      sum_sq += d * d;
-    }
-    const double mean = sum / pool;
-    const double var = sum_sq / pool - mean * mean;
-    scored.emplace_back(var, cand);
-  }
+  // its distances to the sample, take the top k. Candidates are scored in
+  // parallel chunks; each candidate's accumulation stays sequential over
+  // the sample, so every variance — and the selection — is identical at
+  // any thread count.
+  std::vector<std::pair<double, ObjectId>> scored(static_cast<size_t>(pool));
+  StatsSink build_sink;
+  ParallelFor(options_.exec, pool,
+              [&](int64_t lo, int64_t hi, int32_t) {
+                for (int64_t c = lo; c < hi; ++c) {
+                  const ObjectId cand = ids[static_cast<size_t>(c)];
+                  double sum = 0.0;
+                  double sum_sq = 0.0;
+                  for (int32_t s = 0; s < pool; ++s) {
+                    const double d =
+                        oracle_.Distance(cand, ids[static_cast<size_t>(s)]);
+                    sum += d;
+                    sum_sq += d * d;
+                  }
+                  const double mean = sum / pool;
+                  const double var = sum_sq / pool - mean * mean;
+                  scored[static_cast<size_t>(c)] = {var, cand};
+                }
+                build_sink.AddDistanceComputations((hi - lo) * pool);
+              });
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   references_.reserve(static_cast<size_t>(k));
@@ -55,16 +64,23 @@ MvIndex::MvIndex(const DistanceOracle& oracle, MvIndexOptions options)
     references_.push_back(scored[static_cast<size_t>(j)].second);
   }
 
-  // Precompute the n x k pivot table.
+  // Precompute the n x k pivot table, one chunk of rows per thread.
   table_.resize(static_cast<size_t>(n) * static_cast<size_t>(k));
-  for (int32_t x = 0; x < n; ++x) {
-    for (int32_t j = 0; j < k; ++j) {
-      table_[static_cast<size_t>(x) * static_cast<size_t>(k) +
-             static_cast<size_t>(j)] =
-          oracle_.Distance(x, references_[static_cast<size_t>(j)]);
-      ++build_stats_.distance_computations;
-    }
-  }
+  ParallelFor(
+      options_.exec, n,
+      [&](int64_t lo, int64_t hi, int32_t) {
+        for (int64_t x = lo; x < hi; ++x) {
+          for (int32_t j = 0; j < k; ++j) {
+            table_[static_cast<size_t>(x) * static_cast<size_t>(k) +
+                   static_cast<size_t>(j)] =
+                oracle_.Distance(static_cast<ObjectId>(x),
+                                 references_[static_cast<size_t>(j)]);
+          }
+        }
+        build_sink.AddDistanceComputations((hi - lo) * k);
+      },
+      /*grain=*/16);
+  build_stats_.distance_computations = build_sink.distance_computations();
 }
 
 std::vector<ObjectId> MvIndex::RangeQuery(const QueryDistanceFn& query,

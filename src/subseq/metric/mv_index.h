@@ -28,6 +28,10 @@ struct MvIndexOptions {
   int32_t sample_size = 200;
   /// Seed for candidate sampling.
   uint64_t seed = 42;
+  /// Thread budget for construction: the variance-scoring pass and the
+  /// n x k pivot-table fill are chunked over these threads. The index
+  /// built is identical at any setting.
+  ExecContext exec;
 };
 
 /// Pivot-table range index with maximum-variance reference selection.

@@ -1,0 +1,32 @@
+#include "subseq/metric/range_index.h"
+
+#include "subseq/exec/parallel_for.h"
+
+namespace subseq {
+
+std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
+    std::span<const QueryDistanceFn> queries, double epsilon,
+    const ExecContext& exec, StatsSink* sink) const {
+  std::vector<std::vector<ObjectId>> results(queries.size());
+  ParallelFor(exec, static_cast<int64_t>(queries.size()),
+              [&](int64_t begin, int64_t end, int32_t) {
+                std::vector<uint8_t> scratch;  // chunk-lifetime, reused
+                int64_t computations = 0;
+                int64_t result_count = 0;
+                for (int64_t i = begin; i < end; ++i) {
+                  QueryStats qs;
+                  results[static_cast<size_t>(i)] = RangeQueryWithScratch(
+                      queries[static_cast<size_t>(i)], epsilon, &qs,
+                      &scratch);
+                  computations += qs.distance_computations;
+                  result_count += qs.result_count;
+                }
+                if (sink != nullptr) {
+                  sink->AddDistanceComputations(computations);
+                  sink->AddResults(result_count);
+                }
+              });
+  return results;
+}
+
+}  // namespace subseq

@@ -10,9 +10,12 @@
 #define SUBSEQ_METRIC_RANGE_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "subseq/exec/exec_context.h"
+#include "subseq/exec/stats_sink.h"
 #include "subseq/metric/oracle.h"
 
 namespace subseq {
@@ -76,6 +79,20 @@ class RangeIndex {
                                            double epsilon,
                                            QueryStats* stats = nullptr) const = 0;
 
+  /// Executes a batch of range queries, result[i] answering queries[i].
+  /// The default implementation fans the batch out over exec's thread
+  /// budget; result[i] is element-wise identical to
+  /// RangeQuery(queries[i], epsilon) at any num_threads setting. `sink`
+  /// (optional) receives the batch's exact total distance-computation and
+  /// result counts. Backends override this for tuned execution (e.g.
+  /// intra-query sharding, scratch reuse) but must preserve per-query
+  /// result equality with RangeQuery. Query functions must be safe to
+  /// invoke from multiple threads (distances are thread-compatible by
+  /// contract; see SequenceDistance).
+  virtual std::vector<std::vector<ObjectId>> BatchRangeQuery(
+      std::span<const QueryDistanceFn> queries, double epsilon,
+      const ExecContext& exec = {}, StatsSink* sink = nullptr) const;
+
   /// Returns the k objects closest to the query, sorted by ascending
   /// distance. Exact for metric distances: the returned distance multiset
   /// is optimal; among objects tied exactly at the k-th distance the
@@ -90,6 +107,19 @@ class RangeIndex {
 
   /// Distance computations spent building the index.
   virtual BuildStats build_stats() const = 0;
+
+ protected:
+  /// Hook for the default BatchRangeQuery: answers one query given a
+  /// buffer that lives for a whole chunk of the batch. Backends with
+  /// per-query scratch (e.g. visited marks sized to the node count)
+  /// override this to reuse the allocation across a chunk's queries; the
+  /// default ignores the buffer and forwards to RangeQuery.
+  virtual std::vector<ObjectId> RangeQueryWithScratch(
+      const QueryDistanceFn& query, double epsilon, QueryStats* stats,
+      std::vector<uint8_t>* scratch) const {
+    (void)scratch;
+    return RangeQuery(query, epsilon, stats);
+  }
 };
 
 }  // namespace subseq

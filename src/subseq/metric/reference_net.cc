@@ -9,6 +9,7 @@
 #include "subseq/distance/distance.h"
 
 #include "subseq/core/check.h"
+#include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
 
 namespace subseq {
@@ -109,6 +110,45 @@ Status ReferenceNet::Insert(ObjectId id) {
     return d;
   };
 
+  // Batched variant of `dist`: computes every uncached node of `nis` at a
+  // common bound in one ParallelFor pass, then seeds the cache so the
+  // sequential decision scan below is pure lookups. Each distance lands
+  // in an index-addressed slot and the cache is filled on the calling
+  // thread, so the descent — and the finished net — is identical at any
+  // thread count. Tradeoff vs the old lazy scan: a duplicate insert
+  // (d == 0 found mid-level) now pays for the level's remaining
+  // candidates too; build_stats_ still counts exactly the oracle calls
+  // made, and stays deterministic in num_threads.
+  std::vector<int32_t> missing;
+  std::vector<double> missing_d;
+  auto batch_dist = [&](const std::vector<int32_t>& nis, double bound) {
+    missing.clear();
+    for (const int32_t ni : nis) {
+      if (cache.find(ni) == cache.end()) missing.push_back(ni);
+    }
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()),
+                  missing.end());
+    if (missing.empty()) return;
+    missing_d.resize(missing.size());
+    ParallelFor(
+        options_.exec, static_cast<int64_t>(missing.size()),
+        [&](int64_t lo, int64_t hi, int32_t) {
+          for (int64_t i = lo; i < hi; ++i) {
+            const size_t ni =
+                static_cast<size_t>(missing[static_cast<size_t>(i)]);
+            missing_d[static_cast<size_t>(i)] =
+                oracle_.DistanceBounded(id, nodes_[ni].object, bound);
+          }
+        },
+        /*grain=*/8);
+    build_stats_.distance_computations +=
+        static_cast<int64_t>(missing.size());
+    for (size_t i = 0; i < missing.size(); ++i) {
+      cache.emplace(missing[i], missing_d[i]);
+    }
+  };
+
   Node& root = nodes_[static_cast<size_t>(root_)];
   const double d_root = dist(root_, kInfiniteDistance);
   if (d_root == 0.0) {
@@ -136,6 +176,10 @@ Status ReferenceNet::Insert(ObjectId id) {
         for (const Edge& edge : *list) candidates.push_back(edge.child);
       }
     }
+
+    // Fan the level's candidate distances out before the sequential scan
+    // decides duplicates / coverage — this is the build's hot path.
+    batch_dist(candidates, Radius(level));
 
     std::vector<int32_t> wide_next;
     bool has_narrow = false;

@@ -43,6 +43,10 @@ struct ReferenceNetOptions {
   /// num_max — the maximum number of parent lists a node may appear in;
   /// 0 means unlimited (the paper's unconstrained variant).
   int32_t max_parents = 0;
+  /// Thread budget for construction: each insert batches its per-level
+  /// candidate-distance computations (the O(n * refs) hot path) over
+  /// these threads. The net built is identical at any setting.
+  ExecContext exec;
 };
 
 /// The reference net index. The oracle must outlive the index.

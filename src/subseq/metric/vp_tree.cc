@@ -6,6 +6,7 @@
 
 #include "subseq/core/check.h"
 #include "subseq/core/rng.h"
+#include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
 
 namespace subseq {
@@ -41,14 +42,24 @@ int32_t VpTree::BuildSubtree(std::vector<ObjectId>* ids, int32_t begin,
             (*ids)[static_cast<size_t>(pick)]);
   const ObjectId vantage = (*ids)[static_cast<size_t>(begin)];
 
-  // Distances of the remaining subset to the vantage point.
-  std::vector<std::pair<double, ObjectId>> by_distance;
-  by_distance.reserve(static_cast<size_t>(count - 1));
-  for (int32_t i = begin + 1; i < end; ++i) {
-    const double d = oracle_.Distance(vantage, (*ids)[static_cast<size_t>(i)]);
-    ++build_stats_.distance_computations;
-    by_distance.emplace_back(d, (*ids)[static_cast<size_t>(i)]);
-  }
+  // Distances of the remaining subset to the vantage point, chunked over
+  // the build threads. Each distance lands in its index-addressed slot,
+  // so the (distance, id) array — and with it the whole tree — is
+  // identical at any thread count.
+  std::vector<std::pair<double, ObjectId>> by_distance(
+      static_cast<size_t>(count - 1));
+  ParallelFor(
+      options_.exec, count - 1,
+      [&](int64_t lo, int64_t hi, int32_t) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const ObjectId id =
+              (*ids)[static_cast<size_t>(begin) + 1 + static_cast<size_t>(i)];
+          by_distance[static_cast<size_t>(i)] = {oracle_.Distance(vantage, id),
+                                                 id};
+        }
+      },
+      /*grain=*/16);
+  build_stats_.distance_computations += count - 1;
   std::sort(by_distance.begin(), by_distance.end());
   const size_t mid = by_distance.size() / 2;
   const double mu = by_distance.empty() ? 0.0 : by_distance[mid].first;

@@ -21,6 +21,10 @@ struct VpTreeOptions {
   int32_t leaf_size = 8;
   /// Seed for vantage-point sampling.
   uint64_t seed = 17;
+  /// Thread budget for construction: each node's subset-to-vantage
+  /// distance pass is chunked over these threads. The tree built is
+  /// identical at any setting.
+  ExecContext exec;
 };
 
 /// A static vantage-point tree built over all oracle objects at
