@@ -17,16 +17,28 @@ namespace subseq {
 
 /// std::thread::hardware_concurrency() with a floor of 1 — the single
 /// resolution point shared by ExecContext and the ThreadPool sizing.
+///
+/// Resolved exactly once per process and cached: hardware_concurrency()
+/// can be an OS call, and before this was hoisted every index build (and
+/// every ParallelFor chunk-budget computation) re-queried it on the hot
+/// path. The machine's core count cannot change under a running process,
+/// so one resolution serves all ExecContexts.
 inline int32_t ResolveHardwareConcurrency() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int32_t>(hw);
+  static const int32_t cached = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int32_t>(hw);
+  }();
+  return cached;
 }
 
 /// Execution configuration for parallel build and query paths.
 struct ExecContext {
   /// Worker-thread budget for parallel sections. 0 (the default) resolves
-  /// to the hardware concurrency; 1 keeps everything on the calling
-  /// thread.
+  /// to the hardware concurrency — once per process, see
+  /// ResolveHardwareConcurrency(); 1 keeps everything on the calling
+  /// thread. The budget caps how many *chunks* a parallel section splits
+  /// into, never how many pool workers exist, so results are identical at
+  /// any setting (the knob trades wall-clock time only).
   int32_t num_threads = 0;
 
   /// The effective thread budget (always >= 1).

@@ -39,6 +39,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::SubmitDetached(std::function<void()> task,
+                                std::function<void()> on_complete) {
+  Submit([task = std::move(task), on_complete = std::move(on_complete)] {
+    task();
+    if (on_complete) on_complete();
+  });
+}
+
 bool ThreadPool::InWorker() const { return current_worker_pool == this; }
 
 void ThreadPool::WorkerLoop() {

@@ -42,6 +42,16 @@ class ThreadPool {
   /// exception terminates the process.
   void Submit(std::function<void()> task);
 
+  /// Fire-and-forget with a completion hook: enqueues `task` and, after it
+  /// returns, invokes `on_complete` on the same worker. Unlike ParallelFor
+  /// the caller never blocks — this is the serving layer's dispatch path:
+  /// the MatchServer admission loop hands per-query tail work to the pool
+  /// and keeps admitting, and `on_complete` fulfills the query's future
+  /// and releases the server's in-flight accounting. `on_complete` may be
+  /// empty. Both callables must not throw.
+  void SubmitDetached(std::function<void()> task,
+                      std::function<void()> on_complete);
+
   /// True when the calling thread is one of this pool's workers. Parallel
   /// sections check this and run nested loops inline instead of
   /// deadlocking on their own pool.

@@ -7,7 +7,7 @@
 
 namespace subseq {
 
-std::vector<WindowChain> BuildChains(const std::vector<SegmentHit>& hits,
+std::vector<WindowChain> BuildChains(std::span<const SegmentHit> hits,
                                      const WindowCatalog& catalog) {
   // Collect, per window, the union of query segments that hit it.
   struct WindowInfo {

@@ -15,6 +15,7 @@
 #ifndef SUBSEQ_FRAME_CANDIDATES_H_
 #define SUBSEQ_FRAME_CANDIDATES_H_
 
+#include <span>
 #include <vector>
 
 #include "subseq/core/sequence.h"
@@ -59,7 +60,9 @@ struct WindowChain {
 
 /// Groups hits into maximal chains of consecutive windows per sequence.
 /// Chains are returned longest-first (the Type II verification order).
-std::vector<WindowChain> BuildChains(const std::vector<SegmentHit>& hits,
+/// Deterministic: the chain order depends only on the set of hit windows,
+/// not on the order of `hits`.
+std::vector<WindowChain> BuildChains(std::span<const SegmentHit> hits,
                                      const WindowCatalog& catalog);
 
 /// The paper's per-hit expansion region (Section 7, step 5).

@@ -106,28 +106,31 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
 }
 
 template <typename T>
-std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
-    std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
+SegmentQueryBatch SubsequenceMatcher<T>::MakeSegmentQueries(
+    std::span<const T> query, MatchQueryStats* stats) const {
   const int32_t l = catalog_->window_length();
-  const std::vector<Interval> segments = ExtractQuerySegments(
-      static_cast<int32_t>(query.size()), l - options_.lambda0,
-      l + options_.lambda0);
-
-  // Step 4 as ONE batch: a query function per segment, all issued to the
-  // index together. The index fans the batch out over options_.exec and
-  // accounts exactly through the sink.
-  std::vector<QueryDistanceFn> segment_queries;
-  segment_queries.reserve(segments.size());
-  for (const Interval& seg : segments) {
-    segment_queries.push_back(oracle_->SegmentQuery(
+  SegmentQueryBatch batch;
+  batch.segments = ExtractQuerySegments(static_cast<int32_t>(query.size()),
+                                        l - options_.lambda0,
+                                        l + options_.lambda0);
+  batch.queries.reserve(batch.segments.size());
+  for (const Interval& seg : batch.segments) {
+    batch.queries.push_back(oracle_->SegmentQuery(
         query.subspan(static_cast<size_t>(seg.begin),
                       static_cast<size_t>(seg.length()))));
   }
-  StatsSink sink;
-  const std::vector<std::vector<ObjectId>> batched =
-      index_->BatchRangeQuery(segment_queries, epsilon, options_.exec,
-                              &sink);
+  if (stats != nullptr) {
+    stats->segments += static_cast<int64_t>(batch.segments.size());
+  }
+  return batch;
+}
 
+template <typename T>
+std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
+    std::span<const T> query, std::span<const Interval> segments,
+    std::span<const std::span<const ObjectId>> batched,
+    const ExecContext& exec, MatchQueryStats* stats) const {
+  SUBSEQ_CHECK(batched.size() == segments.size());
   // Deterministic merge: hits land in (segment order, per-segment result
   // order) — batched[i] is already indexed by segment, so concatenation
   // is the stable segment-order sort, identical to issuing the segments
@@ -144,7 +147,7 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
   // Second parallel pass: the exact segment-to-window distances step 5
   // orders its verification by. Slot-addressed writes keep it
   // deterministic.
-  ParallelFor(options_.exec, static_cast<int64_t>(hits.size()),
+  ParallelFor(exec, static_cast<int64_t>(hits.size()),
               [&](int64_t lo, int64_t hi, int32_t) {
                 for (int64_t i = lo; i < hi; ++i) {
                   SegmentHit& hit = hits[static_cast<size_t>(i)];
@@ -156,13 +159,28 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
                 }
               },
               /*grain=*/8);
-
-  if (stats != nullptr) {
-    stats->segments += static_cast<int64_t>(segments.size());
-    stats->filter_computations += sink.distance_computations();
-    stats->hits += static_cast<int64_t>(hits.size());
-  }
+  if (stats != nullptr) stats->hits += static_cast<int64_t>(hits.size());
   return hits;
+}
+
+template <typename T>
+std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
+    std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
+  const SegmentQueryBatch batch = MakeSegmentQueries(query, stats);
+
+  // Step 4 as ONE batch: a query function per segment, all issued to the
+  // index together. The index fans the batch out over options_.exec and
+  // accounts exactly through the sink.
+  StatsSink sink;
+  const std::vector<std::vector<ObjectId>> batched =
+      index_->BatchRangeQuery(batch.queries, epsilon, options_.exec, &sink);
+  if (stats != nullptr) {
+    stats->filter_computations += sink.distance_computations();
+  }
+  const std::vector<std::span<const ObjectId>> views(batched.begin(),
+                                                     batched.end());
+  return MergeSegmentHits(query, batch.segments, views, options_.exec,
+                          stats);
 }
 
 template <typename T>
@@ -206,6 +224,13 @@ template <typename T>
 Result<std::vector<SubsequenceMatch>> SubsequenceMatcher<T>::RangeSearch(
     std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
   const std::vector<SegmentHit> hits = FilterSegments(query, epsilon, stats);
+  return RangeSearchFromHits(query, hits, epsilon, stats);
+}
+
+template <typename T>
+Result<std::vector<SubsequenceMatch>> SubsequenceMatcher<T>::RangeSearchFromHits(
+    std::span<const T> query, std::span<const SegmentHit> hits,
+    double epsilon, MatchQueryStats* stats) const {
   std::vector<SubsequenceMatch> matches;
   std::set<MatchKey> seen;
   int64_t budget = options_.max_verifications;
@@ -233,6 +258,15 @@ template <typename T>
 Result<std::optional<SubsequenceMatch>> SubsequenceMatcher<T>::LongestMatch(
     std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
   const std::vector<SegmentHit> hits = FilterSegments(query, epsilon, stats);
+  return LongestMatchFromHits(query, hits, epsilon, stats);
+}
+
+template <typename T>
+Result<std::optional<SubsequenceMatch>>
+SubsequenceMatcher<T>::LongestMatchFromHits(std::span<const T> query,
+                                            std::span<const SegmentHit> hits,
+                                            double epsilon,
+                                            MatchQueryStats* stats) const {
   const std::vector<WindowChain> chains = BuildChains(hits, *catalog_);
   if (stats != nullptr) stats->chains += static_cast<int64_t>(chains.size());
 

@@ -97,6 +97,20 @@ struct MatchQueryStats {
   int64_t verifications = 0;           // step-5 distance computations
 };
 
+/// Step 3 packaged for the index: the extracted query segments and,
+/// aligned one-to-one with them, the per-segment query distance
+/// functions ready to hand to RangeIndex::BatchRangeQuery. The functions
+/// capture views into the query the batch was made from, so the query
+/// storage must outlive the batch. Produced by
+/// SubsequenceMatcher::MakeSegmentQueries; the serving layer concatenates
+/// batches from many concurrent queries into one shared index call.
+struct SegmentQueryBatch {
+  /// Segment intervals within the query, in extraction order.
+  std::vector<Interval> segments;
+  /// queries[i] measures query[segments[i]] against database windows.
+  std::vector<QueryDistanceFn> queries;
+};
+
 /// The framework. Holds references to the database and the distance,
 /// which must outlive the matcher. Move-only.
 template <typename T>
@@ -112,9 +126,34 @@ class SubsequenceMatcher {
   SubsequenceMatcher& operator=(const SubsequenceMatcher&) = delete;
 
   /// Steps 3-4: all (query segment, window) pairs within epsilon.
+  /// Equivalent to MakeSegmentQueries + one BatchRangeQuery over
+  /// options().exec + MergeSegmentHits; callers that coalesce the filter
+  /// across queries (serve/MatchServer) use those entry points directly.
   std::vector<SegmentHit> FilterSegments(std::span<const T> query,
                                          double epsilon,
                                          MatchQueryStats* stats = nullptr) const;
+
+  /// Step 3 alone: extracts the query's segments and builds one index
+  /// query function per segment (the range-query constructions step 4
+  /// issues). Pure and thread-safe; `query`'s storage must outlive the
+  /// returned batch. `stats` (optional) receives the segment count.
+  SegmentQueryBatch MakeSegmentQueries(std::span<const T> query,
+                                       MatchQueryStats* stats = nullptr) const;
+
+  /// The deterministic hit merge behind step 4's output: demuxes batched
+  /// index results (batched[i] answering segments[i] — views into the
+  /// result of RangeIndex::BatchRangeQuery over a MakeSegmentQueries
+  /// batch, or any per-segment gather from a larger cross-query call;
+  /// views let the serving coalescer fan one shared result out to many
+  /// queries without copying) into SegmentHits in (segment order,
+  /// per-segment result order), then fills each hit's exact
+  /// segment-to-window distance, which step 5 orders verification by.
+  /// Results are element-wise identical at any `exec` setting. `stats`
+  /// (optional) receives the hit count. Thread-safe.
+  std::vector<SegmentHit> MergeSegmentHits(
+      std::span<const T> query, std::span<const Interval> segments,
+      std::span<const std::span<const ObjectId>> batched,
+      const ExecContext& exec, MatchQueryStats* stats = nullptr) const;
 
   /// Type I: every pair (SQ, SX) with |SQ| >= lambda, |SX| >= lambda,
   /// ||SQ| - |SX|| <= lambda0 and d(SQ, SX) <= epsilon.
@@ -122,11 +161,28 @@ class SubsequenceMatcher {
       std::span<const T> query, double epsilon,
       MatchQueryStats* stats = nullptr) const;
 
+  /// Step 5 of Type I from precomputed hits: expansion + verification of
+  /// `hits` (as produced by FilterSegments / MergeSegmentHits at this
+  /// epsilon). RangeSearch == FilterSegments + RangeSearchFromHits; the
+  /// serving layer calls this with hits demuxed from a coalesced filter.
+  /// `stats` accumulates verification counts only (the filter already
+  /// accounted for its own work). Thread-safe.
+  Result<std::vector<SubsequenceMatch>> RangeSearchFromHits(
+      std::span<const T> query, std::span<const SegmentHit> hits,
+      double epsilon, MatchQueryStats* stats = nullptr) const;
+
   /// Type II: a match maximizing |SQ| subject to the Type I constraints,
   /// or nullopt if no similar pair exists at this epsilon.
   Result<std::optional<SubsequenceMatch>> LongestMatch(
       std::span<const T> query, double epsilon,
       MatchQueryStats* stats = nullptr) const;
+
+  /// Step 5 of Type II from precomputed hits: chain building + the
+  /// longest-first chain search. LongestMatch == FilterSegments +
+  /// LongestMatchFromHits; same contract as RangeSearchFromHits.
+  Result<std::optional<SubsequenceMatch>> LongestMatchFromHits(
+      std::span<const T> query, std::span<const SegmentHit> hits,
+      double epsilon, MatchQueryStats* stats = nullptr) const;
 
   /// Type III (Section 7): binary-searches the smallest epsilon that
   /// produces any segment hit, then runs the Type II chain search at that

@@ -23,10 +23,11 @@ std::vector<ObjectId> LinearScan::RangeQuery(const QueryDistanceFn& query,
 
 std::vector<std::vector<ObjectId>> LinearScan::BatchRangeQuery(
     std::span<const QueryDistanceFn> queries, double epsilon,
-    const ExecContext& exec, StatsSink* sink) const {
+    const ExecContext& exec, StatsSink* sink, QueryStats* per_query) const {
   const int64_t num_queries = static_cast<int64_t>(queries.size());
   if (num_queries >= exec.ResolvedThreads()) {
-    return RangeIndex::BatchRangeQuery(queries, epsilon, exec, sink);
+    return RangeIndex::BatchRangeQuery(queries, epsilon, exec, sink,
+                                       per_query);
   }
   // Fewer queries than threads: shard each scan across object ranges.
   std::vector<std::vector<ObjectId>> results(queries.size());
@@ -50,6 +51,10 @@ std::vector<std::vector<ObjectId>> LinearScan::BatchRangeQuery(
     for (int32_t c = 0; c < chunks; ++c) {
       const std::vector<ObjectId>& part = parts[static_cast<size_t>(c)];
       merged.insert(merged.end(), part.begin(), part.end());
+    }
+    if (per_query != nullptr) {
+      per_query[q].distance_computations = num_objects_;
+      per_query[q].result_count = static_cast<int64_t>(merged.size());
     }
     if (sink != nullptr) {
       sink->AddDistanceComputations(num_objects_);

@@ -27,7 +27,8 @@ class LinearScan final : public RangeIndex {
   /// which equals the sequential ascending-id order).
   std::vector<std::vector<ObjectId>> BatchRangeQuery(
       std::span<const QueryDistanceFn> queries, double epsilon,
-      const ExecContext& exec, StatsSink* sink) const override;
+      const ExecContext& exec, StatsSink* sink,
+      QueryStats* per_query = nullptr) const override;
 
   std::vector<Neighbor> NearestNeighbors(const QueryDistanceFn& query,
                                          int32_t k,

@@ -6,7 +6,7 @@ namespace subseq {
 
 std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
     std::span<const QueryDistanceFn> queries, double epsilon,
-    const ExecContext& exec, StatsSink* sink) const {
+    const ExecContext& exec, StatsSink* sink, QueryStats* per_query) const {
   std::vector<std::vector<ObjectId>> results(queries.size());
   ParallelFor(exec, static_cast<int64_t>(queries.size()),
               [&](int64_t begin, int64_t end, int32_t) {
@@ -18,6 +18,9 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                   results[static_cast<size_t>(i)] = RangeQueryWithScratch(
                       queries[static_cast<size_t>(i)], epsilon, &qs,
                       &scratch);
+                  // Chunks cover disjoint index ranges: slot-addressed
+                  // per-query stats need no synchronization.
+                  if (per_query != nullptr) per_query[i] = qs;
                   computations += qs.distance_computations;
                   result_count += qs.result_count;
                 }

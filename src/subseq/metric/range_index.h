@@ -80,18 +80,34 @@ class RangeIndex {
                                            QueryStats* stats = nullptr) const = 0;
 
   /// Executes a batch of range queries, result[i] answering queries[i].
+  ///
+  /// Ordering guarantees (the serving layer's demux relies on these):
+  ///  * results are *batch-order addressed*: result[i] answers queries[i],
+  ///    regardless of thread budget, chunking, or which other queries
+  ///    share the batch;
+  ///  * result[i] is element-wise identical — same ids, same order — to
+  ///    RangeQuery(queries[i], epsilon) issued alone, at any
+  ///    exec.num_threads setting (batch composition never changes a
+  ///    query's answer, only wall-clock time);
+  ///  * per_query[i] (when requested) equals the QueryStats that the
+  ///    stand-alone RangeQuery(queries[i], ...) would report — queries in
+  ///    a batch do not share or amortize distance computations.
+  ///
   /// The default implementation fans the batch out over exec's thread
-  /// budget; result[i] is element-wise identical to
-  /// RangeQuery(queries[i], epsilon) at any num_threads setting. `sink`
-  /// (optional) receives the batch's exact total distance-computation and
-  /// result counts. Backends override this for tuned execution (e.g.
-  /// intra-query sharding, scratch reuse) but must preserve per-query
-  /// result equality with RangeQuery. Query functions must be safe to
-  /// invoke from multiple threads (distances are thread-compatible by
-  /// contract; see SequenceDistance).
+  /// budget in contiguous index-ordered chunks. `sink` (optional)
+  /// receives the batch's exact total distance-computation and result
+  /// counts; `per_query` (optional) must point to `queries.size()`
+  /// writable QueryStats and receives the same accounting split per
+  /// query, so multi-tenant callers (MatchServer) can bill each query
+  /// exactly even though the batch executed as one shared call. Backends
+  /// override this for tuned execution (e.g. intra-query sharding,
+  /// scratch reuse) but must preserve all three guarantees above. Query
+  /// functions must be safe to invoke from multiple threads (distances
+  /// are thread-compatible by contract; see SequenceDistance).
   virtual std::vector<std::vector<ObjectId>> BatchRangeQuery(
       std::span<const QueryDistanceFn> queries, double epsilon,
-      const ExecContext& exec = {}, StatsSink* sink = nullptr) const;
+      const ExecContext& exec = {}, StatsSink* sink = nullptr,
+      QueryStats* per_query = nullptr) const;
 
   /// Returns the k objects closest to the query, sorted by ascending
   /// distance. Exact for metric distances: the returned distance multiset

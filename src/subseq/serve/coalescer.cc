@@ -1,0 +1,171 @@
+#include "subseq/serve/coalescer.h"
+
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "subseq/core/check.h"
+#include "subseq/exec/stats_sink.h"
+
+namespace subseq {
+
+namespace {
+
+// Bitwise identity of a segment's elements — the cross-query sharing
+// key. Bit-equal segments define pointwise-equal query distance
+// functions, so one index call answers all of them; bitwise comparison
+// is conservative (a false negative only costs a missed share, never a
+// wrong answer). Element types are trivially copyable and padding-free
+// (char, double, Point2d = {double, double}), so memcmp over the raw
+// bytes is exact.
+struct SegmentKey {
+  const char* data = nullptr;
+  size_t bytes = 0;
+
+  bool operator==(const SegmentKey& other) const {
+    return bytes == other.bytes &&
+           std::memcmp(data, other.data, bytes) == 0;
+  }
+};
+
+struct SegmentKeyHash {
+  size_t operator()(const SegmentKey& key) const {
+    // FNV-1a over the element bytes.
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < key.bytes; ++i) {
+      h ^= static_cast<uint64_t>(static_cast<unsigned char>(key.data[i]));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::vector<CoalesceGroup> PlanCoalesce(std::span<const CoalesceKey> keys) {
+  std::vector<CoalesceGroup> groups;
+  // Linear probe over open groups: batches are small (an admission round)
+  // and kinds x epsilons few, so a map would be overkill.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const CoalesceKey& key = keys[i];
+    if (key.coalescable) {
+      CoalesceGroup* open = nullptr;
+      for (CoalesceGroup& g : groups) {
+        if (g.coalescable && g.kind == key.kind && g.epsilon == key.epsilon) {
+          open = &g;
+          break;
+        }
+      }
+      if (open == nullptr) {
+        groups.push_back(CoalesceGroup{key.kind, key.epsilon, true, {}});
+        open = &groups.back();
+      }
+      open->members.push_back(i);
+    } else {
+      groups.push_back(CoalesceGroup{key.kind, key.epsilon, false, {i}});
+    }
+  }
+  return groups;
+}
+
+template <typename T>
+CoalescedFilter CoalescedFilterSegments(
+    const SubsequenceMatcher<T>& matcher,
+    std::span<const std::span<const T>> queries, double epsilon) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "segment dedup compares raw element bytes");
+  const size_t num_members = queries.size();
+  CoalescedFilter out;
+  out.hits.resize(num_members);
+  out.stats.resize(num_members);
+
+  // Step 3 per member, concatenated into one flat batch. offsets[m] is
+  // the first flat slot owned by member m; slot ownership therefore
+  // depends only on per-member segment counts, never on scheduling.
+  std::vector<SegmentQueryBatch> batches;
+  batches.reserve(num_members);
+  std::vector<size_t> offsets(num_members + 1, 0);
+  for (size_t m = 0; m < num_members; ++m) {
+    batches.push_back(
+        matcher.MakeSegmentQueries(queries[m], &out.stats[m]));
+    offsets[m + 1] = offsets[m] + batches[m].queries.size();
+  }
+  const size_t total_segments = offsets[num_members];
+  out.segments_total = static_cast<int64_t>(total_segments);
+
+  // Cross-query sharing: bit-identical segments (overlapping cuts, hot
+  // repeated queries — the serving regime) are issued to the index once.
+  // unique_slot[f] maps flat slot f to its representative's position in
+  // the unique batch; first appearance (ascending flat order) defines
+  // that position, so the unique batch is deterministic.
+  std::vector<size_t> unique_slot(total_segments);
+  std::vector<QueryDistanceFn> unique_queries;
+  std::unordered_map<SegmentKey, size_t, SegmentKeyHash> seen;
+  seen.reserve(total_segments);
+  for (size_t m = 0, f = 0; m < num_members; ++m) {
+    for (size_t j = 0; j < batches[m].segments.size(); ++j, ++f) {
+      const Interval& seg = batches[m].segments[j];
+      const std::span<const T> view = queries[m].subspan(
+          static_cast<size_t>(seg.begin), static_cast<size_t>(seg.length()));
+      const SegmentKey key{reinterpret_cast<const char*>(view.data()),
+                           view.size_bytes()};
+      const auto [it, inserted] = seen.emplace(key, unique_queries.size());
+      if (inserted) {
+        unique_queries.push_back(std::move(batches[m].queries[j]));
+      }
+      unique_slot[f] = it->second;
+    }
+  }
+  out.segments_unique = static_cast<int64_t>(unique_queries.size());
+
+  // Step 4 as ONE call over the unique segments. The shared sink totals
+  // the work actually executed; per_query splits it back out per unique
+  // segment so every member — including ones whose segments were
+  // answered by a representative — is billed exactly what its
+  // stand-alone filter would have cost.
+  StatsSink sink;
+  std::vector<QueryStats> per_query(unique_queries.size());
+  const std::vector<std::vector<ObjectId>> batched =
+      matcher.index().BatchRangeQuery(unique_queries, epsilon,
+                                      matcher.options().exec, &sink,
+                                      per_query.data());
+  out.total_filter_computations = sink.distance_computations();
+
+  // Demux: member m owns flat slots [offsets[m], offsets[m+1]), each
+  // redirected through its unique representative. Views into the shared
+  // result array — a segment answered once fans out to every owner
+  // without copying the id lists.
+  std::vector<std::span<const ObjectId>> member_results;
+  for (size_t m = 0; m < num_members; ++m) {
+    const size_t count = batches[m].segments.size();
+    member_results.assign(count, {});
+    for (size_t j = 0; j < count; ++j) {
+      const size_t u = unique_slot[offsets[m] + j];
+      member_results[j] = batched[u];
+      out.stats[m].filter_computations += per_query[u].distance_computations;
+      out.billed_filter_computations += per_query[u].distance_computations;
+    }
+    out.hits[m] = matcher.MergeSegmentHits(queries[m], batches[m].segments,
+                                           member_results,
+                                           matcher.options().exec,
+                                           &out.stats[m]);
+  }
+  // Billing invariant: sharing only ever removes work, and with nothing
+  // shared the billed and executed totals coincide.
+  SUBSEQ_CHECK(out.billed_filter_computations >=
+               out.total_filter_computations);
+  return out;
+}
+
+template CoalescedFilter CoalescedFilterSegments<char>(
+    const SubsequenceMatcher<char>&, std::span<const std::span<const char>>,
+    double);
+template CoalescedFilter CoalescedFilterSegments<double>(
+    const SubsequenceMatcher<double>&,
+    std::span<const std::span<const double>>, double);
+template CoalescedFilter CoalescedFilterSegments<Point2d>(
+    const SubsequenceMatcher<Point2d>&,
+    std::span<const std::span<const Point2d>>, double);
+
+}  // namespace subseq

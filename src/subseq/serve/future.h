@@ -1,0 +1,101 @@
+// Promise/Future — the completion channel between the MatchServer's
+// detached execution and its clients.
+//
+// A deliberately small, exception-free alternative to std::future: the
+// library never throws, so there is no exception slot; Wait/Get never
+// spuriously invalidate; and the shared state is a plain
+// mutex + condition_variable cell, cheap enough to mint one per admitted
+// query. The producer side (Promise) lives inside the server's detached
+// completion callbacks (ThreadPool::SubmitDetached); the consumer side
+// (Future) is returned from MatchServer::Submit.
+
+#ifndef SUBSEQ_SERVE_FUTURE_H_
+#define SUBSEQ_SERVE_FUTURE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+/// The consumer end of a single-value completion channel. Copyable
+/// (copies observe the same value); default-constructed futures are
+/// invalid until obtained from a Promise.
+template <typename V>
+class Future {
+ public:
+  Future() = default;
+
+  /// True once the value has been set. Non-blocking.
+  bool Ready() const {
+    SUBSEQ_CHECK(state_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Blocks until the value is set.
+  void Wait() const {
+    SUBSEQ_CHECK(state_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->value.has_value(); });
+  }
+
+  /// Blocks until the value is set and moves it out. At most one Get per
+  /// underlying promise across all copies of the future (checked).
+  V Get() {
+    SUBSEQ_CHECK(state_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->value.has_value(); });
+    SUBSEQ_CHECK(!state_->taken);
+    state_->taken = true;
+    V out = std::move(*state_->value);
+    return out;
+  }
+
+ private:
+  template <typename>
+  friend class Promise;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<V> value;
+    bool taken = false;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// The producer end: Set exactly once; every future copy wakes.
+template <typename V>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<typename Future<V>::State>()) {}
+
+  /// The future observing this promise. May be called repeatedly.
+  Future<V> GetFuture() const { return Future<V>(state_); }
+
+  /// Publishes the value and wakes all waiters. Must be called exactly
+  /// once (checked).
+  void Set(V value) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      SUBSEQ_CHECK(!state_->value.has_value());
+      state_->value.emplace(std::move(value));
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<typename Future<V>::State> state_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SERVE_FUTURE_H_

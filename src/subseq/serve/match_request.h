@@ -1,0 +1,76 @@
+// MatchRequest / MatchResult — the serving subsystem's wire types.
+//
+// A MatchRequest is a self-contained, owned description of one matcher
+// query (the library's RangeSearch / LongestMatch / NearestMatch calls,
+// reified as data so they can sit in a queue). A MatchResult carries the
+// outcome plus the same per-query accounting the library reports — the
+// serving contract is that a request answered through the MatchServer is
+// element-wise identical, matches and stats, to the same call made
+// directly on a SubsequenceMatcher.
+
+#ifndef SUBSEQ_SERVE_MATCH_REQUEST_H_
+#define SUBSEQ_SERVE_MATCH_REQUEST_H_
+
+#include <optional>
+#include <vector>
+
+#include "subseq/core/status.h"
+#include "subseq/frame/matcher.h"
+
+namespace subseq {
+
+/// Which of the paper's three query types a request runs (Section 3.2).
+enum class MatchQueryType {
+  /// Type I — every similar pair at `epsilon` (RangeSearch).
+  kRangeSearch,
+  /// Type II — a longest similar pair at `epsilon` (LongestMatch).
+  kLongestMatch,
+  /// Type III — a closest pair, searching up to `epsilon_max` in steps of
+  /// `epsilon_increment` (NearestMatch). Runs its own multi-round filter
+  /// schedule, so it is dispatched whole rather than coalesced.
+  kNearestMatch,
+};
+
+/// One queued matcher query. The request owns its query elements: unlike
+/// the library's span-based calls, a submitted request outlives the
+/// caller's stack frame, so the elements travel with it.
+template <typename T>
+struct MatchRequest {
+  /// Query type; selects which of epsilon / epsilon_max / epsilon_increment
+  /// apply.
+  MatchQueryType type = MatchQueryType::kRangeSearch;
+  /// The query sequence (owned).
+  std::vector<T> query;
+  /// Similarity threshold for kRangeSearch / kLongestMatch.
+  double epsilon = 0.0;
+  /// kNearestMatch: largest distance worth reporting.
+  double epsilon_max = 0.0;
+  /// kNearestMatch: resolution of the distance search (> 0).
+  double epsilon_increment = 0.0;
+  /// Index backend to answer through. Must be one of the kinds the server
+  /// was started with; nullopt uses the server's first configured kind.
+  std::optional<IndexKind> index_kind;
+};
+
+/// The outcome of one request.
+struct MatchResult {
+  /// OK, or the library error the underlying call produced (e.g.
+  /// OutOfRange when Type I exceeds max_verifications, InvalidArgument
+  /// for a bad request). Non-OK results leave the payload fields
+  /// (matches / best) empty; `stats` still reports the work done up to
+  /// the error, exactly as the direct library call would have left its
+  /// stats out-param.
+  Status status;
+  /// kRangeSearch: every verified pair. Empty for the other types.
+  std::vector<SubsequenceMatch> matches;
+  /// kLongestMatch / kNearestMatch: the best pair, or nullopt when no
+  /// pair exists within the thresholds.
+  std::optional<SubsequenceMatch> best;
+  /// Exact pipeline accounting, identical to what the direct library
+  /// call reports into its MatchQueryStats out-param.
+  MatchQueryStats stats;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SERVE_MATCH_REQUEST_H_

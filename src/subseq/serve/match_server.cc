@@ -1,0 +1,305 @@
+#include "subseq/serve/match_server.h"
+
+#include <algorithm>
+#include <string>
+
+#include "subseq/core/check.h"
+#include "subseq/exec/thread_pool.h"
+
+namespace subseq {
+
+namespace {
+
+MatchResult ErrorResult(Status status) {
+  MatchResult result;
+  result.status = std::move(status);
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+Result<std::unique_ptr<MatchServer<T>>> MatchServer<T>::Start(
+    const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+    MatchServerOptions options) {
+  std::vector<IndexKind> kinds = options.index_kinds;
+  if (kinds.empty()) kinds.push_back(options.matcher.index_kind);
+  // Dedupe preserving configuration order.
+  std::vector<IndexKind> unique_kinds;
+  for (const IndexKind kind : kinds) {
+    if (std::find(unique_kinds.begin(), unique_kinds.end(), kind) ==
+        unique_kinds.end()) {
+      unique_kinds.push_back(kind);
+    }
+  }
+
+  auto server = std::unique_ptr<MatchServer<T>>(new MatchServer<T>());
+  server->max_batch_ = options.max_batch;
+  for (const IndexKind kind : unique_kinds) {
+    MatcherOptions matcher_options = options.matcher;
+    matcher_options.index_kind = kind;
+    auto matcher = SubsequenceMatcher<T>::Build(db, dist, matcher_options);
+    SUBSEQ_RETURN_NOT_OK(matcher.status());
+    server->kinds_.push_back(kind);
+    server->matchers_.push_back(std::move(matcher).ValueOrDie());
+  }
+  server->service_ = std::thread([raw = server.get()] { raw->ServeLoop(); });
+  return server;
+}
+
+template <typename T>
+MatchServer<T>::~MatchServer() {
+  Shutdown();
+}
+
+template <typename T>
+void MatchServer<T>::Shutdown() {
+  queue_.Close();
+  {
+    // Serialize the join: concurrent Shutdown callers all block here
+    // until the service thread has exited and stopped dispatching.
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (service_.joinable()) service_.join();
+  }
+  // Wait for the last detached completion callback. After this, no task
+  // references the server.
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+template <typename T>
+const SubsequenceMatcher<T>* MatchServer<T>::matcher(IndexKind kind) const {
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == kind) return matchers_[i].get();
+  }
+  return nullptr;
+}
+
+template <typename T>
+ServeStats MatchServer<T>::stats() const {
+  ServeStats s;
+  s.queries_admitted = queries_admitted_.load(std::memory_order_relaxed);
+  s.admission_batches = admission_batches_.load(std::memory_order_relaxed);
+  s.filter_calls = filter_calls_.load(std::memory_order_relaxed);
+  s.coalesced_queries = coalesced_queries_.load(std::memory_order_relaxed);
+  s.filter_computations =
+      filter_computations_.load(std::memory_order_relaxed);
+  s.billed_filter_computations =
+      billed_filter_computations_.load(std::memory_order_relaxed);
+  s.segments_shared = segments_shared_.load(std::memory_order_relaxed);
+  return s;
+}
+
+template <typename T>
+Future<MatchResult> MatchServer<T>::Submit(MatchRequest<T> request) {
+  Pending pending;
+  pending.request = std::move(request);
+  Future<MatchResult> future = pending.promise.GetFuture();
+  Promise<MatchResult> promise = pending.promise;
+  if (!queue_.Push(std::move(pending))) {
+    promise.Set(ErrorResult(
+        Status::Internal("MatchServer: submitted after Shutdown")));
+  }
+  return future;
+}
+
+template <typename T>
+void MatchServer<T>::ServeLoop() {
+  std::vector<Pending> batch;
+  while (queue_.DrainWait(&batch, max_batch_)) {
+    admission_batches_.fetch_add(1, std::memory_order_relaxed);
+    queries_admitted_.fetch_add(static_cast<int64_t>(batch.size()),
+                                std::memory_order_relaxed);
+    ServeBatch(&batch);
+  }
+}
+
+template <typename T>
+void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
+  // Resolve each request's pipeline; requests naming an unconfigured
+  // kind fail fast and drop out of the plan.
+  const size_t n = batch->size();
+  std::vector<const SubsequenceMatcher<T>*> pipelines(n, nullptr);
+  std::vector<CoalesceKey> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    Pending& p = (*batch)[i];
+    const IndexKind kind = p.request.index_kind.value_or(kinds_.front());
+    pipelines[i] = matcher(kind);
+    if (pipelines[i] == nullptr) {
+      p.promise.Set(ErrorResult(Status::InvalidArgument(
+          "MatchRequest names an IndexKind the server was not started "
+          "with")));
+      continue;
+    }
+    keys[i].kind = kind;
+    keys[i].coalescable = p.request.type != MatchQueryType::kNearestMatch;
+    keys[i].epsilon = p.request.epsilon;
+  }
+
+  // Plan over the surviving requests (their original batch indices).
+  std::vector<size_t> alive;
+  std::vector<CoalesceKey> alive_keys;
+  for (size_t i = 0; i < n; ++i) {
+    if (pipelines[i] != nullptr) {
+      alive.push_back(i);
+      alive_keys.push_back(keys[i]);
+    }
+  }
+  const std::vector<CoalesceGroup> groups = PlanCoalesce(alive_keys);
+
+  for (const CoalesceGroup& group : groups) {
+    if (!group.coalescable) {
+      // Type III runs its own filter schedule; dispatch it whole.
+      SUBSEQ_CHECK(group.members.size() == 1);
+      Pending& p = (*batch)[alive[group.members.front()]];
+      const SubsequenceMatcher<T>* m = pipelines[alive[group.members.front()]];
+      Dispatch(
+          [this, m, request = std::move(p.request)] {
+            return RunDirect(*m, request);
+          },
+          p.promise);
+      continue;
+    }
+
+    // The shared filter call: steps 3-4 for every member at once. Runs
+    // here on the service thread (its parallelism is inside the index);
+    // meanwhile new submissions accumulate in the queue for the next
+    // round — that backlog is what the next shared call coalesces.
+    const SubsequenceMatcher<T>* m = pipelines[alive[group.members.front()]];
+    std::vector<std::span<const T>> views;
+    views.reserve(group.members.size());
+    for (const size_t member : group.members) {
+      const std::vector<T>& q = (*batch)[alive[member]].request.query;
+      views.push_back(std::span<const T>(q));
+    }
+    CoalescedFilter filtered = CoalescedFilterSegments(
+        *m, std::span<const std::span<const T>>(views), group.epsilon);
+    filter_calls_.fetch_add(1, std::memory_order_relaxed);
+    filter_computations_.fetch_add(filtered.total_filter_computations,
+                                   std::memory_order_relaxed);
+    billed_filter_computations_.fetch_add(
+        filtered.billed_filter_computations, std::memory_order_relaxed);
+    segments_shared_.fetch_add(
+        filtered.segments_total - filtered.segments_unique,
+        std::memory_order_relaxed);
+    if (group.members.size() > 1) {
+      coalesced_queries_.fetch_add(
+          static_cast<int64_t>(group.members.size()),
+          std::memory_order_relaxed);
+    }
+
+    // Step 5 per member, detached: the loop moves on to the next group /
+    // admission round while pool workers verify.
+    for (size_t g = 0; g < group.members.size(); ++g) {
+      Pending& p = (*batch)[alive[group.members[g]]];
+      Dispatch(
+          [this, m, request = std::move(p.request),
+           hits = std::move(filtered.hits[g]),
+           filter_stats = filtered.stats[g]] {
+            return RunFromHits(*m, request, hits, filter_stats);
+          },
+          p.promise);
+    }
+  }
+}
+
+template <typename T>
+void MatchServer<T>::Dispatch(std::function<MatchResult()> work,
+                              Promise<MatchResult> promise) {
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  ThreadPool::Shared().SubmitDetached(
+      [work = std::move(work), promise]() mutable {
+        promise.Set(work());
+      },
+      [this] {
+        // Decrement under the mutex (as ParallelFor does): were the
+        // count dropped first, Shutdown's waiter could observe 0 and
+        // destroy the server before this callback touches idle_mu_.
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          idle_cv_.notify_all();
+        }
+      });
+}
+
+template <typename T>
+MatchResult MatchServer<T>::RunDirect(const SubsequenceMatcher<T>& m,
+                                      const MatchRequest<T>& request) const {
+  MatchResult result;
+  const std::span<const T> query(request.query);
+  switch (request.type) {
+    case MatchQueryType::kRangeSearch: {
+      auto r = m.RangeSearch(query, request.epsilon, &result.stats);
+      if (!r.ok()) {
+        result.status = r.status();
+        return result;  // stats keep the work done before the error
+      }
+      result.matches = std::move(r).ValueOrDie();
+      break;
+    }
+    case MatchQueryType::kLongestMatch: {
+      auto r = m.LongestMatch(query, request.epsilon, &result.stats);
+      if (!r.ok()) {
+        result.status = r.status();
+        return result;  // stats keep the work done before the error
+      }
+      result.best = std::move(r).ValueOrDie();
+      break;
+    }
+    case MatchQueryType::kNearestMatch: {
+      auto r = m.NearestMatch(query, request.epsilon_max,
+                              request.epsilon_increment, &result.stats);
+      if (!r.ok()) {
+        result.status = r.status();
+        return result;  // stats keep the work done before the error
+      }
+      result.best = std::move(r).ValueOrDie();
+      break;
+    }
+  }
+  return result;
+}
+
+template <typename T>
+MatchResult MatchServer<T>::RunFromHits(
+    const SubsequenceMatcher<T>& m, const MatchRequest<T>& request,
+    const std::vector<SegmentHit>& hits, MatchQueryStats filter_stats) const {
+  MatchResult result;
+  result.stats = filter_stats;
+  const std::span<const T> query(request.query);
+  switch (request.type) {
+    case MatchQueryType::kRangeSearch: {
+      auto r =
+          m.RangeSearchFromHits(query, hits, request.epsilon, &result.stats);
+      if (!r.ok()) {
+        result.status = r.status();
+        return result;  // stats keep the work done before the error
+      }
+      result.matches = std::move(r).ValueOrDie();
+      break;
+    }
+    case MatchQueryType::kLongestMatch: {
+      auto r =
+          m.LongestMatchFromHits(query, hits, request.epsilon, &result.stats);
+      if (!r.ok()) {
+        result.status = r.status();
+        return result;  // stats keep the work done before the error
+      }
+      result.best = std::move(r).ValueOrDie();
+      break;
+    }
+    case MatchQueryType::kNearestMatch:
+      // Planned non-coalescable; cannot reach here.
+      SUBSEQ_CHECK(false);
+      break;
+  }
+  return result;
+}
+
+template class MatchServer<char>;
+template class MatchServer<double>;
+template class MatchServer<Point2d>;
+
+}  // namespace subseq

@@ -1,0 +1,185 @@
+// MatchServer<T> — the serving subsystem: many concurrent clients, one
+// engine.
+//
+// PR 1 made the matcher a parallel *library*: one call uses all cores.
+// The MatchServer is the step to *serving*: it owns the window catalog
+// (steps 1-2, built once) with one prebuilt index per configured
+// IndexKind, admits queries from any number of client threads, and runs
+// an admission/coalescing loop on a dedicated service thread:
+//
+//   clients --Submit--> RequestQueue --DrainWait--> admission batch
+//     -> PlanCoalesce: group by (IndexKind, epsilon)
+//     -> CoalescedFilterSegments: ONE shared BatchRangeQuery per group,
+//        per-query demux of hits + per-query stats split
+//     -> per-query step 5 (verification) dispatched to the ThreadPool
+//        via SubmitDetached; the completion callback fulfills the
+//        query's Future — the loop never blocks on verification and
+//        immediately drains the arrivals that accumulated meanwhile.
+//
+// Serving contract (the same determinism bar as the library): a request
+// answered through the server is element-wise identical — matches,
+// best-pair, and every MatchQueryStats field — to the same call made
+// directly on a SubsequenceMatcher with the same options, at any
+// concurrency level and any exec.num_threads setting. Coalescing, like
+// threading, buys wall-clock time only.
+
+#ifndef SUBSEQ_SERVE_MATCH_SERVER_H_
+#define SUBSEQ_SERVE_MATCH_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "subseq/core/sequence.h"
+#include "subseq/core/status.h"
+#include "subseq/frame/matcher.h"
+#include "subseq/serve/coalescer.h"
+#include "subseq/serve/future.h"
+#include "subseq/serve/match_request.h"
+#include "subseq/serve/request_queue.h"
+
+namespace subseq {
+
+/// Server configuration.
+struct MatchServerOptions {
+  /// Framework parameters shared by every index the server builds
+  /// (lambda, lambda0, per-index tunables, exec). matcher.index_kind is
+  /// superseded by `index_kinds` and only consulted as the default when
+  /// `index_kinds` is empty.
+  MatcherOptions matcher;
+  /// The index backends to prebuild, one matcher pipeline each; requests
+  /// pick one via MatchRequest::index_kind (default: the first entry).
+  /// Empty defaults to {matcher.index_kind}. Duplicates are ignored.
+  std::vector<IndexKind> index_kinds;
+  /// Cap on requests admitted per coalescing round; 0 = drain everything
+  /// pending. Bounds per-round memory under extreme backlog.
+  size_t max_batch = 0;
+};
+
+/// Aggregate serving counters; snapshot via MatchServer::stats().
+struct ServeStats {
+  /// Requests admitted into the coalescing loop.
+  int64_t queries_admitted = 0;
+  /// DrainWait rounds that admitted at least one request.
+  int64_t admission_batches = 0;
+  /// Shared BatchRangeQuery calls issued (one per coalesced group).
+  int64_t filter_calls = 0;
+  /// Requests whose filter shared a call with at least one other request
+  /// — the cross-query coalescing the server exists for.
+  int64_t coalesced_queries = 0;
+  /// Index distance computations actually executed across all shared
+  /// filter calls.
+  int64_t filter_computations = 0;
+  /// What the same filters would have cost run stand-alone (the sum of
+  /// every request's reported MatchQueryStats::filter_computations). The
+  /// gap to `filter_computations` is the work cross-query segment
+  /// sharing eliminated.
+  int64_t billed_filter_computations = 0;
+  /// Segment queries answered through a bit-identical representative
+  /// instead of their own index traversal — usually contributed by a
+  /// concurrent query; a query's own internal repeats also count.
+  int64_t segments_shared = 0;
+};
+
+/// The serving frontend over one sequence database. Move-pinned (neither
+/// copyable nor movable): worker closures hold `this`. `db` and `dist`
+/// must outlive the server. Thread-safe: Submit from any thread.
+template <typename T>
+class MatchServer {
+ public:
+  /// Builds the window catalog and one index per configured kind (the
+  /// offline steps 1-2, run once here), then starts the service thread.
+  /// Fails on invalid options, exactly like SubsequenceMatcher::Build.
+  static Result<std::unique_ptr<MatchServer<T>>> Start(
+      const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+      MatchServerOptions options = {});
+
+  /// Drains and stops (Shutdown), then tears down the indexes.
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Enqueues one request; the returned future completes when the answer
+  /// is ready. Never blocks on other queries' work. Requests submitted
+  /// after Shutdown complete immediately with an error status. Callable
+  /// from any number of threads concurrently.
+  Future<MatchResult> Submit(MatchRequest<T> request);
+
+  /// Stops admitting, drains every queued and in-flight request to
+  /// completion (their futures all complete), and joins the service
+  /// thread. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// The prebuilt pipeline for one configured kind (nullptr if the kind
+  /// was not configured). The window catalog is shared state: every
+  /// kind's pipeline partitions the database identically.
+  const SubsequenceMatcher<T>* matcher(IndexKind kind) const;
+
+  /// The configured kinds, in configuration order (requests default to
+  /// the first).
+  const std::vector<IndexKind>& index_kinds() const { return kinds_; }
+
+  /// Aggregate serving counters so far. Exact once quiescent (after
+  /// Shutdown or with no request in flight); monotonic always.
+  ServeStats stats() const;
+
+ private:
+  struct Pending {
+    MatchRequest<T> request;
+    Promise<MatchResult> promise;
+  };
+
+  MatchServer() = default;
+
+  /// The admission/coalescing loop body (service thread).
+  void ServeLoop();
+  /// Plans and executes one admission batch.
+  void ServeBatch(std::vector<Pending>* batch);
+  /// Hands one request's remaining work to the pool as a detached task.
+  void Dispatch(std::function<MatchResult()> work, Promise<MatchResult> promise);
+  /// Runs a request whole through the library (Type III and fallbacks).
+  MatchResult RunDirect(const SubsequenceMatcher<T>& m,
+                        const MatchRequest<T>& request) const;
+  /// Step 5 for a request whose filter was coalesced.
+  MatchResult RunFromHits(const SubsequenceMatcher<T>& m,
+                          const MatchRequest<T>& request,
+                          const std::vector<SegmentHit>& hits,
+                          MatchQueryStats filter_stats) const;
+
+  std::vector<IndexKind> kinds_;
+  std::vector<std::unique_ptr<SubsequenceMatcher<T>>> matchers_;  // by kinds_
+  size_t max_batch_ = 0;
+
+  RequestQueue<Pending> queue_;
+  std::thread service_;
+  std::mutex shutdown_mu_;
+
+  // Detached-task accounting: Shutdown waits until the last completion
+  // callback has run.
+  std::atomic<int64_t> in_flight_{0};
+  mutable std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  std::atomic<int64_t> queries_admitted_{0};
+  std::atomic<int64_t> admission_batches_{0};
+  std::atomic<int64_t> filter_calls_{0};
+  std::atomic<int64_t> coalesced_queries_{0};
+  std::atomic<int64_t> filter_computations_{0};
+  std::atomic<int64_t> billed_filter_computations_{0};
+  std::atomic<int64_t> segments_shared_{0};
+};
+
+extern template class MatchServer<char>;
+extern template class MatchServer<double>;
+extern template class MatchServer<Point2d>;
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SERVE_MATCH_SERVER_H_

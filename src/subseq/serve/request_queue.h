@@ -1,0 +1,88 @@
+// RequestQueue — the MatchServer's admission queue.
+//
+// A minimal multi-producer / single-consumer blocking queue. Producers
+// (client threads inside MatchServer::Submit) push one item and return;
+// the single consumer (the server's admission loop) drains *everything*
+// pending in one wait, which is what turns concurrent arrivals into
+// coalescable batches: while one batch is being filtered, new arrivals
+// pile up here and the next drain admits them together.
+
+#ifndef SUBSEQ_SERVE_REQUEST_QUEUE_H_
+#define SUBSEQ_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace subseq {
+
+/// Unbounded MPSC blocking queue. `Item` must be movable.
+template <typename Item>
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues one item. Returns false (dropping the item) if the queue
+  /// was already closed — the caller failed the shutdown race and must
+  /// complete the item itself.
+  bool Push(Item item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is pending or the queue is closed,
+  /// then moves every pending item (up to `max_items`, 0 = no cap) into
+  /// `out` (cleared first). Returns false only when the queue is closed
+  /// AND fully drained — the consumer's loop-exit condition.
+  bool DrainWait(std::vector<Item>* out, size_t max_items = 0) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    if (max_items == 0 || items_.size() <= max_items) {
+      out->swap(items_);
+    } else {
+      out->assign(std::make_move_iterator(items_.begin()),
+                  std::make_move_iterator(items_.begin() +
+                                          static_cast<ptrdiff_t>(max_items)));
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<ptrdiff_t>(max_items));
+    }
+    return true;
+  }
+
+  /// Closes the queue: subsequent Push calls fail; the consumer keeps
+  /// draining until empty, then DrainWait returns false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Pending item count (racy by nature; diagnostics only).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Item> items_;
+  bool closed_ = false;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SERVE_REQUEST_QUEUE_H_

@@ -53,6 +53,60 @@ TEST(ThreadPoolTest, InWorkerDistinguishesPools) {
   EXPECT_TRUE(seen_inside.load());
 }
 
+TEST(ExecContextTest, HardwareConcurrencyResolvesOnceAndStays) {
+  // The resolution is cached process-wide (the num_threads = 0 hoist):
+  // repeated calls must agree and respect the floor of 1.
+  const int32_t first = ResolveHardwareConcurrency();
+  EXPECT_GE(first, 1);
+  EXPECT_EQ(ResolveHardwareConcurrency(), first);
+  EXPECT_EQ(ExecContext{}.ResolvedThreads(), first);
+}
+
+TEST(ThreadPoolTest, SubmitDetachedRunsCompletionAfterTask) {
+  ThreadPool pool(2);
+  std::atomic<int32_t> order{0};
+  std::atomic<int32_t> task_pos{-1};
+  std::atomic<int32_t> complete_pos{-1};
+  std::atomic<bool> done{false};
+  pool.SubmitDetached(
+      [&] { task_pos = order.fetch_add(1); },
+      [&] {
+        complete_pos = order.fetch_add(1);
+        done = true;
+      });
+  while (!done) {
+  }
+  EXPECT_EQ(task_pos.load(), 0);
+  EXPECT_EQ(complete_pos.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitDetachedAllowsEmptyCompletionAndDrains) {
+  std::atomic<int32_t> executed{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.SubmitDetached(
+          [&executed] { executed.fetch_add(1, std::memory_order_relaxed); },
+          std::function<void()>());
+    }
+  }  // destructor joins after the queue is drained
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitDetachedCompletionRunsOnAWorker) {
+  ThreadPool pool(1);
+  std::atomic<bool> completion_in_worker{false};
+  std::atomic<bool> done{false};
+  pool.SubmitDetached([] {},
+                      [&] {
+                        completion_in_worker = pool.InWorker();
+                        done = true;
+                      });
+  while (!done) {
+  }
+  EXPECT_TRUE(completion_in_worker.load());
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   for (const int32_t threads : {1, 2, 3, 8}) {
     for (const int64_t n : {0, 1, 7, 64, 1000}) {
