@@ -1,14 +1,21 @@
 // Thread-scaling of the execution layer: index construction and batched
-// range queries on PROTEINS / Levenshtein at 1/2/4/8 threads.
+// range queries on PROTEINS / Levenshtein at 1/2/4/8 threads, plus a
+// shard sweep of the ShardedIndex (1/2/4/8 contiguous shards of the same
+// catalog behind per-shard reference nets).
 //
 // Prints a table and writes BENCH_parallel_scaling.json (machine-readable,
-// consumed by CI trend tooling). Also cross-checks that every thread
-// count returns element-wise identical query results — the determinism
-// contract of the exec layer.
+// consumed by CI trend tooling and gated by tools/bench_check.py). Also
+// cross-checks that every thread count returns element-wise identical
+// query results, and that every shard count returns the same hit sets as
+// the monolithic scan — the determinism contracts of the exec and
+// sharding layers.
 
 #include <chrono>
 #include <cstdio>
 #include <vector>
+
+#include <algorithm>
+#include <memory>
 
 #include "bench_common.h"
 #include "subseq/core/check.h"
@@ -20,6 +27,7 @@
 #include "subseq/metric/linear_scan.h"
 #include "subseq/metric/mv_index.h"
 #include "subseq/metric/reference_net.h"
+#include "subseq/metric/sharded_index.h"
 #include "subseq/metric/vp_tree.h"
 
 namespace subseq::bench {
@@ -122,6 +130,77 @@ int Run() {
          {"build_speedup", build_ms > 0.0 ? base_build / build_ms : 0.0},
          {"query_speedup", query_ms > 0.0 ? base_query / query_ms : 0.0},
          {"filter_computations",
+          static_cast<double>(sink.distance_computations())}}});
+  }
+
+  // ------------------------------------------------------------ shard sweep
+  // K contiguous shards, one reference net per shard, built and queried
+  // through the ShardedIndex at the hardware thread budget. Build cost is
+  // super-linear in the shard size, so sharding wins build time twice:
+  // less total work AND parallel shard construction.
+  std::printf("\n%8s %12s %14s %13s %12s %14s\n", "shards", "build_ms",
+              "build_comps", "build_spdup", "query_ms", "query_comps");
+
+  const ExecContext shard_exec{};  // hardware threads
+  const auto factory = [](const DistanceOracle& shard_oracle,
+                          int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    auto net = std::make_unique<ReferenceNet>(shard_oracle);
+    for (ObjectId id = 0; id < shard_oracle.size(); ++id) {
+      SUBSEQ_RETURN_NOT_OK(net->Insert(id));
+    }
+    return std::unique_ptr<RangeIndex>(std::move(net));
+  };
+  std::vector<std::vector<ObjectId>> scan_truth;
+  {
+    const LinearScan scan(oracle.size());
+    scan_truth = scan.BatchRangeQuery(fns, epsilon, shard_exec, nullptr);
+    for (auto& ids : scan_truth) std::sort(ids.begin(), ids.end());
+  }
+  double shard_base_build = 0.0;
+  for (const int32_t shards : {1, 2, 4, 8}) {
+    ShardedIndexOptions options;
+    options.num_shards = shards;
+    options.exec = shard_exec;
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto built = ShardedIndex::Build(oracle, factory, options);
+    SUBSEQ_CHECK(built.ok());
+    const auto sharded = std::move(built).ValueOrDie();
+    const double build_ms = MillisSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    StatsSink sink;
+    const auto results =
+        sharded->BatchRangeQuery(fns, epsilon, shard_exec, &sink);
+    const double query_ms = MillisSince(t0);
+
+    // Exactness at every shard count: the merged hit sets must equal the
+    // monolithic scan's (order within a query may differ across shard
+    // counts; sets may not).
+    SUBSEQ_CHECK(results.size() == scan_truth.size());
+    for (size_t q = 0; q < results.size(); ++q) {
+      std::vector<ObjectId> sorted = results[q];
+      std::sort(sorted.begin(), sorted.end());
+      SUBSEQ_CHECK(sorted == scan_truth[q]);
+    }
+
+    if (shards == 1) shard_base_build = build_ms;
+    const double build_speedup =
+        build_ms > 0.0 ? shard_base_build / build_ms : 0.0;
+    const double build_comps = static_cast<double>(
+        sharded->build_stats().distance_computations);
+    std::printf("%8d %12.1f %14.0f %13.2f %12.1f %14lld\n", shards,
+                build_ms, build_comps, build_speedup, query_ms,
+                static_cast<long long>(sink.distance_computations()));
+
+    records.push_back(BenchRecord{
+        "shards=" + std::to_string(shards),
+        {{"shards", static_cast<double>(shards)},
+         {"shard_build_ms", build_ms},
+         {"shard_build_computations", build_comps},
+         {"shard_build_speedup", build_speedup},
+         {"shard_query_ms", query_ms},
+         {"shard_query_computations",
           static_cast<double>(sink.distance_computations())}}});
   }
 

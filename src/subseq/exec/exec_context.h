@@ -10,6 +10,7 @@
 #ifndef SUBSEQ_EXEC_EXEC_CONTEXT_H_
 #define SUBSEQ_EXEC_EXEC_CONTEXT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 
@@ -41,9 +42,25 @@ struct ExecContext {
   /// any setting (the knob trades wall-clock time only).
   int32_t num_threads = 0;
 
+  /// Number of contiguous data shards index construction partitions the
+  /// object catalog into (consumed by ShardedIndex via
+  /// SubsequenceMatcher::Build; parallel loop sections ignore it). 0 or 1
+  /// keeps one monolithic index. Like num_threads, the knob never changes
+  /// answers: the sharded index merges per-shard results in shard order
+  /// and rolls stats up exactly.
+  int32_t num_shards = 0;
+
   /// The effective thread budget (always >= 1).
   int32_t ResolvedThreads() const {
     return num_threads > 0 ? num_threads : ResolveHardwareConcurrency();
+  }
+
+  /// The effective shard count for a catalog of `num_objects` objects:
+  /// at least 1, never more than the object count (empty shards are
+  /// pointless), num_shards otherwise.
+  int32_t ResolvedShards(int32_t num_objects) const {
+    const int32_t floor = num_shards > 1 ? num_shards : 1;
+    return num_objects > 1 ? std::min(floor, num_objects) : 1;
   }
 };
 

@@ -9,6 +9,7 @@
 #include "subseq/exec/parallel_for.h"
 #include "subseq/exec/stats_sink.h"
 #include "subseq/metric/linear_scan.h"
+#include "subseq/metric/sharded_index.h"
 
 namespace subseq {
 
@@ -19,6 +20,40 @@ using MatchKey = std::array<int32_t, 5>;
 
 MatchKey KeyOf(const SubsequenceMatch& m) {
   return MatchKey{m.seq, m.query.begin, m.query.end, m.db.begin, m.db.end};
+}
+
+// One backend of options.index_kind over the given oracle — the whole
+// window catalog (monolithic) or one shard's view of it (the ShardedIndex
+// factory path: every shard gets an independent index of the same kind
+// with the same tunables).
+Result<std::unique_ptr<RangeIndex>> BuildKindIndex(
+    const DistanceOracle& oracle, const MatcherOptions& options) {
+  switch (options.index_kind) {
+    case IndexKind::kReferenceNet: {
+      auto net = std::make_unique<ReferenceNet>(oracle, options.reference_net);
+      for (ObjectId id = 0; id < oracle.size(); ++id) {
+        SUBSEQ_RETURN_NOT_OK(net->Insert(id));
+      }
+      return std::unique_ptr<RangeIndex>(std::move(net));
+    }
+    case IndexKind::kCoverTree: {
+      auto tree = std::make_unique<CoverTree>(oracle, options.cover_tree);
+      for (ObjectId id = 0; id < oracle.size(); ++id) {
+        SUBSEQ_RETURN_NOT_OK(tree->Insert(id));
+      }
+      return std::unique_ptr<RangeIndex>(std::move(tree));
+    }
+    case IndexKind::kMvIndex:
+      return std::unique_ptr<RangeIndex>(
+          std::make_unique<MvIndex>(oracle, options.mv_index));
+    case IndexKind::kVpTree:
+      return std::unique_ptr<RangeIndex>(
+          std::make_unique<VpTree>(oracle, options.vp_tree));
+    case IndexKind::kLinearScan:
+      return std::unique_ptr<RangeIndex>(
+          std::make_unique<LinearScan>(oracle.size()));
+  }
+  return Status::InvalidArgument("unknown IndexKind");
 }
 
 }  // namespace
@@ -70,37 +105,28 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
   matcher->oracle_ =
       std::make_unique<WindowOracle<T>>(db, *matcher->catalog_, dist);
 
-  switch (options.index_kind) {
-    case IndexKind::kReferenceNet: {
-      auto net = std::make_unique<ReferenceNet>(*matcher->oracle_,
-                                                options.reference_net);
-      for (ObjectId id = 0; id < matcher->oracle_->size(); ++id) {
-        SUBSEQ_RETURN_NOT_OK(net->Insert(id));
-      }
-      matcher->index_ = std::move(net);
-      break;
-    }
-    case IndexKind::kCoverTree: {
-      auto tree = std::make_unique<CoverTree>(*matcher->oracle_,
-                                              options.cover_tree);
-      for (ObjectId id = 0; id < matcher->oracle_->size(); ++id) {
-        SUBSEQ_RETURN_NOT_OK(tree->Insert(id));
-      }
-      matcher->index_ = std::move(tree);
-      break;
-    }
-    case IndexKind::kMvIndex:
-      matcher->index_ =
-          std::make_unique<MvIndex>(*matcher->oracle_, options.mv_index);
-      break;
-    case IndexKind::kVpTree:
-      matcher->index_ =
-          std::make_unique<VpTree>(*matcher->oracle_, options.vp_tree);
-      break;
-    case IndexKind::kLinearScan:
-      matcher->index_ =
-          std::make_unique<LinearScan>(matcher->oracle_->size());
-      break;
+  // Step 2: one monolithic index, or — when the caller asked for
+  // sharding — K contiguous per-shard indexes of the same kind behind a
+  // ShardedIndex. The filter (step 4) and everything above it are
+  // agnostic: both shapes implement RangeIndex with identical hit sets.
+  const int32_t num_shards =
+      options.exec.ResolvedShards(matcher->oracle_->size());
+  if (num_shards > 1) {
+    ShardedIndexOptions sharding;
+    sharding.num_shards = num_shards;
+    sharding.exec = options.exec;
+    auto sharded = ShardedIndex::Build(
+        *matcher->oracle_,
+        [&options](const DistanceOracle& shard_oracle, int32_t) {
+          return BuildKindIndex(shard_oracle, options);
+        },
+        sharding);
+    SUBSEQ_RETURN_NOT_OK(sharded.status());
+    matcher->index_ = std::move(sharded).ValueOrDie();
+  } else {
+    auto index = BuildKindIndex(*matcher->oracle_, options);
+    SUBSEQ_RETURN_NOT_OK(index.status());
+    matcher->index_ = std::move(index).ValueOrDie();
   }
   return matcher;
 }
@@ -131,18 +157,26 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
     std::span<const std::span<const ObjectId>> batched,
     const ExecContext& exec, MatchQueryStats* stats) const {
   SUBSEQ_CHECK(batched.size() == segments.size());
-  // Deterministic merge: hits land in (segment order, per-segment result
-  // order) — batched[i] is already indexed by segment, so concatenation
-  // is the stable segment-order sort, identical to issuing the segments
-  // one at a time.
+  // Canonical merge: hits land in (segment order, ascending window id
+  // within a segment). RangeQuery leaves per-query result order
+  // unspecified — it varies with the backend's traversal and, for a
+  // ShardedIndex, with the shard count — so step 5's input is normalized
+  // here: any two exact indexes (monolithic or sharded, any backend)
+  // that agree on the hit *set* feed the verifier the identical hit
+  // sequence, making matches and downstream stats backend-independent.
   size_t total_hits = 0;
   for (const auto& ids : batched) total_hits += ids.size();
   std::vector<SegmentHit> hits;
   hits.reserve(total_hits);
   for (size_t i = 0; i < batched.size(); ++i) {
+    const size_t segment_begin = hits.size();
     for (const ObjectId id : batched[i]) {
       hits.push_back(SegmentHit{segments[i], id, 0.0});
     }
+    std::sort(hits.begin() + static_cast<int64_t>(segment_begin), hits.end(),
+              [](const SegmentHit& a, const SegmentHit& b) {
+                return a.window < b.window;
+              });
   }
   // Second parallel pass: the exact segment-to-window distances step 5
   // orders its verification by. Slot-addressed writes keep it

@@ -72,6 +72,16 @@ struct MatcherOptions {
   /// identical at any setting — the knob trades wall-clock time only.
   /// Pushed down into reference_net / mv_index / vp_tree at Build unless
   /// that index's own exec was set explicitly (num_threads != 0).
+  ///
+  /// exec.num_shards > 1 partitions the window catalog into that many
+  /// contiguous shards and builds one index of index_kind per shard
+  /// behind a ShardedIndex (metric/sharded_index.h): builds parallelize
+  /// across shards (and do less total work for super-linear builds), and
+  /// step 4 fans each segment across shards with a shard-order merge.
+  /// Matches and all pipeline stats except filter_computations are
+  /// identical to the unsharded index at any shard count (pruning scope
+  /// differs across K small indexes vs one large one; LinearScan is
+  /// identical on that count too). 0 or 1 = one monolithic index.
   ExecContext exec;
 };
 
@@ -145,11 +155,14 @@ class SubsequenceMatcher {
   /// result of RangeIndex::BatchRangeQuery over a MakeSegmentQueries
   /// batch, or any per-segment gather from a larger cross-query call;
   /// views let the serving coalescer fan one shared result out to many
-  /// queries without copying) into SegmentHits in (segment order,
-  /// per-segment result order), then fills each hit's exact
-  /// segment-to-window distance, which step 5 orders verification by.
-  /// Results are element-wise identical at any `exec` setting. `stats`
-  /// (optional) receives the hit count. Thread-safe.
+  /// queries without copying) into SegmentHits in the canonical order
+  /// (segment order, ascending window id within a segment), then fills
+  /// each hit's exact segment-to-window distance, which step 5 orders
+  /// verification by. The canonical order makes step 5's input — and so
+  /// matches and verification stats — depend only on the hit *set*, not
+  /// on the index backend's traversal order or shard count. Results are
+  /// element-wise identical at any `exec` setting. `stats` (optional)
+  /// receives the hit count. Thread-safe.
   std::vector<SegmentHit> MergeSegmentHits(
       std::span<const T> query, std::span<const Interval> segments,
       std::span<const std::span<const ObjectId>> batched,

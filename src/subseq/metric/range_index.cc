@@ -1,5 +1,6 @@
 #include "subseq/metric/range_index.h"
 
+#include "subseq/core/check.h"
 #include "subseq/exec/parallel_for.h"
 
 namespace subseq {
@@ -19,7 +20,14 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                       queries[static_cast<size_t>(i)], epsilon, &qs,
                       &scratch);
                   // Chunks cover disjoint index ranges: slot-addressed
-                  // per-query stats need no synchronization.
+                  // per-query stats need no synchronization. The split is
+                  // only usable by multi-tenant billing and shard roll-up
+                  // if slot i's stats describe slot i's results — a
+                  // backend whose RangeQuery misreports result_count
+                  // would silently corrupt both, so enforce it here.
+                  SUBSEQ_CHECK(qs.result_count ==
+                               static_cast<int64_t>(
+                                   results[static_cast<size_t>(i)].size()));
                   if (per_query != nullptr) per_query[i] = qs;
                   computations += qs.distance_computations;
                   result_count += qs.result_count;

@@ -91,7 +91,13 @@ class RangeIndex {
   ///    query's answer, only wall-clock time);
   ///  * per_query[i] (when requested) equals the QueryStats that the
   ///    stand-alone RangeQuery(queries[i], ...) would report — queries in
-  ///    a batch do not share or amortize distance computations.
+  ///    a batch do not share or amortize distance computations. This slot
+  ///    addressing is checked, not just documented: the default
+  ///    implementation CHECKs that per_query[i].result_count equals
+  ///    results[i]'s size, and ShardedIndex re-CHECKs the invariant when
+  ///    rolling inner splits up — so downstream consumers (MatchServer
+  ///    billing, the per-shard roll-up) can rely on the split being
+  ///    exact. Overrides must preserve the same invariant.
   ///
   /// The default implementation fans the batch out over exec's thread
   /// budget in contiguous index-ordered chunks. `sink` (optional)

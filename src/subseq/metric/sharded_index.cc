@@ -1,0 +1,239 @@
+#include "subseq/metric/sharded_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "subseq/core/check.h"
+#include "subseq/exec/parallel_for.h"
+
+namespace subseq {
+
+namespace {
+
+/// Even contiguous split of [0, n) into k parts: part s starts here.
+int32_t SplitBegin(int32_t n, int32_t k, int32_t s) {
+  const int32_t base = n / k;
+  const int32_t extra = n % k;
+  return s * base + std::min(s, extra);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Build(
+    const DistanceOracle& oracle, const ShardIndexFactory& factory,
+    ShardedIndexOptions options) {
+  ShardedIndexOptions resolved = options;
+  resolved.exec.num_shards = options.num_shards;
+  const int32_t n = oracle.size();
+  const int32_t k = resolved.exec.ResolvedShards(n);
+
+  auto sharded = std::unique_ptr<ShardedIndex>(new ShardedIndex());
+  sharded->shards_.resize(static_cast<size_t>(k));
+  for (int32_t s = 0; s < k; ++s) {
+    const int32_t begin = SplitBegin(n, k, s);
+    const int32_t end = SplitBegin(n, k, s + 1);
+    sharded->shards_[static_cast<size_t>(s)].oracle =
+        std::make_unique<ShardOracle>(oracle, begin, end - begin);
+  }
+
+  // Build the inner indexes in parallel: each shard is an independent
+  // closed problem, so cross-shard order cannot matter. Statuses land in
+  // per-shard slots; the first failure (in shard order, for determinism)
+  // wins.
+  std::vector<Status> statuses(static_cast<size_t>(k), Status::OK());
+  ParallelFor(resolved.exec, k, [&](int64_t lo, int64_t hi, int32_t) {
+    for (int64_t s = lo; s < hi; ++s) {
+      Shard& shard = sharded->shards_[static_cast<size_t>(s)];
+      auto built = factory(*shard.oracle, static_cast<int32_t>(s));
+      if (built.ok()) {
+        shard.index = std::move(built).value();
+        SUBSEQ_CHECK(shard.index != nullptr);
+      } else {
+        statuses[static_cast<size_t>(s)] = built.status();
+      }
+    }
+  });
+  for (const Status& status : statuses) {
+    SUBSEQ_RETURN_NOT_OK(status);
+  }
+
+  sharded->name_ = "sharded[" + std::to_string(k) + "]:" +
+                   std::string(sharded->shards_.front().index->name());
+  return sharded;
+}
+
+int32_t ShardedIndex::size() const {
+  int32_t total = 0;
+  for (const Shard& shard : shards_) total += shard.index->size();
+  return total;
+}
+
+int32_t ShardedIndex::shard_begin(int32_t s) const {
+  SUBSEQ_CHECK(s >= 0 && s <= num_shards());
+  if (s == num_shards()) {
+    const Shard& last = shards_.back();
+    return last.oracle->offset() + last.oracle->size();
+  }
+  return shards_[static_cast<size_t>(s)].oracle->offset();
+}
+
+QueryDistanceFn ShardedIndex::ShardQuery(const QueryDistanceFn& query,
+                                         int32_t s) const {
+  const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
+  return [&query, offset](ObjectId local) { return query(local + offset); };
+}
+
+std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
+                                               double epsilon,
+                                               QueryStats* stats) const {
+  std::vector<ObjectId> merged;
+  int64_t computations = 0;
+  for (int32_t s = 0; s < num_shards(); ++s) {
+    const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
+    QueryStats shard_stats;
+    const std::vector<ObjectId> local =
+        shards_[static_cast<size_t>(s)].index->RangeQuery(
+            ShardQuery(query, s), epsilon, &shard_stats);
+    SUBSEQ_CHECK(shard_stats.result_count ==
+                 static_cast<int64_t>(local.size()));
+    computations += shard_stats.distance_computations;
+    merged.reserve(merged.size() + local.size());
+    for (const ObjectId id : local) merged.push_back(id + offset);
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(merged.size());
+  }
+  return merged;
+}
+
+std::vector<std::vector<ObjectId>> ShardedIndex::BatchRangeQuery(
+    std::span<const QueryDistanceFn> queries, double epsilon,
+    const ExecContext& exec, StatsSink* sink, QueryStats* per_query) const {
+  const size_t num_queries = queries.size();
+  const int32_t k = num_shards();
+
+  // Phase 1 — fan out: every shard answers the whole batch over its id
+  // range as one inner BatchRangeQuery. Shards run in parallel; inner
+  // parallel sections called from pool workers run inline, so the two
+  // levels never oversubscribe. The shared sink receives exact totals
+  // (per-shard counts published atomically); per-query splits are
+  // collected per shard and rolled up in phase 2.
+  std::vector<std::vector<std::vector<ObjectId>>> shard_results(
+      static_cast<size_t>(k));
+  std::vector<std::vector<QueryStats>> shard_splits(
+      per_query != nullptr ? static_cast<size_t>(k) : 0);
+  ParallelFor(exec, k, [&](int64_t lo, int64_t hi, int32_t) {
+    for (int64_t s = lo; s < hi; ++s) {
+      std::vector<QueryDistanceFn> local;
+      local.reserve(num_queries);
+      for (const QueryDistanceFn& query : queries) {
+        local.push_back(ShardQuery(query, static_cast<int32_t>(s)));
+      }
+      QueryStats* split = nullptr;
+      if (per_query != nullptr) {
+        shard_splits[static_cast<size_t>(s)].resize(num_queries);
+        split = shard_splits[static_cast<size_t>(s)].data();
+      }
+      shard_results[static_cast<size_t>(s)] =
+          shards_[static_cast<size_t>(s)].index->BatchRangeQuery(
+              local, epsilon, exec, sink, split);
+    }
+  });
+
+  // Phase 2 — shard-order merge + exact per-query roll-up. Both are
+  // slot-addressed, so the merge is deterministic for a fixed shard
+  // count regardless of the thread budget above.
+  std::vector<std::vector<ObjectId>> results(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<ObjectId>& merged = results[q];
+    QueryStats rolled;
+    for (int32_t s = 0; s < k; ++s) {
+      const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
+      const std::vector<ObjectId>& local =
+          shard_results[static_cast<size_t>(s)][q];
+      merged.reserve(merged.size() + local.size());
+      for (const ObjectId id : local) merged.push_back(id + offset);
+      if (per_query != nullptr) {
+        rolled.distance_computations +=
+            shard_splits[static_cast<size_t>(s)][q].distance_computations;
+        rolled.result_count +=
+            shard_splits[static_cast<size_t>(s)][q].result_count;
+      }
+    }
+    if (per_query != nullptr) {
+      // The roll-up is only exact if every shard billed this slot for
+      // exactly the results it returned in this slot (the ordering
+      // contract of RangeIndex::BatchRangeQuery's per-query split).
+      SUBSEQ_CHECK(rolled.result_count ==
+                   static_cast<int64_t>(merged.size()));
+      per_query[q] = rolled;
+    }
+  }
+  return results;
+}
+
+std::vector<Neighbor> ShardedIndex::NearestNeighbors(
+    const QueryDistanceFn& query, int32_t k, QueryStats* stats) const {
+  std::vector<Neighbor> merged;
+  int64_t computations = 0;
+  for (int32_t s = 0; s < num_shards(); ++s) {
+    const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
+    QueryStats shard_stats;
+    std::vector<Neighbor> local =
+        shards_[static_cast<size_t>(s)].index->NearestNeighbors(
+            ShardQuery(query, s), k, &shard_stats);
+    computations += shard_stats.distance_computations;
+    for (Neighbor& n : local) {
+      n.id += offset;
+      merged.push_back(n);
+    }
+  }
+  // Each shard returned its k closest, so the global k closest are all
+  // present. Stable sort keeps (shard order, inner order) among exact
+  // distance ties — the same index-dependent freedom RangeIndex allows.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.distance < b.distance;
+                   });
+  if (k >= 0 && merged.size() > static_cast<size_t>(k)) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  if (stats != nullptr) {
+    stats->distance_computations = computations;
+    stats->result_count = static_cast<int64_t>(merged.size());
+  }
+  return merged;
+}
+
+SpaceStats ShardedIndex::ComputeSpaceStats() const {
+  SpaceStats total;
+  double weighted_parents = 0.0;
+  for (const Shard& shard : shards_) {
+    const SpaceStats s = shard.index->ComputeSpaceStats();
+    total.num_objects += s.num_objects;
+    total.num_nodes += s.num_nodes;
+    total.num_list_entries += s.num_list_entries;
+    total.num_levels = std::max(total.num_levels, s.num_levels);
+    total.approx_bytes += s.approx_bytes;
+    weighted_parents += s.avg_parents * static_cast<double>(s.num_nodes);
+  }
+  if (total.num_nodes > 0) {
+    total.avg_parents = weighted_parents / static_cast<double>(total.num_nodes);
+  }
+  total.approx_bytes +=
+      static_cast<int64_t>(shards_.size() * (sizeof(Shard) +
+                                             sizeof(ShardOracle)));
+  return total;
+}
+
+BuildStats ShardedIndex::build_stats() const {
+  BuildStats total;
+  for (const Shard& shard : shards_) {
+    total.distance_computations +=
+        shard.index->build_stats().distance_computations;
+  }
+  return total;
+}
+
+}  // namespace subseq

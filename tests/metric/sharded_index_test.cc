@@ -1,0 +1,334 @@
+// ShardedIndex unit tests: contiguous partitioning (including
+// non-divisible object counts), shard-order merge determinism,
+// equivalence with the monolithic index, exact stats roll-up, kNN merge,
+// aggregate space/build stats, build-failure propagation, and the
+// enforced per-query stats-split contract of RangeIndex::BatchRangeQuery.
+
+#include "subseq/metric/sharded_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/exec/stats_sink.h"
+#include "subseq/metric/linear_scan.h"
+#include "subseq/metric/reference_net.h"
+#include "subseq/metric/vp_tree.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::RandomSeries;
+using ::subseq::testing::ScalarPointOracle;
+
+ShardIndexFactory LinearScanFactory() {
+  return [](const DistanceOracle& oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    return std::unique_ptr<RangeIndex>(
+        std::make_unique<LinearScan>(oracle.size()));
+  };
+}
+
+ShardIndexFactory VpTreeFactory() {
+  return [](const DistanceOracle& oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    return std::unique_ptr<RangeIndex>(std::make_unique<VpTree>(oracle));
+  };
+}
+
+ShardIndexFactory ReferenceNetFactory() {
+  return [](const DistanceOracle& oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    auto net = std::make_unique<ReferenceNet>(oracle);
+    for (ObjectId id = 0; id < oracle.size(); ++id) {
+      SUBSEQ_RETURN_NOT_OK(net->Insert(id));
+    }
+    return std::unique_ptr<RangeIndex>(std::move(net));
+  };
+}
+
+std::unique_ptr<ShardedIndex> BuildSharded(const DistanceOracle& oracle,
+                                           const ShardIndexFactory& factory,
+                                           int32_t num_shards,
+                                           int32_t num_threads = 1) {
+  ShardedIndexOptions options;
+  options.num_shards = num_shards;
+  options.exec.num_threads = num_threads;
+  auto built = ShardedIndex::Build(oracle, factory, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).ValueOrDie();
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(ShardedIndexTest, PartitionsAreContiguousAndBalanced) {
+  Rng rng(11);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 23, 0.0, 100.0));
+  for (const int32_t k : {1, 3, 7, 23}) {
+    const auto sharded = BuildSharded(oracle, LinearScanFactory(), k);
+    ASSERT_EQ(sharded->num_shards(), k);
+    EXPECT_EQ(sharded->size(), oracle.size());
+    EXPECT_EQ(sharded->shard_begin(0), 0);
+    EXPECT_EQ(sharded->shard_begin(k), oracle.size());
+    for (int32_t s = 0; s < k; ++s) {
+      const int32_t len =
+          sharded->shard_begin(s + 1) - sharded->shard_begin(s);
+      EXPECT_EQ(len, sharded->shard(s).size());
+      // Even split: sizes differ by at most one, larger shards first.
+      EXPECT_GE(len, oracle.size() / k);
+      EXPECT_LE(len, oracle.size() / k + 1);
+    }
+  }
+}
+
+TEST(ShardedIndexTest, ShardCountClampsToObjectCount) {
+  Rng rng(12);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 5, 0.0, 100.0));
+  const auto sharded = BuildSharded(oracle, LinearScanFactory(), 64);
+  EXPECT_EQ(sharded->num_shards(), 5);
+  EXPECT_EQ(sharded->size(), 5);
+}
+
+TEST(ShardedIndexTest, NameReflectsShardCountAndInnerBackend) {
+  Rng rng(13);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 12, 0.0, 100.0));
+  const auto sharded = BuildSharded(oracle, VpTreeFactory(), 3);
+  EXPECT_EQ(sharded->name(), "sharded[3]:vp-tree");
+}
+
+TEST(ShardedIndexTest, RangeQueryEquivalentToMonolithicIndex) {
+  Rng rng(14);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 90, 0.0, 100.0));
+  const LinearScan monolithic(oracle.size());
+  for (const int32_t k : {2, 4, 7}) {
+    const auto rn = BuildSharded(oracle, ReferenceNetFactory(), k);
+    const auto scan = BuildSharded(oracle, LinearScanFactory(), k);
+    for (const double center : {5.0, 37.5, 93.0}) {
+      const QueryDistanceFn query = oracle.QueryFrom(center);
+      const auto expected = monolithic.RangeQuery(query, 8.0, nullptr);
+      // LinearScan shards emit ascending ids per shard; shard-order
+      // concatenation of contiguous ranges is the full ascending order —
+      // element-wise equal to the monolithic scan, not just set-equal.
+      EXPECT_EQ(scan->RangeQuery(query, 8.0, nullptr), expected);
+      EXPECT_EQ(Sorted(rn->RangeQuery(query, 8.0, nullptr)),
+                Sorted(expected));
+    }
+  }
+}
+
+TEST(ShardedIndexTest, BatchMatchesSingleQueriesWithExactStatsRollup) {
+  Rng rng(15);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 120, 0.0, 100.0));
+  const auto sharded = BuildSharded(oracle, ReferenceNetFactory(), 5);
+
+  std::vector<QueryDistanceFn> queries;
+  for (int i = 0; i < 17; ++i) {
+    queries.push_back(oracle.QueryFrom(rng.NextDouble(0.0, 100.0)));
+  }
+
+  std::vector<std::vector<ObjectId>> expected;
+  std::vector<QueryStats> expected_stats(queries.size());
+  int64_t total_computations = 0;
+  int64_t total_results = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(
+        sharded->RangeQuery(queries[q], 6.0, &expected_stats[q]));
+    total_computations += expected_stats[q].distance_computations;
+    total_results += expected_stats[q].result_count;
+  }
+
+  for (const int32_t threads : {1, 8}) {
+    StatsSink sink;
+    std::vector<QueryStats> per_query(queries.size());
+    const auto batched = sharded->BatchRangeQuery(
+        queries, 6.0, ExecContext{threads}, &sink, per_query.data());
+    EXPECT_EQ(batched, expected) << "threads=" << threads;
+    EXPECT_EQ(sink.distance_computations(), total_computations);
+    EXPECT_EQ(sink.results(), total_results);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(per_query[q].distance_computations,
+                expected_stats[q].distance_computations);
+      EXPECT_EQ(per_query[q].result_count, expected_stats[q].result_count);
+    }
+  }
+}
+
+TEST(ShardedIndexTest, ShardedLinearScanBillsExactlyLikeMonolithic) {
+  Rng rng(16);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 64, 0.0, 100.0));
+  const LinearScan monolithic(oracle.size());
+  const auto sharded = BuildSharded(oracle, LinearScanFactory(), 7);
+
+  const QueryDistanceFn query = oracle.QueryFrom(42.0);
+  QueryStats mono_stats;
+  QueryStats shard_stats;
+  const auto expected = monolithic.RangeQuery(query, 10.0, &mono_stats);
+  EXPECT_EQ(sharded->RangeQuery(query, 10.0, &shard_stats), expected);
+  // A scan computes every object's distance regardless of partitioning,
+  // so even the computation counts agree exactly.
+  EXPECT_EQ(shard_stats.distance_computations,
+            mono_stats.distance_computations);
+  EXPECT_EQ(shard_stats.result_count, mono_stats.result_count);
+}
+
+TEST(ShardedIndexTest, NearestNeighborsExactAcrossShards) {
+  Rng rng(17);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 80, 0.0, 100.0));
+  const LinearScan monolithic(oracle.size());
+  const auto sharded = BuildSharded(oracle, VpTreeFactory(), 6);
+
+  for (const double center : {1.0, 50.0, 99.0}) {
+    const QueryDistanceFn query = oracle.QueryFrom(center);
+    for (const int32_t k : {1, 5, 13}) {
+      const auto expected = monolithic.NearestNeighbors(query, k, nullptr);
+      const auto merged = sharded->NearestNeighbors(query, k, nullptr);
+      ASSERT_EQ(merged.size(), expected.size());
+      for (size_t i = 0; i < merged.size(); ++i) {
+        // The distance multiset is optimal; id choice among exact ties is
+        // index-dependent (the RangeIndex contract).
+        EXPECT_DOUBLE_EQ(merged[i].distance, expected[i].distance);
+      }
+      // Sorted ascending.
+      for (size_t i = 1; i < merged.size(); ++i) {
+        EXPECT_LE(merged[i - 1].distance, merged[i].distance);
+      }
+    }
+  }
+}
+
+TEST(ShardedIndexTest, AggregateSpaceAndBuildStats) {
+  Rng rng(18);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 70, 0.0, 100.0));
+  const auto sharded = BuildSharded(oracle, ReferenceNetFactory(), 4);
+
+  const SpaceStats space = sharded->ComputeSpaceStats();
+  EXPECT_EQ(space.num_objects, oracle.size());
+  int64_t nodes = 0;
+  int64_t build_computations = 0;
+  for (int32_t s = 0; s < sharded->num_shards(); ++s) {
+    nodes += sharded->shard(s).ComputeSpaceStats().num_nodes;
+    build_computations +=
+        sharded->shard(s).build_stats().distance_computations;
+  }
+  EXPECT_EQ(space.num_nodes, nodes);
+  EXPECT_EQ(sharded->build_stats().distance_computations,
+            build_computations);
+  EXPECT_GT(build_computations, 0);
+}
+
+TEST(ShardedIndexTest, ParallelBuildMatchesSequentialBuild) {
+  Rng rng(19);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 100, 0.0, 100.0));
+  const auto sequential = BuildSharded(oracle, ReferenceNetFactory(), 5,
+                                       /*num_threads=*/1);
+  const auto parallel = BuildSharded(oracle, ReferenceNetFactory(), 5,
+                                     /*num_threads=*/8);
+  // Shards are independent closed problems: the thread budget must not
+  // change what gets built.
+  EXPECT_EQ(sequential->build_stats().distance_computations,
+            parallel->build_stats().distance_computations);
+  const QueryDistanceFn query = oracle.QueryFrom(33.0);
+  EXPECT_EQ(sequential->RangeQuery(query, 7.0, nullptr),
+            parallel->RangeQuery(query, 7.0, nullptr));
+}
+
+TEST(ShardedIndexTest, BuildFailurePropagatesFirstShardError) {
+  Rng rng(20);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 30, 0.0, 100.0));
+  ShardedIndexOptions options;
+  options.num_shards = 3;
+  const auto built = ShardedIndex::Build(
+      oracle,
+      [](const DistanceOracle& shard_oracle,
+         int32_t shard) -> Result<std::unique_ptr<RangeIndex>> {
+        if (shard >= 1) {
+          return Status::Internal("shard " + std::to_string(shard) +
+                                  " exploded");
+        }
+        return std::unique_ptr<RangeIndex>(
+            std::make_unique<LinearScan>(shard_oracle.size()));
+      },
+      options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(built.status().message(), "shard 1 exploded");
+}
+
+// ---------------------------------------------------------------------------
+// The enforced per-query stats-split contract (the roll-up depends on it).
+
+/// A broken backend: returns correct results but misreports result_count
+/// in its per-query stats — exactly the corruption the CHECK in
+/// RangeIndex::BatchRangeQuery exists to catch before it poisons
+/// MatchServer billing or a shard roll-up.
+class MisbilledScan final : public RangeIndex {
+ public:
+  explicit MisbilledScan(int32_t num_objects) : num_objects_(num_objects) {}
+
+  std::string_view name() const override { return "misbilled-scan"; }
+  int32_t size() const override { return num_objects_; }
+
+  std::vector<ObjectId> RangeQuery(const QueryDistanceFn& query,
+                                   double epsilon,
+                                   QueryStats* stats) const override {
+    std::vector<ObjectId> results;
+    for (ObjectId id = 0; id < num_objects_; ++id) {
+      if (query(id) <= epsilon) results.push_back(id);
+    }
+    if (stats != nullptr) {
+      stats->distance_computations = num_objects_;
+      stats->result_count = static_cast<int64_t>(results.size()) + 1;  // lie
+    }
+    return results;
+  }
+
+  std::vector<Neighbor> NearestNeighbors(const QueryDistanceFn&, int32_t,
+                                         QueryStats*) const override {
+    return {};
+  }
+  SpaceStats ComputeSpaceStats() const override { return {}; }
+  BuildStats build_stats() const override { return {}; }
+
+ private:
+  int32_t num_objects_;
+};
+
+TEST(PerQueryStatsContractDeathTest, MisreportedResultCountAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(21);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 25, 0.0, 100.0));
+  const MisbilledScan broken(oracle.size());
+  std::vector<QueryDistanceFn> queries = {oracle.QueryFrom(10.0)};
+  std::vector<QueryStats> per_query(queries.size());
+  EXPECT_DEATH(
+      broken.BatchRangeQuery(queries, 5.0, SequentialExec(), nullptr,
+                             per_query.data()),
+      "CHECK failed");
+}
+
+TEST(PerQueryStatsContractTest, HonestBackendsPassTheCheck) {
+  // The positive side of the death test: every real backend satisfies
+  // the enforced split (this would abort otherwise).
+  Rng rng(22);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 40, 0.0, 100.0));
+  const LinearScan scan(oracle.size());
+  std::vector<QueryDistanceFn> queries = {oracle.QueryFrom(20.0),
+                                          oracle.QueryFrom(80.0)};
+  std::vector<QueryStats> per_query(queries.size());
+  const auto results = scan.BatchRangeQuery(queries, 5.0, SequentialExec(),
+                                            nullptr, per_query.data());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(per_query[q].result_count,
+              static_cast<int64_t>(results[q].size()));
+  }
+}
+
+}  // namespace
+}  // namespace subseq

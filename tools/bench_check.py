@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the BENCH_*.json outputs.
+
+Compares a freshly produced benchmark JSON against the committed baseline
+and fails (exit 1) when a gated metric regressed by more than the allowed
+fraction. Gated metrics are *higher-is-better* and should be chosen to be
+machine-portable: the speedup ratios (server qps over library qps,
+sharded build over 1-shard build, N threads over 1 thread) compare two
+measurements taken on the same machine in the same run, so a committed
+baseline from one box gates a fresh run on another without chasing
+absolute wall-clock numbers.
+
+Tolerance rules:
+  * a record present in the baseline but missing from the fresh run fails
+    (a silently dropped row is how regressions hide);
+  * new records in the fresh run pass (benchmarks may grow rows);
+  * baseline values below --min-baseline are skipped (ratios of noise);
+  * otherwise fresh >= baseline * (1 - --max-regression) must hold.
+
+Usage:
+  tools/bench_check.py --baseline old.json --fresh new.json \
+      --metric speedup [--metric other ...] \
+      [--max-regression 0.25] [--min-baseline 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    records = {}
+    for record in doc.get("records", []):
+        records[record["name"]] = record
+    return doc.get("benchmark", "?"), records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark regressions vs a committed baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--metric", action="append", required=True,
+                        dest="metrics",
+                        help="higher-is-better metric key to gate "
+                             "(repeatable)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop (default 0.25)")
+    parser.add_argument("--min-baseline", type=float, default=0.05,
+                        help="skip records whose baseline value is below "
+                             "this (default 0.05)")
+    args = parser.parse_args()
+
+    name, baseline = load_records(args.baseline)
+    fresh_name, fresh = load_records(args.fresh)
+    if name != fresh_name:
+        print(f"FAIL: comparing different benchmarks: "
+              f"baseline={name!r} fresh={fresh_name!r}")
+        return 1
+
+    failures = 0
+    checked_per_metric = {metric: 0 for metric in args.metrics}
+    floor = 1.0 - args.max_regression
+    print(f"bench_check: {name} "
+          f"(max regression {args.max_regression:.0%}, "
+          f"metrics: {', '.join(args.metrics)})")
+    for record_name, record in sorted(baseline.items()):
+        if record_name not in fresh:
+            print(f"  FAIL {record_name}: missing from fresh run")
+            failures += 1
+            continue
+        for metric in args.metrics:
+            if metric not in record:
+                continue  # metric not applicable to this row
+            base_value = float(record[metric])
+            if metric not in fresh[record_name]:
+                print(f"  FAIL {record_name}.{metric}: "
+                      f"missing from fresh run")
+                failures += 1
+                continue
+            fresh_value = float(fresh[record_name][metric])
+            if base_value < args.min_baseline:
+                print(f"  skip {record_name}.{metric}: baseline "
+                      f"{base_value:.4g} below noise floor")
+                continue
+            checked_per_metric[metric] += 1
+            ratio = fresh_value / base_value
+            verdict = "ok  " if ratio >= floor else "FAIL"
+            if ratio < floor:
+                failures += 1
+            print(f"  {verdict} {record_name}.{metric}: "
+                  f"baseline {base_value:.4g} -> fresh {fresh_value:.4g} "
+                  f"({ratio:.0%})")
+
+    # Per-metric coverage: a gated metric that matched zero records is a
+    # silently-lost regression surface (renamed key, regenerated
+    # baseline), not a pass.
+    uncompared = [m for m, n in checked_per_metric.items() if n == 0]
+    if uncompared:
+        print(f"FAIL: gated metric(s) never compared: "
+              f"{', '.join(uncompared)} (renamed key or wrong --metric?)")
+        return 1
+    if failures:
+        print(f"bench_check: {failures} regression(s)")
+        return 1
+    print(f"bench_check: {sum(checked_per_metric.values())} "
+          f"comparison(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
