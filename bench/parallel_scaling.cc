@@ -16,12 +16,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "bench_common.h"
 #include "subseq/core/check.h"
 #include "subseq/distance/levenshtein.h"
 #include "subseq/exec/exec_context.h"
 #include "subseq/exec/stats_sink.h"
+#include "subseq/frame/matcher.h"
 #include "subseq/frame/window_oracle.h"
 #include "subseq/frame/windowing.h"
 #include "subseq/metric/linear_scan.h"
@@ -202,6 +204,138 @@ int Run() {
          {"shard_query_ms", query_ms},
          {"shard_query_computations",
           static_cast<double>(sink.distance_computations())}}});
+  }
+
+  // ------------------------------------------------------ verify scaling
+  // Step-5 thread scaling: the same PROTEINS database behind a full
+  // matcher pipeline, hits precomputed, wall-clock of the Type I
+  // verification phase (RangeSearchFromHits) at 1/2/4/8 verify threads.
+  // Matches must be element-wise identical at every setting — the step-5
+  // determinism contract — and the speedup ratio is what
+  // tools/bench_check.py gates (wall-clock, so the gate runs with a wide
+  // tolerance: on boxes with fewer cores than the thread budget the
+  // ratio sits near 1.0).
+  std::printf("\n%8s %12s %14s %15s\n", "vthreads", "verify_ms",
+              "verify_spdup", "verifications");
+
+  const int32_t num_vqueries = Scaled(4, 24);
+  const int32_t vquery_len = 60;
+  std::vector<std::vector<char>> vqueries;
+  for (int32_t i = 0; i < num_vqueries; ++i) {
+    const Sequence<char>& seq = db.at(i % db.size());
+    SUBSEQ_CHECK(seq.size() >= vquery_len);
+    const auto view = seq.Subsequence(Interval{0, vquery_len});
+    vqueries.emplace_back(view.begin(), view.end());
+  }
+  const double verify_epsilon = 1.0;
+
+  double base_verify = 0.0;
+  std::vector<std::vector<SubsequenceMatch>> verify_truth;
+  for (const int32_t threads : {1, 2, 4, 8}) {
+    MatcherOptions moptions;
+    moptions.lambda = 2 * kWindowLength;
+    moptions.lambda0 = 2;
+    moptions.index_kind = IndexKind::kReferenceNet;
+    moptions.exec.num_threads = 1;  // isolate step 5: filter stays serial
+    moptions.exec.num_verify_threads = threads;
+    auto matcher =
+        std::move(SubsequenceMatcher<char>::Build(db, dist, moptions))
+            .ValueOrDie();
+
+    // Hits precomputed so the timed section is verification alone.
+    std::vector<std::vector<SegmentHit>> hits;
+    hits.reserve(vqueries.size());
+    for (const auto& q : vqueries) {
+      hits.push_back(matcher->FilterSegments(std::span<const char>(q),
+                                             verify_epsilon));
+    }
+
+    int64_t verifications = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<SubsequenceMatch>> matches;
+    matches.reserve(vqueries.size());
+    for (size_t q = 0; q < vqueries.size(); ++q) {
+      MatchQueryStats stats;
+      auto result = matcher->RangeSearchFromHits(
+          std::span<const char>(vqueries[q]), hits[q], verify_epsilon,
+          &stats);
+      SUBSEQ_CHECK(result.ok());
+      matches.push_back(std::move(result).ValueOrDie());
+      verifications += stats.verifications;
+    }
+    const double verify_ms = MillisSince(t0);
+
+    // Determinism: every verify-thread budget must reproduce the
+    // 1-thread matches element-wise.
+    if (verify_truth.empty()) {
+      verify_truth = matches;
+    } else {
+      SUBSEQ_CHECK(matches == verify_truth);
+    }
+
+    if (threads == 1) base_verify = verify_ms;
+    const double verify_speedup =
+        verify_ms > 0.0 ? base_verify / verify_ms : 0.0;
+    std::printf("%8d %12.1f %14.2f %15lld\n", threads, verify_ms,
+                verify_speedup, static_cast<long long>(verifications));
+    records.push_back(BenchRecord{
+        "verify_threads=" + std::to_string(threads),
+        {{"verify_threads", static_cast<double>(threads)},
+         {"verify_ms", verify_ms},
+         {"verify_speedup", verify_speedup},
+         {"verifications", static_cast<double>(verifications)}}});
+  }
+
+  // ---------------------------------------------------- Type III pipeline
+  // NearestMatch end-to-end: the serial epsilon schedule (num_threads=1,
+  // probes strictly in sequence) vs the pipelined one (next probe's
+  // filter speculates on the pool while the current round verifies).
+  // Step-5 verification is pinned to one thread in BOTH runs so the
+  // ratio isolates the probe schedule + parallel filter, not the verify
+  // sweep above. Results must be identical; only the wall-clock may
+  // move.
+  {
+    const double eps_max = 4.0;
+    const double eps_inc = 0.5;
+    auto run_nearest = [&](int32_t num_threads, double* ms) {
+      MatcherOptions moptions;
+      moptions.lambda = 2 * kWindowLength;
+      moptions.lambda0 = 2;
+      moptions.index_kind = IndexKind::kReferenceNet;
+      moptions.exec.num_threads = num_threads;
+      moptions.exec.num_verify_threads = 1;
+      auto matcher =
+          std::move(SubsequenceMatcher<char>::Build(db, dist, moptions))
+              .ValueOrDie();
+      std::vector<std::optional<SubsequenceMatch>> found;
+      auto t0 = std::chrono::steady_clock::now();
+      for (const auto& q : vqueries) {
+        auto r = matcher->NearestMatch(std::span<const char>(q), eps_max,
+                                       eps_inc);
+        SUBSEQ_CHECK(r.ok());
+        found.push_back(std::move(r).ValueOrDie());
+      }
+      *ms = MillisSince(t0);
+      return found;
+    };
+    double serial_ms = 0.0;
+    double pipelined_ms = 0.0;
+    const auto serial = run_nearest(1, &serial_ms);
+    const auto pipelined = run_nearest(8, &pipelined_ms);
+    SUBSEQ_CHECK(serial.size() == pipelined.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      SUBSEQ_CHECK(serial[i].has_value() == pipelined[i].has_value());
+      if (serial[i].has_value()) SUBSEQ_CHECK(*serial[i] == *pipelined[i]);
+    }
+    const double nearest_speedup =
+        pipelined_ms > 0.0 ? serial_ms / pipelined_ms : 0.0;
+    std::printf("\n%-18s %12.1f %12.1f %14.2f\n", "nearest_pipeline",
+                serial_ms, pipelined_ms, nearest_speedup);
+    records.push_back(BenchRecord{
+        "nearest_pipeline",
+        {{"nearest_serial_ms", serial_ms},
+         {"nearest_pipelined_ms", pipelined_ms},
+         {"nearest_speedup", nearest_speedup}}});
   }
 
   const std::string path = "BENCH_parallel_scaling.json";

@@ -1,18 +1,28 @@
-// ParallelFor: the library's one parallel-loop primitive.
+// ParallelFor / ParallelForDynamic: the library's parallel-loop
+// primitives.
 //
-// Determinism contract: the partition of [0, n) depends only on n, the
-// resolved thread budget and the grain — never on scheduling. Chunks are
-// contiguous and ascending (chunk c covers a range strictly before chunk
-// c+1), so callers that write results into index-addressed slots, or
-// collect per-chunk outputs and concatenate them in chunk order,
-// reproduce the sequential order exactly at any thread count.
+// Determinism contract (both variants): the partition of [0, n) depends
+// only on n, the resolved thread budget and the grain — never on
+// scheduling. Chunks are contiguous and ascending (chunk c covers a
+// range strictly before chunk c+1), so callers that write results into
+// index-addressed slots, or collect per-chunk outputs and concatenate
+// them in chunk order, reproduce the sequential order exactly at any
+// thread count. The variants differ only in how chunks are *assigned*
+// to threads: ParallelFor splits [0, n) evenly into at most one chunk
+// per thread (cheapest when per-index costs are uniform), while
+// ParallelForDynamic cuts grain-sized chunks that idle threads claim
+// from a shared cursor (work stealing — the right shape when per-index
+// costs are skewed, e.g. step-5 candidate regions).
 
 #ifndef SUBSEQ_EXEC_PARALLEL_FOR_H_
 #define SUBSEQ_EXEC_PARALLEL_FOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -77,6 +87,100 @@ int32_t ParallelFor(const ExecContext& exec, int64_t n, const Body& body,
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&pending] { return pending == 0; });
   return chunks;
+}
+
+/// Chunked work-stealing variant for skewed per-index costs. Runs
+/// body(begin, end, chunk) over the fixed partition into grain-sized
+/// chunks (chunk c covers [c * grain, min(n, (c + 1) * grain)) — the
+/// boundaries depend only on n and grain, never on scheduling) and
+/// returns the chunk count, 0 when n <= 0. Which *thread* runs a chunk
+/// is dynamic: the calling thread plus up to ResolvedThreads() - 1 pool
+/// helpers claim the next unclaimed chunk from a shared atomic cursor,
+/// so one expensive chunk delays only its claimant instead of stalling a
+/// statically assigned tail. Results stay deterministic because callers
+/// address output by chunk or element index, exactly as with
+/// ParallelFor.
+///
+/// Unlike ParallelFor, a call from inside a pool worker still fans out:
+/// helpers are enqueued and the calling worker participates in the claim
+/// loop, so a saturated pool degrades to inline execution on the caller
+/// rather than deadlocking. (The final wait can only block on chunks
+/// that some thread is actively executing.) This is what lets the
+/// serving layer's detached step-5 tasks spread one query's
+/// verification across the pool. `body` must not throw and must only
+/// touch disjoint state across chunks (or publish through atomics).
+template <typename Body>
+int32_t ParallelForDynamic(const ExecContext& exec, int64_t n,
+                           const Body& body, int64_t grain = 1) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  // Keep chunk indices representable as int32 (grain rounds up for
+  // astronomically large n).
+  constexpr int64_t kMaxChunks = std::numeric_limits<int32_t>::max();
+  if ((n + grain - 1) / grain > kMaxChunks) {
+    grain = (n + kMaxChunks - 1) / kMaxChunks;
+  }
+  const int64_t chunks = (n + grain - 1) / grain;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const int64_t helpers =
+      std::min({static_cast<int64_t>(exec.ResolvedThreads()) - 1, chunks - 1,
+                static_cast<int64_t>(pool.num_threads())});
+
+  // Helpers outlive the call when the queue is backed up, so everything
+  // they may touch after the caller returns lives in a shared control
+  // block. `body` itself stays on the caller's stack: a helper only
+  // dereferences it after successfully claiming a chunk, which can only
+  // happen while the caller is still waiting for that chunk.
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> completed{0};
+    int64_t chunks = 0;
+    int64_t n = 0;
+    int64_t grain = 0;
+    const void* body = nullptr;
+    void (*invoke)(const void*, int64_t, int64_t, int32_t) = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->chunks = chunks;
+  state->n = n;
+  state->grain = grain;
+  state->body = &body;
+  state->invoke = [](const void* b, int64_t begin, int64_t end, int32_t c) {
+    (*static_cast<const Body*>(b))(begin, end, c);
+  };
+
+  const auto run = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const int64_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->chunks) return;
+      const int64_t begin = c * s->grain;
+      const int64_t end = std::min(s->n, begin + s->grain);
+      s->invoke(s->body, begin, end, static_cast<int32_t>(c));
+      // acq_rel + the owner's acquire load below publish every chunk's
+      // writes to the owner once completed == chunks.
+      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          s->chunks) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  for (int64_t h = 0; h < helpers; ++h) {
+    pool.Submit([state, run] { run(state); });
+  }
+  run(state);
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&state] {
+      return state->completed.load(std::memory_order_acquire) ==
+             state->chunks;
+    });
+  }
+  return static_cast<int32_t>(chunks);
 }
 
 }  // namespace subseq

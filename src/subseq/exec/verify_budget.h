@@ -1,0 +1,73 @@
+// VerifyBudget: the shared atomic step-5 verification budget.
+//
+// MatcherOptions::max_verifications caps how many distance computations
+// step 5 may spend on one query (Type I is combinatorial by design).
+// When verification runs concurrently the cap must stay *exact*: the
+// paper's accounting is per-computation, and the serving layer promises
+// that a query errors with budget-exceeded iff the same query run
+// serially would. The charging discipline that makes exhaustion
+// schedule-independent is charge-before-work in full units: a region (or
+// tuple) that starts verifying has already charged its whole cost, so
+// the sum of all charges is a fixed, schedule-independent total, and
+// `exceeded` flips iff that total is greater than the limit — exactly
+// the serial path's error condition — no matter how the charges
+// interleave.
+
+#ifndef SUBSEQ_EXEC_VERIFY_BUDGET_H_
+#define SUBSEQ_EXEC_VERIFY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "subseq/core/check.h"
+
+namespace subseq {
+
+/// A fixed budget that concurrent workers draw down in full-cost units.
+/// Exhaustion is sticky and order-independent: for any interleaving,
+/// exceeded() ends up true iff the total demand exceeds the limit.
+class VerifyBudget {
+ public:
+  /// `limit` must be >= 0 (a negative budget is a programming error;
+  /// MatcherOptions::Validate rejects it at the API boundary).
+  explicit VerifyBudget(int64_t limit) : remaining_(limit), limit_(limit) {
+    SUBSEQ_CHECK(limit >= 0);
+  }
+  VerifyBudget(const VerifyBudget&) = delete;
+  VerifyBudget& operator=(const VerifyBudget&) = delete;
+
+  /// Charges `cost` in full. Returns true when the charged work may run;
+  /// false when the budget is exhausted — the caller must not perform
+  /// the work (and the owner reports budget-exceeded after the parallel
+  /// section joins). A zero-cost charge on a zero-remaining budget
+  /// succeeds, mirroring the serial loops, which only decrement when
+  /// they have a pair to verify.
+  bool Charge(int64_t cost) {
+    SUBSEQ_CHECK(cost >= 0);
+    if (exceeded_.load(std::memory_order_relaxed)) return false;
+    const int64_t after =
+        remaining_.fetch_sub(cost, std::memory_order_relaxed) - cost;
+    if (after < 0) {
+      exceeded_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// True once any charge has overdrawn the limit. Exact after the
+  /// parallel section spending this budget has joined.
+  bool exceeded() const {
+    return exceeded_.load(std::memory_order_relaxed);
+  }
+
+  int64_t limit() const { return limit_; }
+
+ private:
+  std::atomic<int64_t> remaining_;
+  std::atomic<bool> exceeded_{false};
+  const int64_t limit_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_EXEC_VERIFY_BUDGET_H_

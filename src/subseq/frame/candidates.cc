@@ -72,6 +72,34 @@ int32_t Clamp(int32_t v, int32_t lo, int32_t hi) {
 
 }  // namespace
 
+int64_t RegionVerificationCount(const CandidateRegion& region, int32_t lambda,
+                                int32_t lambda0) {
+  // (xb, xe) pair count for one SQ length; depends on the region and
+  // qlen only, so it is memoized across the (qb, qe) sweep below.
+  const auto x_pairs_at = [&region, lambda, lambda0](int32_t qlen) {
+    int64_t count = 0;
+    for (int32_t xb = region.x_begin_min; xb <= region.x_begin_max; ++xb) {
+      const auto [xe_lo, xe_hi] = SxEndRange(region, xb, qlen, lambda, lambda0);
+      if (xe_hi >= xe_lo) count += xe_hi - xe_lo + 1;
+    }
+    return count;
+  };
+
+  const int32_t qlen_max = region.q_end_max - region.q_begin_min;
+  if (qlen_max < lambda) return 0;
+  std::vector<int64_t> memo(static_cast<size_t>(qlen_max - lambda + 1), -1);
+  int64_t total = 0;
+  for (int32_t qb = region.q_begin_min; qb <= region.q_begin_max; ++qb) {
+    const int32_t qe_lo = std::max(region.q_end_min, qb + lambda);
+    for (int32_t qe = qe_lo; qe <= region.q_end_max; ++qe) {
+      int64_t& pairs = memo[static_cast<size_t>(qe - qb - lambda)];
+      if (pairs < 0) pairs = x_pairs_at(qe - qb);
+      total += pairs;
+    }
+  }
+  return total;
+}
+
 CandidateRegion ExpandHit(const SegmentHit& hit, const WindowCatalog& catalog,
                           int32_t lambda, int32_t lambda0,
                           int32_t query_length, int32_t sequence_length) {

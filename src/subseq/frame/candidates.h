@@ -15,7 +15,9 @@
 #ifndef SUBSEQ_FRAME_CANDIDATES_H_
 #define SUBSEQ_FRAME_CANDIDATES_H_
 
+#include <algorithm>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "subseq/core/sequence.h"
@@ -58,6 +60,21 @@ struct WindowChain {
   Interval query_span;
 };
 
+/// The inclusive SX-end range [first, second] a step-5 enumerator scans
+/// for one (SX begin, SQ length) inside a region — empty when
+/// first > second. The single source of truth for this bound: the
+/// verifiers (region and chain search), the budget's
+/// RegionVerificationCount, and the speculative chain scan all share it,
+/// so the budget charge can never drift from the work the verifiers
+/// actually enumerate.
+inline std::pair<int32_t, int32_t> SxEndRange(const CandidateRegion& region,
+                                              int32_t xb, int32_t qlen,
+                                              int32_t lambda,
+                                              int32_t lambda0) {
+  return {std::max({region.x_end_min, xb + lambda, xb + qlen - lambda0}),
+          std::min(region.x_end_max, xb + qlen + lambda0)};
+}
+
 /// Groups hits into maximal chains of consecutive windows per sequence.
 /// Chains are returned longest-first (the Type II verification order).
 /// Deterministic: the chain order depends only on the set of hit windows,
@@ -70,6 +87,18 @@ std::vector<WindowChain> BuildChains(std::span<const SegmentHit> hits,
 CandidateRegion ExpandHit(const SegmentHit& hit, const WindowCatalog& catalog,
                           int32_t lambda, int32_t lambda0,
                           int32_t query_length, int32_t sequence_length);
+
+/// The exact number of (SQ, SX) pairs the step-5 verifier enumerates for
+/// `region` — its verification cost — computed by arithmetic alone, no
+/// distance work. Mirrors the verification loops exactly (qb, then
+/// qe >= max(q_end_min, qb + lambda), then xb, then xe in
+/// [max(x_end_min, xb + lambda, xb + qlen - lambda0),
+///  min(x_end_max, xb + qlen + lambda0)]), so charging a region's count
+/// against a budget before verifying it reproduces the serial
+/// per-pair accounting exactly (tests/frame/candidates_test.cc
+/// cross-checks against brute-force enumeration).
+int64_t RegionVerificationCount(const CandidateRegion& region, int32_t lambda,
+                                int32_t lambda0);
 
 /// Expansion region for a whole chain: SX may start up to l before the
 /// chain and end up to l after it; SQ ranges come from the chain's query

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "subseq/core/check.h"
 #include "subseq/exec/parallel_for.h"
 #include "subseq/exec/stats_sink.h"
+#include "subseq/exec/thread_pool.h"
+#include "subseq/exec/verify_budget.h"
 #include "subseq/metric/linear_scan.h"
 #include "subseq/metric/sharded_index.h"
 
@@ -21,6 +31,32 @@ using MatchKey = std::array<int32_t, 5>;
 MatchKey KeyOf(const SubsequenceMatch& m) {
   return MatchKey{m.seq, m.query.begin, m.query.end, m.db.begin, m.db.end};
 }
+
+// One verification tuple of the Type II chain search, and the memo the
+// speculative parallel phase fills for the serial replay.
+struct PairKey {
+  int32_t qb = 0;
+  int32_t qe = 0;
+  int32_t xb = 0;
+  int32_t xe = 0;
+  friend bool operator==(const PairKey& a, const PairKey& b) {
+    return a.qb == b.qb && a.qe == b.qe && a.xb == b.xb && a.xe == b.xe;
+  }
+};
+
+struct PairKeyHash {
+  size_t operator()(const PairKey& k) const {
+    uint64_t h = (static_cast<uint64_t>(static_cast<uint32_t>(k.qb)) << 32) |
+                 static_cast<uint32_t>(k.qe);
+    h ^= ((static_cast<uint64_t>(static_cast<uint32_t>(k.xb)) << 32) |
+          static_cast<uint32_t>(k.xe)) +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return std::hash<uint64_t>{}(h);
+  }
+};
+
+// distance(SQ, SX) per tuple one speculative chain scan computed.
+using ChainMemo = std::unordered_map<PairKey, double, PairKeyHash>;
 
 // One backend of options.index_kind over the given oracle — the whole
 // window catalog (monolithic) or one shard's view of it (the ShardedIndex
@@ -56,19 +92,202 @@ Result<std::unique_ptr<RangeIndex>> BuildKindIndex(
   return Status::InvalidArgument("unknown IndexKind");
 }
 
+// Speculative half of the parallel Type II chain search: scans chains
+// concurrently (chunked work-stealing — chain costs are skewed), sharing
+// an atomic best-length bound so a chain that cannot produce a match at
+// least as long as one already found anywhere is pruned across workers.
+// Every distance computed lands in that chain's memo; the serial replay
+// below consumes the memo so its walk pays hash lookups instead of
+// dynamic-programming alignments. The bound prunes only *strictly
+// shorter* scans — the serial tie-break (earliest chain wins at equal
+// length) needs equal-length candidates from earlier chains intact.
+// Speculation charges its own budget so pruning-starved edge cases (the
+// replay raises budget-exceeded anyway) cannot spend unbounded work.
+template <typename T>
+void SpeculateChains(const SequenceDatabase<T>& db,
+                     const SequenceDistance<T>& dist,
+                     const WindowCatalog& catalog,
+                     const MatcherOptions& options, std::span<const T> query,
+                     std::span<const WindowChain> chains, double epsilon,
+                     const ExecContext& verify_exec,
+                     std::vector<ChainMemo>* memos) {
+  const int32_t l = catalog.window_length();
+  const int32_t lambda = options.lambda;
+  const int32_t lambda0 = options.lambda0;
+  std::atomic<int32_t> best_len{0};
+  VerifyBudget speculation_budget(options.max_verifications);
+
+  ParallelForDynamic(
+      verify_exec, static_cast<int64_t>(chains.size()),
+      [&](int64_t lo, int64_t hi, int32_t) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (speculation_budget.exceeded()) return;
+          const WindowChain& chain = chains[static_cast<size_t>(i)];
+          const int32_t chain_qlen_bound = (chain.length + 2) * l + lambda0;
+          if (best_len.load(std::memory_order_relaxed) >= chain_qlen_bound) {
+            continue;  // cannot reach the bound, let alone beat it
+          }
+          const CandidateRegion region = ExpandChain(
+              chain, catalog, lambda, lambda0,
+              static_cast<int32_t>(query.size()), db.at(chain.seq).size());
+          const Sequence<T>& seq = db.at(chain.seq);
+          ChainMemo& memo = (*memos)[static_cast<size_t>(i)];
+
+          const int32_t qlen_max = region.q_end_max - region.q_begin_min;
+          bool found_in_chain = false;
+          for (int32_t qlen = qlen_max; qlen >= lambda && !found_in_chain;
+               --qlen) {
+            if (qlen < best_len.load(std::memory_order_relaxed)) break;
+            for (int32_t qb = region.q_begin_min;
+                 qb <= region.q_begin_max && !found_in_chain; ++qb) {
+              const int32_t qe = qb + qlen;
+              if (qe < region.q_end_min || qe > region.q_end_max) continue;
+              const auto sq = query.subspan(static_cast<size_t>(qb),
+                                            static_cast<size_t>(qlen));
+              for (int32_t xb = region.x_begin_min;
+                   xb <= region.x_begin_max && !found_in_chain; ++xb) {
+                const auto [xe_lo, xe_hi] =
+                    SxEndRange(region, xb, qlen, lambda, lambda0);
+                for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) {
+                  if (!speculation_budget.Charge(1)) return;
+                  const auto sx = seq.Subsequence(Interval{xb, xe});
+                  const double d = dist.ComputeBounded(sq, sx, epsilon);
+                  memo.emplace(PairKey{qb, qe, xb, xe}, d);
+                  if (d <= epsilon) {
+                    found_in_chain = true;
+                    int32_t cur = best_len.load(std::memory_order_relaxed);
+                    while (qlen > cur &&
+                           !best_len.compare_exchange_weak(
+                               cur, qlen, std::memory_order_relaxed)) {
+                    }
+                    break;
+                  }
+                }
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+// The longest-first chain search — the sequential reference algorithm.
+// With empty `memos` this IS the serial Type II step 5; with memos from
+// SpeculateChains it replays the identical control flow (same walk, same
+// budget decrements, same stats, same tie-breaks), reusing memoized
+// distances and computing only the tuples speculation never reached.
+template <typename T>
+Result<std::optional<SubsequenceMatch>> ChainSearchReplay(
+    const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+    const WindowCatalog& catalog, const MatcherOptions& options,
+    std::span<const T> query, std::span<const WindowChain> chains,
+    double epsilon, std::span<const ChainMemo> memos,
+    MatchQueryStats* stats) {
+  const int32_t l = catalog.window_length();
+  const int32_t lambda = options.lambda;
+  const int32_t lambda0 = options.lambda0;
+  std::optional<SubsequenceMatch> best;
+  int64_t budget = options.max_verifications;
+
+  for (size_t c = 0; c < chains.size(); ++c) {
+    const WindowChain& chain = chains[c];
+    // A chain of k windows cannot support |SX| >= (k + 2) * l (the match
+    // would contain another window, which would be part of the chain), so
+    // |SQ| < (k + 2) * l + lambda0. Chains are sorted longest-first.
+    const int32_t chain_qlen_bound = (chain.length + 2) * l + lambda0;
+    if (best.has_value() && best->query.length() >= chain_qlen_bound) break;
+
+    const CandidateRegion region = ExpandChain(
+        chain, catalog, lambda, lambda0, static_cast<int32_t>(query.size()),
+        db.at(chain.seq).size());
+    const Sequence<T>& seq = db.at(chain.seq);
+    const ChainMemo* memo = c < memos.size() ? &memos[c] : nullptr;
+
+    const int32_t qlen_max = region.q_end_max - region.q_begin_min;
+    bool found_in_chain = false;
+    for (int32_t qlen = qlen_max; qlen >= lambda && !found_in_chain;
+         --qlen) {
+      if (best.has_value() && qlen <= best->query.length()) break;
+      for (int32_t qb = region.q_begin_min;
+           qb <= region.q_begin_max && !found_in_chain; ++qb) {
+        const int32_t qe = qb + qlen;
+        if (qe < region.q_end_min || qe > region.q_end_max) continue;
+        const auto sq = query.subspan(static_cast<size_t>(qb),
+                                      static_cast<size_t>(qlen));
+        for (int32_t xb = region.x_begin_min;
+             xb <= region.x_begin_max && !found_in_chain; ++xb) {
+          const auto [xe_lo, xe_hi] =
+              SxEndRange(region, xb, qlen, lambda, lambda0);
+          for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) {
+            if (--budget < 0) {
+              return Status::OutOfRange(
+                  "LongestMatch exceeded max_verifications");
+            }
+            if (stats != nullptr) ++stats->verifications;
+            double d;
+            ChainMemo::const_iterator it;
+            if (memo != nullptr &&
+                (it = memo->find(PairKey{qb, qe, xb, xe})) != memo->end()) {
+              d = it->second;
+            } else {
+              const auto sx = seq.Subsequence(Interval{xb, xe});
+              d = dist.ComputeBounded(sq, sx, epsilon);
+            }
+            if (d <= epsilon) {
+              best = SubsequenceMatch{chain.seq, Interval{qb, qe},
+                                      Interval{xb, xe}, d};
+              found_in_chain = true;  // qlen descends: first hit is max here
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace
+
+Status MatcherOptions::Validate() const {
+  if (lambda < 2 || lambda % 2 != 0) {
+    return Status::InvalidArgument("lambda must be even and >= 2");
+  }
+  if (lambda0 < 0 || lambda0 >= lambda / 2) {
+    return Status::InvalidArgument(
+        "lambda0 must satisfy 0 <= lambda0 < lambda/2");
+  }
+  // Budget-exhaustion semantics are explicit at the boundary: step 5
+  // charges every candidate pair against the budget *before* verifying
+  // it, so max_verifications = 0 would fail every query whose filter
+  // yields any candidate, and a negative cap is invalid rather than
+  // "unlimited".
+  if (max_verifications == 0) {
+    return Status::InvalidArgument(
+        "max_verifications = 0 rejects every query with step-5 candidates "
+        "(each pair charges the budget before verification); use a "
+        "positive cap");
+  }
+  if (max_verifications < 0) {
+    return Status::InvalidArgument(
+        "max_verifications must be positive; a negative budget is invalid "
+        "rather than unlimited — use a large positive cap");
+  }
+  if (exec.num_threads < 0 || exec.num_verify_threads < 0 ||
+      exec.num_shards < 0) {
+    return Status::InvalidArgument(
+        "ExecContext knobs (num_threads, num_verify_threads, num_shards) "
+        "must be >= 0; 0 resolves to the default");
+  }
+  return Status::OK();
+}
 
 template <typename T>
 Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
     const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
     MatcherOptions options) {
-  if (options.lambda < 2 || options.lambda % 2 != 0) {
-    return Status::InvalidArgument("lambda must be even and >= 2");
-  }
+  SUBSEQ_RETURN_NOT_OK(options.Validate());
   const int32_t l = options.lambda / 2;
-  if (options.lambda0 < 0 || options.lambda0 >= l) {
-    return Status::InvalidArgument("lambda0 must satisfy 0 <= lambda0 < lambda/2");
-  }
   if (!dist.is_consistent()) {
     return Status::InvalidArgument(
         "the window filter requires a consistent distance (Definition 1); " +
@@ -78,9 +297,6 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
     return Status::InvalidArgument(
         "metric indexes require a metric distance; use "
         "IndexKind::kLinearScan with " + std::string(dist.name()));
-  }
-  if (options.max_verifications <= 0) {
-    return Status::InvalidArgument("max_verifications must be positive");
   }
 
   // One knob governs all parallel sections: the matcher's ExecContext is
@@ -235,9 +451,8 @@ bool SubsequenceMatcher<T>::VerifyRegion(std::span<const T> query,
       const auto sq = query.subspan(static_cast<size_t>(qb),
                                     static_cast<size_t>(qlen));
       for (int32_t xb = region.x_begin_min; xb <= region.x_begin_max; ++xb) {
-        const int32_t xe_lo =
-            std::max({region.x_end_min, xb + lambda, xb + qlen - lambda0});
-        const int32_t xe_hi = std::min(region.x_end_max, xb + qlen + lambda0);
+        const auto [xe_lo, xe_hi] =
+            SxEndRange(region, xb, qlen, lambda, lambda0);
         for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) {
           if (--(*budget) < 0) return false;
           const auto sx = seq.Subsequence(Interval{xb, xe});
@@ -265,24 +480,95 @@ template <typename T>
 Result<std::vector<SubsequenceMatch>> SubsequenceMatcher<T>::RangeSearchFromHits(
     std::span<const T> query, std::span<const SegmentHit> hits,
     double epsilon, MatchQueryStats* stats) const {
-  std::vector<SubsequenceMatch> matches;
-  std::set<MatchKey> seen;
-  int64_t budget = options_.max_verifications;
+  // Expansion first: region i extends hits[i], inheriting the canonical
+  // hit order — the order the serial walk verifies in and the parallel
+  // merge below restores.
+  std::vector<CandidateRegion> regions;
+  regions.reserve(hits.size());
   for (const SegmentHit& hit : hits) {
     const WindowRef& ref = catalog_->at(hit.window);
-    const CandidateRegion region = ExpandHit(
-        hit, *catalog_, options_.lambda, options_.lambda0,
-        static_cast<int32_t>(query.size()), db_.at(ref.seq).size());
-    const bool ok = VerifyRegion(
-        query, region, epsilon, &budget, stats,
-        [&](const SubsequenceMatch& m) {
-          if (seen.insert(KeyOf(m)).second) matches.push_back(m);
-        });
-    if (!ok) {
+    regions.push_back(ExpandHit(hit, *catalog_, options_.lambda,
+                                options_.lambda0,
+                                static_cast<int32_t>(query.size()),
+                                db_.at(ref.seq).size()));
+  }
+
+  // Exact budget accounting before any verification: every region fully
+  // charges its enumeration count (RegionVerificationCount mirrors the
+  // verify loops pair for pair), so exhaustion here <=> the serial walk
+  // would run out of budget mid-stream. The serial path performs exactly
+  // max_verifications distance computations before raising; reproducing
+  // that count without burning the work keeps the observables — status
+  // and stats — identical while the error path costs nothing.
+  VerifyBudget budget(options_.max_verifications);
+  int64_t total_cost = 0;
+  for (const CandidateRegion& region : regions) {
+    const int64_t cost =
+        RegionVerificationCount(region, options_.lambda, options_.lambda0);
+    total_cost += cost;
+    if (!budget.Charge(cost)) {
+      if (stats != nullptr) {
+        stats->verifications += options_.max_verifications;
+      }
       return Status::OutOfRange(
           "RangeSearch exceeded max_verifications; Type I enumerates all "
           "similar pairs — lower epsilon, raise max_verifications, or use "
           "LongestMatch/NearestMatch");
+    }
+  }
+
+  std::vector<SubsequenceMatch> matches;
+  std::set<MatchKey> seen;
+  // The budget is fully charged: no verify path below can exhaust it.
+  int64_t charged = std::numeric_limits<int64_t>::max();
+
+  const int32_t verify_threads = options_.exec.ResolvedVerifyThreads();
+  if (verify_threads <= 1 || regions.size() <= 1) {
+    // The sequential reference path.
+    for (const CandidateRegion& region : regions) {
+      VerifyRegion(query, region, epsilon, &charged, stats,
+                   [&](const SubsequenceMatch& m) {
+                     if (seen.insert(KeyOf(m)).second) matches.push_back(m);
+                   });
+    }
+    return matches;
+  }
+
+  // Parallel path: regions verify concurrently under chunked
+  // work-stealing (per-region costs are skewed); matches land in
+  // per-region slots and per-chunk stats roll up through the atomic
+  // StatsSink. The merge below walks regions in order and, within a
+  // region, keeps the verifier's ascending (SQ, SX) emission order — the
+  // exact serial match order — so dedup keeps first occurrences
+  // identically and the result is element-wise equal at any thread
+  // count.
+  ExecContext verify_exec = options_.exec;
+  verify_exec.num_threads = verify_threads;
+  std::vector<std::vector<SubsequenceMatch>> region_matches(regions.size());
+  StatsSink verify_sink;
+  ParallelForDynamic(
+      verify_exec, static_cast<int64_t>(regions.size()),
+      [&](int64_t lo, int64_t hi, int32_t) {
+        MatchQueryStats local;
+        int64_t local_charged = std::numeric_limits<int64_t>::max();
+        for (int64_t i = lo; i < hi; ++i) {
+          VerifyRegion(query, regions[static_cast<size_t>(i)], epsilon,
+                       &local_charged, &local,
+                       [&](const SubsequenceMatch& m) {
+                         region_matches[static_cast<size_t>(i)].push_back(m);
+                       });
+        }
+        verify_sink.AddDistanceComputations(local.verifications);
+      },
+      /*grain=*/1);
+  // Self-check of the exact accounting: the work done equals the cost
+  // charged up front.
+  SUBSEQ_CHECK(verify_sink.distance_computations() == total_cost);
+  if (stats != nullptr) stats->verifications += total_cost;
+
+  for (const std::vector<SubsequenceMatch>& in_region : region_matches) {
+    for (const SubsequenceMatch& m : in_region) {
+      if (seen.insert(KeyOf(m)).second) matches.push_back(m);
     }
   }
   return matches;
@@ -304,62 +590,128 @@ SubsequenceMatcher<T>::LongestMatchFromHits(std::span<const T> query,
   const std::vector<WindowChain> chains = BuildChains(hits, *catalog_);
   if (stats != nullptr) stats->chains += static_cast<int64_t>(chains.size());
 
-  const int32_t l = catalog_->window_length();
-  const int32_t lambda = options_.lambda;
-  const int32_t lambda0 = options_.lambda0;
-  std::optional<SubsequenceMatch> best;
-  int64_t budget = options_.max_verifications;
-
-  for (const WindowChain& chain : chains) {
-    // A chain of k windows cannot support |SX| >= (k + 2) * l (the match
-    // would contain another window, which would be part of the chain), so
-    // |SQ| < (k + 2) * l + lambda0. Chains are sorted longest-first.
-    const int32_t chain_qlen_bound = (chain.length + 2) * l + lambda0;
-    if (best.has_value() && best->query.length() >= chain_qlen_bound) break;
-
-    const CandidateRegion region = ExpandChain(
-        chain, *catalog_, lambda, lambda0,
-        static_cast<int32_t>(query.size()), db_.at(chain.seq).size());
-    const Sequence<T>& seq = db_.at(chain.seq);
-
-    const int32_t qlen_max = region.q_end_max - region.q_begin_min;
-    bool found_in_chain = false;
-    for (int32_t qlen = qlen_max; qlen >= lambda && !found_in_chain;
-         --qlen) {
-      if (best.has_value() && qlen <= best->query.length()) break;
-      for (int32_t qb = region.q_begin_min;
-           qb <= region.q_begin_max && !found_in_chain; ++qb) {
-        const int32_t qe = qb + qlen;
-        if (qe < region.q_end_min || qe > region.q_end_max) continue;
-        const auto sq = query.subspan(static_cast<size_t>(qb),
-                                      static_cast<size_t>(qlen));
-        for (int32_t xb = region.x_begin_min;
-             xb <= region.x_begin_max && !found_in_chain; ++xb) {
-          const int32_t xe_lo =
-              std::max({region.x_end_min, xb + lambda, xb + qlen - lambda0});
-          const int32_t xe_hi =
-              std::min(region.x_end_max, xb + qlen + lambda0);
-          for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) {
-            if (--budget < 0) {
-              return Status::OutOfRange(
-                  "LongestMatch exceeded max_verifications");
-            }
-            if (stats != nullptr) ++stats->verifications;
-            const auto sx = seq.Subsequence(Interval{xb, xe});
-            const double d = dist_.ComputeBounded(sq, sx, epsilon);
-            if (d <= epsilon) {
-              best = SubsequenceMatch{chain.seq, Interval{qb, qe},
-                                      Interval{xb, xe}, d};
-              found_in_chain = true;  // qlen descends: first hit is max here
-              break;
-            }
-          }
-        }
-      }
-    }
+  // The longest-first search carries a best-so-far bound across chains,
+  // so its exact control flow is a sequential fold. Parallelism comes
+  // from *speculation*: workers scan chains concurrently under a shared
+  // atomic best-length bound and memoize every distance; the serial
+  // replay then walks the reference algorithm over the memo, so the
+  // match, the stats, and budget-exceeded behavior are bit-identical to
+  // the sequential path while the alignments were computed in parallel.
+  std::vector<ChainMemo> memos;
+  const int32_t verify_threads = options_.exec.ResolvedVerifyThreads();
+  if (verify_threads > 1 && chains.size() > 1) {
+    ExecContext verify_exec = options_.exec;
+    verify_exec.num_threads = verify_threads;
+    memos.resize(chains.size());
+    SpeculateChains(db_, dist_, *catalog_, options_, query,
+                    std::span<const WindowChain>(chains), epsilon,
+                    verify_exec, &memos);
   }
-  return best;
+  return ChainSearchReplay(db_, dist_, *catalog_, options_, query,
+                           std::span<const WindowChain>(chains), epsilon,
+                           std::span<const ChainMemo>(memos), stats);
 }
+
+namespace {
+
+// Adds a filter call's accounting (steps 3-4 fields only) into `out`.
+inline void AddFilterStats(MatchQueryStats* out, const MatchQueryStats& in) {
+  if (out == nullptr) return;
+  out->segments += in.segments;
+  out->filter_computations += in.filter_computations;
+  out->hits += in.hits;
+}
+
+// One speculative FilterSegments round, issued to the shared pool so it
+// overlaps the current round's verification. The owner and the pool task
+// race on `claimed`: whichever side claims first runs the filter, so the
+// owner never blocks on a task that is still queued (it runs the filter
+// inline instead) — only on one that is actively executing, which always
+// finishes. Take() merges the probe's accounting into the query stats;
+// Discard() drops it, because the serial schedule never ran that probe.
+template <typename T>
+class NextProbe {
+ public:
+  NextProbe() = default;
+  NextProbe(const NextProbe&) = delete;
+  NextProbe& operator=(const NextProbe&) = delete;
+  ~NextProbe() { Discard(); }
+
+  void Launch(const SubsequenceMatcher<T>& matcher, std::span<const T> query,
+              double epsilon) {
+    matcher_ = &matcher;
+    query_ = query;
+    epsilon_ = epsilon;
+    state_ = std::make_shared<State>();
+    // The task captures the matcher and query by reference-like views;
+    // both outlive it because Take/Discard never return while the task
+    // is running.
+    ThreadPool::Shared().Submit(
+        [state = state_, &matcher, query, epsilon] {
+          if (state->claimed.exchange(true, std::memory_order_acq_rel)) {
+            return;  // the owner took (or discarded) the probe first
+          }
+          MatchQueryStats probe_stats;
+          std::vector<SegmentHit> hits =
+              matcher.FilterSegments(query, epsilon, &probe_stats);
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->hits = std::move(hits);
+          state->stats = probe_stats;
+          state->done = true;
+          state->cv.notify_all();
+        });
+  }
+
+  bool launched() const { return state_ != nullptr; }
+
+  /// The speculative hits, with the probe's accounting merged into
+  /// `stats` — exactly what a non-speculative FilterSegments at the same
+  /// epsilon would have produced and charged.
+  std::vector<SegmentHit> Take(MatchQueryStats* stats) {
+    SUBSEQ_CHECK(state_ != nullptr);
+    std::vector<SegmentHit> hits;
+    if (state_->claimed.exchange(true, std::memory_order_acq_rel)) {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      state_->cv.wait(lock, [this] { return state_->done; });
+      AddFilterStats(stats, state_->stats);
+      hits = std::move(state_->hits);
+    } else {
+      // The pool never got to it; the filter runs here, on schedule.
+      hits = matcher_->FilterSegments(query_, epsilon_, stats);
+    }
+    state_.reset();
+    return hits;
+  }
+
+  /// Drops the probe: unstarted tasks are cancelled via the claim;
+  /// a running task is waited out (it holds views into the query) and
+  /// its result and accounting are discarded.
+  void Discard() {
+    if (state_ == nullptr) return;
+    if (state_->claimed.exchange(true, std::memory_order_acq_rel)) {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      state_->cv.wait(lock, [this] { return state_->done; });
+    }
+    state_.reset();
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> claimed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<SegmentHit> hits;
+    MatchQueryStats stats;
+  };
+
+  const SubsequenceMatcher<T>* matcher_ = nullptr;
+  std::span<const T> query_;
+  double epsilon_ = 0.0;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace
 
 template <typename T>
 Result<std::optional<SubsequenceMatch>> SubsequenceMatcher<T>::NearestMatch(
@@ -370,35 +722,72 @@ Result<std::optional<SubsequenceMatch>> SubsequenceMatcher<T>::NearestMatch(
         "NearestMatch requires epsilon_max >= 0 and epsilon_increment > 0");
   }
   // A similar pair at distance d produces a segment hit at epsilon = d
-  // (Lemma 2), so no hits at epsilon_max means no pair at all.
-  if (FilterSegments(query, epsilon_max, stats).empty()) {
+  // (Lemma 2), so no hits at epsilon_max means no pair at all. The hit
+  // set is kept: it IS the first binary-search probe (the probe at
+  // hi = epsilon_max), and the growth loop below reuses the cached hit
+  // set of whatever epsilon it verifies at instead of re-running the
+  // filter.
+  std::vector<SegmentHit> hits = FilterSegments(query, epsilon_max, stats);
+  if (hits.empty()) {
     return std::optional<SubsequenceMatch>();
   }
+  double hits_epsilon = epsilon_max;
 
   // Binary-search the smallest epsilon that yields any segment hit.
+  // `hits` tracks the latest non-empty probe — the probe at `hi`.
   double lo = 0.0;
   double hi = epsilon_max;
   for (int iter = 0; iter < 48 && hi - lo > epsilon_increment / 2.0;
        ++iter) {
     const double mid = lo + (hi - lo) / 2.0;
-    if (FilterSegments(query, mid, stats).empty()) {
+    std::vector<SegmentHit> mid_hits = FilterSegments(query, mid, stats);
+    if (mid_hits.empty()) {
       lo = mid;
     } else {
       hi = mid;
+      hits = std::move(mid_hits);
+      hits_epsilon = mid;
     }
   }
 
   // Grow epsilon until the Type II chain search verifies a pair. The
   // first success makes the current epsilon optimal up to the increment
   // (step 3 of the paper's Type III): a smaller epsilon was already
-  // checked and produced nothing.
-  for (double eps = hi; eps <= epsilon_max + epsilon_increment / 2.0;
-       eps += epsilon_increment) {
+  // checked and produced nothing. Rounds are pipelined: while this
+  // round's chain search verifies, the next round's filter runs
+  // speculatively on the pool; its accounting is charged only if the
+  // schedule reaches that round, so results and stats match the
+  // unpipelined schedule exactly. Speculation only pays when a second
+  // hardware thread can truly overlap it — on a single-core box a
+  // discarded probe is pure added latency — so it is gated on the pool
+  // actually having more than one worker.
+  // The loop exits via the break below, after a round at clamped ==
+  // epsilon_max has run: terminating on the unclamped eps overshooting
+  // would skip the final epsilon_max round whenever (epsilon_max - hi)
+  // is not close to a multiple of the increment, silently missing pairs
+  // with distance in the last partial increment.
+  const bool pipeline = options_.exec.ResolvedThreads() > 1 &&
+                        ThreadPool::Shared().num_threads() > 1;
+  for (double eps = hi;; eps += epsilon_increment) {
     const double clamped = std::min(eps, epsilon_max);
-    auto found = LongestMatch(query, clamped, stats);
+    if (clamped != hits_epsilon) {
+      hits = FilterSegments(query, clamped, stats);
+      hits_epsilon = clamped;
+    }
+    const bool last_round = clamped >= epsilon_max;
+    NextProbe<T> probe;
+    if (pipeline && !last_round) {
+      probe.Launch(*this, query,
+                   std::min(eps + epsilon_increment, epsilon_max));
+    }
+    auto found = LongestMatchFromHits(query, hits, clamped, stats);
     SUBSEQ_RETURN_NOT_OK(found.status());
     if (found.value().has_value()) return found;
-    if (clamped >= epsilon_max) break;
+    if (last_round) break;
+    if (probe.launched()) {
+      hits = probe.Take(stats);
+      hits_epsilon = std::min(eps + epsilon_increment, epsilon_max);
+    }
   }
   return std::optional<SubsequenceMatch>();
 }

@@ -64,7 +64,14 @@ struct MatcherOptions {
   MvIndexOptions mv_index;
   VpTreeOptions vp_tree;
   /// Safety cap on step-5 distance verifications per query; exceeded =>
-  /// Status::OutOfRange (Type I can be combinatorial by design).
+  /// Status::OutOfRange (Type I can be combinatorial by design). Must be
+  /// >= 1: 0 would reject every query whose filter produces any
+  /// candidate, and negative values are invalid rather than "unlimited"
+  /// — Validate() (and so Build) refuses both explicitly. The cap is
+  /// exact at any exec setting: concurrent verification charges the
+  /// budget in full region units before working (exec/verify_budget.h),
+  /// so budget-exceeded is raised iff the serial walk would raise it,
+  /// with identical stats.
   int64_t max_verifications = 5'000'000;
   /// Thread budget for index construction (step 2) and the batched
   /// segment filter (step 4). num_threads = 0 (the default) uses the
@@ -72,6 +79,11 @@ struct MatcherOptions {
   /// identical at any setting — the knob trades wall-clock time only.
   /// Pushed down into reference_net / mv_index / vp_tree at Build unless
   /// that index's own exec was set explicitly (num_threads != 0).
+  ///
+  /// exec.num_verify_threads budgets step-5 verification separately
+  /// (region costs are highly skewed, so verification uses chunked
+  /// work-stealing scheduling rather than the filter's even split);
+  /// 0 = inherit num_threads, 1 = the sequential reference path.
   ///
   /// exec.num_shards > 1 partitions the window catalog into that many
   /// contiguous shards and builds one index of index_kind per shard
@@ -83,6 +95,13 @@ struct MatcherOptions {
   /// differs across K small indexes vs one large one; LinearScan is
   /// identical on that count too). 0 or 1 = one monolithic index.
   ExecContext exec;
+
+  /// Validates the framework parameters (lambda, lambda0,
+  /// max_verifications, exec knobs) with explicit messages for the edge
+  /// cases; Build calls this before touching the database. The distance
+  /// property checks (consistency, metricity) live in Build, which has
+  /// the distance at hand.
+  Status Validate() const;
 };
 
 /// A verified pair of similar subsequences.
@@ -180,6 +199,16 @@ class SubsequenceMatcher {
   /// serving layer calls this with hits demuxed from a coalesced filter.
   /// `stats` accumulates verification counts only (the filter already
   /// accounted for its own work). Thread-safe.
+  ///
+  /// Candidate regions are verified concurrently over
+  /// options().exec.ResolvedVerifyThreads() with chunked work-stealing
+  /// scheduling (region costs are skewed) and a deterministic merge in
+  /// region order, then ascending (SQ, SX) within a region — the exact
+  /// serial order. The verification budget charges whole regions before
+  /// they verify, so matches, stats, and budget-exceeded errors are
+  /// element-wise identical at any verify-thread count; on exhaustion no
+  /// distance work runs at all (the serial path burns the whole budget
+  /// first — same observables, less work).
   Result<std::vector<SubsequenceMatch>> RangeSearchFromHits(
       std::span<const T> query, std::span<const SegmentHit> hits,
       double epsilon, MatchQueryStats* stats = nullptr) const;
@@ -193,6 +222,16 @@ class SubsequenceMatcher {
   /// Step 5 of Type II from precomputed hits: chain building + the
   /// longest-first chain search. LongestMatch == FilterSegments +
   /// LongestMatchFromHits; same contract as RangeSearchFromHits.
+  ///
+  /// With more than one verify thread, chains are searched speculatively
+  /// in parallel first — workers share an atomic best-length bound that
+  /// prunes strictly-shorter chain scans across workers and memoize
+  /// every distance they compute — and the longest-first serial walk
+  /// then *replays* over the memo: its control flow (and so the reported
+  /// match, stats, and budget-exceeded behavior) is exactly the
+  /// sequential algorithm's, while the expensive distance computations
+  /// were already done concurrently. Tuples the speculation did not
+  /// reach are computed on demand during the replay.
   Result<std::optional<SubsequenceMatch>> LongestMatchFromHits(
       std::span<const T> query, std::span<const SegmentHit> hits,
       double epsilon, MatchQueryStats* stats = nullptr) const;
@@ -204,6 +243,16 @@ class SubsequenceMatcher {
   /// of the true minimum (the paper's algorithm: "if we find some
   /// results, the current epsilon is optimal"). Returns nullopt if no
   /// pair exists with distance <= epsilon_max.
+  ///
+  /// The epsilon schedule is pipelined: the existence pre-check's hit
+  /// set at epsilon_max doubles as the first binary-search probe and is
+  /// carried forward (each growth round verifies the cached hit set of
+  /// its epsilon instead of re-running the filter), and while a round
+  /// verifies, the next round's FilterSegments runs speculatively on the
+  /// pool. A speculative filter is charged to `stats` only when the
+  /// schedule actually consumes it, so results and stats are identical
+  /// at any thread setting; discarded probes cost wall-clock-overlapped
+  /// work only.
   Result<std::optional<SubsequenceMatch>> NearestMatch(
       std::span<const T> query, double epsilon_max, double epsilon_increment,
       MatchQueryStats* stats = nullptr) const;

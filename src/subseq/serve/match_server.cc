@@ -191,7 +191,12 @@ void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
     }
 
     // Step 5 per member, detached: the loop moves on to the next group /
-    // admission round while pool workers verify.
+    // admission round while pool workers verify. Each task enters the
+    // library's parallel verification path (RangeSearchFromHits /
+    // LongestMatchFromHits), whose work-stealing loop fans candidate
+    // regions out across idle pool workers even though it was entered
+    // from a worker — a query with a heavy verification tail no longer
+    // serializes on its one detached task.
     for (size_t g = 0; g < group.members.size(); ++g) {
       Pending& p = (*batch)[alive[group.members[g]]];
       Dispatch(

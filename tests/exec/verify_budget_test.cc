@@ -1,0 +1,105 @@
+// VerifyBudget: the exact, order-independent step-5 budget. The key
+// invariant under test is schedule independence: exceeded() must end up
+// true iff the total demand exceeds the limit, for any interleaving of
+// concurrent charges — the property that makes parallel verification
+// raise budget-exceeded exactly when the serial walk would.
+
+#include "subseq/exec/verify_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace subseq {
+namespace {
+
+TEST(VerifyBudgetTest, ChargesWithinLimitSucceed) {
+  VerifyBudget budget(10);
+  EXPECT_TRUE(budget.Charge(4));
+  EXPECT_TRUE(budget.Charge(6));  // exactly exhausts: still within limit
+  EXPECT_FALSE(budget.exceeded());
+  EXPECT_EQ(budget.limit(), 10);
+}
+
+TEST(VerifyBudgetTest, OverdrawFlipsExceededAndSticks) {
+  VerifyBudget budget(10);
+  EXPECT_TRUE(budget.Charge(10));
+  EXPECT_FALSE(budget.exceeded());
+  EXPECT_FALSE(budget.Charge(1));  // the (limit + 1)-th unit overdraws
+  EXPECT_TRUE(budget.exceeded());
+  EXPECT_FALSE(budget.Charge(0));  // sticky once exceeded
+}
+
+TEST(VerifyBudgetTest, ZeroCostChargeOnDrainedBudgetSucceeds) {
+  // Mirrors the serial loops, which only decrement when a pair exists:
+  // an empty region never trips the cap.
+  VerifyBudget budget(3);
+  EXPECT_TRUE(budget.Charge(3));
+  EXPECT_TRUE(budget.Charge(0));
+  EXPECT_FALSE(budget.exceeded());
+}
+
+TEST(VerifyBudgetTest, ZeroLimitRejectsAnyPositiveCharge) {
+  VerifyBudget budget(0);
+  EXPECT_TRUE(budget.Charge(0));
+  EXPECT_FALSE(budget.Charge(1));
+  EXPECT_TRUE(budget.exceeded());
+}
+
+TEST(VerifyBudgetTest, ConcurrentChargesTotallingLimitNeverExceed) {
+  // 8 threads x 1000 unit charges == the limit exactly: no interleaving
+  // may observe exhaustion.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  VerifyBudget budget(static_cast<int64_t>(kThreads) * kPerThread);
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!budget.Charge(1)) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+  EXPECT_FALSE(budget.exceeded());
+}
+
+TEST(VerifyBudgetTest, ConcurrentOverdrawAlwaysDetected) {
+  // Total demand = limit + 1: exactly one unit must be refused no matter
+  // how the charges interleave.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  VerifyBudget budget(static_cast<int64_t>(kThreads) * kPerThread - 1);
+  std::vector<std::thread> threads;
+  std::vector<int64_t> refused(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget, &refused, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!budget.Charge(1)) ++refused[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  int64_t total_refused = 0;
+  for (const int64_t r : refused) total_refused += r;
+  EXPECT_GE(total_refused, 1);
+  EXPECT_TRUE(budget.exceeded());
+}
+
+TEST(VerifyBudgetDeathTest, NegativeLimitAborts) {
+  // A negative budget is a programming error (MatcherOptions::Validate
+  // rejects it at the API boundary); the budget itself CHECK-fails.
+  EXPECT_DEATH(VerifyBudget(-1), "limit >= 0");
+}
+
+TEST(VerifyBudgetDeathTest, NegativeChargeAborts) {
+  VerifyBudget budget(10);
+  EXPECT_DEATH(budget.Charge(-1), "cost >= 0");
+}
+
+}  // namespace
+}  // namespace subseq

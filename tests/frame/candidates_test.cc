@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace subseq {
 namespace {
 
@@ -115,6 +117,69 @@ TEST(ExpandChainTest, CoversWholeChain) {
   EXPECT_EQ(r.q_begin_max, 28);
   EXPECT_EQ(r.q_end_min, 10);
   EXPECT_EQ(r.q_end_max, 35);    // 28 + 5 + 2
+}
+
+// The reference enumeration RegionVerificationCount must agree with: a
+// literal transcription of the step-5 verify loops, counting instead of
+// computing distances.
+int64_t BruteForceVerificationCount(const CandidateRegion& region,
+                                    int32_t lambda, int32_t lambda0) {
+  int64_t count = 0;
+  for (int32_t qb = region.q_begin_min; qb <= region.q_begin_max; ++qb) {
+    const int32_t qe_lo = std::max(region.q_end_min, qb + lambda);
+    for (int32_t qe = qe_lo; qe <= region.q_end_max; ++qe) {
+      const int32_t qlen = qe - qb;
+      for (int32_t xb = region.x_begin_min; xb <= region.x_begin_max; ++xb) {
+        const int32_t xe_lo =
+            std::max({region.x_end_min, xb + lambda, xb + qlen - lambda0});
+        const int32_t xe_hi = std::min(region.x_end_max, xb + qlen + lambda0);
+        for (int32_t xe = xe_lo; xe <= xe_hi; ++xe) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(RegionVerificationCountTest, MatchesBruteForceEnumeration) {
+  const WindowCatalog catalog = MakeCatalog({100}, 5);
+  // Hit-expanded, chain-expanded, clamped, and hand-built regions.
+  std::vector<CandidateRegion> regions;
+  regions.push_back(
+      ExpandHit(SegmentHit{Interval{7, 12}, 4, 1.0}, catalog, 10, 2, 30, 100));
+  regions.push_back(
+      ExpandHit(SegmentHit{Interval{0, 5}, 0, 1.0}, catalog, 10, 2, 12, 20));
+  WindowChain chain;
+  chain.seq = 0;
+  chain.first_window_index = 4;
+  chain.length = 3;
+  chain.query_span = Interval{10, 28};
+  regions.push_back(ExpandChain(chain, catalog, 10, 2, 50, 100));
+  CandidateRegion degenerate;  // all-zero: a fully clamped corner case
+  regions.push_back(degenerate);
+  CandidateRegion narrow;
+  narrow.q_begin_min = 3;
+  narrow.q_begin_max = 5;
+  narrow.q_end_min = 14;
+  narrow.q_end_max = 18;
+  narrow.x_begin_min = 0;
+  narrow.x_begin_max = 9;
+  narrow.x_end_min = 12;
+  narrow.x_end_max = 21;
+  regions.push_back(narrow);
+
+  for (size_t i = 0; i < regions.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(RegionVerificationCount(regions[i], 10, 2),
+              BruteForceVerificationCount(regions[i], 10, 2));
+    EXPECT_EQ(RegionVerificationCount(regions[i], 10, 0),
+              BruteForceVerificationCount(regions[i], 10, 0));
+  }
+}
+
+TEST(RegionVerificationCountTest, EmptyRegionCostsNothing) {
+  CandidateRegion region;
+  region.q_end_max = 5;  // qlen_max = 5 < lambda = 10
+  EXPECT_EQ(RegionVerificationCount(region, 10, 2), 0);
 }
 
 }  // namespace

@@ -251,6 +251,54 @@ TEST(MatcherTypeITest, FindsPlantedExactCopy) {
   EXPECT_TRUE(found);
 }
 
+TEST(MatcherOptionsTest, ZeroVerificationBudgetIsRejectedExplicitly) {
+  // max_verifications = 0 is not "no limit": step 5 charges each
+  // candidate pair before verifying it, so a zero budget would fail any
+  // query with candidates. Build refuses it with a message saying so.
+  Rng rng(31);
+  SequenceDatabase<char> db;
+  db.Add(Sequence<char>(RandomString(&rng, 40)));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.max_verifications = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  const auto built = SubsequenceMatcher<char>::Build(db, dist, options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().ToString().find("max_verifications = 0"),
+            std::string::npos)
+      << built.status().ToString();
+}
+
+TEST(MatcherOptionsTest, NegativeVerificationBudgetIsRejectedExplicitly) {
+  Rng rng(32);
+  SequenceDatabase<char> db;
+  db.Add(Sequence<char>(RandomString(&rng, 40)));
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.max_verifications = -5;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  const auto built = SubsequenceMatcher<char>::Build(db, dist, options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().ToString().find("negative"), std::string::npos)
+      << built.status().ToString();
+}
+
+TEST(MatcherOptionsTest, NegativeExecKnobsAreRejected) {
+  MatcherOptions options;
+  options.exec.num_verify_threads = -1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.exec.num_verify_threads = 0;
+  options.exec.num_threads = -2;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.exec.num_threads = 0;
+  options.exec.num_shards = -3;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.exec.num_shards = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
 TEST(MatcherTypeITest, VerificationCapReturnsOutOfRange) {
   Rng rng(987);
   SequenceDatabase<char> db;
@@ -382,6 +430,41 @@ TEST(MatcherTypeIIITest, FindsNearMinimumDistanceMatch) {
       // Type III is exact up to the epsilon increment (Section 7).
       EXPECT_GE(result.value()->distance, best);
       EXPECT_LE(result.value()->distance, best + 1.0) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MatcherTypeIIITest, FindsPairInLastPartialIncrement) {
+  // Regression: the growth loop must always run a final round at
+  // epsilon_max, even when (epsilon_max - hi) is not a near-multiple of
+  // the increment. The awkward increment below makes the pre-fix
+  // schedule overshoot epsilon_max and skip the clamped last round,
+  // returning nullopt for pairs whose distance falls in the final
+  // partial increment. The property: whenever the Type II search finds
+  // a pair at epsilon_max, Type III must find one too.
+  Rng rng(333);
+  const LevenshteinDistance<char> dist;
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 2;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    SequenceDatabase<char> db;
+    db.Add(Sequence<char>(RandomString(&rng, 40, "AC")));
+    const auto query_elems = RandomString(&rng, 24, "AC");
+    auto matcher =
+        std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+            .ValueOrDie();
+
+    const double eps_max = 5.0;
+    auto longest = matcher->LongestMatch(query_elems, eps_max);
+    ASSERT_TRUE(longest.ok()) << longest.status().ToString();
+    auto nearest = matcher->NearestMatch(query_elems, eps_max, 0.7);
+    ASSERT_TRUE(nearest.ok()) << nearest.status().ToString();
+    EXPECT_EQ(nearest.value().has_value(), longest.value().has_value())
+        << "trial " << trial;
+    if (nearest.value().has_value()) {
+      EXPECT_LE(nearest.value()->distance, eps_max);
     }
   }
 }
