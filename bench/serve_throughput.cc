@@ -125,9 +125,13 @@ int Run() {
     }
     const double library_s = SecondsSince(t0);
 
-    // ---- server: the same closed-loop clients, one shared engine.
+    // ---- server: the same closed-loop clients, one shared engine. The
+    // cross-round cache is OFF here so these rows stay a pure in-round
+    // coalescing measurement and their committed baselines remain live
+    // gates; the serve_cache phase below measures the cache itself.
     MatchServerOptions server_options;
     server_options.matcher = matcher_options;
+    server_options.cache_capacity_bytes = 0;
     auto server =
         std::move(MatchServer<char>::Start(db, dist, server_options))
             .ValueOrDie();
@@ -197,6 +201,97 @@ int Run() {
           static_cast<double>(stats.billed_filter_computations)},
          {"segments_shared", static_cast<double>(stats.segments_shared)},
          {"shared_work_pct", shared_work_pct}}});
+  }
+
+  // ---- serve_cache phase: the cross-round segment-result cache on the
+  // same repeated-query workload. One server (cache on by default), two
+  // passes over the workload with 8 closed-loop clients: the cold pass
+  // populates the cache, the warm pass answers every unique segment from
+  // it — no index traversal, no per-hit distance fill. The gated metrics
+  // are deterministic distance-computation ratios, not wall-clock, so
+  // the committed baseline transfers across machines: warm_hit_rate is
+  // the warm pass's cache hit fraction (every segment was seen in the
+  // cold pass => ~1.0) and warm_work_saved_pct the fraction of billed
+  // filter work the warm pass did not execute.
+  {
+    std::printf("\nserve_cache: cold vs warm rounds, 8 clients, "
+                "cache on (default capacity)\n");
+    MatchServerOptions server_options;
+    server_options.matcher = matcher_options;
+    auto server =
+        std::move(MatchServer<char>::Start(db, dist, server_options))
+            .ValueOrDie();
+    const int32_t clients = 8;
+    std::vector<std::optional<SubsequenceMatch>> round_results(
+        queries.size());
+    const auto run_round = [&] {
+      std::vector<std::thread> workers;
+      for (int32_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (size_t i = static_cast<size_t>(c); i < queries.size();
+               i += static_cast<size_t>(clients)) {
+            MatchRequest<char> request;
+            request.type = MatchQueryType::kLongestMatch;
+            request.query = queries[i];
+            request.epsilon = epsilon;
+            MatchResult result = server->Submit(std::move(request)).Get();
+            SUBSEQ_CHECK(result.status.ok());
+            round_results[i] = result.best;
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      // Determinism cross-check: warm answers equal the serial ground
+      // truth element-wise, like every other serving path.
+      for (size_t i = 0; i < queries.size(); ++i) {
+        SUBSEQ_CHECK(round_results[i].has_value() == expected[i].has_value());
+        if (expected[i].has_value()) {
+          SUBSEQ_CHECK(*round_results[i] == *expected[i]);
+        }
+      }
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    run_round();
+    const double cold_s = SecondsSince(t0);
+    const ServeStats cold = server->stats();
+    t0 = std::chrono::steady_clock::now();
+    run_round();
+    const double warm_s = SecondsSince(t0);
+    const ServeStats total = server->stats();
+    server->Shutdown();
+
+    const double warm_executed = static_cast<double>(
+        total.filter_computations - cold.filter_computations);
+    const double warm_billed = static_cast<double>(
+        total.billed_filter_computations - cold.billed_filter_computations);
+    const double warm_hits =
+        static_cast<double>(total.cache_hits - cold.cache_hits);
+    const double warm_misses =
+        static_cast<double>(total.cache_misses - cold.cache_misses);
+    const double warm_hit_rate =
+        warm_hits + warm_misses > 0.0 ? warm_hits / (warm_hits + warm_misses)
+                                      : 0.0;
+    const double warm_work_saved_pct =
+        warm_billed > 0.0 ? 100.0 * (1.0 - warm_executed / warm_billed) : 0.0;
+    std::printf("  cold: %.0f filter computations executed (%.2fs)\n",
+                static_cast<double>(cold.filter_computations), cold_s);
+    std::printf("  warm: %.0f executed, %.0f billed, hit rate %.3f, "
+                "%.1f%% of billed work saved (%.2fs)\n",
+                warm_executed, warm_billed, warm_hit_rate,
+                warm_work_saved_pct, warm_s);
+    records.push_back(BenchRecord{
+        "serve_cache",
+        {{"clients", static_cast<double>(clients)},
+         {"cold_filter_computations",
+          static_cast<double>(cold.filter_computations)},
+         {"warm_filter_computations", warm_executed},
+         {"warm_billed_filter_computations", warm_billed},
+         {"warm_hit_rate", warm_hit_rate},
+         {"warm_work_saved_pct", warm_work_saved_pct},
+         {"cache_evictions", static_cast<double>(total.cache_evictions)},
+         {"cache_shared_computations",
+          static_cast<double>(total.cache_shared_computations)}}});
   }
 
   const std::string path = "BENCH_serve_throughput.json";

@@ -95,7 +95,8 @@ int main() {
     }
   }
 
-  // 6. Serving counters: how much cross-query sharing actually happened.
+  // 6. Serving counters: how much cross-query sharing actually happened,
+  //    in-round (coalescing) and across rounds (the segment cache).
   const ServeStats stats = server->stats();
   std::printf(
       "server: %lld queries in %lld admission batches, %lld shared filter "
@@ -104,5 +105,13 @@ int main() {
       static_cast<long long>(stats.admission_batches),
       static_cast<long long>(stats.filter_calls),
       static_cast<long long>(stats.coalesced_queries));
+  std::printf(
+      "cache: %lld hits / %lld misses, %lld distance computations answered "
+      "from cache (billed %lld, executed %lld)\n",
+      static_cast<long long>(stats.cache_hits),
+      static_cast<long long>(stats.cache_misses),
+      static_cast<long long>(stats.cache_shared_computations),
+      static_cast<long long>(stats.billed_filter_computations),
+      static_cast<long long>(stats.filter_computations));
   return 0;
 }

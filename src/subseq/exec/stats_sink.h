@@ -29,6 +29,14 @@ class StatsSink {
   void AddResults(int64_t n) {
     results_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Distance computations that were *billed but not executed* because a
+  /// sharing layer (the serving coalescer's cross-round segment cache)
+  /// answered them from a previous call's result. Kept separate from
+  /// distance_computations(), which stays the exact executed count: the
+  /// two together reconstruct what an unshared run would have executed.
+  void AddSharedComputations(int64_t n) {
+    shared_computations_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   int64_t distance_computations() const {
     return distance_computations_.load(std::memory_order_relaxed);
@@ -36,15 +44,20 @@ class StatsSink {
   int64_t results() const {
     return results_.load(std::memory_order_relaxed);
   }
+  int64_t shared_computations() const {
+    return shared_computations_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
     distance_computations_.store(0, std::memory_order_relaxed);
     results_.store(0, std::memory_order_relaxed);
+    shared_computations_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<int64_t> distance_computations_{0};
   std::atomic<int64_t> results_{0};
+  std::atomic<int64_t> shared_computations_{0};
 };
 
 }  // namespace subseq

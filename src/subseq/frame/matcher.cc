@@ -372,7 +372,23 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
     std::span<const T> query, std::span<const Interval> segments,
     std::span<const std::span<const ObjectId>> batched,
     const ExecContext& exec, MatchQueryStats* stats) const {
+  return MergeSegmentHits(query, segments, batched,
+                          std::span<const std::span<const double>>(), exec,
+                          stats);
+}
+
+template <typename T>
+std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
+    std::span<const T> query, std::span<const Interval> segments,
+    std::span<const std::span<const ObjectId>> batched,
+    std::span<const std::span<const double>> batched_distances,
+    const ExecContext& exec, MatchQueryStats* stats) const {
   SUBSEQ_CHECK(batched.size() == segments.size());
+  // Empty batched_distances = compute the fill here; otherwise slot
+  // [i][j] carries batched[i][j]'s exact distance and the fill is
+  // skipped (the serving layer computes it once per unique segment).
+  const bool precomputed = !batched_distances.empty();
+  if (precomputed) SUBSEQ_CHECK(batched_distances.size() == batched.size());
   // Canonical merge: hits land in (segment order, ascending window id
   // within a segment). RangeQuery leaves per-query result order
   // unspecified — it varies with the backend's traversal and, for a
@@ -386,31 +402,70 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
   hits.reserve(total_hits);
   for (size_t i = 0; i < batched.size(); ++i) {
     const size_t segment_begin = hits.size();
-    for (const ObjectId id : batched[i]) {
-      hits.push_back(SegmentHit{segments[i], id, 0.0});
+    if (precomputed) {
+      SUBSEQ_CHECK(batched_distances[i].size() == batched[i].size());
     }
+    for (size_t j = 0; j < batched[i].size(); ++j) {
+      hits.push_back(SegmentHit{segments[i], batched[i][j],
+                                precomputed ? batched_distances[i][j] : 0.0});
+    }
+    // The sort moves each hit's distance with it, so precomputed values
+    // may arrive in any order as long as they align with their ids.
     std::sort(hits.begin() + static_cast<int64_t>(segment_begin), hits.end(),
               [](const SegmentHit& a, const SegmentHit& b) {
                 return a.window < b.window;
               });
   }
-  // Second parallel pass: the exact segment-to-window distances step 5
-  // orders its verification by. Slot-addressed writes keep it
-  // deterministic.
-  ParallelFor(exec, static_cast<int64_t>(hits.size()),
+  if (!precomputed) {
+    // Second parallel pass: the exact segment-to-window distances step 5
+    // orders its verification by. Slot-addressed writes keep it
+    // deterministic.
+    ParallelFor(exec, static_cast<int64_t>(hits.size()),
+                [&](int64_t lo, int64_t hi, int32_t) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    SegmentHit& hit = hits[static_cast<size_t>(i)];
+                    const auto view = query.subspan(
+                        static_cast<size_t>(hit.query_segment.begin),
+                        static_cast<size_t>(hit.query_segment.length()));
+                    hit.distance =
+                        dist_.Compute(view, oracle_->WindowView(hit.window));
+                  }
+                },
+                /*grain=*/8);
+  }
+  if (stats != nullptr) stats->hits += static_cast<int64_t>(hits.size());
+  return hits;
+}
+
+template <typename T>
+std::vector<std::vector<double>> SubsequenceMatcher<T>::SegmentHitDistances(
+    std::span<const std::span<const T>> segments,
+    std::span<const std::span<const ObjectId>> windows,
+    const ExecContext& exec) const {
+  SUBSEQ_CHECK(segments.size() == windows.size());
+  // Flatten every (segment, hit) pair into one index range so a single
+  // parallel section covers the whole fill: offsets[s] is segment s's
+  // first flat slot.
+  std::vector<std::vector<double>> distances(segments.size());
+  std::vector<int64_t> offsets(segments.size() + 1, 0);
+  for (size_t s = 0; s < segments.size(); ++s) {
+    distances[s].resize(windows[s].size());
+    offsets[s + 1] = offsets[s] + static_cast<int64_t>(windows[s].size());
+  }
+  ParallelFor(exec, offsets.back(),
               [&](int64_t lo, int64_t hi, int32_t) {
-                for (int64_t i = lo; i < hi; ++i) {
-                  SegmentHit& hit = hits[static_cast<size_t>(i)];
-                  const auto view = query.subspan(
-                      static_cast<size_t>(hit.query_segment.begin),
-                      static_cast<size_t>(hit.query_segment.length()));
-                  hit.distance =
-                      dist_.Compute(view, oracle_->WindowView(hit.window));
+                size_t s = static_cast<size_t>(
+                    std::upper_bound(offsets.begin(), offsets.end(), lo) -
+                    offsets.begin() - 1);
+                for (int64_t f = lo; f < hi; ++f) {
+                  while (f >= offsets[s + 1]) ++s;
+                  const size_t i = static_cast<size_t>(f - offsets[s]);
+                  distances[s][i] = dist_.Compute(
+                      segments[s], oracle_->WindowView(windows[s][i]));
                 }
               },
               /*grain=*/8);
-  if (stats != nullptr) stats->hits += static_cast<int64_t>(hits.size());
-  return hits;
+  return distances;
 }
 
 template <typename T>

@@ -187,6 +187,36 @@ class SubsequenceMatcher {
       std::span<const std::span<const ObjectId>> batched,
       const ExecContext& exec, MatchQueryStats* stats = nullptr) const;
 
+  /// MergeSegmentHits with *precomputed* per-hit distances:
+  /// batched_distances[i][j] must be the exact segment-to-window distance
+  /// of batched[i][j] (as SegmentHitDistances computes it), and the merge
+  /// consumes them instead of re-running the distance fill — so N owners
+  /// of one shared segment (the serving coalescer's fan-out, warm cache
+  /// entries) pay the pass once per unique segment instead of once per
+  /// owner. Output is element-wise identical to the computing overload:
+  /// the canonical order is restored by the same per-segment sort, and
+  /// the distance fill is deterministic, so precomputed values match
+  /// recomputed ones bitwise. Thread-safe.
+  std::vector<SegmentHit> MergeSegmentHits(
+      std::span<const T> query, std::span<const Interval> segments,
+      std::span<const std::span<const ObjectId>> batched,
+      std::span<const std::span<const double>> batched_distances,
+      const ExecContext& exec, MatchQueryStats* stats = nullptr) const;
+
+  /// The exact per-hit distance pass, factored out of MergeSegmentHits:
+  /// result[s][i] = d(segments[s], window windows[s][i]), computed as ONE
+  /// flat parallel section over all (segment, hit) pairs — per-segment
+  /// hit lists are often tiny, so parallelizing per segment would
+  /// serialize the fill. This is the fill step 5 orders verification by;
+  /// callers that share segments across owners (serve/coalescer.cc) run
+  /// it once per unique segment and hand the results to the precomputed
+  /// MergeSegmentHits overload / the cross-round cache. Pure,
+  /// deterministic (slot-addressed writes), and thread-safe.
+  std::vector<std::vector<double>> SegmentHitDistances(
+      std::span<const std::span<const T>> segments,
+      std::span<const std::span<const ObjectId>> windows,
+      const ExecContext& exec) const;
+
   /// Type I: every pair (SQ, SX) with |SQ| >= lambda, |SX| >= lambda,
   /// ||SQ| - |SX|| <= lambda0 and d(SQ, SX) <= epsilon.
   Result<std::vector<SubsequenceMatch>> RangeSearch(
@@ -195,7 +225,11 @@ class SubsequenceMatcher {
 
   /// Step 5 of Type I from precomputed hits: expansion + verification of
   /// `hits` (as produced by FilterSegments / MergeSegmentHits at this
-  /// epsilon). RangeSearch == FilterSegments + RangeSearchFromHits; the
+  /// epsilon). Each hit's `distance` is taken as given — the exact
+  /// per-hit distances may come from any source (a fresh MergeSegmentHits
+  /// fill, the precomputed-distances overload, or the serving layer's
+  /// cross-round cache); no distance is ever re-derived here.
+  /// RangeSearch == FilterSegments + RangeSearchFromHits; the
   /// serving layer calls this with hits demuxed from a coalesced filter.
   /// `stats` accumulates verification counts only (the filter already
   /// accounted for its own work). Thread-safe.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "subseq/frame/matcher.h"
+#include "subseq/serve/segment_cache.h"
 
 namespace subseq {
 
@@ -75,38 +76,59 @@ struct CoalescedFilter {
   std::vector<MatchQueryStats> stats;
   /// Segment queries the members contributed in total.
   int64_t segments_total = 0;
-  /// Distinct segments actually issued to the index after cross-query
-  /// sharing (bit-identical segments are answered once).
+  /// Distinct segments after in-round cross-query sharing (bit-identical
+  /// segments are answered once per round).
   int64_t segments_unique = 0;
-  /// Index distance computations actually executed by the shared call.
+  /// Of segments_unique, how many were answered from the cross-round
+  /// SegmentResultCache instead of the index (0 when no cache was given).
+  int64_t segments_cache_hits = 0;
+  /// Of segments_unique, how many actually went to the index this round
+  /// (and were then published to the cache, when one was given).
+  int64_t segments_cache_misses = 0;
+  /// Index distance computations actually executed by the shared call
+  /// (cache-answered segments execute nothing).
   int64_t total_filter_computations = 0;
   /// Sum over stats[m].filter_computations — what the same members would
   /// have cost run stand-alone. billed >= total always; the gap is the
-  /// work cross-query sharing eliminated.
+  /// work in-round sharing plus the cross-round cache eliminated.
   int64_t billed_filter_computations = 0;
+  /// The cache's share of that gap: the stand-alone cost of every warm
+  /// unique segment, i.e. the index work this round would have executed
+  /// with the cache off (in-round sharing still applied). Always
+  /// billed >= total + cache_shared.
+  int64_t cache_shared_computations = 0;
 };
 
 /// Steps 3-4 for a whole group at once: extracts every member's segment
-/// queries, issues them to `matcher`'s index as one shared
-/// BatchRangeQuery over the matcher's ExecContext, then demuxes hits and
-/// stats back per member (deterministic: slice boundaries derive only
-/// from per-member segment counts). `queries[m]` storage must stay valid
-/// for the duration of the call. Runs on the calling thread; the
-/// parallelism is inside the shared index call.
+/// queries, dedups bit-identical segments, answers warm ones from
+/// `cache` (when non-null) and issues the cold remainder to `matcher`'s
+/// index as one shared BatchRangeQuery over the matcher's ExecContext,
+/// runs the exact per-hit distance pass ONCE per cold unique segment
+/// (warm entries carry theirs), then demuxes hits and stats back per
+/// member (deterministic: slice boundaries derive only from per-member
+/// segment counts). Cold results are published to `cache` before
+/// returning. Billing is unchanged by the cache: every member's stats
+/// report its exact stand-alone filter cost whether its segments were
+/// cold, warm, or shared in-round — results and stats are bit-identical
+/// to a cache-less call. `queries[m]` storage must stay valid for the
+/// duration of the call; `cache` is used unsynchronized and must not be
+/// touched concurrently. Runs on the calling thread; the parallelism is
+/// inside the shared index call and the distance pass.
 template <typename T>
 CoalescedFilter CoalescedFilterSegments(
     const SubsequenceMatcher<T>& matcher,
-    std::span<const std::span<const T>> queries, double epsilon);
+    std::span<const std::span<const T>> queries, double epsilon,
+    SegmentResultCache* cache = nullptr);
 
 extern template CoalescedFilter CoalescedFilterSegments<char>(
     const SubsequenceMatcher<char>&, std::span<const std::span<const char>>,
-    double);
+    double, SegmentResultCache*);
 extern template CoalescedFilter CoalescedFilterSegments<double>(
     const SubsequenceMatcher<double>&,
-    std::span<const std::span<const double>>, double);
+    std::span<const std::span<const double>>, double, SegmentResultCache*);
 extern template CoalescedFilter CoalescedFilterSegments<Point2d>(
     const SubsequenceMatcher<Point2d>&,
-    std::span<const std::span<const Point2d>>, double);
+    std::span<const std::span<const Point2d>>, double, SegmentResultCache*);
 
 }  // namespace subseq
 

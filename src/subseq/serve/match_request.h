@@ -11,6 +11,7 @@
 #ifndef SUBSEQ_SERVE_MATCH_REQUEST_H_
 #define SUBSEQ_SERVE_MATCH_REQUEST_H_
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
@@ -51,6 +52,43 @@ struct MatchRequest {
   /// was started with; nullopt uses the server's first configured kind.
   std::optional<IndexKind> index_kind;
 };
+
+/// Field validation for one request, mirroring MatcherOptions::Validate():
+/// explicit InvalidArgument messages at the serving front door instead of
+/// deep-pipeline CHECKs or silent misbehavior. MatchServer::Submit runs
+/// this before a request may enqueue, so the pipeline (and the coalescer,
+/// whose epsilon grouping and cache key both assume finite epsilons — a
+/// NaN never compares equal to itself and would neither coalesce nor ever
+/// hit the cache) only ever sees well-formed requests. Only the fields
+/// the request's type actually consumes are validated.
+template <typename T>
+Status ValidateMatchRequest(const MatchRequest<T>& request) {
+  if (request.query.empty()) {
+    return Status::InvalidArgument(
+        "MatchRequest: query must be non-empty");
+  }
+  switch (request.type) {
+    case MatchQueryType::kRangeSearch:
+    case MatchQueryType::kLongestMatch:
+      if (!std::isfinite(request.epsilon) || request.epsilon < 0.0) {
+        return Status::InvalidArgument(
+            "MatchRequest: epsilon must be finite and >= 0");
+      }
+      break;
+    case MatchQueryType::kNearestMatch:
+      if (!std::isfinite(request.epsilon_max) || request.epsilon_max < 0.0) {
+        return Status::InvalidArgument(
+            "MatchRequest: epsilon_max must be finite and >= 0");
+      }
+      if (!std::isfinite(request.epsilon_increment) ||
+          request.epsilon_increment <= 0.0) {
+        return Status::InvalidArgument(
+            "MatchRequest: epsilon_increment must be finite and > 0");
+      }
+      break;
+  }
+  return Status::OK();
+}
 
 /// The outcome of one request.
 struct MatchResult {

@@ -35,6 +35,10 @@ Result<std::unique_ptr<MatchServer<T>>> MatchServer<T>::Start(
 
   auto server = std::unique_ptr<MatchServer<T>>(new MatchServer<T>());
   server->max_batch_ = options.max_batch;
+  if (options.cache_capacity_bytes > 0) {
+    server->cache_ =
+        std::make_unique<SegmentResultCache>(options.cache_capacity_bytes);
+  }
   for (const IndexKind kind : unique_kinds) {
     MatcherOptions matcher_options = options.matcher;
     matcher_options.index_kind = kind;
@@ -89,6 +93,11 @@ ServeStats MatchServer<T>::stats() const {
   s.billed_filter_computations =
       billed_filter_computations_.load(std::memory_order_relaxed);
   s.segments_shared = segments_shared_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+  s.cache_shared_computations =
+      cache_shared_computations_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -98,6 +107,16 @@ Future<MatchResult> MatchServer<T>::Submit(MatchRequest<T> request) {
   pending.request = std::move(request);
   Future<MatchResult> future = pending.promise.GetFuture();
   Promise<MatchResult> promise = pending.promise;
+  // Fail fast at the front door: a malformed request (empty query,
+  // non-finite/negative epsilon, bad Type III schedule) never enters the
+  // pipeline — it would otherwise die on deep CHECKs, poison the
+  // coalescer's epsilon grouping (NaN != NaN), or silently return
+  // nothing. Mirrors MatcherOptions::Validate() at build time.
+  Status invalid = ValidateMatchRequest(pending.request);
+  if (!invalid.ok()) {
+    promise.Set(ErrorResult(std::move(invalid)));
+    return future;
+  }
   if (!queue_.Push(std::move(pending))) {
     promise.Set(ErrorResult(
         Status::Internal("MatchServer: submitted after Shutdown")));
@@ -175,7 +194,8 @@ void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
       views.push_back(std::span<const T>(q));
     }
     CoalescedFilter filtered = CoalescedFilterSegments(
-        *m, std::span<const std::span<const T>>(views), group.epsilon);
+        *m, std::span<const std::span<const T>>(views), group.epsilon,
+        cache_.get());
     filter_calls_.fetch_add(1, std::memory_order_relaxed);
     filter_computations_.fetch_add(filtered.total_filter_computations,
                                    std::memory_order_relaxed);
@@ -184,6 +204,19 @@ void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
     segments_shared_.fetch_add(
         filtered.segments_total - filtered.segments_unique,
         std::memory_order_relaxed);
+    if (cache_ != nullptr) {
+      cache_hits_.fetch_add(filtered.segments_cache_hits,
+                            std::memory_order_relaxed);
+      cache_misses_.fetch_add(filtered.segments_cache_misses,
+                              std::memory_order_relaxed);
+      cache_shared_computations_.fetch_add(
+          filtered.cache_shared_computations, std::memory_order_relaxed);
+      // Evictions are the cache's own monotonic count; republish it for
+      // concurrent stats() readers (the cache itself is service-thread
+      // only).
+      cache_evictions_.store(cache_->counters().evictions,
+                             std::memory_order_relaxed);
+    }
     if (group.members.size() > 1) {
       coalesced_queries_.fetch_add(
           static_cast<int64_t>(group.members.size()),

@@ -50,6 +50,7 @@
 #include "subseq/serve/future.h"
 #include "subseq/serve/match_request.h"
 #include "subseq/serve/request_queue.h"
+#include "subseq/serve/segment_cache.h"
 
 namespace subseq {
 
@@ -67,6 +68,14 @@ struct MatchServerOptions {
   /// Cap on requests admitted per coalescing round; 0 = drain everything
   /// pending. Bounds per-round memory under extreme backlog.
   size_t max_batch = 0;
+  /// Byte budget of the cross-round segment-result cache
+  /// (serve/segment_cache.h): unique segments' filter hit lists and
+  /// per-hit exact distances are kept across admission rounds, so hot
+  /// repeated segments skip both the index traversal and the distance
+  /// fill on later rounds. 0 disables the cache entirely (PR 4 serving
+  /// behavior). Results and per-request stats are bit-identical either
+  /// way — the cache, like coalescing, changes executed work only.
+  size_t cache_capacity_bytes = 64ull << 20;  // 64 MiB, on by default
 };
 
 /// Aggregate serving counters; snapshot via MatchServer::stats().
@@ -92,6 +101,20 @@ struct ServeStats {
   /// instead of their own index traversal — usually contributed by a
   /// concurrent query; a query's own internal repeats also count.
   int64_t segments_shared = 0;
+  /// Unique segments answered from the cross-round SegmentResultCache
+  /// (index traversal AND per-hit distance pass skipped).
+  int64_t cache_hits = 0;
+  /// Unique segments that had to go to the index and were then cached.
+  int64_t cache_misses = 0;
+  /// Cache entries evicted to stay within cache_capacity_bytes.
+  int64_t cache_evictions = 0;
+  /// Index distance computations the cache eliminated: the stand-alone
+  /// cost of every warm unique segment, per round — what
+  /// filter_computations would additionally have executed with the cache
+  /// off (in-round sharing still applied). Billing is unaffected:
+  /// billed_filter_computations >= filter_computations +
+  /// cache_shared_computations always.
+  int64_t cache_shared_computations = 0;
 };
 
 /// The serving frontend over one sequence database. Move-pinned (neither
@@ -114,9 +137,13 @@ class MatchServer {
   MatchServer& operator=(const MatchServer&) = delete;
 
   /// Enqueues one request; the returned future completes when the answer
-  /// is ready. Never blocks on other queries' work. Requests submitted
-  /// after Shutdown complete immediately with an error status. Callable
-  /// from any number of threads concurrently.
+  /// is ready. Never blocks on other queries' work. Invalid requests
+  /// (empty query, non-finite or negative epsilon, non-positive
+  /// epsilon_increment — see ValidateMatchRequest) fail fast: the future
+  /// completes immediately with InvalidArgument and nothing enters the
+  /// pipeline. Requests submitted after Shutdown complete immediately
+  /// with an error status. Callable from any number of threads
+  /// concurrently.
   Future<MatchResult> Submit(MatchRequest<T> request);
 
   /// Stops admitting, drains every queued and in-flight request to
@@ -163,6 +190,10 @@ class MatchServer {
   std::vector<IndexKind> kinds_;
   std::vector<std::unique_ptr<SubsequenceMatcher<T>>> matchers_;  // by kinds_
   size_t max_batch_ = 0;
+  /// Cross-round segment-result cache; nullptr when disabled. Touched
+  /// only from the service thread (ServeBatch), so it needs no lock; the
+  /// cache_* atomics below republish its counters for stats() readers.
+  std::unique_ptr<SegmentResultCache> cache_;
 
   RequestQueue<Pending> queue_;
   std::thread service_;
@@ -181,6 +212,10 @@ class MatchServer {
   std::atomic<int64_t> filter_computations_{0};
   std::atomic<int64_t> billed_filter_computations_{0};
   std::atomic<int64_t> segments_shared_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> cache_evictions_{0};
+  std::atomic<int64_t> cache_shared_computations_{0};
 };
 
 extern template class MatchServer<char>;

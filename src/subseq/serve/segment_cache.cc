@@ -1,0 +1,82 @@
+#include "subseq/serve/segment_cache.h"
+
+#include <bit>
+#include <utility>
+
+namespace subseq {
+
+namespace {
+
+// Fixed per-entry bookkeeping estimate (list node links, map slot, the
+// vectors' headers). The exact heap shape is allocator-dependent; a
+// fixed constant keeps the accounting deterministic.
+constexpr size_t kEntryOverheadBytes = 96;
+
+size_t EntryCharge(size_t key_bytes, const SegmentResultCache::Entry& entry) {
+  return key_bytes + entry.windows.size() * sizeof(ObjectId) +
+         entry.distances.size() * sizeof(double) + kEntryOverheadBytes;
+}
+
+// The epsilon component of the key. Keys compare by bit pattern, but
+// -0.0 and +0.0 compare equal everywhere else (including PlanCoalesce's
+// grouping and every index's <= epsilon test), so they must share one
+// keyspace — otherwise a -0.0 round would populate entries a +0.0 round
+// could never hit.
+uint64_t EpsilonBits(double epsilon) {
+  return std::bit_cast<uint64_t>(epsilon == 0.0 ? 0.0 : epsilon);
+}
+
+}  // namespace
+
+const SegmentResultCache::Entry* SegmentResultCache::Lookup(
+    IndexKind kind, double epsilon, const char* data, size_t bytes) {
+  const KeyView key{kind, EpsilonBits(epsilon),
+                    std::string_view(data, bytes)};
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // most recently used
+  return &it->second->entry;
+}
+
+void SegmentResultCache::Insert(IndexKind kind, double epsilon,
+                                const char* data, size_t bytes, Entry entry) {
+  const size_t charge = EntryCharge(bytes, entry);
+  if (charge > capacity_bytes_) return;  // could never survive eviction
+  const uint64_t epsilon_bits = EpsilonBits(epsilon);
+
+  const auto it = map_.find(KeyView{kind, epsilon_bits,
+                                    std::string_view(data, bytes)});
+  if (it != map_.end()) {
+    // Refresh in place: swap the payload, fix the byte accounting.
+    Node& node = *it->second;
+    counters_.bytes_used +=
+        static_cast<int64_t>(charge) - static_cast<int64_t>(node.charge);
+    node.entry = std::move(entry);
+    node.charge = charge;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Node{kind, epsilon_bits, std::string(data, bytes),
+                         std::move(entry), charge});
+    map_.emplace(KeyView{lru_.front().kind, lru_.front().epsilon_bits,
+                         std::string_view(lru_.front().bytes)},
+                 lru_.begin());
+    counters_.bytes_used += static_cast<int64_t>(charge);
+    ++counters_.entries;
+  }
+
+  while (counters_.bytes_used > static_cast<int64_t>(capacity_bytes_)) {
+    const Node& victim = lru_.back();
+    map_.erase(KeyView{victim.kind, victim.epsilon_bits,
+                       std::string_view(victim.bytes)});
+    counters_.bytes_used -= static_cast<int64_t>(victim.charge);
+    --counters_.entries;
+    ++counters_.evictions;
+    lru_.pop_back();
+  }
+}
+
+}  // namespace subseq

@@ -1,0 +1,170 @@
+// SegmentResultCache — the serving layer's cross-round result cache.
+//
+// PR 2's coalescer shares filter work *within* one admission round:
+// bit-identical segments contributed by concurrently-pending queries are
+// issued to the index once. Under a serving workload the same segments
+// also repeat heavily *across* rounds — hot queries arrive all day, not
+// all at once — and that reuse is invisible to a per-round dedup. The
+// cache closes the gap: it carries, per unique (IndexKind, epsilon,
+// segment bytes) key, the segment's filter hit list in canonical
+// ascending-window order, the per-hit exact segment-to-window distances
+// (the pass step 5 orders verification by, previously recomputed per
+// owner), and the segment's stand-alone index cost (what billing
+// charges). A warm lookup replaces both the index traversal and the
+// per-hit distance pass.
+//
+// Correctness rests on two facts. First, the server's indexes are
+// immutable for its whole life, and every index is exact: the hit set,
+// the per-hit distances, and the stand-alone distance-computation count
+// of a (segment, epsilon, kind) triple are pure functions of the key —
+// so entries never need invalidation while the server lives, and a warm
+// answer is bit-identical (hits, distances, AND billed stats) to the
+// cold one. Second, billing reads the *stored* stand-alone cost, so a
+// query answered warm reports exactly the MatchQueryStats the direct
+// library call would — the cache, like coalescing, changes executed
+// work only (surfaced via ServeStats::cache_* counters and
+// cache_shared_computations).
+//
+// Threading: externally synchronized. The cache is owned by MatchServer
+// and touched only from its admission loop (the service thread), which
+// is also what keeps Lookup's returned pointers valid for the duration
+// of one coalesced filter call (Insert may evict; callers insert only
+// after they are done reading warm entries).
+
+#ifndef SUBSEQ_SERVE_SEGMENT_CACHE_H_
+#define SUBSEQ_SERVE_SEGMENT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "subseq/core/types.h"
+#include "subseq/frame/matcher.h"
+
+namespace subseq {
+
+/// Word-at-a-time hash over raw segment bytes — the hash behind both the
+/// coalescer's in-round dedup key and the cache key. Processes eight
+/// bytes per step (a splitmix64-style avalanche per word folded
+/// FNV-style) instead of the previous byte-at-a-time FNV-1a, whose per
+/// -byte multiply dominated the dedup pass on long segments. Equality
+/// stays memcmp over the bytes; the hash only has to be fast and well
+/// mixed.
+inline uint64_t HashSegmentBytes(const char* data, size_t bytes) {
+  const auto mix = [](uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+  };
+  uint64_t h = 1469598103934665603ull ^ mix(static_cast<uint64_t>(bytes));
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    h = (h ^ mix(word)) * 1099511628211ull;
+  }
+  if (i < bytes) {
+    uint64_t word = 0;
+    std::memcpy(&word, data + i, bytes - i);  // zero-padded tail
+    h = (h ^ mix(word)) * 1099511628211ull;
+  }
+  return h;
+}
+
+/// Epsilon-aware LRU cache of per-segment filter results. Capacity is
+/// byte-accounted (key bytes + hit/distance payload + a fixed per-entry
+/// overhead); the least recently used entries are evicted when an
+/// insertion overflows it. Not thread-safe (see file comment).
+class SegmentResultCache {
+ public:
+  /// One cached unique segment's filter outcome at (kind, epsilon).
+  struct Entry {
+    /// Hit windows in canonical ascending-ObjectId order.
+    std::vector<ObjectId> windows;
+    /// distances[i] — the exact segment-to-window distance of windows[i]
+    /// (the fill MergeSegmentHits would otherwise recompute per owner).
+    std::vector<double> distances;
+    /// The stand-alone index cost of this segment (the per-query split of
+    /// the call that produced the entry) — what every warm owner is
+    /// billed, keeping reported stats identical to the uncached path.
+    int64_t filter_computations = 0;
+  };
+
+  /// Monotonic counters; snapshot via counters().
+  struct Counters {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;      // resident now
+    int64_t bytes_used = 0;   // resident now
+  };
+
+  explicit SegmentResultCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+  SegmentResultCache(const SegmentResultCache&) = delete;
+  SegmentResultCache& operator=(const SegmentResultCache&) = delete;
+
+  /// Returns the entry for (kind, epsilon, bytes) and marks it most
+  /// recently used, or nullptr (counting a miss). The pointer stays
+  /// valid until the next Insert — Lookup never evicts.
+  const Entry* Lookup(IndexKind kind, double epsilon, const char* data,
+                      size_t bytes);
+
+  /// Stores an entry under (kind, epsilon, bytes), evicting LRU entries
+  /// until the capacity holds. An entry larger than the whole capacity
+  /// is not stored at all (it could never be re-used before eviction).
+  /// Inserting an existing key refreshes the entry.
+  void Insert(IndexKind kind, double epsilon, const char* data, size_t bytes,
+              Entry entry);
+
+  Counters counters() const { return counters_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  /// Nodes own their key bytes; the map's keys are views into them
+  /// (std::list nodes are address-stable, and splice moves no storage).
+  struct Node {
+    IndexKind kind;
+    uint64_t epsilon_bits;
+    std::string bytes;
+    Entry entry;
+    size_t charge = 0;
+  };
+
+  struct KeyView {
+    IndexKind kind;
+    uint64_t epsilon_bits;
+    std::string_view bytes;
+
+    friend bool operator==(const KeyView& a, const KeyView& b) {
+      return a.kind == b.kind && a.epsilon_bits == b.epsilon_bits &&
+             a.bytes == b.bytes;
+    }
+  };
+
+  struct KeyViewHash {
+    size_t operator()(const KeyView& key) const {
+      uint64_t h = HashSegmentBytes(key.bytes.data(), key.bytes.size());
+      h ^= key.epsilon_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(key.kind) * 0x2545f4914f6cdd1dull;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  size_t capacity_bytes_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<KeyView, std::list<Node>::iterator, KeyViewHash> map_;
+  Counters counters_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SERVE_SEGMENT_CACHE_H_

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <optional>
 #include <span>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "subseq/serve/future.h"
 #include "subseq/serve/match_server.h"
 #include "subseq/serve/request_queue.h"
+#include "subseq/serve/segment_cache.h"
 
 namespace subseq {
 namespace {
@@ -298,6 +300,368 @@ TEST(CoalescerTest, DuplicateQueriesShareTheWholeFilter) {
     ExpectStatsEqual(shared.stats[m], solo_stats,
                      "member " + std::to_string(m));
   }
+}
+
+/// Counts every distance evaluation delegated to the wrapped measure —
+/// index traversals and per-hit distance fills alike — so tests can
+/// assert exactly how much distance work a code path executed.
+template <typename T>
+class CountingDistance : public SequenceDistance<T> {
+ public:
+  explicit CountingDistance(const SequenceDistance<T>& inner)
+      : inner_(inner) {}
+
+  double Compute(std::span<const T> a, std::span<const T> b) const override {
+    computes_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.Compute(a, b);
+  }
+  double ComputeBounded(std::span<const T> a, std::span<const T> b,
+                        double upper_bound) const override {
+    computes_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.ComputeBounded(a, b, upper_bound);
+  }
+  std::string_view name() const override { return inner_.name(); }
+  bool is_metric() const override { return inner_.is_metric(); }
+  bool is_consistent() const override { return inner_.is_consistent(); }
+
+  int64_t computes() const {
+    return computes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const SequenceDistance<T>& inner_;
+  mutable std::atomic<int64_t> computes_{0};
+};
+
+TEST(CoalescerTest, DistanceWorkIsIndependentOfOwnerCount) {
+  // The tentpole invariant for the shared per-hit distance pass: N
+  // owners of one bit-identical segment cost exactly the same executed
+  // distance work as one owner — index traversal once per unique
+  // segment, per-hit distance fill once per unique segment.
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 911});
+  const auto db = gen.GenerateDatabaseWithWindows(40, 8);
+  const LevenshteinDistance<char> inner;
+  const CountingDistance<char> dist(inner);
+  MatcherOptions options;
+  options.lambda = 20;
+  options.index_kind = IndexKind::kLinearScan;
+  auto matcher =
+      std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+          .ValueOrDie();
+
+  const std::vector<char> query = ShortQuery(db);
+  const auto run = [&](size_t owners) {
+    const std::vector<std::span<const char>> views(
+        owners, std::span<const char>(query));
+    const int64_t before = dist.computes();
+    const CoalescedFilter shared = CoalescedFilterSegments<char>(
+        *matcher, std::span<const std::span<const char>>(views), 1.0);
+    EXPECT_EQ(shared.hits.size(), owners);
+    return dist.computes() - before;
+  };
+  const int64_t solo_work = run(1);
+  EXPECT_GT(solo_work, 0);
+  EXPECT_EQ(run(3), solo_work);
+}
+
+TEST(CoalescerTest, WarmCacheCallExecutesNothingAndIsBitIdentical) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 912});
+  const auto db = gen.GenerateDatabaseWithWindows(40, 8);
+  const LevenshteinDistance<char> inner;
+  const CountingDistance<char> dist(inner);
+  MatcherOptions options;
+  options.lambda = 20;
+  options.index_kind = IndexKind::kCoverTree;
+  auto matcher =
+      std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+          .ValueOrDie();
+
+  std::vector<std::vector<char>> queries;
+  for (int32_t i = 0; i < 3; ++i) {
+    int32_t s = i % db.size();
+    while (db.at(s).size() < i + 24) s = (s + 1) % db.size();
+    const auto view = db.at(s).Subsequence(Interval{i, i + 24});
+    queries.emplace_back(view.begin(), view.end());
+  }
+  const std::vector<std::span<const char>> views(queries.begin(),
+                                                 queries.end());
+
+  SegmentResultCache cache(1 << 20);
+  const CoalescedFilter cold = CoalescedFilterSegments<char>(
+      *matcher, std::span<const std::span<const char>>(views), 1.0, &cache);
+  EXPECT_EQ(cold.segments_cache_hits, 0);
+  EXPECT_EQ(cold.segments_cache_misses, cold.segments_unique);
+  EXPECT_EQ(cold.cache_shared_computations, 0);
+
+  const int64_t before_warm = dist.computes();
+  const CoalescedFilter warm = CoalescedFilterSegments<char>(
+      *matcher, std::span<const std::span<const char>>(views), 1.0, &cache);
+  // A fully warm round executes zero distance work: no index traversal,
+  // no per-hit distance fill — everything comes from the cache.
+  EXPECT_EQ(dist.computes(), before_warm);
+  EXPECT_EQ(warm.total_filter_computations, 0);
+  EXPECT_EQ(warm.segments_cache_hits, warm.segments_unique);
+  EXPECT_EQ(warm.segments_cache_misses, 0);
+  // Billing is untouched by warmth; the cache's savings are surfaced
+  // separately and cover every billed computation this round.
+  EXPECT_EQ(warm.billed_filter_computations, cold.billed_filter_computations);
+  EXPECT_GT(warm.cache_shared_computations, 0);
+
+  // Bit-identical outcome: hits (windows, segments, distances) and every
+  // member's stats equal the cold round's.
+  ASSERT_EQ(warm.hits.size(), cold.hits.size());
+  for (size_t m = 0; m < cold.hits.size(); ++m) {
+    const std::string where = "member " + std::to_string(m);
+    ASSERT_EQ(warm.hits[m].size(), cold.hits[m].size()) << where;
+    for (size_t h = 0; h < cold.hits[m].size(); ++h) {
+      EXPECT_EQ(warm.hits[m][h].window, cold.hits[m][h].window) << where;
+      EXPECT_EQ(warm.hits[m][h].query_segment, cold.hits[m][h].query_segment)
+          << where;
+      EXPECT_EQ(warm.hits[m][h].distance, cold.hits[m][h].distance) << where;
+    }
+    ExpectStatsEqual(warm.stats[m], cold.stats[m], where);
+  }
+}
+
+TEST(MatchServerValidationTest, MalformedRequestsFailFastAtSubmit) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 913});
+  const auto db = gen.GenerateDatabaseWithWindows(30, 6);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options;
+  options.matcher.lambda = 20;
+  options.index_kinds = {IndexKind::kLinearScan};
+  auto server =
+      std::move(MatchServer<char>::Start(db, dist, options)).ValueOrDie();
+
+  const std::vector<char> query = ShortQuery(db);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  const auto expect_invalid = [&](MatchRequest<char> request,
+                                  const std::string& what) {
+    Future<MatchResult> future = server->Submit(std::move(request));
+    // Fail-fast contract: the future is complete before Submit returns.
+    ASSERT_TRUE(future.Ready()) << what;
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument)
+        << what;
+  };
+
+  MatchRequest<char> base;
+  base.type = MatchQueryType::kRangeSearch;
+  base.query = query;
+  base.epsilon = 1.0;
+
+  {
+    MatchRequest<char> r = base;
+    r.query.clear();
+    expect_invalid(std::move(r), "empty query");
+  }
+  // Regression for the coalescer's exact double == epsilon grouping (and
+  // the cache key): a NaN epsilon must never be admitted.
+  for (const double bad_epsilon : {nan, inf, -1.0}) {
+    MatchRequest<char> r = base;
+    r.epsilon = bad_epsilon;
+    expect_invalid(std::move(r), "epsilon " + std::to_string(bad_epsilon));
+    r = base;
+    r.type = MatchQueryType::kLongestMatch;
+    r.epsilon = bad_epsilon;
+    expect_invalid(std::move(r),
+                   "Type II epsilon " + std::to_string(bad_epsilon));
+  }
+  for (const double bad_max : {nan, inf, -0.5}) {
+    MatchRequest<char> r = base;
+    r.type = MatchQueryType::kNearestMatch;
+    r.epsilon_max = bad_max;
+    r.epsilon_increment = 0.5;
+    expect_invalid(std::move(r), "epsilon_max " + std::to_string(bad_max));
+  }
+  for (const double bad_increment : {nan, inf, 0.0, -0.5}) {
+    MatchRequest<char> r = base;
+    r.type = MatchQueryType::kNearestMatch;
+    r.epsilon_max = 2.0;
+    r.epsilon_increment = bad_increment;
+    expect_invalid(std::move(r),
+                   "epsilon_increment " + std::to_string(bad_increment));
+  }
+
+  // The same request with well-formed fields still goes through.
+  MatchRequest<char> good = base;
+  EXPECT_TRUE(server->Submit(std::move(good)).Get().status.ok());
+}
+
+TEST(MatchServerCacheTest, WarmRoundsAreBitIdenticalAndSkipIndexWork) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 914});
+  const auto db = gen.GenerateDatabaseWithWindows(50, 8);
+  const LevenshteinDistance<char> dist;
+  MatcherOptions matcher_options;
+  matcher_options.lambda = 20;
+  matcher_options.lambda0 = 2;
+  matcher_options.index_kind = IndexKind::kCoverTree;
+  auto matcher = std::move(SubsequenceMatcher<char>::Build(
+                               db, dist, matcher_options))
+                     .ValueOrDie();
+
+  // Coalescable-only workload (Type III runs its own schedule outside
+  // the cache) answered serially for ground truth.
+  std::vector<MatchRequest<char>> workload;
+  for (const MatchRequest<char>& r : MakeWorkload(db, 1.0, 12)) {
+    if (r.type != MatchQueryType::kNearestMatch) workload.push_back(r);
+  }
+  std::vector<MatchResult> serial;
+  for (const MatchRequest<char>& request : workload) {
+    serial.push_back(RunSerial(*matcher, request));
+  }
+
+  MatchServerOptions server_options;
+  server_options.matcher = matcher_options;
+  auto server =
+      std::move(MatchServer<char>::Start(db, dist, server_options))
+          .ValueOrDie();
+
+  const auto run_round = [&](const std::string& round) {
+    std::vector<Future<MatchResult>> futures(workload.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      clients.emplace_back([&, i] {
+        MatchRequest<char> request = workload[i];
+        futures[i] = server->Submit(std::move(request));
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (size_t i = 0; i < workload.size(); ++i) {
+      MatchResult served = futures[i].Get();
+      const std::string where = round + " request " + std::to_string(i);
+      EXPECT_EQ(served.status, serial[i].status) << where;
+      EXPECT_EQ(served.matches, serial[i].matches) << where;
+      ASSERT_EQ(served.best.has_value(), serial[i].best.has_value()) << where;
+      if (served.best.has_value()) {
+        EXPECT_EQ(*served.best, *serial[i].best) << where;
+      }
+      ExpectStatsEqual(served.stats, serial[i].stats, where);
+    }
+  };
+
+  run_round("cold");
+  const ServeStats after_cold = server->stats();
+  EXPECT_GT(after_cold.cache_misses, 0);
+
+  run_round("warm");
+  const ServeStats after_warm = server->stats();
+  server->Shutdown();
+
+  // Every unique segment of the warm round was already resident, so the
+  // warm round hit for all of them and executed no new filter work while
+  // billing stayed exact (covered by ExpectStatsEqual above).
+  EXPECT_GT(after_warm.cache_hits, after_cold.cache_hits);
+  EXPECT_EQ(after_warm.cache_misses, after_cold.cache_misses);
+  EXPECT_EQ(after_warm.filter_computations, after_cold.filter_computations);
+  EXPECT_GT(after_warm.cache_shared_computations,
+            after_cold.cache_shared_computations);
+  EXPECT_GE(after_warm.billed_filter_computations,
+            after_warm.filter_computations +
+                after_warm.cache_shared_computations);
+}
+
+TEST(MatchServerCacheTest, CacheOffMatchesCacheOnElementWise) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 915});
+  const auto db = gen.GenerateDatabaseWithWindows(40, 8);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions on_options;
+  on_options.matcher.lambda = 20;
+  on_options.index_kinds = {IndexKind::kLinearScan};
+  MatchServerOptions off_options = on_options;
+  off_options.cache_capacity_bytes = 0;  // PR 4 behavior
+  // A tiny cache exercises the eviction path in the same run.
+  MatchServerOptions tiny_options = on_options;
+  tiny_options.cache_capacity_bytes = 512;
+
+  const std::vector<MatchRequest<char>> workload = MakeWorkload(db, 1.0, 10);
+  const auto serve_all = [&](MatchServerOptions options) {
+    auto server = std::move(MatchServer<char>::Start(db, dist, options))
+                      .ValueOrDie();
+    std::vector<MatchResult> results;
+    for (int round = 0; round < 2; ++round) {
+      for (const MatchRequest<char>& r : workload) {
+        MatchRequest<char> request = r;
+        results.push_back(server->Submit(std::move(request)).Get());
+      }
+    }
+    const ServeStats stats = server->stats();
+    server->Shutdown();
+    return std::make_pair(std::move(results), stats);
+  };
+
+  const auto [on_results, on_stats] = serve_all(on_options);
+  const auto [off_results, off_stats] = serve_all(off_options);
+  const auto [tiny_results, tiny_stats] = serve_all(tiny_options);
+  EXPECT_EQ(off_stats.cache_hits + off_stats.cache_misses, 0);
+  EXPECT_GT(on_stats.cache_hits, 0);
+  EXPECT_GT(tiny_stats.cache_evictions, 0);
+
+  ASSERT_EQ(on_results.size(), off_results.size());
+  ASSERT_EQ(on_results.size(), tiny_results.size());
+  for (size_t i = 0; i < on_results.size(); ++i) {
+    const std::string where = "request " + std::to_string(i);
+    EXPECT_EQ(on_results[i].status, off_results[i].status) << where;
+    EXPECT_EQ(on_results[i].matches, off_results[i].matches) << where;
+    EXPECT_EQ(on_results[i].best, off_results[i].best) << where;
+    ExpectStatsEqual(on_results[i].stats, off_results[i].stats, where);
+    EXPECT_EQ(tiny_results[i].matches, off_results[i].matches) << where;
+    EXPECT_EQ(tiny_results[i].best, off_results[i].best) << where;
+    ExpectStatsEqual(tiny_results[i].stats, off_results[i].stats, where);
+  }
+}
+
+TEST(MatchServerTest, ShutdownConcurrentWithSubmitCompletesEveryFuture) {
+  // The Submit/Shutdown race: submissions that lose it must still get a
+  // completed future (the error path in Submit), ones that win must be
+  // drained to a real answer — no future may ever be left dangling.
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 916});
+  const auto db = gen.GenerateDatabaseWithWindows(30, 6);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options;
+  options.matcher.lambda = 20;
+  options.index_kinds = {IndexKind::kLinearScan};
+  auto server =
+      std::move(MatchServer<char>::Start(db, dist, options)).ValueOrDie();
+
+  const std::vector<char> query = ShortQuery(db);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::vector<std::vector<Future<MatchResult>>> futures(kClients);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerClient; ++i) {
+        MatchRequest<char> request;
+        request.type = MatchQueryType::kLongestMatch;
+        request.query = query;
+        request.epsilon = 1.0;
+        futures[c].push_back(server->Submit(std::move(request)));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  server->Shutdown();  // races the submissions above
+  for (std::thread& t : clients) t.join();
+
+  int completed_ok = 0;
+  int rejected = 0;
+  for (const auto& per_client : futures) {
+    for (const Future<MatchResult>& future : per_client) {
+      Future<MatchResult> f = future;  // Get() consumes; copies share state
+      const MatchResult result = f.Get();  // must never hang
+      if (result.status.ok()) {
+        ++completed_ok;
+      } else {
+        EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_EQ(completed_ok + rejected, kClients * kPerClient);
 }
 
 TEST(MatchServerTest, UnknownIndexKindFailsTheRequestOnly) {

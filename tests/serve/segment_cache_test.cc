@@ -1,0 +1,163 @@
+// SegmentResultCache unit tests: LRU mechanics, byte accounting,
+// epsilon/kind-aware keys, and the word-at-a-time segment-byte hash the
+// coalescer's dedup and the cache key share.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "subseq/serve/segment_cache.h"
+
+namespace subseq {
+namespace {
+
+SegmentResultCache::Entry MakeEntry(std::vector<ObjectId> windows,
+                                    int64_t cost) {
+  SegmentResultCache::Entry entry;
+  entry.distances.assign(windows.size(), 0.5);
+  entry.windows = std::move(windows);
+  entry.filter_computations = cost;
+  return entry;
+}
+
+// Per-entry byte charge with an 8-byte key and no hits: key + fixed
+// overhead (see EntryCharge in segment_cache.cc).
+constexpr size_t kEmptyEntryCharge = 8 + 96;
+
+TEST(SegmentCacheTest, HitReturnsStoredEntryAndCounts) {
+  SegmentResultCache cache(1 << 20);
+  const std::string key = "SEGMENTA";
+  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({3, 7}, 42));
+
+  const SegmentResultCache::Entry* entry =
+      cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->windows, (std::vector<ObjectId>{3, 7}));
+  ASSERT_EQ(entry->distances.size(), 2u);
+  EXPECT_EQ(entry->filter_computations, 42);
+
+  const SegmentResultCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 0);
+  EXPECT_EQ(counters.entries, 1);
+  EXPECT_GT(counters.bytes_used, 0);
+}
+
+TEST(SegmentCacheTest, EpsilonAndKindAndBytesAllDistinguishKeys) {
+  SegmentResultCache cache(1 << 20);
+  const std::string key = "SEGMENTA";
+  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({1}, 1));
+
+  // Same bytes, different epsilon: the hit list depends on epsilon.
+  EXPECT_EQ(cache.Lookup(IndexKind::kLinearScan, 2.0, key.data(), key.size()),
+            nullptr);
+  // Same bytes, same epsilon, different index kind: costs differ by kind.
+  EXPECT_EQ(cache.Lookup(IndexKind::kCoverTree, 1.0, key.data(), key.size()),
+            nullptr);
+  // Different bytes.
+  const std::string other = "SEGMENTB";
+  EXPECT_EQ(
+      cache.Lookup(IndexKind::kLinearScan, 1.0, other.data(), other.size()),
+      nullptr);
+  // The original triple still hits.
+  EXPECT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size()),
+            nullptr);
+  EXPECT_EQ(cache.counters().misses, 3);
+  EXPECT_EQ(cache.counters().hits, 1);
+}
+
+TEST(SegmentCacheTest, NegativeZeroEpsilonSharesTheZeroKeyspace) {
+  // Keys compare epsilon by bit pattern, but -0.0 == +0.0 everywhere
+  // else (PlanCoalesce's grouping, the indexes' <= epsilon test), so the
+  // two must hit each other's entries.
+  SegmentResultCache cache(1 << 20);
+  const std::string key = "SEGMENTA";
+  cache.Insert(IndexKind::kLinearScan, -0.0, key.data(), key.size(),
+               MakeEntry({4}, 5));
+  const SegmentResultCache::Entry* entry =
+      cache.Lookup(IndexKind::kLinearScan, 0.0, key.data(), key.size());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->windows, (std::vector<ObjectId>{4}));
+  // And only one entry exists for the logical zero epsilon.
+  cache.Insert(IndexKind::kLinearScan, 0.0, key.data(), key.size(),
+               MakeEntry({4}, 5));
+  EXPECT_EQ(cache.counters().entries, 1);
+}
+
+TEST(SegmentCacheTest, LruEvictsLeastRecentlyUsedFirst) {
+  // Room for exactly two empty-hit entries with 8-byte keys.
+  SegmentResultCache cache(2 * kEmptyEntryCharge);
+  const std::string a = "AAAAAAAA";
+  const std::string b = "BBBBBBBB";
+  const std::string c = "CCCCCCCC";
+  cache.Insert(IndexKind::kLinearScan, 1.0, a.data(), a.size(),
+               MakeEntry({}, 1));
+  cache.Insert(IndexKind::kLinearScan, 1.0, b.data(), b.size(),
+               MakeEntry({}, 2));
+  // Touch A so B becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, a.data(), a.size()),
+            nullptr);
+  cache.Insert(IndexKind::kLinearScan, 1.0, c.data(), c.size(),
+               MakeEntry({}, 3));
+
+  EXPECT_EQ(cache.Lookup(IndexKind::kLinearScan, 1.0, b.data(), b.size()),
+            nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, a.data(), a.size()),
+            nullptr);
+  EXPECT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, c.data(), c.size()),
+            nullptr);
+  EXPECT_EQ(cache.counters().evictions, 1);
+  EXPECT_EQ(cache.counters().entries, 2);
+}
+
+TEST(SegmentCacheTest, OversizedEntryIsNotStored) {
+  SegmentResultCache cache(32);  // smaller than any entry's overhead
+  const std::string key = "SEGMENTA";
+  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({1, 2, 3}, 9));
+  EXPECT_EQ(cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size()),
+            nullptr);
+  EXPECT_EQ(cache.counters().entries, 0);
+  EXPECT_EQ(cache.counters().bytes_used, 0);
+  EXPECT_EQ(cache.counters().evictions, 0);
+}
+
+TEST(SegmentCacheTest, ReinsertingAKeyRefreshesTheEntryInPlace) {
+  SegmentResultCache cache(1 << 20);
+  const std::string key = "SEGMENTA";
+  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({1}, 10));
+  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({1, 2, 3}, 10));
+  const SegmentResultCache::Entry* entry =
+      cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->windows, (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(cache.counters().entries, 1);
+}
+
+TEST(SegmentCacheTest, HashDistinguishesLongBuffersDifferingAnywhere) {
+  // The word-at-a-time hash must keep full sensitivity: a flip in any
+  // byte — word-aligned or in the tail — changes the hash (with the
+  // memcmp equality this is about bucket quality, not correctness).
+  std::string base(1027, 'x');  // non-multiple of 8: exercises the tail
+  const uint64_t h0 = HashSegmentBytes(base.data(), base.size());
+  for (const size_t flip : {size_t{0}, size_t{512}, base.size() - 1}) {
+    std::string mutated = base;
+    mutated[flip] = 'y';
+    EXPECT_NE(HashSegmentBytes(mutated.data(), mutated.size()), h0)
+        << "flip at " << flip;
+  }
+  // Length is part of the hash: a strict prefix hashes differently.
+  EXPECT_NE(HashSegmentBytes(base.data(), base.size() - 1), h0);
+  // Deterministic across storage locations: only the bytes matter.
+  const std::string copy = base;
+  EXPECT_EQ(HashSegmentBytes(copy.data(), copy.size()), h0);
+}
+
+}  // namespace
+}  // namespace subseq
