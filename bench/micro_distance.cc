@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <vector>
 
 #include "subseq/core/rng.h"
@@ -12,6 +13,7 @@
 #include "subseq/distance/frechet.h"
 #include "subseq/distance/hamming.h"
 #include "subseq/distance/levenshtein.h"
+#include "subseq/distance/simd/cpu_features.h"
 
 namespace subseq {
 namespace {
@@ -97,6 +99,82 @@ void BM_ErpBounded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Batched ComputeMany vs a per-pair Compute loop over 16 equal-length
+// candidates — the SegmentHitDistances fill shape. Values are
+// bit-identical by contract; only the throughput differs.
+template <typename Dist>
+void BatchedKernel(benchmark::State& state, const Dist& dist, bool batched) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = MakeSeries(n, 11);
+  std::vector<std::vector<double>> storage;
+  for (int c = 0; c < 16; ++c) {
+    storage.push_back(MakeSeries(n, 20 + static_cast<uint64_t>(c)));
+  }
+  const std::vector<std::span<const double>> views(storage.begin(),
+                                                   storage.end());
+  std::vector<double> out(views.size());
+  for (auto _ : state) {
+    if (batched) {
+      dist.ComputeMany(a, views, out.data());
+    } else {
+      for (size_t c = 0; c < views.size(); ++c) {
+        out[c] = dist.Compute(a, views[c]);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(views.size()));
+}
+
+void BM_DtwBatched(benchmark::State& state) {
+  DtwDistance1D d;
+  BatchedKernel(state, d, /*batched=*/true);
+}
+void BM_DtwScalarLoop(benchmark::State& state) {
+  DtwDistance1D d;
+  BatchedKernel(state, d, /*batched=*/false);
+}
+void BM_EuclideanBatched(benchmark::State& state) {
+  EuclideanDistance1D d;
+  BatchedKernel(state, d, /*batched=*/true);
+}
+void BM_EuclideanScalarLoop(benchmark::State& state) {
+  EuclideanDistance1D d;
+  BatchedKernel(state, d, /*batched=*/false);
+}
+
+// The same single-pair kernel at a forced dispatch level: the
+// portable/native delta of the DP inner loops.
+template <typename Dist>
+void LevelKernel(benchmark::State& state, const Dist& dist,
+                 simd::SimdLevel level) {
+  if (!simd::SetSimdLevelForTesting(level)) {
+    state.SkipWithError("dispatch level unavailable on this machine");
+    return;
+  }
+  ScalarKernel(state, dist);
+  simd::ClearSimdLevelForTesting();
+}
+
+void BM_DtwPortable(benchmark::State& state) {
+  DtwDistance1D d;
+  LevelKernel(state, d, simd::SimdLevel::kPortable);
+}
+void BM_DtwAvx2(benchmark::State& state) {
+  DtwDistance1D d;
+  LevelKernel(state, d, simd::SimdLevel::kAvx2);
+}
+void BM_ErpPortable(benchmark::State& state) {
+  ErpDistance1D d;
+  LevelKernel(state, d, simd::SimdLevel::kPortable);
+}
+void BM_ErpAvx2(benchmark::State& state) {
+  ErpDistance1D d;
+  LevelKernel(state, d, simd::SimdLevel::kAvx2);
+}
+
 BENCHMARK(BM_Erp)->Arg(20)->Arg(50)->Arg(100);
 BENCHMARK(BM_Dtw)->Arg(20)->Arg(50)->Arg(100);
 BENCHMARK(BM_Frechet)->Arg(20)->Arg(50)->Arg(100);
@@ -107,6 +185,14 @@ BENCHMARK(BM_LevenshteinBounded)
     ->Args({20, 8})
     ->Args({100, 5});
 BENCHMARK(BM_ErpBounded)->Args({20, 4})->Args({20, 40})->Args({100, 10});
+BENCHMARK(BM_DtwBatched)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_DtwScalarLoop)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_EuclideanBatched)->Arg(20)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EuclideanScalarLoop)->Arg(20)->Arg(100)->Arg(1000);
+BENCHMARK(BM_DtwPortable)->Arg(20)->Arg(100);
+BENCHMARK(BM_DtwAvx2)->Arg(20)->Arg(100);
+BENCHMARK(BM_ErpPortable)->Arg(20)->Arg(100);
+BENCHMARK(BM_ErpAvx2)->Arg(20)->Arg(100);
 
 }  // namespace
 }  // namespace subseq

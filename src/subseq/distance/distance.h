@@ -14,6 +14,7 @@
 #ifndef SUBSEQ_DISTANCE_DISTANCE_H_
 #define SUBSEQ_DISTANCE_DISTANCE_H_
 
+#include <cstddef>
 #include <limits>
 #include <span>
 #include <string_view>
@@ -23,6 +24,18 @@ namespace subseq {
 /// Sentinel for "no similarity" / length-mismatch for rigid distances.
 inline constexpr double kInfiniteDistance =
     std::numeric_limits<double>::infinity();
+
+/// Signed view of a container index for band arithmetic. Always use
+/// this (never `long`, which is 32-bit on LLP64 targets such as 64-bit
+/// Windows and would overflow for sequences past 2^31 elements).
+inline constexpr std::ptrdiff_t SignedIndex(size_t i) {
+  return static_cast<std::ptrdiff_t>(i);
+}
+
+/// a - b as a signed quantity, safe for any size_t operands.
+inline constexpr std::ptrdiff_t IndexDiff(size_t a, size_t b) {
+  return SignedIndex(a) - SignedIndex(b);
+}
 
 /// Abstract distance measure between two element sequences.
 ///
@@ -44,6 +57,19 @@ class SequenceDistance {
                                 double upper_bound) const {
     (void)upper_bound;
     return Compute(a, b);
+  }
+
+  /// Batched distances: out[k] = Compute(a, bs[k]) for every candidate.
+  /// The contract is BIT-IDENTITY with the per-pair path: each out[k]
+  /// equals the corresponding Compute() result exactly, so callers may
+  /// batch or not without changing any observable result or statistic.
+  /// SIMD overrides honor this with vertical lanes that preserve each
+  /// candidate's scalar operation order (see distance/simd/kernels.h).
+  /// The default is the per-pair loop.
+  virtual void ComputeMany(std::span<const T> a,
+                           std::span<const std::span<const T>> bs,
+                           double* out) const {
+    for (size_t k = 0; k < bs.size(); ++k) out[k] = Compute(a, bs[k]);
   }
 
   /// Short stable identifier ("erp", "dtw", "levenshtein", ...).

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include "subseq/distance/simd/ground_rows.h"
+#include "subseq/distance/simd/kernels.h"
+
 namespace subseq {
 
 namespace {
@@ -29,39 +32,107 @@ double DtwDistance<T, Ground>::ComputeBounded(std::span<const T> a,
   const size_t m = b.size();
   if (n == 0 && m == 0) return 0.0;
   if (n == 0 || m == 0) return kInfiniteDistance;
-  if (band_ >= 0 &&
-      std::abs(static_cast<long>(n) - static_cast<long>(m)) > band_) {
+  if (band_ >= 0 && std::abs(IndexDiff(n, m)) > band_) {
     return kInfiniteDistance;
   }
 
   // Two-row DP over the (n+1) x (m+1) grid; row 0 / col 0 are +inf walls
-  // except the (0,0) corner.
+  // except the (0,0) corner. The cost row and the row combine go through
+  // the dispatched kernels (bit-identical at every level).
+  const simd::Kernels& kernels = simd::GetKernels();
   std::vector<double> prev(m + 1, kInfiniteDistance);
   std::vector<double> curr(m + 1, kInfiniteDistance);
+  std::vector<double> cost(m + 1, 0.0);
   prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
     std::fill(curr.begin(), curr.end(), kInfiniteDistance);
     size_t j_lo = 1;
     size_t j_hi = m;
     if (band_ >= 0) {
-      const long lo = static_cast<long>(i) - band_;
-      const long hi = static_cast<long>(i) + band_;
-      j_lo = static_cast<size_t>(std::max(1L, lo));
-      j_hi = static_cast<size_t>(std::min(static_cast<long>(m), hi));
+      const std::ptrdiff_t lo = SignedIndex(i) - band_;
+      const std::ptrdiff_t hi = SignedIndex(i) + band_;
+      j_lo = static_cast<size_t>(std::max<std::ptrdiff_t>(1, lo));
+      j_hi = static_cast<size_t>(std::min(SignedIndex(m), hi));
     }
-    double row_min = kInfiniteDistance;
-    for (size_t j = j_lo; j <= j_hi; ++j) {
-      const double best_prev =
-          std::min({prev[j - 1], prev[j], curr[j - 1]});
-      if (best_prev == kInfiniteDistance) continue;
-      const double cost = Ground::Between(a[i - 1], b[j - 1]);
-      curr[j] = best_prev + cost;
-      row_min = std::min(row_min, curr[j]);
-    }
+    simd::CostRowFrom<T, Ground>(kernels, a[i - 1], b.data() + (j_lo - 1),
+                                 cost.data() + j_lo, j_hi - j_lo + 1);
+    const double row_min =
+        kernels.dtw_combine_row(prev.data(), curr.data(), cost.data(),
+                                j_lo, j_hi);
     if (row_min > upper_bound) return kInfiniteDistance;
     std::swap(prev, curr);
   }
   return prev[m];
+}
+
+template <typename T, typename Ground>
+void DtwDistance<T, Ground>::ComputeMany(
+    std::span<const T> a, std::span<const std::span<const T>> bs,
+    double* out) const {
+  constexpr bool kScalar1d = std::is_same_v<T, double> &&
+                             std::is_same_v<Ground, ScalarGround>;
+  constexpr bool kTraj = std::is_same_v<T, Point2d> &&
+                         std::is_same_v<Ground, Point2dGround>;
+  if constexpr (!kScalar1d && !kTraj) {
+    SequenceDistance<T>::ComputeMany(a, bs, out);
+  } else {
+    const size_t n = a.size();
+    if (band_ >= 0 || n == 0) {
+      // Banded warps and empty queries keep the per-pair path (the
+      // vertical kernel is unconstrained-only; results are identical
+      // either way).
+      SequenceDistance<T>::ComputeMany(a, bs, out);
+      return;
+    }
+    const simd::Kernels& kernels = simd::GetKernels();
+    std::vector<double> lanes;
+    std::vector<double> lanes_y;
+    size_t group[4];
+    size_t pending = 0;
+    size_t group_len = 0;
+    auto flush = [&] {
+      if (pending == 4) {
+        lanes.resize(4 * group_len);
+        double out4[4];
+        if constexpr (kScalar1d) {
+          for (size_t j = 0; j < group_len; ++j) {
+            for (size_t g = 0; g < 4; ++g) {
+              lanes[j * 4 + g] = bs[group[g]][j];
+            }
+          }
+          kernels.dtw4_f64(a.data(), n, lanes.data(), group_len, out4);
+        } else {
+          lanes_y.resize(4 * group_len);
+          for (size_t j = 0; j < group_len; ++j) {
+            for (size_t g = 0; g < 4; ++g) {
+              lanes[j * 4 + g] = bs[group[g]][j].x;
+              lanes_y[j * 4 + g] = bs[group[g]][j].y;
+            }
+          }
+          kernels.dtw4_p2d(a.data(), n, lanes.data(), lanes_y.data(),
+                           group_len, out4);
+        }
+        for (size_t g = 0; g < 4; ++g) out[group[g]] = out4[g];
+      } else {
+        for (size_t g = 0; g < pending; ++g) {
+          out[group[g]] = Compute(a, bs[group[g]]);
+        }
+      }
+      pending = 0;
+    };
+    for (size_t k = 0; k < bs.size(); ++k) {
+      const size_t m = bs[k].size();
+      if (m == 0) {
+        out[k] = kInfiniteDistance;  // n > 0, m == 0
+        continue;
+      }
+      if (pending > 0 && m != group_len) flush();
+      group_len = m;
+      group[pending++] = k;
+      if (pending == 4) flush();
+    }
+    flush();
+  }
 }
 
 template <typename T, typename Ground>
@@ -80,8 +151,7 @@ Alignment DtwDistance<T, Ground>::ComputeWithPath(std::span<const T> a,
   dp[Idx(0, 0, stride)] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
     for (size_t j = 1; j <= m; ++j) {
-      if (band_ >= 0 && std::abs(static_cast<long>(i) -
-                                 static_cast<long>(j)) > band_) {
+      if (band_ >= 0 && std::abs(IndexDiff(i, j)) > band_) {
         continue;
       }
       const double best_prev = std::min({dp[Idx(i - 1, j - 1, stride)],

@@ -30,6 +30,13 @@ class DtwDistance final : public SequenceDistance<T> {
   double ComputeBounded(std::span<const T> a, std::span<const T> b,
                         double upper_bound) const override;
 
+  /// Batched override: unconstrained DTW runs equal-length candidates
+  /// through the vertical 4-lane kernel (bit-identical per lane to
+  /// Compute); banded instances and stragglers use the per-pair path.
+  void ComputeMany(std::span<const T> a,
+                   std::span<const std::span<const T>> bs,
+                   double* out) const override;
+
   /// Computes the distance together with an optimal warping path
   /// (couplings are all kMatch; indices may repeat on one side).
   Alignment ComputeWithPath(std::span<const T> a, std::span<const T> b) const;

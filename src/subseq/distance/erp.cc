@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "subseq/distance/simd/ground_rows.h"
+#include "subseq/distance/simd/kernels.h"
+
 namespace subseq {
 
 template <typename T, typename Ground>
@@ -19,23 +22,24 @@ double ErpDistance<T, Ground>::ComputeBounded(std::span<const T> a,
   const size_t m = b.size();
   const T gap = Ground::GapElement();
 
-  // prev/curr are rows of the (n+1) x (m+1) table.
+  // prev/curr are rows of the (n+1) x (m+1) table. The per-row cost
+  // rows (substitution against b, gap against b) and the row combine
+  // run through the dispatched kernels (bit-identical at every level).
+  const simd::Kernels& kernels = simd::GetKernels();
   std::vector<double> prev(m + 1, 0.0);
   std::vector<double> curr(m + 1, 0.0);
+  std::vector<double> sub(m + 1, 0.0);
+  std::vector<double> gap_b(m + 1, 0.0);
+  simd::CostRowTo<T, Ground>(kernels, b.data(), gap, gap_b.data() + 1, m);
   for (size_t j = 1; j <= m; ++j) {
-    prev[j] = prev[j - 1] + Ground::Between(b[j - 1], gap);
+    prev[j] = prev[j - 1] + gap_b[j];
   }
   for (size_t i = 1; i <= n; ++i) {
-    curr[0] = prev[0] + Ground::Between(a[i - 1], gap);
-    double row_min = curr[0];
-    for (size_t j = 1; j <= m; ++j) {
-      const double match =
-          prev[j - 1] + Ground::Between(a[i - 1], b[j - 1]);
-      const double gap_a = prev[j] + Ground::Between(a[i - 1], gap);
-      const double gap_b = curr[j - 1] + Ground::Between(b[j - 1], gap);
-      curr[j] = std::min({match, gap_a, gap_b});
-      row_min = std::min(row_min, curr[j]);
-    }
+    const double gap_a = Ground::Between(a[i - 1], gap);
+    simd::CostRowFrom<T, Ground>(kernels, a[i - 1], b.data(),
+                                 sub.data() + 1, m);
+    const double row_min = kernels.gap_combine_row(
+        prev.data(), curr.data(), sub.data(), gap_a, gap_b.data(), m);
     // Costs are non-negative, so the row minimum lower-bounds the result.
     if (row_min > upper_bound) return kInfiniteDistance;
     std::swap(prev, curr);

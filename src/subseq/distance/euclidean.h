@@ -10,10 +10,13 @@
 
 #include <cmath>
 #include <span>
+#include <type_traits>
 
 #include "subseq/core/types.h"
 #include "subseq/distance/distance.h"
 #include "subseq/distance/ground.h"
+#include "subseq/distance/simd/kernels.h"
+#include "subseq/distance/simd/lanes.h"
 
 namespace subseq {
 
@@ -47,6 +50,33 @@ class EuclideanDistance final : public SequenceDistance<T> {
       }
     }
     return std::sqrt(sum_sq);
+  }
+
+  /// Batched override: equal-length candidates run 4 at a time through
+  /// the vertical kernel, each lane bit-identical to Compute().
+  void ComputeMany(std::span<const T> a,
+                   std::span<const std::span<const T>> bs,
+                   double* out) const override {
+    constexpr bool kScalar1d = std::is_same_v<T, double> &&
+                               std::is_same_v<Ground, ScalarGround>;
+    constexpr bool kTraj = std::is_same_v<T, Point2d> &&
+                           std::is_same_v<Ground, Point2dGround>;
+    if constexpr (!kScalar1d && !kTraj) {
+      SequenceDistance<T>::ComputeMany(a, bs, out);
+    } else {
+      const simd::Kernels& kernels = simd::GetKernels();
+      simd::ForEachLaneGroup<T>(
+          bs, a.size(), kInfiniteDistance, out,
+          [&](const double* lanes, const double* lanes_y, double* out4) {
+            if constexpr (kScalar1d) {
+              kernels.euclidean4_f64(a.data(), lanes, a.size(), out4);
+            } else {
+              kernels.euclidean4_p2d(a.data(), lanes, lanes_y, a.size(),
+                                     out4);
+            }
+          },
+          [&](size_t k) { out[k] = Compute(a, bs[k]); });
+    }
   }
 
   std::string_view name() const override { return "euclidean"; }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "subseq/distance/simd/ground_rows.h"
+#include "subseq/distance/simd/kernels.h"
+
 namespace subseq {
 
 template <typename T, typename Ground>
@@ -22,20 +25,21 @@ double FrechetDistance<T, Ground>::ComputeBounded(std::span<const T> a,
 
   // DP over the n x m grid: D(i,j) = max(ground(i,j),
   //   min(D(i-1,j-1), D(i-1,j), D(i,j-1))).
+  // Cost rows and the row combine run through the dispatched kernels
+  // (bit-identical at every level).
+  const simd::Kernels& kernels = simd::GetKernels();
   std::vector<double> prev(m, 0.0);
   std::vector<double> curr(m, 0.0);
-  prev[0] = Ground::Between(a[0], b[0]);
+  std::vector<double> cost(m, 0.0);
+  simd::CostRowFrom<T, Ground>(kernels, a[0], b.data(), cost.data(), m);
+  prev[0] = cost[0];
   for (size_t j = 1; j < m; ++j) {
-    prev[j] = std::max(prev[j - 1], Ground::Between(a[0], b[j]));
+    prev[j] = std::max(prev[j - 1], cost[j]);
   }
   for (size_t i = 1; i < n; ++i) {
-    curr[0] = std::max(prev[0], Ground::Between(a[i], b[0]));
-    double row_min = curr[0];
-    for (size_t j = 1; j < m; ++j) {
-      const double reach = std::min({prev[j - 1], prev[j], curr[j - 1]});
-      curr[j] = std::max(reach, Ground::Between(a[i], b[j]));
-      row_min = std::min(row_min, curr[j]);
-    }
+    simd::CostRowFrom<T, Ground>(kernels, a[i], b.data(), cost.data(), m);
+    const double row_min = kernels.frechet_combine_row(
+        prev.data(), curr.data(), cost.data(), m);
     // D values are non-decreasing along any remaining path (max-compose),
     // so the row minimum lower-bounds the final value.
     if (row_min > upper_bound) return kInfiniteDistance;

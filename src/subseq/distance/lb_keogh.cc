@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "subseq/core/check.h"
+#include "subseq/distance/simd/kernels.h"
 
 namespace subseq {
 
@@ -13,6 +14,21 @@ LbKeoghEnvelope::LbKeoghEnvelope(std::span<const double> query,
   band_ = band;
   upper_.resize(static_cast<size_t>(n));
   lower_.resize(static_cast<size_t>(n));
+  if (n > 0 && band == n - 1) {
+    // Full width (the unconstrained-DTW case the matcher uses): every
+    // window spans the whole query, so U and L are the global extremes.
+    // One O(n) pass instead of O(n^2); max/min accumulate in the same
+    // ascending order as the windowed loop, so values are identical.
+    double u = query[0];
+    double l = u;
+    for (int32_t j = 1; j < n; ++j) {
+      u = std::max(u, query[static_cast<size_t>(j)]);
+      l = std::min(l, query[static_cast<size_t>(j)]);
+    }
+    std::fill(upper_.begin(), upper_.end(), u);
+    std::fill(lower_.begin(), lower_.end(), l);
+    return;
+  }
   for (int32_t i = 0; i < n; ++i) {
     const int32_t lo = std::max(0, i - band);
     const int32_t hi = std::min(n - 1, i + band);
@@ -53,6 +69,25 @@ double LbKeoghEnvelope::LowerBoundAbandoning(
     if (sum > cutoff) return sum;
   }
   return sum;
+}
+
+void LbKeoghEnvelope::LowerBoundMany(const double* block, size_t stride,
+                                     int32_t count, double cutoff,
+                                     double* out) const {
+  const size_t n = upper_.size();
+  const simd::Kernels& kernels = simd::GetKernels();
+  int32_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const double* base = block + static_cast<size_t>(k) * stride;
+    kernels.lb_keogh_block4(upper_.data(), lower_.data(), n, base,
+                            base + stride, base + 2 * stride,
+                            base + 3 * stride, cutoff, out + k);
+  }
+  for (; k < count; ++k) {
+    out[k] = LowerBoundAbandoning(
+        std::span<const double>(block + static_cast<size_t>(k) * stride, n),
+        cutoff);
+  }
 }
 
 }  // namespace subseq

@@ -31,9 +31,21 @@ class LbKeoghEnvelope {
   double LowerBound(std::span<const double> candidate) const;
 
   /// Early-abandoning variant: may return any value > cutoff once the
-  /// partial sum exceeds it.
+  /// partial sum exceeds it. Also the scalar fallback of
+  /// LowerBoundMany, so both paths share one definition of the bound.
   double LowerBoundAbandoning(std::span<const double> candidate,
                               double cutoff) const;
+
+  /// Batched bounds over `count` candidates of length() elements laid
+  /// out at block, block + stride, block + 2*stride, ... — the window
+  /// catalog's contiguous same-sequence layout. out[k] follows the
+  /// early-abandon contract at `cutoff`: exact when <= cutoff, any
+  /// partial sum > cutoff otherwise. Partial sums are monotone
+  /// non-decreasing, so the pruning DECISION (out[k] > cutoff) is
+  /// identical across dispatch levels and any regrouping of candidates
+  /// into blocks — the invariant the prefilter's determinism rests on.
+  void LowerBoundMany(const double* block, size_t stride, int32_t count,
+                      double cutoff, double* out) const;
 
   int32_t length() const { return static_cast<int32_t>(upper_.size()); }
   int32_t band() const { return band_; }

@@ -9,11 +9,14 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <type_traits>
 
 #include "subseq/core/check.h"
 #include "subseq/core/types.h"
 #include "subseq/distance/distance.h"
 #include "subseq/distance/ground.h"
+#include "subseq/distance/simd/kernels.h"
+#include "subseq/distance/simd/lanes.h"
 
 namespace subseq {
 
@@ -57,6 +60,37 @@ class MinkowskiDistance final : public SequenceDistance<T> {
       }
     }
     return std::pow(sum, 1.0 / p_);
+  }
+
+  /// Batched override. Only the L-infinity member vectorizes: the
+  /// finite-p path evaluates std::pow(d, p) per element even at p = 1,
+  /// and no lane kernel can promise bitwise pow() equality, so those
+  /// members keep the per-pair loop.
+  void ComputeMany(std::span<const T> a,
+                   std::span<const std::span<const T>> bs,
+                   double* out) const override {
+    constexpr bool kScalar1d = std::is_same_v<T, double> &&
+                               std::is_same_v<Ground, ScalarGround>;
+    constexpr bool kTraj = std::is_same_v<T, Point2d> &&
+                           std::is_same_v<Ground, Point2dGround>;
+    if constexpr (kScalar1d || kTraj) {
+      if (p_ == kLInfinity) {
+        const simd::Kernels& kernels = simd::GetKernels();
+        simd::ForEachLaneGroup<T>(
+            bs, a.size(), kInfiniteDistance, out,
+            [&](const double* lanes, const double* lanes_y, double* out4) {
+              if constexpr (kScalar1d) {
+                kernels.linf4_f64(a.data(), lanes, a.size(), out4);
+              } else {
+                kernels.linf4_p2d(a.data(), lanes, lanes_y, a.size(),
+                                  out4);
+              }
+            },
+            [&](size_t k) { out[k] = Compute(a, bs[k]); });
+        return;
+      }
+    }
+    SequenceDistance<T>::ComputeMany(a, bs, out);
   }
 
   std::string_view name() const override {

@@ -1,0 +1,85 @@
+#include "subseq/distance/simd/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "subseq/distance/simd/kernels.h"
+
+namespace subseq::simd {
+
+namespace {
+
+bool CpuReportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel ResolveDetectedLevel() {
+  const bool avx2 = CpuSupportsAvx2();
+  const char* knob = std::getenv("SUBSEQ_SIMD");
+  if (knob != nullptr) {
+    if (std::strcmp(knob, "portable") == 0) return SimdLevel::kPortable;
+    if (std::strcmp(knob, "avx2") == 0) {
+      // Best-effort: an unsatisfiable request falls back to portable
+      // rather than failing (the knob is a CI/debug tool, and every
+      // level computes identical results anyway).
+      return avx2 ? SimdLevel::kAvx2 : SimdLevel::kPortable;
+    }
+    // "auto" or anything unrecognized: fall through to detection.
+  }
+  return avx2 ? SimdLevel::kAvx2 : SimdLevel::kPortable;
+}
+
+// -1 = no override; otherwise the int value of the forced SimdLevel.
+std::atomic<int>& OverrideSlot() {
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kPortable:
+      return "portable";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+  // Both halves must hold: the CPU executes the instructions AND the
+  // AVX2 translation unit was built with them (GetAvx2Kernels() returns
+  // nullptr when the compiler lacked -mavx2 support).
+  static const bool supported =
+      CpuReportsAvx2() && GetAvx2Kernels() != nullptr;
+  return supported;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = ResolveDetectedLevel();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int forced = OverrideSlot().load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  return DetectedSimdLevel();
+}
+
+bool SetSimdLevelForTesting(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !CpuSupportsAvx2()) return false;
+  OverrideSlot().store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+void ClearSimdLevelForTesting() {
+  OverrideSlot().store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace subseq::simd

@@ -1,0 +1,57 @@
+// Runtime SIMD dispatch level for the distance kernels.
+//
+// The level is resolved ONCE, on first use, from three inputs in
+// priority order:
+//   1. the per-process test override (SetSimdLevelForTesting) — exactness
+//      suites force both code paths on one machine;
+//   2. the SUBSEQ_SIMD environment knob ("portable" | "avx2" | "auto");
+//      requesting a level the build or the CPU cannot honor falls back
+//      to the best supported one (best-effort, never an error);
+//   3. CPU detection: AVX2 is selected only when the CPU reports it AND
+//      the AVX2 kernel translation unit was actually compiled with
+//      -mavx2 support (see kernels_avx2.cc).
+//
+// Every kernel is bit-compatible across levels (see kernels.h), so the
+// knob trades wall-clock only — results, matches and stats are identical
+// at any setting.
+
+#ifndef SUBSEQ_DISTANCE_SIMD_CPU_FEATURES_H_
+#define SUBSEQ_DISTANCE_SIMD_CPU_FEATURES_H_
+
+namespace subseq::simd {
+
+/// Dispatch levels, ordered by capability.
+enum class SimdLevel : int {
+  kPortable = 0,
+  kAvx2 = 1,
+};
+
+/// Stable name for logs and bench rows ("portable", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// True when this process can execute the AVX2 kernels: the CPU reports
+/// AVX2 and the AVX2 translation unit was compiled with vector support.
+bool CpuSupportsAvx2();
+
+/// The level detection + the SUBSEQ_SIMD knob resolve to (ignores the
+/// test override). Computed once and cached.
+SimdLevel DetectedSimdLevel();
+
+/// The level the kernel dispatch actually uses: the test override when
+/// set, DetectedSimdLevel() otherwise.
+SimdLevel ActiveSimdLevel();
+
+/// Forces the dispatch level for the current process (exactness tests run
+/// every kernel at both levels on one machine). Returns false — and
+/// leaves the level unchanged — when the requested level is not
+/// executable here (kAvx2 without CPU/build support). Not thread-safe
+/// against concurrent kernel use; tests set it around single-threaded
+/// sections.
+bool SetSimdLevelForTesting(SimdLevel level);
+
+/// Clears the test override; dispatch returns to DetectedSimdLevel().
+void ClearSimdLevelForTesting();
+
+}  // namespace subseq::simd
+
+#endif  // SUBSEQ_DISTANCE_SIMD_CPU_FEATURES_H_

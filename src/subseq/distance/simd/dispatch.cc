@@ -1,0 +1,17 @@
+#include "subseq/core/check.h"
+#include "subseq/distance/simd/kernels.h"
+
+namespace subseq::simd {
+
+const Kernels& GetKernelsAt(SimdLevel level) {
+  if (level == SimdLevel::kAvx2) {
+    const Kernels* avx2 = GetAvx2Kernels();
+    SUBSEQ_CHECK(avx2 != nullptr && CpuSupportsAvx2());
+    return *avx2;
+  }
+  return *GetPortableKernels();
+}
+
+const Kernels& GetKernels() { return GetKernelsAt(ActiveSimdLevel()); }
+
+}  // namespace subseq::simd

@@ -1,0 +1,54 @@
+// Glue between the templated distance implementations and the dispatched
+// cost-row kernels: fills one DP cost row for whatever ground the
+// instantiation uses. The two vectorized grounds (scalar |a-b| and
+// planar PointDistance) route to the kernel table; every other ground
+// keeps the generic scalar loop, so template generality is unchanged.
+
+#ifndef SUBSEQ_DISTANCE_SIMD_GROUND_ROWS_H_
+#define SUBSEQ_DISTANCE_SIMD_GROUND_ROWS_H_
+
+#include <cstddef>
+#include <type_traits>
+
+#include "subseq/core/types.h"
+#include "subseq/distance/ground.h"
+#include "subseq/distance/simd/kernels.h"
+
+namespace subseq::simd {
+
+/// out[j] = Ground::Between(a, b[j]) for j in [0, n).
+template <typename T, typename Ground>
+inline void CostRowFrom(const Kernels& kernels, const T& a, const T* b,
+                        double* out, size_t n) {
+  if constexpr (std::is_same_v<T, double> &&
+                std::is_same_v<Ground, ScalarGround>) {
+    kernels.abs_diff_row(a, b, out, n);
+  } else if constexpr (std::is_same_v<T, Point2d> &&
+                       std::is_same_v<Ground, Point2dGround>) {
+    kernels.point_dist_row(a, b, out, n);
+  } else {
+    for (size_t j = 0; j < n; ++j) out[j] = Ground::Between(a, b[j]);
+  }
+}
+
+/// out[j] = Ground::Between(b[j], a) — the flipped argument order some
+/// DP formulations use for gap rows. For the two kernel-backed grounds
+/// the flip is bit-irrelevant (|a-b| and PointDistance square the
+/// coordinate differences, and (-x)*(-x) == x*x bitwise), so they share
+/// the kernels; the generic loop preserves the caller's exact order.
+template <typename T, typename Ground>
+inline void CostRowTo(const Kernels& kernels, const T* b, const T& a,
+                      double* out, size_t n) {
+  if constexpr ((std::is_same_v<T, double> &&
+                 std::is_same_v<Ground, ScalarGround>) ||
+                (std::is_same_v<T, Point2d> &&
+                 std::is_same_v<Ground, Point2dGround>)) {
+    CostRowFrom<T, Ground>(kernels, a, b, out, n);
+  } else {
+    for (size_t j = 0; j < n; ++j) out[j] = Ground::Between(b[j], a);
+  }
+}
+
+}  // namespace subseq::simd
+
+#endif  // SUBSEQ_DISTANCE_SIMD_GROUND_ROWS_H_

@@ -1,0 +1,129 @@
+// The dispatched kernel table behind the distance layer's hot loops.
+//
+// Every kernel is BIT-COMPATIBLE across dispatch levels: for identical
+// inputs, the portable and AVX2 implementations produce element-wise
+// identical doubles. That is a hard contract (enforced by
+// tests/distance/simd_exactness_test.cc), achieved by construction:
+//
+//  * element-wise rows (abs_diff_row, point_dist_row, gather_row)
+//    compute each output from its own inputs only — no reductions — so
+//    lane width cannot change any rounding;
+//  * DP combine rows split the recurrence into a vectorizable
+//    independent pass t[j] = min(prev[j-1], prev[j]) (+ cost) and a
+//    scalar carried scan over curr[j-1]. The split is value-exact under
+//    IEEE-754: min(x+c, y+c) == min(x, y) + c bitwise (addition is
+//    monotone; all DP values are >= 0 or +inf, so no -0.0 and no NaN),
+//    and min is associative on such values;
+//  * the 4-lane batch kernels are VERTICAL: lane k performs exactly the
+//    per-candidate scalar operation sequence (same order of adds and
+//    mins over j), so each lane's result is bit-identical to the scalar
+//    single-pair kernel by construction. Horizontal reductions (which
+//    would reorder summation) are never used.
+//
+// Kernel translation units are compiled with -ffp-contract=off so the
+// compiler cannot fuse a*b+c into an FMA (which rounds once instead of
+// twice and would break cross-level bit equality).
+
+#ifndef SUBSEQ_DISTANCE_SIMD_KERNELS_H_
+#define SUBSEQ_DISTANCE_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "subseq/core/types.h"
+#include "subseq/distance/simd/cpu_features.h"
+
+namespace subseq::simd {
+
+/// One dispatch level's kernel implementations. All pointers are
+/// non-null in a published table.
+struct Kernels {
+  /// Level name, for bench rows and debugging.
+  const char* name;
+
+  // ----------------------------------------------- element-wise rows
+  /// out[j] = |a - b[j]| (ScalarGround cost row against one element).
+  void (*abs_diff_row)(double a, const double* b, double* out, size_t n);
+  /// out[j] = PointDistance(a, b[j]) (Point2dGround cost row).
+  void (*point_dist_row)(const Point2d& a, const Point2d* b, double* out,
+                         size_t n);
+  /// out[j] = table[idx[j]] — substitution/gap row gather for the
+  /// weighted edit distance. All idx[j] must be valid table offsets.
+  void (*gather_row)(const double* table, const int32_t* idx, double* out,
+                     size_t n);
+
+  // ------------------------------- single-pair DP combine rows
+  /// DTW row combine over absolute columns j in [j_lo, j_hi]:
+  ///   curr[j] = min(prev[j-1], prev[j], curr[j-1]) + cost[j]
+  /// with curr[j_lo - 1] already holding the left wall (+inf outside
+  /// the band). Returns min over curr[j_lo..j_hi] (+inf when empty) —
+  /// the early-abandon row minimum.
+  double (*dtw_combine_row)(const double* prev, double* curr,
+                            const double* cost, size_t j_lo, size_t j_hi);
+  /// ERP / weighted-edit row combine over columns 0..m:
+  ///   curr[0] = prev[0] + gap_a
+  ///   curr[j] = min(prev[j-1] + sub[j], prev[j] + gap_a,
+  ///                 curr[j-1] + gap_b[j])       for j in [1, m]
+  /// (sub and gap_b are 1-indexed to align with the DP columns).
+  /// Returns min over curr[0..m].
+  double (*gap_combine_row)(const double* prev, double* curr,
+                            const double* sub, double gap_a,
+                            const double* gap_b, size_t m);
+  /// Discrete-Frechet row combine over columns 0..m-1:
+  ///   curr[0] = max(prev[0], cost[0])
+  ///   curr[j] = max(min(prev[j-1], prev[j], curr[j-1]), cost[j])
+  /// Returns min over curr[0..m-1] — the monotone row bound.
+  double (*frechet_combine_row)(const double* prev, double* curr,
+                                const double* cost, size_t m);
+
+  // ----------------------------------- vertical 4-lane batch kernels
+  // Lane layout: lanes[j * 4 + k] is element j of candidate k (Point2d
+  // candidates arrive de-interleaved into lanes_x / lanes_y). Every
+  // candidate has exactly n (resp. m) elements; out4 receives one
+  // distance per lane, each bit-identical to the scalar single-pair
+  // kernel on that (query, candidate) pair.
+  /// out4[k] = sqrt(sum_j |a[j] - lane_k[j]|^2), summed in j order.
+  void (*euclidean4_f64)(const double* a, const double* lanes, size_t n,
+                         double* out4);
+  void (*euclidean4_p2d)(const Point2d* a, const double* lanes_x,
+                         const double* lanes_y, size_t n, double* out4);
+  /// out4[k] = max_j ground(a[j], lane_k[j]) (Chebyshev / L-infinity).
+  void (*linf4_f64)(const double* a, const double* lanes, size_t n,
+                    double* out4);
+  void (*linf4_p2d)(const Point2d* a, const double* lanes_x,
+                    const double* lanes_y, size_t n, double* out4);
+  /// Unconstrained-band DTW of `a` (n elements) against 4 candidates of
+  /// m elements each; no early abandon (the batch caller has no bound).
+  void (*dtw4_f64)(const double* a, size_t n, const double* lanes,
+                   size_t m, double* out4);
+  void (*dtw4_p2d)(const Point2d* a, size_t n, const double* lanes_x,
+                   const double* lanes_y, size_t m, double* out4);
+  /// LB_Keogh residual sums of 4 candidates (c0..c3, `len` elements
+  /// each) against one envelope. Early-abandon contract per lane:
+  /// out4[k] is the exact sum when it is <= cutoff and may be any
+  /// partial sum > cutoff otherwise — partials are monotone
+  /// non-decreasing, so the (out4[k] > cutoff) pruning DECISION is
+  /// identical across levels and lane groupings even though abandoned
+  /// values may differ.
+  void (*lb_keogh_block4)(const double* upper, const double* lower,
+                          size_t len, const double* c0, const double* c1,
+                          const double* c2, const double* c3, double cutoff,
+                          double* out4);
+};
+
+/// The portable (scalar/auto-vectorizable) table. Always available.
+const Kernels* GetPortableKernels();
+
+/// The AVX2 table, or nullptr when the compiler could not build the
+/// AVX2 translation unit (kernels_avx2.cc falls back to a stub).
+const Kernels* GetAvx2Kernels();
+
+/// The table for an explicit level; kAvx2 requires CpuSupportsAvx2().
+const Kernels& GetKernelsAt(SimdLevel level);
+
+/// The table for ActiveSimdLevel() — what the distance kernels call.
+const Kernels& GetKernels();
+
+}  // namespace subseq::simd
+
+#endif  // SUBSEQ_DISTANCE_SIMD_KERNELS_H_

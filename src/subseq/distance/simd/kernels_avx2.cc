@@ -1,0 +1,284 @@
+// AVX2 kernel table. Compiled with -mavx2 -ffp-contract=off (see
+// CMakeLists.txt); when the compiler cannot target AVX2 this unit
+// degrades to a stub returning nullptr and dispatch stays portable.
+//
+// Bit-compatibility with kernels_portable.cc is by construction — the
+// techniques are documented in kernels.h. Two points specific to this
+// unit: _mm256_min_pd/_mm256_max_pd pick the second operand on ties,
+// std::min/std::max pick the first, but every tied pair here has
+// identical bit patterns (DP values and residuals are sums of
+// non-negative terms — no -0.0, no NaN), so the choice is unobservable.
+// And no FMA intrinsics are used anywhere, matching the two-rounding
+// mul-then-add order of the portable kernels.
+
+#include "subseq/distance/simd/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace subseq::simd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Clears the sign bit — exactly std::abs for finite and infinite doubles.
+inline __m256d Abs(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+void AbsDiffRow(double a, const double* b, double* out, size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d d = _mm256_sub_pd(va, _mm256_loadu_pd(b + j));
+    _mm256_storeu_pd(out + j, Abs(d));
+  }
+  for (; j < n; ++j) out[j] = std::abs(a - b[j]);
+}
+
+void PointDistRow(const Point2d& a, const Point2d* b, double* out,
+                  size_t n) {
+  const __m256d ax = _mm256_set1_pd(a.x);
+  const __m256d ay = _mm256_set1_pd(a.y);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    // 4 points = 8 doubles [x0 y0 x1 y1 | x2 y2 x3 y3]; de-interleave.
+    const double* pb = reinterpret_cast<const double*>(b + j);
+    const __m256d v0 = _mm256_loadu_pd(pb);
+    const __m256d v1 = _mm256_loadu_pd(pb + 4);
+    const __m256d t0 = _mm256_permute2f128_pd(v0, v1, 0x20);
+    const __m256d t1 = _mm256_permute2f128_pd(v0, v1, 0x31);
+    const __m256d xs = _mm256_unpacklo_pd(t0, t1);
+    const __m256d ys = _mm256_unpackhi_pd(t0, t1);
+    const __m256d dx = _mm256_sub_pd(ax, xs);
+    const __m256d dy = _mm256_sub_pd(ay, ys);
+    const __m256d sum =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(out + j, _mm256_sqrt_pd(sum));
+  }
+  for (; j < n; ++j) out[j] = PointDistance(a, b[j]);
+}
+
+void GatherRow(const double* table, const int32_t* idx, double* out,
+               size_t n) {
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+    _mm256_storeu_pd(out + j, _mm256_i32gather_pd(table, vidx, 8));
+  }
+  for (; j < n; ++j) out[j] = table[static_cast<size_t>(idx[j])];
+}
+
+double DtwCombineRow(const double* prev, double* curr, const double* cost,
+                     size_t j_lo, size_t j_hi) {
+  if (j_hi < j_lo) return kInf;
+  size_t j = j_lo;
+  for (; j + 3 <= j_hi; j += 4) {
+    const __m256d pm1 = _mm256_loadu_pd(prev + j - 1);
+    const __m256d p = _mm256_loadu_pd(prev + j);
+    const __m256d c = _mm256_loadu_pd(cost + j);
+    _mm256_storeu_pd(curr + j, _mm256_add_pd(_mm256_min_pd(pm1, p), c));
+  }
+  for (; j <= j_hi; ++j) {
+    curr[j] = std::min(prev[j - 1], prev[j]) + cost[j];
+  }
+  double row_min = kInf;
+  for (j = j_lo; j <= j_hi; ++j) {
+    curr[j] = std::min(curr[j], curr[j - 1] + cost[j]);
+    row_min = std::min(row_min, curr[j]);
+  }
+  return row_min;
+}
+
+double GapCombineRow(const double* prev, double* curr, const double* sub,
+                     double gap_a, const double* gap_b, size_t m) {
+  const __m256d vgap_a = _mm256_set1_pd(gap_a);
+  size_t j = 1;
+  for (; j + 3 <= m; j += 4) {
+    const __m256d match =
+        _mm256_add_pd(_mm256_loadu_pd(prev + j - 1), _mm256_loadu_pd(sub + j));
+    const __m256d del = _mm256_add_pd(_mm256_loadu_pd(prev + j), vgap_a);
+    _mm256_storeu_pd(curr + j, _mm256_min_pd(match, del));
+  }
+  for (; j <= m; ++j) {
+    curr[j] = std::min(prev[j - 1] + sub[j], prev[j] + gap_a);
+  }
+  curr[0] = prev[0] + gap_a;
+  double row_min = curr[0];
+  for (j = 1; j <= m; ++j) {
+    curr[j] = std::min(curr[j], curr[j - 1] + gap_b[j]);
+    row_min = std::min(row_min, curr[j]);
+  }
+  return row_min;
+}
+
+double FrechetCombineRow(const double* prev, double* curr,
+                         const double* cost, size_t m) {
+  size_t j = 1;
+  for (; j + 4 <= m; j += 4) {
+    _mm256_storeu_pd(curr + j, _mm256_min_pd(_mm256_loadu_pd(prev + j - 1),
+                                             _mm256_loadu_pd(prev + j)));
+  }
+  for (; j < m; ++j) {
+    curr[j] = std::min(prev[j - 1], prev[j]);
+  }
+  curr[0] = std::max(prev[0], cost[0]);
+  double row_min = curr[0];
+  for (j = 1; j < m; ++j) {
+    curr[j] = std::max(std::min(curr[j], curr[j - 1]), cost[j]);
+    row_min = std::min(row_min, curr[j]);
+  }
+  return row_min;
+}
+
+void Euclidean4F64(const double* a, const double* lanes, size_t n,
+                   double* out4) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t j = 0; j < n; ++j) {
+    const __m256d d = Abs(_mm256_sub_pd(_mm256_set1_pd(a[j]),
+                                        _mm256_loadu_pd(lanes + j * 4)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  _mm256_storeu_pd(out4, _mm256_sqrt_pd(acc));
+}
+
+void Euclidean4P2d(const Point2d* a, const double* lanes_x,
+                   const double* lanes_y, size_t n, double* out4) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t j = 0; j < n; ++j) {
+    const __m256d dx = _mm256_sub_pd(_mm256_set1_pd(a[j].x),
+                                     _mm256_loadu_pd(lanes_x + j * 4));
+    const __m256d dy = _mm256_sub_pd(_mm256_set1_pd(a[j].y),
+                                     _mm256_loadu_pd(lanes_y + j * 4));
+    // sqrt-then-square matches the scalar PointDistance op order.
+    const __m256d d = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  _mm256_storeu_pd(out4, _mm256_sqrt_pd(acc));
+}
+
+void Linf4F64(const double* a, const double* lanes, size_t n,
+              double* out4) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t j = 0; j < n; ++j) {
+    const __m256d d = Abs(_mm256_sub_pd(_mm256_set1_pd(a[j]),
+                                        _mm256_loadu_pd(lanes + j * 4)));
+    acc = _mm256_max_pd(acc, d);
+  }
+  _mm256_storeu_pd(out4, acc);
+}
+
+void Linf4P2d(const Point2d* a, const double* lanes_x,
+              const double* lanes_y, size_t n, double* out4) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t j = 0; j < n; ++j) {
+    const __m256d dx = _mm256_sub_pd(_mm256_set1_pd(a[j].x),
+                                     _mm256_loadu_pd(lanes_x + j * 4));
+    const __m256d dy = _mm256_sub_pd(_mm256_set1_pd(a[j].y),
+                                     _mm256_loadu_pd(lanes_y + j * 4));
+    const __m256d d = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    acc = _mm256_max_pd(acc, d);
+  }
+  _mm256_storeu_pd(out4, acc);
+}
+
+// Shared vertical DTW recurrence: one __m256d per DP cell (4 lanes).
+template <typename CostFn>
+void Dtw4(size_t n, size_t m, double* out4, const CostFn& cost_at) {
+  std::vector<double> buf(2 * 4 * (m + 1), kInf);
+  double* prev = buf.data();
+  double* curr = prev + 4 * (m + 1);
+  _mm256_storeu_pd(prev, _mm256_setzero_pd());
+  const __m256d vinf = _mm256_set1_pd(kInf);
+  for (size_t i = 1; i <= n; ++i) {
+    __m256d carry = vinf;  // curr column 0: the left wall
+    _mm256_storeu_pd(curr, carry);
+    for (size_t j = 1; j <= m; ++j) {
+      const __m256d pm1 = _mm256_loadu_pd(prev + (j - 1) * 4);
+      const __m256d p = _mm256_loadu_pd(prev + j * 4);
+      const __m256d best = _mm256_min_pd(_mm256_min_pd(pm1, p), carry);
+      carry = _mm256_add_pd(best, cost_at(i - 1, j - 1));
+      _mm256_storeu_pd(curr + j * 4, carry);
+    }
+    std::swap(prev, curr);
+  }
+  _mm256_storeu_pd(out4, _mm256_loadu_pd(prev + m * 4));
+}
+
+void Dtw4F64(const double* a, size_t n, const double* lanes, size_t m,
+             double* out4) {
+  Dtw4(n, m, out4, [&](size_t i, size_t j) {
+    return Abs(_mm256_sub_pd(_mm256_set1_pd(a[i]),
+                             _mm256_loadu_pd(lanes + j * 4)));
+  });
+}
+
+void Dtw4P2d(const Point2d* a, size_t n, const double* lanes_x,
+             const double* lanes_y, size_t m, double* out4) {
+  Dtw4(n, m, out4, [&](size_t i, size_t j) {
+    const __m256d dx = _mm256_sub_pd(_mm256_set1_pd(a[i].x),
+                                     _mm256_loadu_pd(lanes_x + j * 4));
+    const __m256d dy = _mm256_sub_pd(_mm256_set1_pd(a[i].y),
+                                     _mm256_loadu_pd(lanes_y + j * 4));
+    return _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+  });
+}
+
+void LbKeoghBlock4(const double* upper, const double* lower, size_t len,
+                   const double* c0, const double* c1, const double* c2,
+                   const double* c3, double cutoff, double* out4) {
+  const __m256d vcut = _mm256_set1_pd(cutoff);
+  const __m256d vzero = _mm256_setzero_pd();
+  __m256d acc = vzero;
+  for (size_t i = 0; i < len; ++i) {
+    const __m256d c = _mm256_set_pd(c3[i], c2[i], c1[i], c0[i]);
+    // Residual in max form: max(c - U, L - c, 0). Inside the envelope
+    // this adds exactly +0.0 (no -0.0 can appear: x - x rounds to +0.0),
+    // so the running sums match the branchy scalar adds bit-for-bit.
+    const __m256d over = _mm256_sub_pd(c, _mm256_set1_pd(upper[i]));
+    const __m256d under = _mm256_sub_pd(_mm256_set1_pd(lower[i]), c);
+    acc = _mm256_add_pd(
+        acc, _mm256_max_pd(_mm256_max_pd(over, under), vzero));
+    // Joint early abandon: break only when EVERY lane's partial already
+    // exceeds the cutoff — partials are monotone, so each lane's final
+    // (value > cutoff) decision is unchanged by where we stop.
+    if ((i & 15) == 15) {
+      const __m256d gt = _mm256_cmp_pd(acc, vcut, _CMP_GT_OQ);
+      if (_mm256_movemask_pd(gt) == 0xF) break;
+    }
+  }
+  _mm256_storeu_pd(out4, acc);
+}
+
+constexpr Kernels kAvx2Table = {
+    "avx2",        AbsDiffRow,    PointDistRow,      GatherRow,
+    DtwCombineRow, GapCombineRow, FrechetCombineRow, Euclidean4F64,
+    Euclidean4P2d, Linf4F64,      Linf4P2d,          Dtw4F64,
+    Dtw4P2d,       LbKeoghBlock4,
+};
+
+}  // namespace
+
+const Kernels* GetAvx2Kernels() { return &kAvx2Table; }
+
+}  // namespace subseq::simd
+
+#else  // !defined(__AVX2__)
+
+namespace subseq::simd {
+
+const Kernels* GetAvx2Kernels() { return nullptr; }
+
+}  // namespace subseq::simd
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,204 @@
+// Portable kernel table: plain C++ loops, written so each output's
+// operation order matches the documented contract exactly (see
+// kernels.h). The compiler may auto-vectorize the independent passes;
+// with -ffp-contract=off that cannot change any rounding, so the
+// results stay the bit-level reference for every other level.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "subseq/distance/simd/kernels.h"
+
+namespace subseq::simd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void AbsDiffRow(double a, const double* b, double* out, size_t n) {
+  for (size_t j = 0; j < n; ++j) out[j] = std::abs(a - b[j]);
+}
+
+void PointDistRow(const Point2d& a, const Point2d* b, double* out,
+                  size_t n) {
+  for (size_t j = 0; j < n; ++j) out[j] = PointDistance(a, b[j]);
+}
+
+void GatherRow(const double* table, const int32_t* idx, double* out,
+               size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = table[static_cast<size_t>(idx[j])];
+  }
+}
+
+double DtwCombineRow(const double* prev, double* curr, const double* cost,
+                     size_t j_lo, size_t j_hi) {
+  if (j_hi < j_lo) return kInf;
+  // Independent pass: t[j] = min(prev[j-1], prev[j]) + cost[j].
+  for (size_t j = j_lo; j <= j_hi; ++j) {
+    curr[j] = std::min(prev[j - 1], prev[j]) + cost[j];
+  }
+  // Carried scan: fold in the left neighbor of the current row.
+  double row_min = kInf;
+  for (size_t j = j_lo; j <= j_hi; ++j) {
+    curr[j] = std::min(curr[j], curr[j - 1] + cost[j]);
+    row_min = std::min(row_min, curr[j]);
+  }
+  return row_min;
+}
+
+double GapCombineRow(const double* prev, double* curr, const double* sub,
+                     double gap_a, const double* gap_b, size_t m) {
+  // Independent pass: t[j] = min(prev[j-1] + sub[j], prev[j] + gap_a).
+  for (size_t j = 1; j <= m; ++j) {
+    curr[j] = std::min(prev[j - 1] + sub[j], prev[j] + gap_a);
+  }
+  curr[0] = prev[0] + gap_a;
+  double row_min = curr[0];
+  for (size_t j = 1; j <= m; ++j) {
+    curr[j] = std::min(curr[j], curr[j - 1] + gap_b[j]);
+    row_min = std::min(row_min, curr[j]);
+  }
+  return row_min;
+}
+
+double FrechetCombineRow(const double* prev, double* curr,
+                         const double* cost, size_t m) {
+  // Independent pass: t[j] = min(prev[j-1], prev[j]).
+  for (size_t j = 1; j < m; ++j) {
+    curr[j] = std::min(prev[j - 1], prev[j]);
+  }
+  curr[0] = std::max(prev[0], cost[0]);
+  double row_min = curr[0];
+  for (size_t j = 1; j < m; ++j) {
+    curr[j] = std::max(std::min(curr[j], curr[j - 1]), cost[j]);
+    row_min = std::min(row_min, curr[j]);
+  }
+  return row_min;
+}
+
+void Euclidean4F64(const double* a, const double* lanes, size_t n,
+                   double* out4) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < n; ++j) {
+    const double aj = a[j];
+    for (size_t k = 0; k < 4; ++k) {
+      const double d = std::abs(aj - lanes[j * 4 + k]);
+      s[k] += d * d;
+    }
+  }
+  for (size_t k = 0; k < 4; ++k) out4[k] = std::sqrt(s[k]);
+}
+
+void Euclidean4P2d(const Point2d* a, const double* lanes_x,
+                   const double* lanes_y, size_t n, double* out4) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < n; ++j) {
+    const Point2d aj = a[j];
+    for (size_t k = 0; k < 4; ++k) {
+      const double dx = aj.x - lanes_x[j * 4 + k];
+      const double dy = aj.y - lanes_y[j * 4 + k];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      s[k] += d * d;
+    }
+  }
+  for (size_t k = 0; k < 4; ++k) out4[k] = std::sqrt(s[k]);
+}
+
+void Linf4F64(const double* a, const double* lanes, size_t n,
+              double* out4) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < n; ++j) {
+    const double aj = a[j];
+    for (size_t k = 0; k < 4; ++k) {
+      s[k] = std::max(s[k], std::abs(aj - lanes[j * 4 + k]));
+    }
+  }
+  for (size_t k = 0; k < 4; ++k) out4[k] = s[k];
+}
+
+void Linf4P2d(const Point2d* a, const double* lanes_x,
+              const double* lanes_y, size_t n, double* out4) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < n; ++j) {
+    const Point2d aj = a[j];
+    for (size_t k = 0; k < 4; ++k) {
+      const double dx = aj.x - lanes_x[j * 4 + k];
+      const double dy = aj.y - lanes_y[j * 4 + k];
+      s[k] = std::max(s[k], std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  for (size_t k = 0; k < 4; ++k) out4[k] = s[k];
+}
+
+// Shared shape of the two vertical DTW kernels: the per-row recurrence
+// over 4 independent lanes, parameterized on the cost of column j.
+template <typename CostFn>
+void Dtw4(size_t n, size_t m, double* out4, const CostFn& cost_at) {
+  std::vector<double> prev(4 * (m + 1), kInf);
+  std::vector<double> curr(4 * (m + 1), kInf);
+  for (size_t k = 0; k < 4; ++k) prev[k] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    // Column 0 is the +inf wall; every other cell is written below.
+    for (size_t k = 0; k < 4; ++k) curr[k] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      for (size_t k = 0; k < 4; ++k) {
+        const double best =
+            std::min(std::min(prev[(j - 1) * 4 + k], prev[j * 4 + k]),
+                     curr[(j - 1) * 4 + k]);
+        curr[j * 4 + k] = best + cost_at(i - 1, j - 1, k);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  for (size_t k = 0; k < 4; ++k) out4[k] = prev[m * 4 + k];
+}
+
+void Dtw4F64(const double* a, size_t n, const double* lanes, size_t m,
+             double* out4) {
+  Dtw4(n, m, out4, [&](size_t i, size_t j, size_t k) {
+    return std::abs(a[i] - lanes[j * 4 + k]);
+  });
+}
+
+void Dtw4P2d(const Point2d* a, size_t n, const double* lanes_x,
+             const double* lanes_y, size_t m, double* out4) {
+  Dtw4(n, m, out4, [&](size_t i, size_t j, size_t k) {
+    const double dx = a[i].x - lanes_x[j * 4 + k];
+    const double dy = a[i].y - lanes_y[j * 4 + k];
+    return std::sqrt(dx * dx + dy * dy);
+  });
+}
+
+void LbKeoghBlock4(const double* upper, const double* lower, size_t len,
+                   const double* c0, const double* c1, const double* c2,
+                   const double* c3, double cutoff, double* out4) {
+  const double* cands[4] = {c0, c1, c2, c3};
+  for (size_t k = 0; k < 4; ++k) {
+    const double* c = cands[k];
+    double sum = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      if (c[i] > upper[i]) {
+        sum += c[i] - upper[i];
+      } else if (c[i] < lower[i]) {
+        sum += lower[i] - c[i];
+      }
+      if (sum > cutoff) break;  // partial already decides "prune"
+    }
+    out4[k] = sum;
+  }
+}
+
+constexpr Kernels kPortableTable = {
+    "portable",    AbsDiffRow,    PointDistRow,      GatherRow,
+    DtwCombineRow, GapCombineRow, FrechetCombineRow, Euclidean4F64,
+    Euclidean4P2d, Linf4F64,      Linf4P2d,          Dtw4F64,
+    Dtw4P2d,       LbKeoghBlock4,
+};
+
+}  // namespace
+
+const Kernels* GetPortableKernels() { return &kPortableTable; }
+
+}  // namespace subseq::simd

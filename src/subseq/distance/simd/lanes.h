@@ -1,0 +1,70 @@
+// Lane packing for the vertical 4-candidate batch kernels: groups the
+// candidates of a ComputeMany call into packs of 4 equal-length
+// sequences, transposes each pack into the lanes[j*4 + k] layout
+// (Point2d de-interleaved into x/y planes) and hands it to a kernel.
+// Stragglers and length mismatches fall back to the caller's per-pair
+// path, which is bit-identical by the kernel contract.
+
+#ifndef SUBSEQ_DISTANCE_SIMD_LANES_H_
+#define SUBSEQ_DISTANCE_SIMD_LANES_H_
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "subseq/core/types.h"
+
+namespace subseq::simd {
+
+/// Runs the candidates of size exactly `n` through `kernel4` in packs
+/// of 4; any other size gets `mismatch` written directly. `kernel4`
+/// receives (lanes, lanes_y, out4) — lanes_y is nullptr for scalar
+/// elements — and `scalar1(k)` handles pack stragglers one pair at a
+/// time. Output order is by candidate index regardless of grouping.
+template <typename T, typename Kernel4, typename Scalar1>
+inline void ForEachLaneGroup(std::span<const std::span<const T>> bs,
+                             size_t n, double mismatch, double* out,
+                             const Kernel4& kernel4, const Scalar1& scalar1) {
+  static_assert(std::is_same_v<T, double> || std::is_same_v<T, Point2d>,
+                "vertical lanes exist for scalar and planar elements only");
+  std::vector<double> lanes(4 * n);
+  std::vector<double> lanes_y;
+  if constexpr (std::is_same_v<T, Point2d>) lanes_y.resize(4 * n);
+  size_t group[4];
+  size_t pending = 0;
+  auto flush = [&] {
+    if (pending == 4) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t g = 0; g < 4; ++g) {
+          if constexpr (std::is_same_v<T, double>) {
+            lanes[j * 4 + g] = bs[group[g]][j];
+          } else {
+            lanes[j * 4 + g] = bs[group[g]][j].x;
+            lanes_y[j * 4 + g] = bs[group[g]][j].y;
+          }
+        }
+      }
+      double out4[4];
+      kernel4(lanes.data(), lanes_y.empty() ? nullptr : lanes_y.data(),
+              out4);
+      for (size_t g = 0; g < 4; ++g) out[group[g]] = out4[g];
+    } else {
+      for (size_t g = 0; g < pending; ++g) scalar1(group[g]);
+    }
+    pending = 0;
+  };
+  for (size_t k = 0; k < bs.size(); ++k) {
+    if (bs[k].size() != n) {
+      out[k] = mismatch;
+      continue;
+    }
+    group[pending++] = k;
+    if (pending == 4) flush();
+  }
+  flush();
+}
+
+}  // namespace subseq::simd
+
+#endif  // SUBSEQ_DISTANCE_SIMD_LANES_H_

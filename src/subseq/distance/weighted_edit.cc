@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "subseq/core/check.h"
+#include "subseq/distance/simd/kernels.h"
 
 namespace subseq {
 
@@ -154,22 +155,33 @@ double WeightedEditDistance::ComputeBounded(std::span<const char> a,
                                             double upper_bound) const {
   const size_t n = a.size();
   const size_t m = b.size();
+  // Resolve b's symbol indices once; per row, the substitution and gap
+  // cost rows become table gathers and the combine goes through the
+  // dispatched kernel (bit-identical to the per-cell formulation —
+  // gathers load the very same table entries).
+  const simd::Kernels& kernels = simd::GetKernels();
   std::vector<double> prev(m + 1, 0.0);
   std::vector<double> curr(m + 1, 0.0);
+  std::vector<double> sub(m + 1, 0.0);
+  std::vector<double> gap_b(m + 1, 0.0);
+  std::vector<int32_t> ib(m + 1, 0);
   for (size_t j = 1; j <= m; ++j) {
-    prev[j] = prev[j - 1] + model_.Gap(b[j - 1]);
+    const int16_t idx = model_.IndexOf(b[j - 1]);
+    SUBSEQ_DCHECK(idx >= 0);
+    ib[j] = idx;
+  }
+  kernels.gather_row(model_.gap_data(), ib.data() + 1, gap_b.data() + 1, m);
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + gap_b[j];
   }
   for (size_t i = 1; i <= n; ++i) {
-    curr[0] = prev[0] + model_.Gap(a[i - 1]);
-    double row_min = curr[0];
-    for (size_t j = 1; j <= m; ++j) {
-      const double subst =
-          prev[j - 1] + model_.Substitution(a[i - 1], b[j - 1]);
-      const double del = prev[j] + model_.Gap(a[i - 1]);
-      const double ins = curr[j - 1] + model_.Gap(b[j - 1]);
-      curr[j] = std::min({subst, del, ins});
-      row_min = std::min(row_min, curr[j]);
-    }
+    const int16_t ia = model_.IndexOf(a[i - 1]);
+    SUBSEQ_DCHECK(ia >= 0);
+    const double gap_a = model_.gap_data()[static_cast<size_t>(ia)];
+    kernels.gather_row(model_.SubstitutionRow(ia), ib.data() + 1,
+                       sub.data() + 1, m);
+    const double row_min = kernels.gap_combine_row(
+        prev.data(), curr.data(), sub.data(), gap_a, gap_b.data(), m);
     if (row_min > upper_bound) return kInfiniteDistance;
     std::swap(prev, curr);
   }

@@ -48,6 +48,20 @@ class SubstitutionCostModel {
   /// True if the symbol is part of the alphabet.
   bool Admits(char c) const;
 
+  /// Index of a symbol in the alphabet, -1 when not admitted. The raw
+  /// table accessors below are keyed by these indices; the DP kernels
+  /// gather rows directly instead of per-cell Substitution() calls.
+  int16_t IndexOf(char c) const {
+    return symbol_index_[static_cast<unsigned char>(c)];
+  }
+  /// Row `ia` of the substitution matrix (|alphabet| entries).
+  const double* SubstitutionRow(int16_t ia) const {
+    return substitution_.data() +
+           static_cast<size_t>(ia) * alphabet_.size();
+  }
+  /// Gap cost table indexed by symbol index.
+  const double* gap_data() const { return gap_.data(); }
+
   const std::string& alphabet() const { return alphabet_; }
 
  private:

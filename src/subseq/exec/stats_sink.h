@@ -37,6 +37,12 @@ class StatsSink {
   void AddSharedComputations(int64_t n) {
     shared_computations_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Candidates a lower-bound prefilter skipped (billed in
+  /// distance_computations but never executed; see
+  /// QueryStats::lower_bound_pruned).
+  void AddLowerBoundPruned(int64_t n) {
+    lower_bound_pruned_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   int64_t distance_computations() const {
     return distance_computations_.load(std::memory_order_relaxed);
@@ -47,17 +53,22 @@ class StatsSink {
   int64_t shared_computations() const {
     return shared_computations_.load(std::memory_order_relaxed);
   }
+  int64_t lower_bound_pruned() const {
+    return lower_bound_pruned_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
     distance_computations_.store(0, std::memory_order_relaxed);
     results_.store(0, std::memory_order_relaxed);
     shared_computations_.store(0, std::memory_order_relaxed);
+    lower_bound_pruned_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<int64_t> distance_computations_{0};
   std::atomic<int64_t> results_{0};
   std::atomic<int64_t> shared_computations_{0};
+  std::atomic<int64_t> lower_bound_pruned_{0};
 };
 
 }  // namespace subseq

@@ -1,0 +1,46 @@
+#include "subseq/frame/lb_prefilter.h"
+
+#include <algorithm>
+
+#include "subseq/core/check.h"
+#include "subseq/distance/dtw.h"
+
+namespace subseq {
+
+WindowLbKeogh::WindowLbKeogh(const SequenceDatabase<double>& db,
+                             const WindowCatalog& catalog,
+                             std::span<const double> segment)
+    : db_(db), catalog_(catalog), envelope_(segment, /*band=*/-1) {
+  SUBSEQ_CHECK(static_cast<int32_t>(segment.size()) ==
+               catalog.window_length());
+}
+
+void WindowLbKeogh::LowerBoundBlock(ObjectId begin, int32_t count,
+                                    double cutoff, double* out) const {
+  const size_t stride = static_cast<size_t>(catalog_.window_length());
+  int32_t done = 0;
+  while (done < count) {
+    const WindowRef& ref = catalog_.at(begin + done);
+    // Maximal run of ids staying inside ref's sequence: their windows
+    // are contiguous in memory with the window length as stride.
+    const int32_t run = std::min(
+        count - done, catalog_.WindowsInSequence(ref.seq) - ref.index);
+    const double* base = db_.at(ref.seq).Subsequence(ref.span).data();
+    envelope_.LowerBoundMany(base, stride, run, cutoff, out + done);
+    done += run;
+  }
+}
+
+template <>
+std::shared_ptr<const QueryLowerBound> MakeSegmentLowerBound<double>(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    const SequenceDistance<double>& dist, std::span<const double> segment) {
+  const auto* dtw = dynamic_cast<const DtwDistance1D*>(&dist);
+  if (dtw == nullptr || dtw->band() >= 0) return nullptr;
+  if (static_cast<int32_t>(segment.size()) != catalog.window_length()) {
+    return nullptr;
+  }
+  return std::make_shared<WindowLbKeogh>(db, catalog, segment);
+}
+
+}  // namespace subseq

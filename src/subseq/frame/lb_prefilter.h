@@ -1,0 +1,81 @@
+// The step-4 lower-bound prefilter: an admissible per-window bound that
+// lets the linear scan skip most exact DTW evaluations.
+//
+// Soundness chain (no false dismissals anywhere):
+//   LB_Keogh(c) <= DTW_band(q, c) for any band r and equal-length c
+//   (Keogh, VLDB 2002); with r = |q| - 1 the bound covers the
+//   unconstrained DTW the matcher's filter runs. The scan prunes only
+//   when LB > LowerBoundPruneCutoff(epsilon) > epsilon, so floating-
+//   point rounding at the boundary cannot drop a true match either.
+//
+// Billing: pruned windows stay counted in distance_computations (the
+// scan bills every candidate it is responsible for), so the matcher's
+// filter_computations and every determinism invariant — sharded ==
+// unsharded, cache-on == cache-off, prefilter-on == prefilter-off —
+// hold bit-exactly; QueryStats::lower_bound_pruned reports the work
+// actually saved.
+
+#ifndef SUBSEQ_FRAME_LB_PREFILTER_H_
+#define SUBSEQ_FRAME_LB_PREFILTER_H_
+
+#include <memory>
+#include <span>
+
+#include "subseq/core/sequence.h"
+#include "subseq/distance/distance.h"
+#include "subseq/distance/lb_keogh.h"
+#include "subseq/frame/windowing.h"
+#include "subseq/metric/oracle.h"
+
+namespace subseq {
+
+/// QueryLowerBound over a window catalog: LB_Keogh of one query segment
+/// against the catalog's fixed-length windows. Consecutive window ids of
+/// one sequence are memory-adjacent with stride window_length (windows
+/// align at offsets 0, l, 2l, ...), so a block of ids decomposes into a
+/// few contiguous strided runs and each run feeds the batched envelope
+/// kernel directly — no per-window gather.
+class WindowLbKeogh final : public QueryLowerBound {
+ public:
+  /// `segment` must have exactly catalog.window_length() elements; the
+  /// envelope is built at full width, valid for unconstrained DTW. The
+  /// database and catalog must outlive this object.
+  WindowLbKeogh(const SequenceDatabase<double>& db,
+                const WindowCatalog& catalog,
+                std::span<const double> segment);
+
+  void LowerBoundBlock(ObjectId begin, int32_t count, double cutoff,
+                       double* out) const override;
+
+ private:
+  const SequenceDatabase<double>& db_;
+  const WindowCatalog& catalog_;
+  LbKeoghEnvelope envelope_;
+};
+
+/// Builds an admissible per-window lower bound for `segment` under
+/// `dist`, or nullptr when no sound bound applies. The generic overload
+/// declines: prefilters exist per (element type, distance) pair and
+/// must each prove admissibility.
+template <typename T>
+std::shared_ptr<const QueryLowerBound> MakeSegmentLowerBound(
+    const SequenceDatabase<T>& db, const WindowCatalog& catalog,
+    const SequenceDistance<T>& dist, std::span<const T> segment) {
+  (void)db;
+  (void)catalog;
+  (void)dist;
+  (void)segment;
+  return nullptr;
+}
+
+/// Scalar series: LB_Keogh applies when the distance is unconstrained
+/// DTW and the segment has window length (LB_Keogh requires equal
+/// lengths, and only the l-length segment family matches the windows).
+template <>
+std::shared_ptr<const QueryLowerBound> MakeSegmentLowerBound<double>(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    const SequenceDistance<double>& dist, std::span<const double> segment);
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_FRAME_LB_PREFILTER_H_

@@ -18,6 +18,7 @@
 #include "subseq/exec/stats_sink.h"
 #include "subseq/exec/thread_pool.h"
 #include "subseq/exec/verify_budget.h"
+#include "subseq/frame/lb_prefilter.h"
 #include "subseq/metric/linear_scan.h"
 #include "subseq/metric/sharded_index.h"
 
@@ -57,6 +58,59 @@ struct PairKeyHash {
 
 // distance(SQ, SX) per tuple one speculative chain scan computed.
 using ChainMemo = std::unordered_map<PairKey, double, PairKeyHash>;
+
+// Hits per ComputeMany call in the per-hit distance fill. Big enough to
+// feed the vertical 4-lane kernels several packs, small enough that the
+// gathered view array stays in cache and flat parallelism is preserved.
+constexpr size_t kHitFillBatch = 16;
+
+// The batched per-hit distance fill shared by MergeSegmentHits and
+// SegmentHitDistances: groups each segment's hits into blocks of at most
+// kHitFillBatch, gathers the block's window views, and runs ONE
+// SequenceDistance::ComputeMany per block — the batched entry point is
+// bit-identical to a per-hit Compute loop by contract, so callers see
+// the exact values the old flat loop produced. Blocks are parallelized
+// flat at grain 1 (per-segment hit lists are often tiny) and every write
+// is slot-addressed through `write(segment, hit_index, distance)`, so
+// the fill is deterministic at any exec setting.
+template <typename T, typename Write>
+void FillHitDistancesBlocked(const SequenceDistance<T>& dist,
+                             const WindowOracle<T>& oracle,
+                             std::span<const std::span<const T>> segments,
+                             std::span<const std::span<const ObjectId>> windows,
+                             const ExecContext& exec, const Write& write) {
+  struct Block {
+    size_t s;      // segment index
+    size_t begin;  // first hit of the block within windows[s]
+    size_t count;  // <= kHitFillBatch
+  };
+  std::vector<Block> blocks;
+  for (size_t s = 0; s < windows.size(); ++s) {
+    for (size_t b = 0; b < windows[s].size(); b += kHitFillBatch) {
+      blocks.push_back(
+          Block{s, b, std::min(kHitFillBatch, windows[s].size() - b)});
+    }
+  }
+  ParallelFor(exec, static_cast<int64_t>(blocks.size()),
+              [&](int64_t lo, int64_t hi, int32_t) {
+                std::vector<std::span<const T>> views;
+                views.reserve(kHitFillBatch);
+                double out[kHitFillBatch];
+                for (int64_t bi = lo; bi < hi; ++bi) {
+                  const Block& blk = blocks[static_cast<size_t>(bi)];
+                  views.clear();
+                  for (size_t i = 0; i < blk.count; ++i) {
+                    views.push_back(
+                        oracle.WindowView(windows[blk.s][blk.begin + i]));
+                  }
+                  dist.ComputeMany(segments[blk.s], views, out);
+                  for (size_t i = 0; i < blk.count; ++i) {
+                    write(blk.s, blk.begin + i, out[i]);
+                  }
+                }
+              },
+              /*grain=*/1);
+}
 
 // One backend of options.index_kind over the given oracle — the whole
 // window catalog (monolithic) or one shard's view of it (the ShardedIndex
@@ -357,9 +411,26 @@ SegmentQueryBatch SubsequenceMatcher<T>::MakeSegmentQueries(
                                         l + options_.lambda0);
   batch.queries.reserve(batch.segments.size());
   for (const Interval& seg : batch.segments) {
-    batch.queries.push_back(oracle_->SegmentQuery(
-        query.subspan(static_cast<size_t>(seg.begin),
-                      static_cast<size_t>(seg.length()))));
+    const std::span<const T> view = query.subspan(
+        static_cast<size_t>(seg.begin), static_cast<size_t>(seg.length()));
+    QueryDistanceFn fn = oracle_->SegmentQuery(view);
+    if (options_.lb_prefilter) {
+      // Attach the segment's admissible lower bound (if one exists for
+      // this distance) as a prunable payload: backends that understand
+      // it (LinearScan) skip exact evaluations the bound rules out,
+      // everything else just calls the function. Results and billed
+      // stats are identical either way (see MatcherOptions::lb_prefilter).
+      std::shared_ptr<const QueryLowerBound> lb =
+          MakeSegmentLowerBound(db_, *catalog_, dist_, view);
+      if (lb != nullptr) {
+        PrunableQueryFn prunable;
+        prunable.fn = std::move(fn);
+        prunable.lower_bound = std::move(lb);
+        batch.queries.push_back(QueryDistanceFn(std::move(prunable)));
+        continue;
+      }
+    }
+    batch.queries.push_back(std::move(fn));
   }
   if (stats != nullptr) {
     stats->segments += static_cast<int64_t>(batch.segments.size());
@@ -400,6 +471,7 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
   for (const auto& ids : batched) total_hits += ids.size();
   std::vector<SegmentHit> hits;
   hits.reserve(total_hits);
+  std::vector<size_t> bounds(batched.size() + 1, 0);
   for (size_t i = 0; i < batched.size(); ++i) {
     const size_t segment_begin = hits.size();
     if (precomputed) {
@@ -415,23 +487,30 @@ std::vector<SegmentHit> SubsequenceMatcher<T>::MergeSegmentHits(
               [](const SegmentHit& a, const SegmentHit& b) {
                 return a.window < b.window;
               });
+    bounds[i + 1] = hits.size();
   }
   if (!precomputed) {
     // Second parallel pass: the exact segment-to-window distances step 5
-    // orders its verification by. Slot-addressed writes keep it
-    // deterministic.
-    ParallelFor(exec, static_cast<int64_t>(hits.size()),
-                [&](int64_t lo, int64_t hi, int32_t) {
-                  for (int64_t i = lo; i < hi; ++i) {
-                    SegmentHit& hit = hits[static_cast<size_t>(i)];
-                    const auto view = query.subspan(
-                        static_cast<size_t>(hit.query_segment.begin),
-                        static_cast<size_t>(hit.query_segment.length()));
-                    hit.distance =
-                        dist_.Compute(view, oracle_->WindowView(hit.window));
-                  }
-                },
-                /*grain=*/8);
+    // orders its verification by. The canonically-sorted window ids are
+    // copied into one contiguous array per segment so the blocked
+    // ComputeMany helper can batch them; writes land by flat slot, so
+    // the pass stays deterministic and bit-identical to a per-hit
+    // Compute loop (the ComputeMany contract).
+    std::vector<ObjectId> ids(hits.size());
+    for (size_t f = 0; f < hits.size(); ++f) ids[f] = hits[f].window;
+    std::vector<std::span<const T>> segment_views(segments.size());
+    std::vector<std::span<const ObjectId>> id_views(segments.size());
+    for (size_t s = 0; s < segments.size(); ++s) {
+      segment_views[s] =
+          query.subspan(static_cast<size_t>(segments[s].begin),
+                        static_cast<size_t>(segments[s].length()));
+      id_views[s] = std::span<const ObjectId>(ids.data() + bounds[s],
+                                              bounds[s + 1] - bounds[s]);
+    }
+    FillHitDistancesBlocked<T>(dist_, *oracle_, segment_views, id_views, exec,
+                               [&](size_t s, size_t i, double d) {
+                                 hits[bounds[s] + i].distance = d;
+                               });
   }
   if (stats != nullptr) stats->hits += static_cast<int64_t>(hits.size());
   return hits;
@@ -443,28 +522,18 @@ std::vector<std::vector<double>> SubsequenceMatcher<T>::SegmentHitDistances(
     std::span<const std::span<const ObjectId>> windows,
     const ExecContext& exec) const {
   SUBSEQ_CHECK(segments.size() == windows.size());
-  // Flatten every (segment, hit) pair into one index range so a single
-  // parallel section covers the whole fill: offsets[s] is segment s's
-  // first flat slot.
+  // The blocked ComputeMany helper flattens every (segment, hit-block)
+  // pair into one parallel section — same flat coverage as before, with
+  // the distance work batched through the vertical SIMD kernels and
+  // values bit-identical to a per-hit Compute loop.
   std::vector<std::vector<double>> distances(segments.size());
-  std::vector<int64_t> offsets(segments.size() + 1, 0);
   for (size_t s = 0; s < segments.size(); ++s) {
     distances[s].resize(windows[s].size());
-    offsets[s + 1] = offsets[s] + static_cast<int64_t>(windows[s].size());
   }
-  ParallelFor(exec, offsets.back(),
-              [&](int64_t lo, int64_t hi, int32_t) {
-                size_t s = static_cast<size_t>(
-                    std::upper_bound(offsets.begin(), offsets.end(), lo) -
-                    offsets.begin() - 1);
-                for (int64_t f = lo; f < hi; ++f) {
-                  while (f >= offsets[s + 1]) ++s;
-                  const size_t i = static_cast<size_t>(f - offsets[s]);
-                  distances[s][i] = dist_.Compute(
-                      segments[s], oracle_->WindowView(windows[s][i]));
-                }
-              },
-              /*grain=*/8);
+  FillHitDistancesBlocked<T>(dist_, *oracle_, segments, windows, exec,
+                             [&](size_t s, size_t i, double d) {
+                               distances[s][i] = d;
+                             });
   return distances;
 }
 

@@ -63,6 +63,18 @@ struct MatcherOptions {
   CoverTreeOptions cover_tree;
   MvIndexOptions mv_index;
   VpTreeOptions vp_tree;
+  /// Step-4 lower-bound prefilter (frame/lb_prefilter.h): when an
+  /// admissible per-window lower bound exists for a segment's distance
+  /// (today: unconstrained 1-D DTW, whose LB_Keogh envelope the scan
+  /// batches through the SIMD kernels), the linear scan skips exact
+  /// evaluations the bound already rules out. Matches, per-query stats,
+  /// and billed filter_computations are identical on or off — pruned
+  /// candidates stay billed, and the padded cutoff
+  /// (metric/oracle.h:LowerBoundPruneCutoff) forbids false dismissals —
+  /// so the knob trades wall-clock time only;
+  /// MatchQueryStats is unaffected, and the work actually saved is
+  /// visible in QueryStats::lower_bound_pruned / the StatsSink.
+  bool lb_prefilter = true;
   /// Safety cap on step-5 distance verifications per query; exceeded =>
   /// Status::OutOfRange (Type I can be combinatorial by design). Must be
   /// >= 1: 0 would reject every query whose filter produces any

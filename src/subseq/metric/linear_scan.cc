@@ -1,22 +1,80 @@
 #include "subseq/metric/linear_scan.h"
 
+#include <algorithm>
+
 #include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
 
 namespace subseq {
 
+namespace {
+
+// Candidates per LowerBoundBlock call. Amortizes the virtual dispatch
+// and lets the provider batch its own kernel; the pruning decisions are
+// block-size independent by the QueryLowerBound contract, so this is a
+// pure tuning constant.
+constexpr int32_t kLbBlock = 256;
+
+// The prunable payload of a query, or nullptr when the scan should run
+// unpruned (no payload, or a payload without a provider).
+const PrunableQueryFn* PrunableOf(const QueryDistanceFn& query) {
+  const PrunableQueryFn* p = GetPrunable(query);
+  return (p != nullptr && p->lower_bound != nullptr) ? p : nullptr;
+}
+
+// Scans ids [begin, end): appends ids within epsilon to `out` in
+// ascending order and returns how many candidates the prefilter
+// skipped (0 for unpruned scans). Results are identical with and
+// without a prefilter — the lower bound is admissible and the cutoff
+// is padded above epsilon (LowerBoundPruneCutoff), so no candidate
+// within epsilon can ever be skipped.
+int64_t ScanRange(const QueryDistanceFn& query,
+                  const PrunableQueryFn* prunable, int64_t begin,
+                  int64_t end, double epsilon, std::vector<ObjectId>* out) {
+  if (prunable == nullptr) {
+    for (int64_t id = begin; id < end; ++id) {
+      if (query(static_cast<ObjectId>(id)) <= epsilon) {
+        out->push_back(static_cast<ObjectId>(id));
+      }
+    }
+    return 0;
+  }
+  const double cutoff = LowerBoundPruneCutoff(epsilon);
+  double lb[kLbBlock];
+  int64_t pruned = 0;
+  for (int64_t block = begin; block < end; block += kLbBlock) {
+    const int32_t count =
+        static_cast<int32_t>(std::min<int64_t>(kLbBlock, end - block));
+    prunable->lower_bound->LowerBoundBlock(
+        static_cast<ObjectId>(block) + prunable->lb_offset, count, cutoff,
+        lb);
+    for (int32_t i = 0; i < count; ++i) {
+      if (lb[i] > cutoff) {
+        ++pruned;
+        continue;
+      }
+      const ObjectId id = static_cast<ObjectId>(block + i);
+      if (query(id) <= epsilon) out->push_back(id);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace
+
 std::vector<ObjectId> LinearScan::RangeQuery(const QueryDistanceFn& query,
                                              double epsilon,
                                              QueryStats* stats) const {
   std::vector<ObjectId> results;
-  int64_t computations = 0;
-  for (ObjectId id = 0; id < num_objects_; ++id) {
-    ++computations;
-    if (query(id) <= epsilon) results.push_back(id);
-  }
+  const int64_t pruned =
+      ScanRange(query, PrunableOf(query), 0, num_objects_, epsilon, &results);
   if (stats != nullptr) {
-    stats->distance_computations = computations;
+    // Billing invariant: the scan is responsible for every candidate,
+    // so it bills all of them whether or not the prefilter skipped the
+    // exact evaluation (see QueryStats::distance_computations).
+    stats->distance_computations = num_objects_;
     stats->result_count = static_cast<int64_t>(results.size());
+    stats->lower_bound_pruned = pruned;
   }
   return results;
 }
@@ -33,32 +91,36 @@ std::vector<std::vector<ObjectId>> LinearScan::BatchRangeQuery(
   std::vector<std::vector<ObjectId>> results(queries.size());
   std::vector<std::vector<ObjectId>> parts(
       static_cast<size_t>(exec.ResolvedThreads()));
+  std::vector<int64_t> parts_pruned(parts.size(), 0);
   for (int64_t q = 0; q < num_queries; ++q) {
     const QueryDistanceFn& query = queries[static_cast<size_t>(q)];
+    const PrunableQueryFn* prunable = PrunableOf(query);
+    std::fill(parts_pruned.begin(), parts_pruned.end(), 0);
     const int32_t chunks = ParallelFor(
         exec, num_objects_,
         [&](int64_t begin, int64_t end, int32_t chunk) {
           std::vector<ObjectId>& out = parts[static_cast<size_t>(chunk)];
           out.clear();
-          for (int64_t id = begin; id < end; ++id) {
-            if (query(static_cast<ObjectId>(id)) <= epsilon) {
-              out.push_back(static_cast<ObjectId>(id));
-            }
-          }
+          parts_pruned[static_cast<size_t>(chunk)] =
+              ScanRange(query, prunable, begin, end, epsilon, &out);
         },
         /*grain=*/64);
     std::vector<ObjectId>& merged = results[static_cast<size_t>(q)];
+    int64_t pruned = 0;
     for (int32_t c = 0; c < chunks; ++c) {
       const std::vector<ObjectId>& part = parts[static_cast<size_t>(c)];
       merged.insert(merged.end(), part.begin(), part.end());
+      pruned += parts_pruned[static_cast<size_t>(c)];
     }
     if (per_query != nullptr) {
       per_query[q].distance_computations = num_objects_;
       per_query[q].result_count = static_cast<int64_t>(merged.size());
+      per_query[q].lower_bound_pruned = pruned;
     }
     if (sink != nullptr) {
       sink->AddDistanceComputations(num_objects_);
       sink->AddResults(static_cast<int64_t>(merged.size()));
+      sink->AddLowerBoundPruned(pruned);
     }
   }
   return results;

@@ -12,6 +12,7 @@
 #define SUBSEQ_METRIC_ORACLE_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "subseq/core/types.h"
@@ -44,6 +45,57 @@ class DistanceOracle {
 
 /// Distance from an (external) query object to a database object.
 using QueryDistanceFn = std::function<double(ObjectId)>;
+
+/// Per-query lower-bound provider for scan prefiltering (LB_Keogh is
+/// the shipped instance; see frame/lb_prefilter.h). LowerBoundBlock
+/// fills out[i] with an admissible lower bound on query(begin + i) for
+/// i in [0, count): a candidate whose bound exceeds the scan's cutoff
+/// can be skipped without ever evaluating the exact distance, with no
+/// false dismissals. Bounds follow the early-abandon contract — exact
+/// when <= cutoff, any value > cutoff otherwise — and the
+/// (bound > cutoff) DECISION must be independent of how candidates are
+/// grouped into blocks, so sharded == unsharded pruning holds.
+class QueryLowerBound {
+ public:
+  virtual ~QueryLowerBound() = default;
+
+  virtual void LowerBoundBlock(ObjectId begin, int32_t count, double cutoff,
+                               double* out) const = 0;
+};
+
+/// A QueryDistanceFn payload carrying an optional lower-bound provider
+/// next to the exact distance function. It is stored INSIDE the
+/// std::function, so every pass-through call site — the serving
+/// coalescer, batching, counting wrappers — forwards it untouched;
+/// prune-capable backends (LinearScan) recover it via GetPrunable.
+/// Wrapping the function in a fresh lambda (as counting decorators do)
+/// deliberately sheds prunability: such queries scan unpruned, which
+/// keeps their executed-call counts exact.
+struct PrunableQueryFn {
+  std::function<double(ObjectId)> fn;
+  std::shared_ptr<const QueryLowerBound> lower_bound;
+  /// Added to scanned ids before LowerBoundBlock: an inner shard scans
+  /// shard-local ids while the provider speaks global ids.
+  ObjectId lb_offset = 0;
+
+  double operator()(ObjectId id) const { return fn(id); }
+};
+
+/// The PrunableQueryFn payload of a query function, or nullptr when the
+/// query carries no lower-bound provider.
+inline const PrunableQueryFn* GetPrunable(const QueryDistanceFn& query) {
+  return query.target<PrunableQueryFn>();
+}
+
+/// The prune cutoff for a range scan at `epsilon`: a lower bound must
+/// exceed this — not merely epsilon — before its candidate is skipped.
+/// The relative + absolute margin absorbs floating-point summation
+/// noise between an admissible real-arithmetic bound and the computed
+/// distance, so rounding at the boundary can never cause a false
+/// dismissal.
+inline double LowerBoundPruneCutoff(double epsilon) {
+  return epsilon * (1.0 + 1e-9) + 1e-12;
+}
 
 /// An oracle over an explicit vector of points with a callable distance —
 /// handy for tests and small in-memory datasets.

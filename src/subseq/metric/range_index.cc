@@ -14,6 +14,7 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                 std::vector<uint8_t> scratch;  // chunk-lifetime, reused
                 int64_t computations = 0;
                 int64_t result_count = 0;
+                int64_t pruned = 0;
                 for (int64_t i = begin; i < end; ++i) {
                   QueryStats qs;
                   results[static_cast<size_t>(i)] = RangeQueryWithScratch(
@@ -31,10 +32,12 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                   if (per_query != nullptr) per_query[i] = qs;
                   computations += qs.distance_computations;
                   result_count += qs.result_count;
+                  pruned += qs.lower_bound_pruned;
                 }
                 if (sink != nullptr) {
                   sink->AddDistanceComputations(computations);
                   sink->AddResults(result_count);
+                  sink->AddLowerBoundPruned(pruned);
                 }
               });
   return results;

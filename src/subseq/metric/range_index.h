@@ -22,10 +22,20 @@ namespace subseq {
 
 /// Per-query accounting.
 struct QueryStats {
-  /// Query-to-object distance evaluations performed.
+  /// Query-to-object distance evaluations performed. BILLED work, not
+  /// executed calls: a linear scan reports every candidate it is
+  /// responsible for even when a lower-bound prefilter skipped the
+  /// exact evaluation (mirroring the serving cache's
+  /// shared_computations convention). This keeps every
+  /// distance-computation invariant — sharded == unsharded,
+  /// cache-on == cache-off, prefilter-on == prefilter-off — exact.
   int64_t distance_computations = 0;
   /// Objects returned.
   int64_t result_count = 0;
+  /// Candidates whose exact distance was skipped by a lower-bound
+  /// prefilter (see QueryLowerBound). Observability only — the saved
+  /// work; these candidates remain counted in distance_computations.
+  int64_t lower_bound_pruned = 0;
 };
 
 /// Index construction accounting.

@@ -80,6 +80,18 @@ int32_t ShardedIndex::shard_begin(int32_t s) const {
 QueryDistanceFn ShardedIndex::ShardQuery(const QueryDistanceFn& query,
                                          int32_t s) const {
   const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
+  // Preserve prunability across the shard remap: the inner scan sees
+  // shard-local ids, so the lower-bound offset advances by the shard's
+  // base while the exact function keeps translating ids. Decisions are
+  // block-grouping independent (QueryLowerBound contract), so pruning
+  // is identical sharded and unsharded.
+  if (const PrunableQueryFn* prunable = GetPrunable(query)) {
+    PrunableQueryFn local;
+    local.fn = [&query, offset](ObjectId id) { return query(id + offset); };
+    local.lower_bound = prunable->lower_bound;
+    local.lb_offset = prunable->lb_offset + offset;
+    return QueryDistanceFn(std::move(local));
+  }
   return [&query, offset](ObjectId local) { return query(local + offset); };
 }
 
@@ -88,6 +100,7 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
                                                QueryStats* stats) const {
   std::vector<ObjectId> merged;
   int64_t computations = 0;
+  int64_t pruned = 0;
   for (int32_t s = 0; s < num_shards(); ++s) {
     const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
     QueryStats shard_stats;
@@ -97,12 +110,14 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
     SUBSEQ_CHECK(shard_stats.result_count ==
                  static_cast<int64_t>(local.size()));
     computations += shard_stats.distance_computations;
+    pruned += shard_stats.lower_bound_pruned;
     merged.reserve(merged.size() + local.size());
     for (const ObjectId id : local) merged.push_back(id + offset);
   }
   if (stats != nullptr) {
     stats->distance_computations = computations;
     stats->result_count = static_cast<int64_t>(merged.size());
+    stats->lower_bound_pruned = pruned;
   }
   return merged;
 }
@@ -159,6 +174,8 @@ std::vector<std::vector<ObjectId>> ShardedIndex::BatchRangeQuery(
             shard_splits[static_cast<size_t>(s)][q].distance_computations;
         rolled.result_count +=
             shard_splits[static_cast<size_t>(s)][q].result_count;
+        rolled.lower_bound_pruned +=
+            shard_splits[static_cast<size_t>(s)][q].lower_bound_pruned;
       }
     }
     if (per_query != nullptr) {

@@ -1,0 +1,161 @@
+// LB_Keogh properties: admissibility against banded and unconstrained
+// DTW (the soundness the step-4 prefilter rests on), batched/scalar
+// consistency of LowerBoundMany, and the full-band envelope fast path.
+
+#include "subseq/distance/lb_keogh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/dtw.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::RandomSeries;
+
+uint64_t Bits(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+TEST(LbKeoghTest, AdmissibleAgainstBandedDtw) {
+  Rng rng(31);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 64));
+    const std::vector<double> q = RandomSeries(&rng, n);
+    const std::vector<double> c = RandomSeries(&rng, n);
+    for (const int32_t band : {0, 1, 3, n - 1, -1}) {
+      const LbKeoghEnvelope env(q, band);
+      const DtwDistance1D dtw(band);
+      const double lb = env.LowerBound(c);
+      const double d = dtw.Compute(q, c);
+      // LB(c) <= DTW_band(q, c); tiny slack for summation rounding.
+      EXPECT_LE(lb, d + 1e-9 * (1.0 + d))
+          << "band=" << band << " n=" << n;
+    }
+  }
+}
+
+TEST(LbKeoghTest, LengthMismatchIsTriviallyZero) {
+  Rng rng(32);
+  const std::vector<double> q = RandomSeries(&rng, 16);
+  const std::vector<double> c = RandomSeries(&rng, 17);
+  const LbKeoghEnvelope env(q, -1);
+  EXPECT_EQ(env.LowerBound(c), 0.0);
+  EXPECT_EQ(env.LowerBoundAbandoning(c, 0.5), 0.0);
+}
+
+TEST(LbKeoghTest, AbandoningFollowsContract) {
+  Rng rng(33);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 128));
+    const std::vector<double> q = RandomSeries(&rng, n);
+    const std::vector<double> c =
+        rng.NextBool(0.5) ? RandomSeries(&rng, n)
+                          : RandomSeries(&rng, n, 15.0, 30.0);
+    const LbKeoghEnvelope env(q, -1);
+    const double exact = env.LowerBound(c);
+    const double cutoff = rng.NextDouble(0.0, 20.0);
+    const double abandoned = env.LowerBoundAbandoning(c, cutoff);
+    if (exact <= cutoff) {
+      EXPECT_EQ(Bits(abandoned), Bits(exact));
+    } else {
+      EXPECT_GT(abandoned, cutoff);
+    }
+  }
+}
+
+TEST(LbKeoghTest, LowerBoundManyConsistentWithScalar) {
+  Rng rng(34);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 96));
+    const std::vector<double> q = RandomSeries(&rng, n);
+    const LbKeoghEnvelope env(q, -1);
+    // Contiguous strided candidate block, the window-catalog layout;
+    // stride > n exercises non-dense packing too.
+    const size_t stride =
+        static_cast<size_t>(n) + static_cast<size_t>(rng.NextInt(0, 3));
+    const int32_t count = static_cast<int32_t>(rng.NextInt(1, 23));
+    const std::vector<double> block =
+        RandomSeries(&rng, static_cast<int32_t>(stride) * count, 0.0, 18.0);
+    const double cutoff = rng.NextDouble(0.0, 25.0);
+
+    std::vector<double> many(static_cast<size_t>(count));
+    env.LowerBoundMany(block.data(), stride, count, cutoff, many.data());
+    for (int32_t k = 0; k < count; ++k) {
+      const std::span<const double> cand(
+          block.data() + static_cast<size_t>(k) * stride,
+          static_cast<size_t>(n));
+      const double exact = env.LowerBound(cand);
+      // Decision always agrees with the exact bound; value is exact
+      // (bitwise, shared with LowerBoundAbandoning) when not pruned.
+      EXPECT_EQ(many[static_cast<size_t>(k)] > cutoff, exact > cutoff);
+      if (exact <= cutoff) {
+        EXPECT_EQ(Bits(many[static_cast<size_t>(k)]), Bits(exact));
+        EXPECT_EQ(Bits(many[static_cast<size_t>(k)]),
+                  Bits(env.LowerBoundAbandoning(cand, cutoff)));
+      }
+    }
+
+    // Decision invariance under regrouping: splitting the same block
+    // into two LowerBoundMany calls at any point changes no decision.
+    if (count > 1) {
+      const int32_t split = static_cast<int32_t>(rng.NextInt(1, count - 1));
+      std::vector<double> split_out(static_cast<size_t>(count));
+      env.LowerBoundMany(block.data(), stride, split, cutoff,
+                         split_out.data());
+      env.LowerBoundMany(block.data() + static_cast<size_t>(split) * stride,
+                         stride, count - split, cutoff,
+                         split_out.data() + split);
+      for (int32_t k = 0; k < count; ++k) {
+        EXPECT_EQ(split_out[static_cast<size_t>(k)] > cutoff,
+                  many[static_cast<size_t>(k)] > cutoff);
+        if (many[static_cast<size_t>(k)] <= cutoff) {
+          EXPECT_EQ(Bits(split_out[static_cast<size_t>(k)]),
+                    Bits(many[static_cast<size_t>(k)]));
+        }
+      }
+    }
+  }
+}
+
+TEST(LbKeoghTest, FullBandFastPathMatchesWindowedLoop) {
+  Rng rng(35);
+  for (const int32_t n : {1, 2, 3, 7, 16, 33, 100}) {
+    const std::vector<double> q = RandomSeries(&rng, n, -4.0, 4.0);
+    // band = -1 and band = n - 1 both take the O(n) global-extremes
+    // path; band = n would be clamped to n - 1 too. Compare against a
+    // band that forces the O(n^2) windowed loop yet spans everything.
+    const LbKeoghEnvelope fast(q, -1);
+    ASSERT_EQ(fast.band(), n - 1);
+    std::vector<double> naive_u(static_cast<size_t>(n));
+    std::vector<double> naive_l(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) {
+      double u = q[0], l = q[0];
+      for (int32_t j = 1; j < n; ++j) {
+        u = std::max(u, q[static_cast<size_t>(j)]);
+        l = std::min(l, q[static_cast<size_t>(j)]);
+      }
+      naive_u[static_cast<size_t>(i)] = u;
+      naive_l[static_cast<size_t>(i)] = l;
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(fast.upper()[static_cast<size_t>(i)]),
+                Bits(naive_u[static_cast<size_t>(i)]));
+      EXPECT_EQ(Bits(fast.lower()[static_cast<size_t>(i)]),
+                Bits(naive_l[static_cast<size_t>(i)]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,523 @@
+// The SIMD bit-compatibility contract (distance/simd/kernels.h): every
+// kernel produces element-wise identical doubles at every dispatch
+// level, ComputeMany equals a loop of Compute bitwise, and the whole
+// matcher pipeline is invariant under dispatch level, prefilter knob,
+// thread budget, and shard count. AVX2 halves of the comparisons skip
+// (not pass) on machines without AVX2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/euclidean.h"
+#include "subseq/distance/frechet.h"
+#include "subseq/distance/lb_keogh.h"
+#include "subseq/distance/lp.h"
+#include "subseq/distance/simd/cpu_features.h"
+#include "subseq/distance/simd/kernels.h"
+#include "subseq/distance/weighted_edit.h"
+#include "subseq/frame/matcher.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::RandomSeries;
+using ::subseq::testing::RandomString;
+using ::subseq::testing::RandomTrack;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Bitwise double equality: the contract is stronger than ==, which
+// would let -0.0 vs +0.0 slip through.
+uint64_t Bits(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+#define EXPECT_BITEQ(a, b) EXPECT_EQ(Bits(a), Bits(b))
+#define ASSERT_BITEQ(a, b) ASSERT_EQ(Bits(a), Bits(b))
+
+bool HaveAvx2() {
+  return simd::CpuSupportsAvx2() && simd::GetAvx2Kernels() != nullptr;
+}
+
+// Forces a dispatch level for a scope; restores auto-detection on exit.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::SimdLevel level)
+      : ok_(simd::SetSimdLevelForTesting(level)) {}
+  ~ScopedSimdLevel() { simd::ClearSimdLevelForTesting(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+// Randomized lengths spanning sub-lane, lane-boundary, and long cases.
+std::vector<int32_t> TestLengths(Rng* rng) {
+  std::vector<int32_t> lengths = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32,
+                                  33, 63, 64, 65, 100, 127, 128, 129};
+  for (int i = 0; i < 8; ++i) {
+    lengths.push_back(static_cast<int32_t>(rng->NextInt(1, 512)));
+  }
+  return lengths;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level: portable vs AVX2, every kernel, bitwise.
+
+class KernelEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this machine";
+    portable_ = simd::GetPortableKernels();
+    avx2_ = simd::GetAvx2Kernels();
+  }
+  const simd::Kernels* portable_ = nullptr;
+  const simd::Kernels* avx2_ = nullptr;
+};
+
+TEST_F(KernelEquivalenceTest, ElementWiseRows) {
+  Rng rng(11);
+  for (const int32_t n : TestLengths(&rng)) {
+    const size_t un = static_cast<size_t>(n);
+    const std::vector<double> b = RandomSeries(&rng, n, -5.0, 5.0);
+    const double a = rng.NextDouble(-5.0, 5.0);
+    std::vector<double> p(un), v(un);
+    portable_->abs_diff_row(a, b.data(), p.data(), un);
+    avx2_->abs_diff_row(a, b.data(), v.data(), un);
+    for (size_t j = 0; j < un; ++j) ASSERT_BITEQ(p[j], v[j]);
+
+    const std::vector<Point2d> track = RandomTrack(&rng, n);
+    const Point2d q{rng.NextDouble(0.0, 10.0), rng.NextDouble(0.0, 10.0)};
+    portable_->point_dist_row(q, track.data(), p.data(), un);
+    avx2_->point_dist_row(q, track.data(), v.data(), un);
+    for (size_t j = 0; j < un; ++j) ASSERT_BITEQ(p[j], v[j]);
+
+    const std::vector<double> table = RandomSeries(&rng, 64, 0.0, 3.0);
+    std::vector<int32_t> idx(un);
+    for (size_t j = 0; j < un; ++j) {
+      idx[j] = static_cast<int32_t>(rng.NextBounded(64));
+    }
+    portable_->gather_row(table.data(), idx.data(), p.data(), un);
+    avx2_->gather_row(table.data(), idx.data(), v.data(), un);
+    for (size_t j = 0; j < un; ++j) ASSERT_BITEQ(p[j], v[j]);
+  }
+}
+
+TEST_F(KernelEquivalenceTest, DtwCombineRow) {
+  Rng rng(22);
+  for (const int32_t m : TestLengths(&rng)) {
+    const size_t um = static_cast<size_t>(m);
+    // DP rows are indexed 0..m with column 0 the wall; exercise both
+    // full-band rows (j_lo = 1) and banded interior rows.
+    std::vector<double> prev = RandomSeries(&rng, m + 1, 0.0, 20.0);
+    if (rng.NextBool(0.3)) prev[0] = kInf;
+    const std::vector<double> cost = RandomSeries(&rng, m + 1, 0.0, 4.0);
+    const size_t j_lo =
+        1 + static_cast<size_t>(rng.NextBounded(static_cast<uint64_t>(m)));
+    const size_t j_hi =
+        j_lo + static_cast<size_t>(
+                   rng.NextBounded(static_cast<uint64_t>(um - j_lo + 1)));
+    std::vector<double> p(um + 1, kInf), v(um + 1, kInf);
+    p[j_lo - 1] = v[j_lo - 1] = rng.NextBool(0.5) ? kInf : prev[j_lo - 1];
+    const double pmin =
+        portable_->dtw_combine_row(prev.data(), p.data(), cost.data(), j_lo,
+                                   j_hi);
+    const double vmin =
+        avx2_->dtw_combine_row(prev.data(), v.data(), cost.data(), j_lo,
+                               j_hi);
+    ASSERT_BITEQ(pmin, vmin);
+    for (size_t j = 0; j <= um; ++j) ASSERT_BITEQ(p[j], v[j]);
+  }
+}
+
+TEST_F(KernelEquivalenceTest, GapCombineRow) {
+  Rng rng(33);
+  for (const int32_t m : TestLengths(&rng)) {
+    const size_t um = static_cast<size_t>(m);
+    const std::vector<double> prev = RandomSeries(&rng, m + 1, 0.0, 20.0);
+    const std::vector<double> sub = RandomSeries(&rng, m + 1, 0.0, 4.0);
+    const std::vector<double> gap_b = RandomSeries(&rng, m + 1, 0.0, 4.0);
+    const double gap_a = rng.NextDouble(0.0, 4.0);
+    std::vector<double> p(um + 1), v(um + 1);
+    const double pmin = portable_->gap_combine_row(
+        prev.data(), p.data(), sub.data(), gap_a, gap_b.data(), um);
+    const double vmin = avx2_->gap_combine_row(
+        prev.data(), v.data(), sub.data(), gap_a, gap_b.data(), um);
+    ASSERT_BITEQ(pmin, vmin);
+    for (size_t j = 0; j <= um; ++j) ASSERT_BITEQ(p[j], v[j]);
+  }
+}
+
+TEST_F(KernelEquivalenceTest, FrechetCombineRow) {
+  Rng rng(44);
+  for (const int32_t m : TestLengths(&rng)) {
+    const size_t um = static_cast<size_t>(m);
+    const std::vector<double> prev = RandomSeries(&rng, m, 0.0, 20.0);
+    const std::vector<double> cost = RandomSeries(&rng, m, 0.0, 10.0);
+    std::vector<double> p(um), v(um);
+    const double pmin = portable_->frechet_combine_row(prev.data(), p.data(),
+                                                       cost.data(), um);
+    const double vmin = avx2_->frechet_combine_row(prev.data(), v.data(),
+                                                   cost.data(), um);
+    ASSERT_BITEQ(pmin, vmin);
+    for (size_t j = 0; j < um; ++j) ASSERT_BITEQ(p[j], v[j]);
+  }
+}
+
+// Transposes 4 equal-length series into the lane layout.
+std::vector<double> ToLanes(const std::vector<std::vector<double>>& c) {
+  const size_t n = c[0].size();
+  std::vector<double> lanes(n * 4);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t k = 0; k < 4; ++k) lanes[j * 4 + k] = c[k][j];
+  }
+  return lanes;
+}
+
+TEST_F(KernelEquivalenceTest, VerticalBatchKernelsF64) {
+  Rng rng(55);
+  const EuclideanDistance1D euclid;
+  const LInfDistance1D linf(kLInfinity);
+  const DtwDistance1D dtw;
+  for (const int32_t n : TestLengths(&rng)) {
+    const std::vector<double> a = RandomSeries(&rng, n, -5.0, 5.0);
+    std::vector<std::vector<double>> cands;
+    for (int k = 0; k < 4; ++k) cands.push_back(RandomSeries(&rng, n));
+    const std::vector<double> lanes = ToLanes(cands);
+    const size_t un = static_cast<size_t>(n);
+    double p[4], v[4];
+
+    portable_->euclidean4_f64(a.data(), lanes.data(), un, p);
+    avx2_->euclidean4_f64(a.data(), lanes.data(), un, v);
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_BITEQ(p[k], v[k]);
+      // Vertical contract: each lane == the scalar single-pair result.
+      ASSERT_BITEQ(p[k], euclid.Compute(a, cands[static_cast<size_t>(k)]));
+    }
+
+    portable_->linf4_f64(a.data(), lanes.data(), un, p);
+    avx2_->linf4_f64(a.data(), lanes.data(), un, v);
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_BITEQ(p[k], v[k]);
+      ASSERT_BITEQ(p[k], linf.Compute(a, cands[static_cast<size_t>(k)]));
+    }
+
+    if (n <= 129) {  // keep the O(n^2) x 4 DP affordable
+      portable_->dtw4_f64(a.data(), un, lanes.data(), un, p);
+      avx2_->dtw4_f64(a.data(), un, lanes.data(), un, v);
+      for (int k = 0; k < 4; ++k) {
+        ASSERT_BITEQ(p[k], v[k]);
+        ASSERT_BITEQ(p[k], dtw.Compute(a, cands[static_cast<size_t>(k)]));
+      }
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, VerticalBatchKernelsP2d) {
+  Rng rng(66);
+  const EuclideanDistance2D euclid;
+  const MinkowskiDistance2D linf(kLInfinity);
+  const DtwDistance2D dtw;
+  for (const int32_t n : TestLengths(&rng)) {
+    if (n > 129) continue;
+    const std::vector<Point2d> a = RandomTrack(&rng, n);
+    std::vector<std::vector<Point2d>> cands;
+    for (int k = 0; k < 4; ++k) cands.push_back(RandomTrack(&rng, n));
+    const size_t un = static_cast<size_t>(n);
+    std::vector<double> lanes_x(un * 4), lanes_y(un * 4);
+    for (size_t j = 0; j < un; ++j) {
+      for (size_t k = 0; k < 4; ++k) {
+        lanes_x[j * 4 + k] = cands[k][j].x;
+        lanes_y[j * 4 + k] = cands[k][j].y;
+      }
+    }
+    double p[4], v[4];
+
+    portable_->euclidean4_p2d(a.data(), lanes_x.data(), lanes_y.data(), un,
+                              p);
+    avx2_->euclidean4_p2d(a.data(), lanes_x.data(), lanes_y.data(), un, v);
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_BITEQ(p[k], v[k]);
+      ASSERT_BITEQ(p[k], euclid.Compute(a, cands[static_cast<size_t>(k)]));
+    }
+
+    portable_->linf4_p2d(a.data(), lanes_x.data(), lanes_y.data(), un, p);
+    avx2_->linf4_p2d(a.data(), lanes_x.data(), lanes_y.data(), un, v);
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_BITEQ(p[k], v[k]);
+      ASSERT_BITEQ(p[k], linf.Compute(a, cands[static_cast<size_t>(k)]));
+    }
+
+    portable_->dtw4_p2d(a.data(), un, lanes_x.data(), lanes_y.data(), un, p);
+    avx2_->dtw4_p2d(a.data(), un, lanes_x.data(), lanes_y.data(), un, v);
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_BITEQ(p[k], v[k]);
+      ASSERT_BITEQ(p[k], dtw.Compute(a, cands[static_cast<size_t>(k)]));
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, LbKeoghBlock4DecisionInvariance) {
+  Rng rng(77);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 256));
+    const size_t un = static_cast<size_t>(n);
+    const std::vector<double> query = RandomSeries(&rng, n);
+    const LbKeoghEnvelope env(query, /*band=*/-1);
+    std::vector<std::vector<double>> cands;
+    for (int k = 0; k < 4; ++k) {
+      // Mix near and far candidates so both prune outcomes occur.
+      cands.push_back(rng.NextBool(0.5) ? RandomSeries(&rng, n, 0.0, 10.0)
+                                        : RandomSeries(&rng, n, 20.0, 40.0));
+    }
+    const double cutoff = rng.NextDouble(0.0, 30.0);
+    double p[4], v[4];
+    portable_->lb_keogh_block4(env.upper().data(), env.lower().data(), un,
+                               cands[0].data(), cands[1].data(),
+                               cands[2].data(), cands[3].data(), cutoff, p);
+    avx2_->lb_keogh_block4(env.upper().data(), env.lower().data(), un,
+                           cands[0].data(), cands[1].data(), cands[2].data(),
+                           cands[3].data(), cutoff, v);
+    for (int k = 0; k < 4; ++k) {
+      const double exact = env.LowerBound(cands[static_cast<size_t>(k)]);
+      // The early-abandon contract: exact (and so bit-identical across
+      // levels) when <= cutoff; otherwise only the pruning decision is
+      // pinned — abandoned partial sums may differ between levels.
+      ASSERT_EQ(p[k] > cutoff, exact > cutoff);
+      ASSERT_EQ(v[k] > cutoff, exact > cutoff);
+      if (exact <= cutoff) {
+        ASSERT_BITEQ(p[k], exact);
+        ASSERT_BITEQ(v[k], exact);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distance-level: Compute / ComputeBounded / ComputeMany across levels.
+
+template <typename T, typename MakeSeq>
+void CheckDistanceAcrossLevels(const SequenceDistance<T>& dist, Rng* rng,
+                               const MakeSeq& make) {
+  for (int iter = 0; iter < 30; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng->NextInt(1, 96));
+    const int32_t m = static_cast<int32_t>(rng->NextInt(1, 96));
+    const std::vector<T> a = make(n);
+    const std::vector<T> b = make(m);
+
+    double exact_portable, exact_native;
+    {
+      ScopedSimdLevel scoped(simd::SimdLevel::kPortable);
+      ASSERT_TRUE(scoped.ok());
+      exact_portable = dist.Compute(a, b);
+    }
+    {
+      ScopedSimdLevel scoped(simd::SimdLevel::kAvx2);
+      ASSERT_TRUE(scoped.ok());
+      exact_native = dist.Compute(a, b);
+    }
+    ASSERT_BITEQ(exact_portable, exact_native);
+
+    // ComputeBounded agreement rule: exact when within the bound; both
+    // strictly above it otherwise (abandoned values are unspecified).
+    const double bound = rng->NextDouble(0.0, 2.0 * (exact_portable + 1.0));
+    double bounded_portable, bounded_native;
+    {
+      ScopedSimdLevel scoped(simd::SimdLevel::kPortable);
+      bounded_portable = dist.ComputeBounded(a, b, bound);
+    }
+    {
+      ScopedSimdLevel scoped(simd::SimdLevel::kAvx2);
+      bounded_native = dist.ComputeBounded(a, b, bound);
+    }
+    if (exact_portable <= bound) {
+      ASSERT_BITEQ(bounded_portable, exact_portable);
+      ASSERT_BITEQ(bounded_native, exact_native);
+    } else {
+      ASSERT_GT(bounded_portable, bound);
+      ASSERT_GT(bounded_native, bound);
+    }
+  }
+}
+
+template <typename T, typename MakeSeq>
+void CheckComputeManyMatchesLoop(const SequenceDistance<T>& dist, Rng* rng,
+                                 const MakeSeq& make) {
+  const std::vector<simd::SimdLevel> levels =
+      HaveAvx2() ? std::vector<simd::SimdLevel>{simd::SimdLevel::kPortable,
+                                                simd::SimdLevel::kAvx2}
+                 : std::vector<simd::SimdLevel>{simd::SimdLevel::kPortable};
+  for (const simd::SimdLevel level : levels) {
+    ScopedSimdLevel scoped(level);
+    ASSERT_TRUE(scoped.ok());
+    for (int iter = 0; iter < 6; ++iter) {
+      const int32_t n = static_cast<int32_t>(rng->NextInt(1, 64));
+      const std::vector<T> a = make(n);
+      // Mixed-length batch: equal-length runs (the batched fast path),
+      // odd lengths and empties (the per-pair fallback), interleaved.
+      std::vector<std::vector<T>> storage;
+      for (int c = 0; c < 23; ++c) {
+        const int32_t len = rng->NextBool(0.7)
+                                ? n
+                                : static_cast<int32_t>(rng->NextInt(0, 64));
+        storage.push_back(make(len));
+      }
+      std::vector<std::span<const T>> views(storage.begin(), storage.end());
+      std::vector<double> batched(views.size());
+      dist.ComputeMany(a, views, batched.data());
+      for (size_t c = 0; c < views.size(); ++c) {
+        ASSERT_BITEQ(batched[c], dist.Compute(a, views[c]));
+      }
+    }
+  }
+}
+
+TEST(SimdDistanceEquivalence, ScalarDistances) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this machine";
+  Rng rng(101);
+  const auto make = [&rng](int32_t n) { return RandomSeries(&rng, n); };
+  CheckDistanceAcrossLevels(DtwDistance1D(), &rng, make);
+  CheckDistanceAcrossLevels(DtwDistance1D(/*band=*/3), &rng, make);
+  CheckDistanceAcrossLevels(ErpDistance1D(), &rng, make);
+  CheckDistanceAcrossLevels(FrechetDistance1D(), &rng, make);
+  CheckDistanceAcrossLevels(EuclideanDistance1D(), &rng, make);
+  CheckDistanceAcrossLevels(LInfDistance1D(kLInfinity), &rng, make);
+}
+
+TEST(SimdDistanceEquivalence, TrajectoryDistances) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this machine";
+  Rng rng(202);
+  const auto make = [&rng](int32_t n) { return RandomTrack(&rng, n); };
+  CheckDistanceAcrossLevels(DtwDistance2D(), &rng, make);
+  CheckDistanceAcrossLevels(ErpDistance2D(), &rng, make);
+  CheckDistanceAcrossLevels(FrechetDistance2D(), &rng, make);
+  CheckDistanceAcrossLevels(EuclideanDistance2D(), &rng, make);
+}
+
+TEST(SimdDistanceEquivalence, WeightedEdit) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this machine";
+  Rng rng(303);
+  const WeightedEditDistance dist(SubstitutionCostModel::ProteinClasses());
+  const auto make = [&rng](int32_t n) {
+    return RandomString(&rng, n, "ARNDCQEGHILKMFPSTWYV");
+  };
+  CheckDistanceAcrossLevels(dist, &rng, make);
+}
+
+TEST(SimdDistanceEquivalence, ComputeManyMatchesComputeLoop) {
+  Rng rng(404);
+  const auto make1d = [&rng](int32_t n) { return RandomSeries(&rng, n); };
+  const auto make2d = [&rng](int32_t n) { return RandomTrack(&rng, n); };
+  CheckComputeManyMatchesLoop(DtwDistance1D(), &rng, make1d);
+  CheckComputeManyMatchesLoop(DtwDistance1D(/*band=*/2), &rng, make1d);
+  CheckComputeManyMatchesLoop(EuclideanDistance1D(), &rng, make1d);
+  CheckComputeManyMatchesLoop(LInfDistance1D(kLInfinity), &rng, make1d);
+  CheckComputeManyMatchesLoop(L1Distance1D(1.0), &rng, make1d);
+  CheckComputeManyMatchesLoop(DtwDistance2D(), &rng, make2d);
+  CheckComputeManyMatchesLoop(EuclideanDistance2D(), &rng, make2d);
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline: matches AND stats invariant under dispatch level,
+// prefilter knob, thread budget, and shard count.
+
+struct PipelineRun {
+  std::vector<SubsequenceMatch> matches;
+  MatchQueryStats stats;
+};
+
+PipelineRun RunPipeline(const SequenceDatabase<double>& db,
+                        const DtwDistance1D& dtw,
+                        const std::vector<double>& query, double epsilon,
+                        bool prefilter, int32_t threads, int32_t shards) {
+  MatcherOptions options;
+  options.lambda = 8;
+  options.lambda0 = 1;
+  options.index_kind = IndexKind::kLinearScan;
+  options.lb_prefilter = prefilter;
+  options.exec.num_threads = threads;
+  options.exec.num_shards = shards;
+  auto matcher = SubsequenceMatcher<double>::Build(db, dtw, options);
+  EXPECT_TRUE(matcher.ok()) << matcher.status().message();
+  PipelineRun run;
+  auto result = matcher.value()->RangeSearch(query, epsilon, &run.stats);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  run.matches = std::move(result).ValueOrDie();
+  return run;
+}
+
+TEST(SimdPipelineDeterminism, InvariantAcrossDispatchPrefilterThreadsShards) {
+  Rng rng(505);
+  SequenceDatabase<double> db;
+  for (int s = 0; s < 6; ++s) {
+    db.Add(Sequence<double>(RandomSeries(&rng, 80)));
+  }
+  // A query stitched from database material so real matches exist.
+  std::vector<double> query = RandomSeries(&rng, 10);
+  const std::span<const double> donor = db.at(1).view();
+  query.insert(query.end(), donor.begin(), donor.begin() + 24);
+  const double epsilon = 2.5;
+  const DtwDistance1D dtw;
+
+  const PipelineRun reference =
+      RunPipeline(db, dtw, query, epsilon, /*prefilter=*/false,
+                  /*threads=*/1, /*shards=*/1);
+  ASSERT_FALSE(reference.matches.empty());
+
+  const std::vector<simd::SimdLevel> levels =
+      HaveAvx2() ? std::vector<simd::SimdLevel>{simd::SimdLevel::kPortable,
+                                                simd::SimdLevel::kAvx2}
+                 : std::vector<simd::SimdLevel>{simd::SimdLevel::kPortable};
+  for (const simd::SimdLevel level : levels) {
+    ScopedSimdLevel scoped(level);
+    ASSERT_TRUE(scoped.ok());
+    for (const bool prefilter : {false, true}) {
+      for (const int32_t threads : {1, 8}) {
+        for (const int32_t shards : {1, 4}) {
+          const PipelineRun run =
+              RunPipeline(db, dtw, query, epsilon, prefilter, threads,
+                          shards);
+          ASSERT_EQ(run.matches.size(), reference.matches.size())
+              << simd::SimdLevelName(level) << " prefilter=" << prefilter
+              << " threads=" << threads << " shards=" << shards;
+          for (size_t i = 0; i < run.matches.size(); ++i) {
+            EXPECT_EQ(run.matches[i], reference.matches[i]);
+            EXPECT_BITEQ(run.matches[i].distance,
+                         reference.matches[i].distance);
+          }
+          EXPECT_EQ(run.stats.segments, reference.stats.segments);
+          EXPECT_EQ(run.stats.filter_computations,
+                    reference.stats.filter_computations);
+          EXPECT_EQ(run.stats.hits, reference.stats.hits);
+          EXPECT_EQ(run.stats.chains, reference.stats.chains);
+          EXPECT_EQ(run.stats.verifications, reference.stats.verifications);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdPipelineDeterminism, EnvKnobSelectsPortable) {
+  // The test override outranks the env knob; this only checks that the
+  // resolution machinery reports a coherent level and the portable
+  // override always succeeds.
+  ScopedSimdLevel scoped(simd::SimdLevel::kPortable);
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_EQ(simd::ActiveSimdLevel(), simd::SimdLevel::kPortable);
+  EXPECT_STREQ(simd::GetKernels().name, "portable");
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,249 @@
+// The step-4 prunable-query plumbing: a LinearScan given a
+// PrunableQueryFn skips exact evaluations the lower bound rules out
+// while returning identical results, billing the full scan, and
+// reporting the saved work in lower_bound_pruned — monolithic, sharded,
+// single and batched alike.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/exec/stats_sink.h"
+#include "subseq/metric/linear_scan.h"
+#include "subseq/metric/oracle.h"
+#include "subseq/metric/sharded_index.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+constexpr int32_t kNumPoints = 400;
+
+// Admissible bound over 1-D points: half the true |p - q| distance.
+// Indexed by GLOBAL id — the scan adds lb_offset before calling, so
+// this also pins the shard-offset composition.
+class HalfDistanceBound final : public QueryLowerBound {
+ public:
+  HalfDistanceBound(std::shared_ptr<const std::vector<double>> points,
+                    double q)
+      : points_(std::move(points)), q_(q) {}
+
+  void LowerBoundBlock(ObjectId begin, int32_t count, double cutoff,
+                       double* out) const override {
+    (void)cutoff;  // exact bounds; no abandoning needed
+    for (int32_t i = 0; i < count; ++i) {
+      out[i] =
+          0.5 * std::fabs((*points_)[static_cast<size_t>(begin + i)] - q_);
+    }
+  }
+
+ private:
+  std::shared_ptr<const std::vector<double>> points_;
+  double q_;
+};
+
+struct PrefilterFixture {
+  PrefilterFixture() {
+    Rng rng(91);
+    auto pts = std::make_shared<std::vector<double>>();
+    for (int32_t i = 0; i < kNumPoints; ++i) {
+      pts->push_back(rng.NextDouble(0.0, 100.0));
+    }
+    points = pts;
+    executed = std::make_shared<std::atomic<int64_t>>(0);
+  }
+
+  // The exact query function; every invocation is counted.
+  std::function<double(ObjectId)> ExactFn(double q) const {
+    auto pts = points;
+    auto counter = executed;
+    return [pts, counter, q](ObjectId id) {
+      counter->fetch_add(1, std::memory_order_relaxed);
+      return std::fabs((*pts)[static_cast<size_t>(id)] - q);
+    };
+  }
+
+  QueryDistanceFn PlainQuery(double q) const {
+    return QueryDistanceFn(ExactFn(q));
+  }
+
+  QueryDistanceFn PrunableQuery(double q) const {
+    PrunableQueryFn p;
+    p.fn = ExactFn(q);
+    p.lower_bound = std::make_shared<HalfDistanceBound>(points, q);
+    return QueryDistanceFn(std::move(p));
+  }
+
+  std::shared_ptr<const std::vector<double>> points;
+  std::shared_ptr<std::atomic<int64_t>> executed;
+};
+
+TEST(PrefilterTest, IdenticalResultsFullBillingFewerExecutions) {
+  PrefilterFixture f;
+  const LinearScan scan(kNumPoints);
+  const double q = 50.0, epsilon = 5.0;
+
+  QueryStats plain_stats;
+  const std::vector<ObjectId> plain =
+      scan.RangeQuery(f.PlainQuery(q), epsilon, &plain_stats);
+  const int64_t plain_executed = f.executed->exchange(0);
+
+  QueryStats pruned_stats;
+  const std::vector<ObjectId> pruned =
+      scan.RangeQuery(f.PrunableQuery(q), epsilon, &pruned_stats);
+  const int64_t pruned_executed = f.executed->exchange(0);
+
+  EXPECT_EQ(plain, pruned);
+  ASSERT_FALSE(plain.empty());
+  // Billing is identical — pruned candidates stay billed — while the
+  // executed count actually drops and the saving is reported.
+  EXPECT_EQ(plain_stats.distance_computations, kNumPoints);
+  EXPECT_EQ(pruned_stats.distance_computations, kNumPoints);
+  EXPECT_EQ(plain_stats.lower_bound_pruned, 0);
+  EXPECT_GT(pruned_stats.lower_bound_pruned, 0);
+  EXPECT_EQ(plain_executed, kNumPoints);
+  EXPECT_EQ(pruned_executed, kNumPoints - pruned_stats.lower_bound_pruned);
+  EXPECT_LT(pruned_executed, plain_executed);
+  EXPECT_EQ(plain_stats.result_count, pruned_stats.result_count);
+}
+
+TEST(PrefilterTest, NeverPrunesWithinEpsilon) {
+  // With an exact-distance bound (not halved) every non-result would be
+  // prunable; the padded cutoff must still keep every true result.
+  PrefilterFixture f;
+  const LinearScan scan(kNumPoints);
+  for (const double epsilon : {0.0, 0.5, 3.0, 25.0}) {
+    QueryStats plain_stats, pruned_stats;
+    const std::vector<ObjectId> plain =
+        scan.RangeQuery(f.PlainQuery(33.0), epsilon, &plain_stats);
+    PrunableQueryFn p;
+    p.fn = f.ExactFn(33.0);
+    // Bound == exact distance: the tightest admissible bound.
+    class ExactBound final : public QueryLowerBound {
+     public:
+      ExactBound(std::shared_ptr<const std::vector<double>> pts, double q)
+          : pts_(std::move(pts)), q_(q) {}
+      void LowerBoundBlock(ObjectId begin, int32_t count, double /*cutoff*/,
+                           double* out) const override {
+        for (int32_t i = 0; i < count; ++i) {
+          out[i] = std::fabs((*pts_)[static_cast<size_t>(begin + i)] - q_);
+        }
+      }
+
+     private:
+      std::shared_ptr<const std::vector<double>> pts_;
+      double q_;
+    };
+    p.lower_bound = std::make_shared<ExactBound>(f.points, 33.0);
+    const std::vector<ObjectId> pruned =
+        scan.RangeQuery(QueryDistanceFn(std::move(p)), epsilon,
+                        &pruned_stats);
+    EXPECT_EQ(plain, pruned) << "epsilon=" << epsilon;
+  }
+}
+
+TEST(PrefilterTest, ShardedMatchesMonolithic) {
+  PrefilterFixture f;
+  const double q = 42.0, epsilon = 6.0;
+
+  const LinearScan mono(kNumPoints);
+  QueryStats mono_stats;
+  const std::vector<ObjectId> mono_ids =
+      mono.RangeQuery(f.PrunableQuery(q), epsilon, &mono_stats);
+  const int64_t mono_executed = f.executed->exchange(0);
+
+  const ScalarPointOracle oracle(*f.points);
+  ShardedIndexOptions options;
+  options.num_shards = 4;
+  auto sharded = ShardedIndex::Build(
+      oracle,
+      [](const DistanceOracle& shard_oracle, int32_t) {
+        return Result<std::unique_ptr<RangeIndex>>(
+            std::make_unique<LinearScan>(shard_oracle.size()));
+      },
+      options);
+  ASSERT_TRUE(sharded.ok());
+  QueryStats sharded_stats;
+  const std::vector<ObjectId> sharded_ids =
+      sharded.value()->RangeQuery(f.PrunableQuery(q), epsilon,
+                                  &sharded_stats);
+  const int64_t sharded_executed = f.executed->exchange(0);
+
+  // Pruning decisions are block- and shard-invariant, so everything —
+  // ids, billing, pruned count, and even the executed call count —
+  // matches the monolithic scan exactly.
+  EXPECT_EQ(mono_ids, sharded_ids);
+  EXPECT_EQ(mono_stats.distance_computations,
+            sharded_stats.distance_computations);
+  EXPECT_EQ(mono_stats.result_count, sharded_stats.result_count);
+  EXPECT_EQ(mono_stats.lower_bound_pruned, sharded_stats.lower_bound_pruned);
+  EXPECT_GT(mono_stats.lower_bound_pruned, 0);
+  EXPECT_EQ(mono_executed, sharded_executed);
+}
+
+TEST(PrefilterTest, BatchMatchesSingleAndFeedsSink) {
+  PrefilterFixture f;
+  const LinearScan scan(kNumPoints);
+  const double epsilon = 4.0;
+  const std::vector<double> qs = {10.0, 50.0, 90.0};
+
+  // References: one RangeQuery per query.
+  std::vector<std::vector<ObjectId>> single(qs.size());
+  std::vector<QueryStats> single_stats(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    single[i] =
+        scan.RangeQuery(f.PrunableQuery(qs[i]), epsilon, &single_stats[i]);
+  }
+
+  for (const int32_t threads : {1, 8}) {
+    // threads=8 > 3 queries exercises the intra-query range-sharded
+    // scan path; threads=1 the per-query path. Both must agree with
+    // the single-query reference exactly.
+    std::vector<QueryDistanceFn> queries;
+    for (const double q : qs) queries.push_back(f.PrunableQuery(q));
+    ExecContext exec;
+    exec.num_threads = threads;
+    StatsSink sink;
+    std::vector<QueryStats> per_query(qs.size());
+    const std::vector<std::vector<ObjectId>> batched =
+        scan.BatchRangeQuery(queries, epsilon, exec, &sink,
+                             per_query.data());
+    ASSERT_EQ(batched.size(), qs.size());
+    int64_t total_pruned = 0;
+    for (size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_EQ(batched[i], single[i]) << "threads=" << threads;
+      EXPECT_EQ(per_query[i].distance_computations,
+                single_stats[i].distance_computations);
+      EXPECT_EQ(per_query[i].result_count, single_stats[i].result_count);
+      EXPECT_EQ(per_query[i].lower_bound_pruned,
+                single_stats[i].lower_bound_pruned);
+      total_pruned += per_query[i].lower_bound_pruned;
+    }
+    EXPECT_GT(total_pruned, 0);
+    EXPECT_EQ(sink.lower_bound_pruned(), total_pruned);
+    EXPECT_EQ(sink.distance_computations(),
+              static_cast<int64_t>(qs.size()) * kNumPoints);
+  }
+}
+
+TEST(PrefilterTest, PayloadWithoutProviderScansUnpruned) {
+  PrefilterFixture f;
+  const LinearScan scan(kNumPoints);
+  PrunableQueryFn p;
+  p.fn = f.ExactFn(20.0);
+  p.lower_bound = nullptr;  // payload present, provider absent
+  QueryStats stats;
+  scan.RangeQuery(QueryDistanceFn(std::move(p)), 3.0, &stats);
+  EXPECT_EQ(stats.lower_bound_pruned, 0);
+  EXPECT_EQ(f.executed->load(), kNumPoints);
+}
+
+}  // namespace
+}  // namespace subseq
