@@ -1,0 +1,191 @@
+// Snapshot I/O: what the versioned snapshot subsystem buys at serving
+// start (PROTEINS / Levenshtein, reference-net index).
+//
+// Three rows:
+//   build        — fresh Build wall-clock vs SaveIndex + LoadIndex in
+//                  both modes; mmap_speedup = build / mmap-load, a
+//                  same-run ratio that transfers across machines.
+//   oocore       — BuildToSnapshot residency: catalog windows over the
+//                  ResidencyGauge peak. Deterministic counts (fixed by
+//                  the shard split, not machine speed), gated tightly —
+//                  a drop means the streamed build stopped streaming.
+//   serve_start  — MatchServer::Start rebuild vs snapshot boot.
+// Every loaded index is cross-checked element-wise against the fresh
+// build before a row is recorded (the persistence determinism
+// contract).
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "subseq/core/check.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/exec/peak_gauge.h"
+#include "subseq/frame/matcher.h"
+#include "subseq/serve/match_server.h"
+
+namespace subseq::bench {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+int Run() {
+  Banner("snapshot_io",
+         "versioned snapshot save/load vs fresh builds "
+         "(PROTEINS / Levenshtein / reference net)");
+
+  const int32_t num_windows = Scaled(200, 4000);
+  MatcherOptions options;
+  options.lambda = 2 * kWindowLength;
+  options.lambda0 = 2;
+  options.index_kind = IndexKind::kReferenceNet;
+
+  const SequenceDatabase<char> db = MakeProteinDb(num_windows, 77);
+  const LevenshteinDistance<char> dist;
+  const std::string path = "BENCH_snapshot_io.snap";
+  std::vector<BenchRecord> records;
+
+  // ---- build / save / load.
+  auto t0 = std::chrono::steady_clock::now();
+  auto fresh = std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+                   .ValueOrDie();
+  const double build_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  SUBSEQ_CHECK(fresh->SaveIndex(path).ok());
+  const double save_ms = MsSince(t0);
+
+  // A few queries cut from database sequences for the cross-checks.
+  std::vector<std::vector<char>> queries;
+  for (int32_t q = 0; q < 4; ++q) {
+    const auto& seq = db.at(q);
+    const int32_t len = std::min(seq.size(), options.lambda + 4);
+    const auto view = seq.view().first(static_cast<size_t>(len));
+    queries.emplace_back(view.begin(), view.end());
+  }
+  const double epsilon = 1.0;
+  std::vector<std::vector<SubsequenceMatch>> expected;
+  for (const auto& q : queries) {
+    expected.push_back(
+        std::move(fresh->RangeSearch(std::span<const char>(q), epsilon))
+            .ValueOrDie());
+  }
+  const auto cross_check = [&](const SubsequenceMatcher<char>& loaded) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto got = loaded.RangeSearch(std::span<const char>(queries[i]),
+                                    epsilon);
+      SUBSEQ_CHECK(got.ok());
+      SUBSEQ_CHECK(got.value() == expected[i]);
+    }
+  };
+
+  double eager_load_ms = 0.0;
+  double mmap_load_ms = 0.0;
+  for (const SnapshotLoadMode mode :
+       {SnapshotLoadMode::kEager, SnapshotLoadMode::kMmap}) {
+    MatcherOptions load_options = options;
+    load_options.snapshot_load_mode = mode;
+    t0 = std::chrono::steady_clock::now();
+    auto loaded = std::move(SubsequenceMatcher<char>::LoadIndex(
+                                db, dist, load_options, path))
+                      .ValueOrDie();
+    const double ms = MsSince(t0);
+    (mode == SnapshotLoadMode::kEager ? eager_load_ms : mmap_load_ms) = ms;
+    cross_check(*loaded);
+  }
+  const double mmap_speedup = build_ms / mmap_load_ms;
+  std::printf("build %.2fms  save %.2fms  load(eager) %.2fms  "
+              "load(mmap) %.2fms  mmap_speedup %.1fx\n",
+              build_ms, save_ms, eager_load_ms, mmap_load_ms, mmap_speedup);
+  records.push_back(BenchRecord{
+      "build",
+      {{"build_ms", build_ms},
+       {"save_ms", save_ms},
+       {"eager_load_ms", eager_load_ms},
+       {"mmap_load_ms", mmap_load_ms},
+       {"mmap_speedup", mmap_speedup}}});
+
+  // ---- out-of-core residency.
+  {
+    MatcherOptions oocore_options = options;
+    oocore_options.exec.num_shards = 8;
+    ResidencyGauge gauge;
+    t0 = std::chrono::steady_clock::now();
+    SUBSEQ_CHECK(SubsequenceMatcher<char>::BuildToSnapshot(
+                     db, dist, oocore_options, path, SnapshotBuildOptions{},
+                     &gauge)
+                     .ok());
+    const double oocore_ms = MsSince(t0);
+    const auto n = static_cast<double>(fresh->catalog().num_windows());
+    const double residency_ratio = n / static_cast<double>(gauge.peak());
+    std::printf("oocore: %.0f windows, gauge peak %lld, residency_ratio "
+                "%.2f (%.2fms, 8 shards)\n",
+                n, static_cast<long long>(gauge.peak()), residency_ratio,
+                oocore_ms);
+    records.push_back(BenchRecord{
+        "oocore",
+        {{"catalog_windows", n},
+         {"gauge_peak", static_cast<double>(gauge.peak())},
+         {"residency_ratio", residency_ratio},
+         {"oocore_build_ms", oocore_ms}}});
+  }
+
+  // ---- serving start: rebuild vs snapshot boot.
+  {
+    MatchServerOptions server_options;
+    server_options.matcher = options;
+    t0 = std::chrono::steady_clock::now();
+    auto rebuilt = std::move(MatchServer<char>::Start(db, dist,
+                                                      server_options))
+                       .ValueOrDie();
+    const double rebuild_start_ms = MsSince(t0);
+    SUBSEQ_CHECK(rebuilt->SaveSnapshot(path).ok());
+    rebuilt->Shutdown();
+
+    server_options.snapshot_path = path;
+    server_options.matcher.snapshot_load_mode = SnapshotLoadMode::kMmap;
+    t0 = std::chrono::steady_clock::now();
+    auto booted = std::move(MatchServer<char>::Start(db, dist,
+                                                     server_options))
+                      .ValueOrDie();
+    const double snapshot_start_ms = MsSince(t0);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      MatchRequest<char> request;
+      request.query = queries[i];
+      request.epsilon = epsilon;
+      MatchResult result = booted->Submit(std::move(request)).Get();
+      SUBSEQ_CHECK(result.status.ok());
+      SUBSEQ_CHECK(result.matches == expected[i]);
+    }
+    booted->Shutdown();
+    const double start_speedup = rebuild_start_ms / snapshot_start_ms;
+    std::printf("serve_start: rebuild %.2fms vs snapshot boot %.2fms "
+                "(%.1fx)\n",
+                rebuild_start_ms, snapshot_start_ms, start_speedup);
+    records.push_back(BenchRecord{
+        "serve_start",
+        {{"rebuild_start_ms", rebuild_start_ms},
+         {"snapshot_start_ms", snapshot_start_ms},
+         {"start_speedup", start_speedup}}});
+  }
+  std::remove(path.c_str());
+
+  const std::string json = "BENCH_snapshot_io.json";
+  if (!WriteBenchJson(json, "snapshot_io", records)) {
+    std::fprintf(stderr, "failed to write %s\n", json.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace subseq::bench
+
+int main() { return subseq::bench::Run(); }

@@ -1,0 +1,50 @@
+// ResidencyGauge: peak-alive accounting for out-of-core builds.
+//
+// BuildToSnapshot charges the gauge as catalog windows become resident
+// (staged batches, shard under construction) and credits it when a
+// serialized shard is freed. Tests assert peak() stays O(batch + shard)
+// rather than O(catalog) — the instrumentation is the proof that the
+// streamed build actually streams. Counters are atomic so a parallel
+// inner build may charge concurrently; peak() is exact because updates
+// go through a CAS loop.
+
+#ifndef SUBSEQ_EXEC_PEAK_GAUGE_H_
+#define SUBSEQ_EXEC_PEAK_GAUGE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace subseq {
+
+class ResidencyGauge {
+ public:
+  /// Marks `n` more units (catalog windows) resident.
+  void Acquire(int64_t n) {
+    const int64_t now = current_.fetch_add(n, std::memory_order_relaxed) + n;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Marks `n` units freed.
+  void Release(int64_t n) {
+    current_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_EXEC_PEAK_GAUGE_H_

@@ -337,7 +337,7 @@ Status MatcherOptions::Validate() const {
 }
 
 template <typename T>
-Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
+Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::MakeShell(
     const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
     MatcherOptions options) {
   SUBSEQ_RETURN_NOT_OK(options.Validate());
@@ -374,27 +374,40 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
       std::make_unique<WindowCatalog>(std::move(catalog).value());
   matcher->oracle_ =
       std::make_unique<WindowOracle<T>>(db, *matcher->catalog_, dist);
+  return matcher;
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
+    const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+    MatcherOptions options) {
+  auto shell = MakeShell(db, dist, std::move(options));
+  SUBSEQ_RETURN_NOT_OK(shell.status());
+  auto matcher = std::move(shell).ValueOrDie();
+  // MakeShell resolved the exec pushdown; the index build below must see
+  // the resolved options, not the caller's.
+  const MatcherOptions& resolved = matcher->options_;
 
   // Step 2: one monolithic index, or — when the caller asked for
   // sharding — K contiguous per-shard indexes of the same kind behind a
   // ShardedIndex. The filter (step 4) and everything above it are
   // agnostic: both shapes implement RangeIndex with identical hit sets.
   const int32_t num_shards =
-      options.exec.ResolvedShards(matcher->oracle_->size());
+      resolved.exec.ResolvedShards(matcher->oracle_->size());
   if (num_shards > 1) {
     ShardedIndexOptions sharding;
     sharding.num_shards = num_shards;
-    sharding.exec = options.exec;
+    sharding.exec = resolved.exec;
     auto sharded = ShardedIndex::Build(
         *matcher->oracle_,
-        [&options](const DistanceOracle& shard_oracle, int32_t) {
-          return BuildKindIndex(shard_oracle, options);
+        [&resolved](const DistanceOracle& shard_oracle, int32_t) {
+          return BuildKindIndex(shard_oracle, resolved);
         },
         sharding);
     SUBSEQ_RETURN_NOT_OK(sharded.status());
     matcher->index_ = std::move(sharded).ValueOrDie();
   } else {
-    auto index = BuildKindIndex(*matcher->oracle_, options);
+    auto index = BuildKindIndex(*matcher->oracle_, resolved);
     SUBSEQ_RETURN_NOT_OK(index.status());
     matcher->index_ = std::move(index).ValueOrDie();
   }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "subseq/core/sequence.h"
@@ -37,8 +38,13 @@
 #include "subseq/metric/range_index.h"
 #include "subseq/metric/reference_net.h"
 #include "subseq/metric/vp_tree.h"
+#include "subseq/snapshot/format.h"
 
 namespace subseq {
+
+class ResidencyGauge;
+class SnapshotFile;
+class SnapshotWriter;
 
 /// Which index backs the window filter.
 enum class IndexKind {
@@ -108,12 +114,31 @@ struct MatcherOptions {
   /// identical on that count too). 0 or 1 = one monolithic index.
   ExecContext exec;
 
+  /// How LoadIndex / LoadIndexFrom materialize snapshot bytes: kEager
+  /// copies the file into private memory; kMmap maps it read-only so
+  /// large arrays (the MV-index pivot table) stay demand-paged on disk.
+  /// Matches, stats, and every observable are identical in both modes —
+  /// the knob trades startup time and resident memory only.
+  SnapshotLoadMode snapshot_load_mode = SnapshotLoadMode::kEager;
+
   /// Validates the framework parameters (lambda, lambda0,
   /// max_verifications, exec knobs) with explicit messages for the edge
   /// cases; Build calls this before touching the database. The distance
   /// property checks (consistency, metricity) live in Build, which has
   /// the distance at hand.
   Status Validate() const;
+};
+
+/// Tunables of SubsequenceMatcher::BuildToSnapshot — the out-of-core,
+/// shard-by-shard builder.
+struct SnapshotBuildOptions {
+  /// Catalog windows fed to an insertion-built backend (reference net,
+  /// cover tree) per batch before the residency gauge is charged again.
+  /// 0 = one batch per shard. Any batch size produces byte-identical
+  /// snapshots: insertions happen in ascending id order regardless of
+  /// how they are batched. Table-built backends (MV-index, VP-tree,
+  /// linear scan) always materialize a whole shard at once.
+  int32_t batch_windows = 0;
 };
 
 /// A verified pair of similar subsequences.
@@ -303,6 +328,59 @@ class SubsequenceMatcher {
       std::span<const T> query, double epsilon_max, double epsilon_increment,
       MatchQueryStats* stats = nullptr) const;
 
+  /// Serializes the window catalog and the built index (steps 1-2) as a
+  /// versioned snapshot at `path` (snapshot/format.h). The encoding is
+  /// canonical: saving a loaded matcher reproduces the file byte for
+  /// byte. The database itself is NOT stored — a snapshot is the index
+  /// over a database the loader must supply unchanged (the catalog
+  /// sections record the sequence lengths so a mismatched database is
+  /// rejected at load).
+  Status SaveIndex(const std::string& path) const;
+
+  /// SaveIndex's catalog block alone ("catalog.meta", ".seq_lengths").
+  /// Multi-matcher containers (serve/MatchServer) write it once per file
+  /// and then one index block per matcher via SaveIndexSections.
+  Status SaveCatalogSections(SnapshotWriter& writer) const;
+
+  /// SaveIndex's index block alone ("idx.<kind>.*" sections for this
+  /// matcher's index_kind). Kind tokens are disjoint, so matchers of
+  /// different kinds over the same catalog coexist in one file.
+  Status SaveIndexSections(SnapshotWriter& writer) const;
+
+  /// Rebuilds a matcher from a snapshot instead of re-running step 2.
+  /// `options` must describe the index the snapshot holds: same lambda
+  /// (the catalog's window length is checked), same index_kind (the
+  /// snapshot must contain that kind's block), same backend tunables and
+  /// resolved shard count (each backend verifies its stored build
+  /// options) — a loaded matcher must equal the fresh build it replaces,
+  /// and answers element-wise identically (matches AND stats, including
+  /// restored build counters). The file is opened per
+  /// options.snapshot_load_mode and fully checksum-validated first.
+  static Result<std::unique_ptr<SubsequenceMatcher<T>>> LoadIndex(
+      const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+      MatcherOptions options, const std::string& path);
+
+  /// LoadIndex over an already-open snapshot — containers hosting
+  /// several matchers open the file once and share it; the matcher keeps
+  /// the shared_ptr alive for as long as any backend aliases its bytes.
+  static Result<std::unique_ptr<SubsequenceMatcher<T>>> LoadIndexFrom(
+      const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+      MatcherOptions options, std::shared_ptr<const SnapshotFile> file);
+
+  /// Out-of-core Build + SaveIndex: streams the window catalog shard by
+  /// shard, building and serializing ONE shard's index at a time and
+  /// freeing it before the next, so peak residency is O(shard) — not
+  /// O(catalog) — while the resulting file is byte-identical to
+  /// Build(...) followed by SaveIndex(path) at any batch size. `gauge`
+  /// (optional) is charged with the windows alive in the partial build
+  /// at every step; tests assert its peak stays O(batch + shard).
+  static Status BuildToSnapshot(const SequenceDatabase<T>& db,
+                                const SequenceDistance<T>& dist,
+                                MatcherOptions options,
+                                const std::string& path,
+                                const SnapshotBuildOptions& build = {},
+                                ResidencyGauge* gauge = nullptr);
+
   const WindowCatalog& catalog() const { return *catalog_; }
   const RangeIndex& index() const { return *index_; }
   const MatcherOptions& options() const { return options_; }
@@ -312,6 +390,14 @@ class SubsequenceMatcher {
   SubsequenceMatcher(const SequenceDatabase<T>& db,
                      const SequenceDistance<T>& dist, MatcherOptions options)
       : db_(db), dist_(dist), options_(options) {}
+
+  /// The shared front half of Build / LoadIndexFrom / BuildToSnapshot:
+  /// validates options and the distance's properties, applies the exec
+  /// pushdown, and materializes the catalog + window oracle (steps 1 and
+  /// 3's machinery) — everything except the index itself.
+  static Result<std::unique_ptr<SubsequenceMatcher<T>>> MakeShell(
+      const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+      MatcherOptions options);
 
   /// Verifies all pairs in a region; invokes `on_match` for each pair
   /// within epsilon. Returns false if the verification cap was exhausted.
@@ -326,6 +412,9 @@ class SubsequenceMatcher {
   std::unique_ptr<WindowCatalog> catalog_;
   std::unique_ptr<WindowOracle<T>> oracle_;
   std::unique_ptr<RangeIndex> index_;
+  /// Non-null iff this matcher was loaded from a snapshot whose bytes a
+  /// backend may still alias (mmap mode); keeps the mapping alive.
+  std::shared_ptr<const SnapshotFile> snapshot_;
 };
 
 extern template class SubsequenceMatcher<char>;

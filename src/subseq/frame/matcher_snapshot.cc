@@ -1,0 +1,463 @@
+// Snapshot persistence of SubsequenceMatcher (SaveIndex / LoadIndex /
+// BuildToSnapshot) — the frame half of the snapshot subsystem.
+//
+// The frame layer owns the file layout; backends own only their own
+// sections. A matcher snapshot is
+//
+//   catalog.meta          window length + sequence count
+//   catalog.seq_lengths   int32 per sequence (database identity check)
+//   idx.<kind>.top        IndexKind + shard count of one index block
+//   idx.<kind>.*          the index sections: monolithic backend
+//                         sections, or the sharded layout followed by
+//                         per-shard backend sections (idx.<kind>.s<s>.*)
+//
+// Kind tokens (rn / ct / mv / vp / ls) keep blocks of different kinds
+// disjoint, so one file can host several matchers over one catalog (the
+// serving layer saves all its kinds into one snapshot). Section append
+// order is FIXED — Build + SaveIndex and the out-of-core BuildToSnapshot
+// emit the same sections in the same order with the same bytes, which
+// is what makes "out-of-core output == in-core output" testable as file
+// equality.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "subseq/exec/peak_gauge.h"
+#include "subseq/frame/matcher.h"
+#include "subseq/metric/linear_scan.h"
+#include "subseq/metric/sharded_index.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
+
+namespace subseq {
+
+namespace {
+
+// Stable short token of an IndexKind, used in section names. Tokens are
+// part of the on-disk format: never re-use or re-order.
+const char* IndexKindToken(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kReferenceNet: return "rn";
+    case IndexKind::kCoverTree: return "ct";
+    case IndexKind::kMvIndex: return "mv";
+    case IndexKind::kVpTree: return "vp";
+    case IndexKind::kLinearScan: return "ls";
+  }
+  return "??";
+}
+
+std::string IndexPrefix(IndexKind kind) {
+  return std::string("idx.") + IndexKindToken(kind) + ".";
+}
+
+// "catalog.meta": the windowing parameters the index was built under.
+struct CatalogMetaRec {
+  int32_t window_length = 0;
+  int32_t num_sequences = 0;
+};
+static_assert(sizeof(CatalogMetaRec) == 8);
+
+// "idx.<kind>.top": what one index block holds.
+struct IndexBlockMetaRec {
+  int32_t kind = 0;        // static_cast<int32_t>(IndexKind)
+  int32_t num_shards = 0;  // 1 = monolithic
+};
+static_assert(sizeof(IndexBlockMetaRec) == 8);
+
+// Serializes one (monolithic or per-shard) inner index of the given
+// kind under `prefix`. The kind comes from the options the index was
+// built with; a cast failure means the snapshot code and the build code
+// disagree about what Build produced — an internal bug, not bad input.
+Status SaveInnerSections(const RangeIndex& inner, IndexKind kind,
+                         SnapshotWriter& writer, const std::string& prefix) {
+  switch (kind) {
+    case IndexKind::kReferenceNet: {
+      const auto* net = dynamic_cast<const ReferenceNet*>(&inner);
+      if (net == nullptr) break;
+      return net->SaveSections(writer, prefix);
+    }
+    case IndexKind::kCoverTree: {
+      const auto* tree = dynamic_cast<const CoverTree*>(&inner);
+      if (tree == nullptr) break;
+      return tree->SaveSections(writer, prefix);
+    }
+    case IndexKind::kMvIndex: {
+      const auto* mv = dynamic_cast<const MvIndex*>(&inner);
+      if (mv == nullptr) break;
+      return mv->SaveSections(writer, prefix);
+    }
+    case IndexKind::kVpTree: {
+      const auto* vp = dynamic_cast<const VpTree*>(&inner);
+      if (vp == nullptr) break;
+      return vp->SaveSections(writer, prefix);
+    }
+    case IndexKind::kLinearScan: {
+      const auto* scan = dynamic_cast<const LinearScan*>(&inner);
+      if (scan == nullptr) break;
+      return scan->SaveSections(writer, prefix);
+    }
+  }
+  return Status::Internal("index under '" + prefix +
+                          "' is not the configured index_kind");
+}
+
+// Loads one inner index of the configured kind from sections under
+// `prefix`. The MV-index aliases its pivot table out of the file, so it
+// takes the shared_ptr; the others only copy.
+Result<std::unique_ptr<RangeIndex>> LoadInnerSections(
+    const std::shared_ptr<const SnapshotFile>& file,
+    const std::string& prefix, const DistanceOracle& oracle,
+    const MatcherOptions& options) {
+  switch (options.index_kind) {
+    case IndexKind::kReferenceNet: {
+      auto net = ReferenceNet::LoadSections(*file, prefix, oracle,
+                                            options.reference_net);
+      SUBSEQ_RETURN_NOT_OK(net.status());
+      return std::unique_ptr<RangeIndex>(std::move(net).ValueOrDie());
+    }
+    case IndexKind::kCoverTree: {
+      auto tree =
+          CoverTree::LoadSections(*file, prefix, oracle, options.cover_tree);
+      SUBSEQ_RETURN_NOT_OK(tree.status());
+      return std::unique_ptr<RangeIndex>(std::move(tree).ValueOrDie());
+    }
+    case IndexKind::kMvIndex: {
+      auto mv =
+          MvIndex::LoadSections(file, prefix, oracle, options.mv_index);
+      SUBSEQ_RETURN_NOT_OK(mv.status());
+      return std::unique_ptr<RangeIndex>(std::move(mv).ValueOrDie());
+    }
+    case IndexKind::kVpTree: {
+      auto vp = VpTree::LoadSections(*file, prefix, oracle, options.vp_tree);
+      SUBSEQ_RETURN_NOT_OK(vp.status());
+      return std::unique_ptr<RangeIndex>(std::move(vp).ValueOrDie());
+    }
+    case IndexKind::kLinearScan: {
+      auto scan = LinearScan::LoadSections(*file, prefix, oracle);
+      SUBSEQ_RETURN_NOT_OK(scan.status());
+      return std::unique_ptr<RangeIndex>(std::move(scan).ValueOrDie());
+    }
+  }
+  return Status::InvalidArgument("unknown IndexKind");
+}
+
+// First parent id of shard s under the even contiguous split of n
+// objects into k shards (first n % k shards one object larger) — the
+// split ShardedIndex::Build uses and LoadSections re-verifies.
+int32_t SplitBegin(int32_t n, int32_t k, int32_t s) {
+  const int32_t base = n / k;
+  const int32_t extra = n % k;
+  return s * base + std::min(s, extra);
+}
+
+// The out-of-core cousin of matcher.cc's BuildKindIndex: builds one
+// shard's inner index, charging `gauge` as windows become resident.
+// Insertion-built backends (reference net, cover tree) stage ascending
+// ids in `batch_windows`-sized batches — the id order, and so the built
+// structure, is identical at every batch size. Table-built backends
+// materialize the whole shard in their constructor, so the shard is
+// charged up front.
+Result<std::unique_ptr<RangeIndex>> BuildShardBatched(
+    const DistanceOracle& oracle, const MatcherOptions& options,
+    int32_t batch_windows, ResidencyGauge* gauge) {
+  const int32_t n = oracle.size();
+  const int32_t batch = batch_windows > 0 ? std::min(batch_windows, n) : n;
+  const bool incremental = options.index_kind == IndexKind::kReferenceNet ||
+                           options.index_kind == IndexKind::kCoverTree;
+  if (!incremental) {
+    if (gauge != nullptr) gauge->Acquire(n);
+    switch (options.index_kind) {
+      case IndexKind::kMvIndex:
+        return std::unique_ptr<RangeIndex>(
+            std::make_unique<MvIndex>(oracle, options.mv_index));
+      case IndexKind::kVpTree:
+        return std::unique_ptr<RangeIndex>(
+            std::make_unique<VpTree>(oracle, options.vp_tree));
+      case IndexKind::kLinearScan:
+        return std::unique_ptr<RangeIndex>(
+            std::make_unique<LinearScan>(n));
+      default:
+        return Status::Internal("unexpected table-built IndexKind");
+    }
+  }
+
+  std::unique_ptr<ReferenceNet> net;
+  std::unique_ptr<CoverTree> tree;
+  if (options.index_kind == IndexKind::kReferenceNet) {
+    net = std::make_unique<ReferenceNet>(oracle, options.reference_net);
+  } else {
+    tree = std::make_unique<CoverTree>(oracle, options.cover_tree);
+  }
+  for (int32_t id = 0; id < n;) {
+    const int32_t take = std::min(batch, n - id);
+    if (gauge != nullptr) gauge->Acquire(take);
+    for (int32_t i = 0; i < take; ++i) {
+      SUBSEQ_RETURN_NOT_OK(net != nullptr ? net->Insert(id + i)
+                                          : tree->Insert(id + i));
+    }
+    id += take;
+  }
+  if (net != nullptr) return std::unique_ptr<RangeIndex>(std::move(net));
+  return std::unique_ptr<RangeIndex>(std::move(tree));
+}
+
+}  // namespace
+
+template <typename T>
+Status SubsequenceMatcher<T>::SaveCatalogSections(
+    SnapshotWriter& writer) const {
+  CatalogMetaRec meta;
+  meta.window_length = catalog_->window_length();
+  meta.num_sequences = static_cast<int32_t>(db_.size());
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct("catalog.meta", meta));
+  std::vector<int32_t> lengths;
+  lengths.reserve(static_cast<size_t>(db_.size()));
+  for (const auto& seq : db_) lengths.push_back(seq.size());
+  return writer.AppendPodSection<int32_t>(
+      "catalog.seq_lengths", std::span<const int32_t>(lengths));
+}
+
+template <typename T>
+Status SubsequenceMatcher<T>::SaveIndexSections(SnapshotWriter& writer) const {
+  const IndexKind kind = options_.index_kind;
+  const std::string prefix = IndexPrefix(kind);
+  const auto* sharded = dynamic_cast<const ShardedIndex*>(index_.get());
+
+  IndexBlockMetaRec top;
+  top.kind = static_cast<int32_t>(kind);
+  top.num_shards = sharded != nullptr ? sharded->num_shards() : 1;
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "top", top));
+
+  if (sharded != nullptr) {
+    return sharded->SaveSections(
+        writer, prefix,
+        [kind](const RangeIndex& inner, SnapshotWriter& w,
+               const std::string& shard_prefix) {
+          return SaveInnerSections(inner, kind, w, shard_prefix);
+        });
+  }
+  return SaveInnerSections(*index_, kind, writer, prefix);
+}
+
+template <typename T>
+Status SubsequenceMatcher<T>::SaveIndex(const std::string& path) const {
+  auto writer = SnapshotWriter::Create(path);
+  SUBSEQ_RETURN_NOT_OK(writer.status());
+  SnapshotWriter& w = *writer.value();
+  SUBSEQ_RETURN_NOT_OK(SaveCatalogSections(w));
+  SUBSEQ_RETURN_NOT_OK(SaveIndexSections(w));
+  return w.Finish();
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>>
+SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
+                                     const SequenceDistance<T>& dist,
+                                     MatcherOptions options,
+                                     std::shared_ptr<const SnapshotFile> file) {
+  if (file == nullptr) {
+    return Status::InvalidArgument("LoadIndexFrom requires an open snapshot");
+  }
+  auto shell = MakeShell(db, dist, std::move(options));
+  SUBSEQ_RETURN_NOT_OK(shell.status());
+  auto matcher = std::move(shell).ValueOrDie();
+  const MatcherOptions& resolved = matcher->options_;
+
+  // The snapshot is an index over a specific database partition; verify
+  // the caller supplied that database before trusting any stored id.
+  CatalogMetaRec meta;
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(*file, "catalog.meta", &meta));
+  if (meta.window_length != matcher->catalog_->window_length()) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' was built with window length " +
+        std::to_string(meta.window_length) + " (lambda = " +
+        std::to_string(2 * meta.window_length) + "), but options request " +
+        std::to_string(matcher->catalog_->window_length()) +
+        " — a loaded index must equal the fresh build it replaces");
+  }
+  if (meta.num_sequences != db.size()) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' indexes " +
+        std::to_string(meta.num_sequences) + " sequences but the database "
+        "has " + std::to_string(db.size()) +
+        " — snapshots must be loaded against the database they were built "
+        "from");
+  }
+  auto lengths = PodSectionView<int32_t>(*file, "catalog.seq_lengths");
+  SUBSEQ_RETURN_NOT_OK(lengths.status());
+  if (lengths.value().size() != static_cast<size_t>(meta.num_sequences)) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' section 'catalog.seq_lengths' "
+        "holds " + std::to_string(lengths.value().size()) +
+        " lengths, expected " + std::to_string(meta.num_sequences));
+  }
+  for (int32_t s = 0; s < meta.num_sequences; ++s) {
+    if (lengths.value()[static_cast<size_t>(s)] != db.at(s).size()) {
+      return Status::InvalidArgument(
+          "snapshot '" + file->path() + "' sequence " + std::to_string(s) +
+          " had length " +
+          std::to_string(lengths.value()[static_cast<size_t>(s)]) +
+          " at save time but the database supplies " +
+          std::to_string(db.at(s).size()) +
+          " — snapshots must be loaded against the database they were "
+          "built from");
+    }
+  }
+
+  const std::string prefix = IndexPrefix(resolved.index_kind);
+  const std::string top_name = prefix + "top";
+  if (!file->has_section(top_name)) {
+    return Status::NotFound(
+        "snapshot '" + file->path() + "' has no index block for kind '" +
+        IndexKindToken(resolved.index_kind) + "' (no section '" + top_name +
+        "'); it was saved under a different index_kind");
+  }
+  IndexBlockMetaRec top;
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(*file, top_name, &top));
+  if (top.kind != static_cast<int32_t>(resolved.index_kind)) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' section '" + top_name +
+        "' records kind " + std::to_string(top.kind) +
+        ", which contradicts its own name — the file is corrupted");
+  }
+  if (top.num_shards < 1) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' section '" + top_name +
+        "' records " + std::to_string(top.num_shards) +
+        " shards; at least 1 is required");
+  }
+  const int32_t expected_shards =
+      resolved.exec.ResolvedShards(matcher->oracle_->size());
+  if (top.num_shards != expected_shards) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' holds a " +
+        std::to_string(top.num_shards) + "-shard index but the options "
+        "resolve to " + std::to_string(expected_shards) +
+        " shards; set exec.num_shards = " + std::to_string(top.num_shards) +
+        " — a loaded index must equal the fresh build it replaces");
+  }
+
+  if (top.num_shards > 1) {
+    auto sharded = ShardedIndex::LoadSections(
+        *file, prefix, *matcher->oracle_, expected_shards,
+        [&file, &resolved](const SnapshotFile&, const std::string& sp,
+                           const DistanceOracle& shard_oracle, int32_t) {
+          return LoadInnerSections(file, sp, shard_oracle, resolved);
+        });
+    SUBSEQ_RETURN_NOT_OK(sharded.status());
+    matcher->index_ = std::move(sharded).ValueOrDie();
+  } else {
+    auto inner =
+        LoadInnerSections(file, prefix, *matcher->oracle_, resolved);
+    SUBSEQ_RETURN_NOT_OK(inner.status());
+    matcher->index_ = std::move(inner).ValueOrDie();
+  }
+  matcher->snapshot_ = std::move(file);
+  return matcher;
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>>
+SubsequenceMatcher<T>::LoadIndex(const SequenceDatabase<T>& db,
+                                 const SequenceDistance<T>& dist,
+                                 MatcherOptions options,
+                                 const std::string& path) {
+  auto file = SnapshotFile::Open(path, options.snapshot_load_mode);
+  SUBSEQ_RETURN_NOT_OK(file.status());
+  return LoadIndexFrom(db, dist, std::move(options),
+                       std::move(file).ValueOrDie());
+}
+
+template <typename T>
+Status SubsequenceMatcher<T>::BuildToSnapshot(
+    const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
+    MatcherOptions options, const std::string& path,
+    const SnapshotBuildOptions& build, ResidencyGauge* gauge) {
+  auto shell = MakeShell(db, dist, std::move(options));
+  SUBSEQ_RETURN_NOT_OK(shell.status());
+  auto matcher = std::move(shell).ValueOrDie();
+  const MatcherOptions& resolved = matcher->options_;
+  if (build.batch_windows < 0) {
+    return Status::InvalidArgument(
+        "SnapshotBuildOptions.batch_windows must be >= 0 (0 = one batch "
+        "per shard)");
+  }
+
+  auto writer = SnapshotWriter::Create(path);
+  SUBSEQ_RETURN_NOT_OK(writer.status());
+  SnapshotWriter& w = *writer.value();
+  SUBSEQ_RETURN_NOT_OK(matcher->SaveCatalogSections(w));
+
+  const IndexKind kind = resolved.index_kind;
+  const std::string prefix = IndexPrefix(kind);
+  const int32_t n = matcher->oracle_->size();
+  const int32_t k = resolved.exec.ResolvedShards(n);
+
+  IndexBlockMetaRec top;
+  top.kind = static_cast<int32_t>(kind);
+  top.num_shards = k;
+  SUBSEQ_RETURN_NOT_OK(w.AppendPodStruct(prefix + "top", top));
+
+  if (k > 1) {
+    SUBSEQ_RETURN_NOT_OK(ShardedIndex::WriteShardLayout(w, prefix, n, k));
+    for (int32_t s = 0; s < k; ++s) {
+      const int32_t begin = SplitBegin(n, k, s);
+      const int32_t size = SplitBegin(n, k, s + 1) - begin;
+      // One shard alive at a time: build, serialize, free — the whole
+      // point of the streamed path. The ShardOracle view reproduces
+      // exactly what ShardedIndex::Build hands its factory, so the
+      // shard's sections are byte-identical to the in-core save.
+      const ShardOracle shard_oracle(*matcher->oracle_, begin, size);
+      auto inner = BuildShardBatched(shard_oracle, resolved,
+                                     build.batch_windows, gauge);
+      SUBSEQ_RETURN_NOT_OK(inner.status());
+      SUBSEQ_RETURN_NOT_OK(SaveInnerSections(
+          *inner.value(), kind, w, ShardedIndex::ShardPrefix(prefix, s)));
+      std::move(inner).ValueOrDie().reset();
+      if (gauge != nullptr) gauge->Release(size);
+    }
+  } else {
+    auto inner = BuildShardBatched(*matcher->oracle_, resolved,
+                                   build.batch_windows, gauge);
+    SUBSEQ_RETURN_NOT_OK(inner.status());
+    SUBSEQ_RETURN_NOT_OK(SaveInnerSections(*inner.value(), kind, w, prefix));
+    std::move(inner).ValueOrDie().reset();
+    if (gauge != nullptr) gauge->Release(n);
+  }
+  return w.Finish();
+}
+
+// The snapshot members live in this translation unit, so the class-level
+// explicit instantiations in matcher.cc cannot see them; they are
+// instantiated here instead.
+#define SUBSEQ_INSTANTIATE_MATCHER_SNAPSHOT(T)                               \
+  template Status SubsequenceMatcher<T>::SaveIndex(const std::string&)       \
+      const;                                                                 \
+  template Status SubsequenceMatcher<T>::SaveCatalogSections(                \
+      SnapshotWriter&) const;                                                \
+  template Status SubsequenceMatcher<T>::SaveIndexSections(SnapshotWriter&)  \
+      const;                                                                 \
+  template Result<std::unique_ptr<SubsequenceMatcher<T>>>                    \
+  SubsequenceMatcher<T>::LoadIndex(const SequenceDatabase<T>&,               \
+                                   const SequenceDistance<T>&,               \
+                                   MatcherOptions, const std::string&);      \
+  template Result<std::unique_ptr<SubsequenceMatcher<T>>>                    \
+  SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>&,           \
+                                       const SequenceDistance<T>&,           \
+                                       MatcherOptions,                       \
+                                       std::shared_ptr<const SnapshotFile>); \
+  template Status SubsequenceMatcher<T>::BuildToSnapshot(                    \
+      const SequenceDatabase<T>&, const SequenceDistance<T>&,                \
+      MatcherOptions, const std::string&, const SnapshotBuildOptions&,       \
+      ResidencyGauge*);
+
+SUBSEQ_INSTANTIATE_MATCHER_SNAPSHOT(char)
+SUBSEQ_INSTANTIATE_MATCHER_SNAPSHOT(double)
+SUBSEQ_INSTANTIATE_MATCHER_SNAPSHOT(Point2d)
+
+#undef SUBSEQ_INSTANTIATE_MATCHER_SNAPSHOT
+
+}  // namespace subseq

@@ -15,6 +15,7 @@
 #ifndef SUBSEQ_METRIC_COVER_TREE_H_
 #define SUBSEQ_METRIC_COVER_TREE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,9 @@
 #include "subseq/metric/range_index.h"
 
 namespace subseq {
+
+class SnapshotFile;
+class SnapshotWriter;
 
 /// Cover-tree tunables.
 struct CoverTreeOptions {
@@ -67,6 +71,18 @@ class CoverTree final : public RangeIndex {
   /// Verifies covering, separation, single-parent reachability and the
   /// subtree radius bound. Test/diagnostic use (O(n^2) distances).
   std::optional<std::string> CheckInvariants() const;
+
+  /// Appends this tree's snapshot sections ("<prefix>meta", "nodes",
+  /// "lists", "edges", "dups") to `writer`. Canonical encoding.
+  Status SaveSections(SnapshotWriter& writer, const std::string& prefix) const;
+
+  /// Reconstructs a tree from snapshot sections. Validates covering
+  /// levels, parent back-links, single-parent reachability, and a
+  /// deterministic seeded sample of edge distances against the oracle;
+  /// the stored base_radius must match `options`.
+  static Result<std::unique_ptr<CoverTree>> LoadSections(
+      const SnapshotFile& file, const std::string& prefix,
+      const DistanceOracle& oracle, const CoverTreeOptions& options);
 
  private:
   /// A parent->child link with the exact parent-child distance (used for

@@ -4,6 +4,8 @@
 
 #include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
 
 namespace subseq {
 
@@ -147,6 +149,37 @@ SpaceStats LinearScan::ComputeSpaceStats() const {
   s.num_objects = num_objects_;
   s.approx_bytes = 0;  // no structure beyond the data itself
   return s;
+}
+
+namespace {
+
+struct LinearScanMetaRec {
+  int32_t num_objects;
+  int32_t pad0;
+};
+static_assert(sizeof(LinearScanMetaRec) == 8);
+
+}  // namespace
+
+Status LinearScan::SaveSections(SnapshotWriter& writer,
+                                const std::string& prefix) const {
+  LinearScanMetaRec meta{};
+  meta.num_objects = num_objects_;
+  return writer.AppendPodStruct(prefix + "meta", meta);
+}
+
+Result<std::unique_ptr<LinearScan>> LinearScan::LoadSections(
+    const SnapshotFile& file, const std::string& prefix,
+    const DistanceOracle& oracle) {
+  LinearScanMetaRec meta{};
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(file, prefix + "meta", &meta));
+  if (meta.num_objects != oracle.size()) {
+    return Status::InvalidArgument(
+        "linear-scan snapshot sections '" + prefix + "*': indexes " +
+        std::to_string(meta.num_objects) + " objects but the oracle holds " +
+        std::to_string(oracle.size()));
+  }
+  return std::make_unique<LinearScan>(meta.num_objects);
 }
 
 }  // namespace subseq

@@ -5,9 +5,16 @@
 #ifndef SUBSEQ_METRIC_LINEAR_SCAN_H_
 #define SUBSEQ_METRIC_LINEAR_SCAN_H_
 
+#include <memory>
+#include <string>
+
+#include "subseq/core/status.h"
 #include "subseq/metric/range_index.h"
 
 namespace subseq {
+
+class SnapshotFile;
+class SnapshotWriter;
 
 /// Exhaustive range search over n objects: always n distance computations.
 class LinearScan final : public RangeIndex {
@@ -36,6 +43,17 @@ class LinearScan final : public RangeIndex {
 
   SpaceStats ComputeSpaceStats() const override;
   BuildStats build_stats() const override { return BuildStats{}; }
+
+  /// Appends this scan's one snapshot section ("<prefix>meta"). A
+  /// linear scan has no structure, but persisting it keeps the snapshot
+  /// self-describing and the five-kind round-trip uniform.
+  Status SaveSections(SnapshotWriter& writer, const std::string& prefix) const;
+
+  /// Reconstructs a scan from snapshot sections; the stored object
+  /// count must match the oracle.
+  static Result<std::unique_ptr<LinearScan>> LoadSections(
+      const SnapshotFile& file, const std::string& prefix,
+      const DistanceOracle& oracle);
 
  private:
   int32_t num_objects_;

@@ -10,6 +10,8 @@
 #include "subseq/exec/parallel_for.h"
 #include "subseq/exec/stats_sink.h"
 #include "subseq/metric/knn.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
 
 namespace subseq {
 
@@ -65,14 +67,14 @@ MvIndex::MvIndex(const DistanceOracle& oracle, MvIndexOptions options)
   }
 
   // Precompute the n x k pivot table, one chunk of rows per thread.
-  table_.resize(static_cast<size_t>(n) * static_cast<size_t>(k));
+  table_storage_.resize(static_cast<size_t>(n) * static_cast<size_t>(k));
   ParallelFor(
       options_.exec, n,
       [&](int64_t lo, int64_t hi, int32_t) {
         for (int64_t x = lo; x < hi; ++x) {
           for (int32_t j = 0; j < k; ++j) {
-            table_[static_cast<size_t>(x) * static_cast<size_t>(k) +
-                   static_cast<size_t>(j)] =
+            table_storage_[static_cast<size_t>(x) * static_cast<size_t>(k) +
+                           static_cast<size_t>(j)] =
                 oracle_.Distance(static_cast<ObjectId>(x),
                                  references_[static_cast<size_t>(j)]);
           }
@@ -80,7 +82,120 @@ MvIndex::MvIndex(const DistanceOracle& oracle, MvIndexOptions options)
         build_sink.AddDistanceComputations((hi - lo) * k);
       },
       /*grain=*/16);
+  table_ = table_storage_;
   build_stats_.distance_computations = build_sink.distance_computations();
+}
+
+namespace {
+
+struct MvIndexMetaRec {
+  int32_t num_objects;
+  int32_t num_references_stored;
+  int32_t opt_num_references;
+  int32_t opt_sample_size;
+  uint64_t seed;
+  int64_t build_distance_computations;
+};
+static_assert(sizeof(MvIndexMetaRec) == 32);
+
+}  // namespace
+
+Status MvIndex::SaveSections(SnapshotWriter& writer,
+                             const std::string& prefix) const {
+  MvIndexMetaRec meta{};
+  meta.num_objects = num_objects_;
+  meta.num_references_stored = static_cast<int32_t>(references_.size());
+  meta.opt_num_references = options_.num_references;
+  meta.opt_sample_size = options_.sample_size;
+  meta.seed = options_.seed;
+  meta.build_distance_computations = build_stats_.distance_computations;
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "meta", meta));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<ObjectId>(
+      prefix + "refs", references_));
+  return writer.AppendPodSection<double>(prefix + "table", table_);
+}
+
+Result<std::unique_ptr<MvIndex>> MvIndex::LoadSections(
+    std::shared_ptr<const SnapshotFile> file, const std::string& prefix,
+    const DistanceOracle& oracle, const MvIndexOptions& options) {
+  MvIndexMetaRec meta{};
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(*file, prefix + "meta", &meta));
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("mv-index snapshot sections '" + prefix +
+                                   "*': " + why);
+  };
+  if (meta.num_objects != oracle.size()) {
+    return bad("indexes " + std::to_string(meta.num_objects) +
+               " objects but the oracle holds " +
+               std::to_string(oracle.size()));
+  }
+  if (meta.opt_num_references != options.num_references ||
+      meta.opt_sample_size != options.sample_size ||
+      meta.seed != options.seed) {
+    return bad("saved with num_references=" +
+               std::to_string(meta.opt_num_references) + " sample_size=" +
+               std::to_string(meta.opt_sample_size) + " seed=" +
+               std::to_string(meta.seed) + " but the load requested " +
+               std::to_string(options.num_references) + "/" +
+               std::to_string(options.sample_size) + "/" +
+               std::to_string(options.seed) +
+               "; a loaded index must equal the fresh build it replaces");
+  }
+  const int32_t n = meta.num_objects;
+  const int32_t k = meta.num_references_stored;
+  const int32_t expected_k = n == 0 ? 0 : std::min(options.num_references, n);
+  if (k != expected_k) {
+    return bad("stores " + std::to_string(k) + " references, expected " +
+               std::to_string(expected_k));
+  }
+
+  auto index = std::unique_ptr<MvIndex>(
+      new MvIndex(oracle, options, LoadTag{}));
+  index->num_objects_ = n;
+  index->build_stats_.distance_computations = meta.build_distance_computations;
+  SUBSEQ_RETURN_NOT_OK(
+      ReadPodSection<ObjectId>(*file, prefix + "refs", &index->references_));
+  if (static_cast<int32_t>(index->references_.size()) != k) {
+    return bad("refs section holds " +
+               std::to_string(index->references_.size()) +
+               " entries but meta records " + std::to_string(k));
+  }
+  for (const ObjectId r : index->references_) {
+    if (r < 0 || r >= n) {
+      return bad("reference id " + std::to_string(r) + " out of range");
+    }
+  }
+  auto table = PodSectionView<double>(*file, prefix + "table");
+  if (!table.ok()) return table.status();
+  if (table.value().size() !=
+      static_cast<size_t>(n) * static_cast<size_t>(k)) {
+    return bad("table holds " + std::to_string(table.value().size()) +
+               " cells, expected " + std::to_string(n) + " x " +
+               std::to_string(k));
+  }
+  index->table_ = table.value();
+  index->backing_ = std::move(file);
+
+  // Seeded spot-check: recompute a deterministic sample of table cells
+  // against the oracle. Catches a checksum-intact snapshot loaded
+  // against the wrong dataset or distance.
+  if (n > 0 && k > 0) {
+    Rng rng(0x11C9DC58E6F4A7B3ULL ^
+            (static_cast<uint64_t>(n) << 8) ^ static_cast<uint64_t>(k));
+    const size_t cells = static_cast<size_t>(n) * static_cast<size_t>(k);
+    const size_t checks = std::min<size_t>(cells, 64);
+    for (size_t c = 0; c < checks; ++c) {
+      const size_t cell = static_cast<size_t>(rng.NextBounded(cells));
+      const ObjectId x = static_cast<ObjectId>(cell / static_cast<size_t>(k));
+      const ObjectId r =
+          index->references_[cell % static_cast<size_t>(k)];
+      if (oracle.Distance(x, r) != index->table_[cell]) {
+        return bad("stored pivot distances disagree with the oracle — was "
+                   "the index saved for a different dataset or distance?");
+      }
+    }
+  }
+  return index;
 }
 
 std::vector<ObjectId> MvIndex::RangeQuery(const QueryDistanceFn& query,

@@ -14,11 +14,18 @@
 #ifndef SUBSEQ_METRIC_MV_INDEX_H_
 #define SUBSEQ_METRIC_MV_INDEX_H_
 
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "subseq/core/status.h"
 #include "subseq/metric/range_index.h"
 
 namespace subseq {
+
+class SnapshotFile;
+class SnapshotWriter;
 
 /// MV index tunables.
 struct MvIndexOptions {
@@ -58,13 +65,35 @@ class MvIndex final : public RangeIndex {
   /// The selected reference objects, most-variant first.
   const std::vector<ObjectId>& references() const { return references_; }
 
+  /// Appends this index's snapshot sections ("<prefix>meta", "refs",
+  /// "table") to `writer`.
+  Status SaveSections(SnapshotWriter& writer, const std::string& prefix) const;
+
+  /// Reconstructs an index from snapshot sections. The n x k pivot
+  /// table is *aliased* out of `file` (zero copy — in mmap mode the
+  /// table stays demand-paged on disk), so the index keeps a shared_ptr
+  /// to the file. Validates sizes, reference ids, and a seeded oracle
+  /// spot-check of table cells; the stored build options must match
+  /// `options`.
+  static Result<std::unique_ptr<MvIndex>> LoadSections(
+      std::shared_ptr<const SnapshotFile> file, const std::string& prefix,
+      const DistanceOracle& oracle, const MvIndexOptions& options);
+
  private:
+  struct LoadTag {};
+  MvIndex(const DistanceOracle& oracle, MvIndexOptions options, LoadTag)
+      : oracle_(oracle), options_(std::move(options)) {}
+
   const DistanceOracle& oracle_;
   MvIndexOptions options_;
   int32_t num_objects_ = 0;
   std::vector<ObjectId> references_;
   // Row-major n x k: table_[x * k + j] = d(object x, reference j).
-  std::vector<double> table_;
+  // Backed by table_storage_ when built fresh, or aliased directly out
+  // of a snapshot file (kept alive by backing_) when loaded.
+  std::span<const double> table_;
+  std::vector<double> table_storage_;
+  std::shared_ptr<const SnapshotFile> backing_;
   BuildStats build_stats_;
 };
 

@@ -9,8 +9,11 @@
 #include "subseq/distance/distance.h"
 
 #include "subseq/core/check.h"
+#include "subseq/core/rng.h"
 #include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
 
 namespace subseq {
 
@@ -713,8 +716,34 @@ Result<ReferenceNet> ReferenceNet::Import(
   net.root_ = 0;
 
   // Pass 2: rebuild child lists and parent links, validating levels and
-  // spot-checking stored distances against the oracle.
-  int64_t checked = 0;
+  // spot-checking stored distances against the oracle. The spot-check
+  // sample is a *deterministic seeded* subset of all edges (every edge
+  // when the net is small): checking only the first edges would let a
+  // bad late edge through, and an unseeded sample would make detection
+  // a coin flip between runs — the regression test plants one bad edge
+  // and must always catch it.
+  int64_t total_edges = 0;
+  for (const ExportedNode& e : nodes) {
+    total_edges += static_cast<int64_t>(e.edges.size());
+  }
+  constexpr int64_t kSpotChecks = 256;
+  std::vector<uint8_t> check_edge;
+  if (total_edges <= kSpotChecks) {
+    check_edge.assign(static_cast<size_t>(total_edges), 1);
+  } else {
+    check_edge.assign(static_cast<size_t>(total_edges), 0);
+    Rng rng(0x7E0FB2A5C18D6E4BULL ^ static_cast<uint64_t>(total_edges));
+    int64_t chosen = 0;
+    while (chosen < kSpotChecks) {
+      const size_t pick = static_cast<size_t>(
+          rng.NextBounded(static_cast<uint64_t>(total_edges)));
+      if (!check_edge[pick]) {
+        check_edge[pick] = 1;
+        ++chosen;
+      }
+    }
+  }
+  int64_t edge_cursor = 0;
   for (size_t i = 0; i < nodes.size(); ++i) {
     const int32_t parent_index = static_cast<int32_t>(i);
     const Node& parent = net.nodes_[static_cast<size_t>(parent_index)];
@@ -736,15 +765,11 @@ Result<ReferenceNet> ReferenceNet::Import(
         return Status::InvalidArgument(
             "snapshot edge distance exceeds its list radius");
       }
-      // Spot-check the first few stored distances against the oracle to
-      // catch snapshots reloaded against the wrong dataset.
-      if (checked < 16) {
-        ++checked;
-        if (oracle.Distance(parent.object, child_object) != distance) {
-          return Status::InvalidArgument(
-              "snapshot distances disagree with the oracle; was the net "
-              "saved for a different dataset or distance?");
-        }
+      if (check_edge[static_cast<size_t>(edge_cursor++)] &&
+          oracle.Distance(parent.object, child_object) != distance) {
+        return Status::InvalidArgument(
+            "snapshot distances disagree with the oracle; was the net "
+            "saved for a different dataset or distance?");
       }
       net.AddToList(parent_index, lvl, child_index, distance);
     }
@@ -754,6 +779,160 @@ Result<ReferenceNet> ReferenceNet::Import(
       return Status::InvalidArgument("snapshot node has no parent");
     }
   }
+  return net;
+}
+
+namespace {
+
+struct RefNetMetaRec {
+  int32_t num_objects;
+  int32_t num_nodes;
+  int64_t dup_total;
+  int64_t edge_total;
+  double base_radius;
+  int32_t max_parents;
+  int32_t pad0;
+  int64_t build_distance_computations;
+};
+static_assert(sizeof(RefNetMetaRec) == 48);
+
+struct RefNetNodeRec {
+  int32_t object;
+  int32_t top_level;
+  int32_t dup_count;
+  int32_t edge_count;
+};
+static_assert(sizeof(RefNetNodeRec) == 16);
+
+struct RefNetEdgeRec {
+  int32_t level;
+  int32_t child_object;
+  double distance;
+};
+static_assert(sizeof(RefNetEdgeRec) == 16);
+
+}  // namespace
+
+Status ReferenceNet::SaveSections(SnapshotWriter& writer,
+                                  const std::string& prefix) const {
+  const std::vector<ExportedNode> exported = Export();
+  RefNetMetaRec meta{};
+  meta.num_objects = num_objects_;
+  meta.num_nodes = static_cast<int32_t>(exported.size());
+  meta.base_radius = options_.base_radius;
+  meta.max_parents = options_.max_parents;
+  meta.build_distance_computations = build_stats_.distance_computations;
+
+  std::vector<RefNetNodeRec> nodes(exported.size());
+  std::vector<ObjectId> dups;
+  std::vector<RefNetEdgeRec> edges;
+  for (size_t i = 0; i < exported.size(); ++i) {
+    const ExportedNode& e = exported[i];
+    nodes[i].object = e.object;
+    nodes[i].top_level = e.top_level;
+    nodes[i].dup_count = static_cast<int32_t>(e.duplicates.size());
+    nodes[i].edge_count = static_cast<int32_t>(e.edges.size());
+    dups.insert(dups.end(), e.duplicates.begin(), e.duplicates.end());
+    for (const auto& [lvl, child, distance] : e.edges) {
+      RefNetEdgeRec rec{};
+      rec.level = lvl;
+      rec.child_object = child;
+      rec.distance = distance;
+      edges.push_back(rec);
+    }
+  }
+  meta.dup_total = static_cast<int64_t>(dups.size());
+  meta.edge_total = static_cast<int64_t>(edges.size());
+
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "meta", meta));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<RefNetNodeRec>(
+      prefix + "nodes", nodes));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<ObjectId>(prefix + "dups",
+                                                         dups));
+  return writer.AppendPodSection<RefNetEdgeRec>(prefix + "edges", edges);
+}
+
+Result<std::unique_ptr<ReferenceNet>> ReferenceNet::LoadSections(
+    const SnapshotFile& file, const std::string& prefix,
+    const DistanceOracle& oracle, const ReferenceNetOptions& options) {
+  RefNetMetaRec meta{};
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(file, prefix + "meta", &meta));
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("reference-net snapshot sections '" +
+                                   prefix + "*': " + why);
+  };
+  if (meta.num_objects != oracle.size()) {
+    return bad("indexes " + std::to_string(meta.num_objects) +
+               " objects but the oracle holds " +
+               std::to_string(oracle.size()));
+  }
+  if (meta.base_radius != options.base_radius ||
+      meta.max_parents != options.max_parents) {
+    return bad("saved with base_radius=" + std::to_string(meta.base_radius) +
+               " max_parents=" + std::to_string(meta.max_parents) +
+               " but the load requested base_radius=" +
+               std::to_string(options.base_radius) + " max_parents=" +
+               std::to_string(options.max_parents) +
+               "; a loaded index must equal the fresh build it replaces");
+  }
+
+  auto nodes = PodSectionView<RefNetNodeRec>(file, prefix + "nodes");
+  if (!nodes.ok()) return nodes.status();
+  auto dups = PodSectionView<ObjectId>(file, prefix + "dups");
+  if (!dups.ok()) return dups.status();
+  auto edges = PodSectionView<RefNetEdgeRec>(file, prefix + "edges");
+  if (!edges.ok()) return edges.status();
+  if (meta.num_nodes != static_cast<int64_t>(nodes.value().size()) ||
+      meta.dup_total != static_cast<int64_t>(dups.value().size()) ||
+      meta.edge_total != static_cast<int64_t>(edges.value().size())) {
+    return bad("meta counts disagree with the section sizes");
+  }
+
+  // Re-inflate the ExportedNode form and run Import's full validation
+  // (levels, parents, reachability, seeded distance spot-check).
+  std::vector<ExportedNode> exported(nodes.value().size());
+  size_t dup_cursor = 0;
+  size_t edge_cursor = 0;
+  for (size_t i = 0; i < exported.size(); ++i) {
+    const RefNetNodeRec& rec = nodes.value()[i];
+    ExportedNode& e = exported[i];
+    e.object = rec.object;
+    e.top_level = rec.top_level;
+    if (rec.dup_count < 0 ||
+        static_cast<size_t>(rec.dup_count) > dups.value().size() - dup_cursor) {
+      return bad("node " + std::to_string(i) +
+                 " duplicate list overruns the section");
+    }
+    if (rec.edge_count < 0 ||
+        static_cast<size_t>(rec.edge_count) >
+            edges.value().size() - edge_cursor) {
+      return bad("node " + std::to_string(i) +
+                 " edge list overruns the section");
+    }
+    for (int32_t d = 0; d < rec.dup_count; ++d) {
+      e.duplicates.push_back(dups.value()[dup_cursor++]);
+    }
+    for (int32_t g = 0; g < rec.edge_count; ++g) {
+      const RefNetEdgeRec& edge = edges.value()[edge_cursor++];
+      e.edges.emplace_back(edge.level, edge.child_object, edge.distance);
+    }
+  }
+  if (dup_cursor != dups.value().size() ||
+      edge_cursor != edges.value().size()) {
+    return bad("sections hold entries no node references");
+  }
+
+  auto imported = Import(oracle, options, exported);
+  if (!imported.ok()) {
+    return bad(imported.status().message());
+  }
+  auto net = std::make_unique<ReferenceNet>(std::move(imported).value());
+  if (net->size() != meta.num_objects) {
+    return bad("imported net indexes " + std::to_string(net->size()) +
+               " objects but meta records " +
+               std::to_string(meta.num_objects));
+  }
+  net->build_stats_.distance_computations = meta.build_distance_computations;
   return net;
 }
 

@@ -24,6 +24,7 @@
 #ifndef SUBSEQ_METRIC_REFERENCE_NET_H_
 #define SUBSEQ_METRIC_REFERENCE_NET_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <tuple>
@@ -35,6 +36,9 @@
 #include "subseq/metric/range_index.h"
 
 namespace subseq {
+
+class SnapshotFile;
+class SnapshotWriter;
 
 /// Tunables of the reference net.
 struct ReferenceNetOptions {
@@ -113,11 +117,26 @@ class ReferenceNet final : public RangeIndex {
   std::vector<ExportedNode> Export() const;
 
   /// Rebuilds a net from a snapshot over the given oracle. Validates
-  /// level structure, parent links and a sample of edge distances; fails
-  /// with InvalidArgument on any inconsistency.
+  /// level structure, parent links and a deterministic seeded sample of
+  /// edge distances (every edge for small nets); fails with
+  /// InvalidArgument on any inconsistency.
   static Result<ReferenceNet> Import(const DistanceOracle& oracle,
                                      ReferenceNetOptions options,
                                      const std::vector<ExportedNode>& nodes);
+
+  /// Appends this net's binary snapshot sections ("<prefix>meta",
+  /// "nodes", "dups", "edges") to `writer` — the flat-POD counterpart
+  /// of the text dump in metric/serialization.h. Canonical: re-saving a
+  /// loaded net reproduces the bytes exactly.
+  Status SaveSections(SnapshotWriter& writer, const std::string& prefix) const;
+
+  /// Reconstructs a net from binary snapshot sections via Import() (all
+  /// of Import's structural validation and its seeded distance
+  /// spot-check apply). The stored base_radius/max_parents must match
+  /// `options`.
+  static Result<std::unique_ptr<ReferenceNet>> LoadSections(
+      const SnapshotFile& file, const std::string& prefix,
+      const DistanceOracle& oracle, const ReferenceNetOptions& options);
 
  private:
   /// A parent->child link, annotated with the exact parent-child distance

@@ -1,7 +1,15 @@
-// Persistence for the reference net: builds are the expensive part of the
-// pipeline (millions of distance computations at paper scale), so the
-// structure can be saved after construction and reloaded instantly
+// Text persistence for the reference net: builds are the expensive part
+// of the pipeline (millions of distance computations at paper scale), so
+// the structure can be saved after construction and reloaded instantly
 // against the same oracle.
+//
+// This is the human-readable single-backend format. The binary,
+// checksummed, mmap-able format covering every backend (and whole
+// matchers / servers) is the snapshot subsystem — src/subseq/snapshot/
+// plus the SaveSections/LoadSections surface on each index and
+// SubsequenceMatcher::SaveIndex/LoadIndex/BuildToSnapshot. Prefer
+// snapshots for production persistence; this text dump stays for
+// debugging and as a second, independent encoding in tests.
 //
 // Format: a line-oriented text header ("subseq-refnet v1") followed by
 // one line per node (object id, top level, duplicates, child edges with

@@ -5,6 +5,8 @@
 
 #include "subseq/core/check.h"
 #include "subseq/exec/parallel_for.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
 
 namespace subseq {
 
@@ -251,6 +253,110 @@ BuildStats ShardedIndex::build_stats() const {
         shard.index->build_stats().distance_computations;
   }
   return total;
+}
+
+namespace {
+
+struct ShardedMetaRec {
+  int32_t num_shards;
+  int32_t total_objects;
+};
+static_assert(sizeof(ShardedMetaRec) == 8);
+
+}  // namespace
+
+std::string ShardedIndex::ShardPrefix(const std::string& prefix, int32_t s) {
+  return prefix + "s" + std::to_string(s) + ".";
+}
+
+Status ShardedIndex::WriteShardLayout(SnapshotWriter& writer,
+                                      const std::string& prefix, int32_t n,
+                                      int32_t k) {
+  ShardedMetaRec meta{};
+  meta.num_shards = k;
+  meta.total_objects = n;
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "meta", meta));
+  std::vector<int32_t> begins(static_cast<size_t>(k) + 1);
+  for (int32_t s = 0; s <= k; ++s) {
+    begins[static_cast<size_t>(s)] = SplitBegin(n, k, s);
+  }
+  return writer.AppendPodSection<int32_t>(prefix + "begins", begins);
+}
+
+Status ShardedIndex::SaveSections(SnapshotWriter& writer,
+                                  const std::string& prefix,
+                                  const ShardIndexSaver& saver) const {
+  const int32_t k = num_shards();
+  SUBSEQ_RETURN_NOT_OK(WriteShardLayout(writer, prefix, size(), k));
+  for (int32_t s = 0; s < k; ++s) {
+    SUBSEQ_RETURN_NOT_OK(saver(*shards_[static_cast<size_t>(s)].index, writer,
+                               ShardPrefix(prefix, s)));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::LoadSections(
+    const SnapshotFile& file, const std::string& prefix,
+    const DistanceOracle& oracle, int32_t expected_shards,
+    const ShardIndexLoader& loader) {
+  ShardedMetaRec meta{};
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(file, prefix + "meta", &meta));
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("sharded snapshot sections '" + prefix +
+                                   "*': " + why);
+  };
+  if (meta.total_objects != oracle.size()) {
+    return bad("covers " + std::to_string(meta.total_objects) +
+               " objects but the oracle holds " +
+               std::to_string(oracle.size()));
+  }
+  const int32_t k = meta.num_shards;
+  if (k != expected_shards) {
+    return bad("saved with " + std::to_string(k) +
+               " shards but the current options resolve to " +
+               std::to_string(expected_shards) +
+               "; set exec.num_shards to match the snapshot (a loaded "
+               "index must equal the fresh build it replaces)");
+  }
+  if (k < 1 || k > std::max(1, meta.total_objects)) {
+    return bad("shard count " + std::to_string(k) + " out of range");
+  }
+  std::vector<int32_t> begins;
+  SUBSEQ_RETURN_NOT_OK(
+      ReadPodSection<int32_t>(file, prefix + "begins", &begins));
+  if (static_cast<int32_t>(begins.size()) != k + 1) {
+    return bad("begins section holds " + std::to_string(begins.size()) +
+               " entries, expected " + std::to_string(k + 1));
+  }
+  for (int32_t s = 0; s <= k; ++s) {
+    if (begins[static_cast<size_t>(s)] != SplitBegin(meta.total_objects, k,
+                                                     s)) {
+      return bad("shard " + std::to_string(s) + " begins at " +
+                 std::to_string(begins[static_cast<size_t>(s)]) +
+                 ", not the even contiguous split");
+    }
+  }
+
+  auto sharded = std::unique_ptr<ShardedIndex>(new ShardedIndex());
+  sharded->shards_.resize(static_cast<size_t>(k));
+  for (int32_t s = 0; s < k; ++s) {
+    const int32_t begin = begins[static_cast<size_t>(s)];
+    const int32_t end = begins[static_cast<size_t>(s) + 1];
+    Shard& shard = sharded->shards_[static_cast<size_t>(s)];
+    shard.oracle = std::make_unique<ShardOracle>(oracle, begin, end - begin);
+    auto inner = loader(file, ShardPrefix(prefix, s), *shard.oracle, s);
+    if (!inner.ok()) return inner.status();
+    shard.index = std::move(inner).value();
+    SUBSEQ_CHECK(shard.index != nullptr);
+    if (shard.index->size() != end - begin) {
+      return bad("shard " + std::to_string(s) + " loaded " +
+                 std::to_string(shard.index->size()) + " objects, expected " +
+                 std::to_string(end - begin));
+    }
+  }
+  sharded->name_ = "sharded[" + std::to_string(k) + "]:" +
+                   std::string(sharded->shards_.front().index->name());
+  return sharded;
 }
 
 }  // namespace subseq

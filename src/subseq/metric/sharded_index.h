@@ -27,6 +27,9 @@
 
 namespace subseq {
 
+class SnapshotFile;
+class SnapshotWriter;
+
 /// A contiguous ObjectId sub-range of a parent oracle presented as a
 /// self-contained oracle with local ids 0..size-1. Local id i is parent
 /// id offset + i. The parent must outlive the shard view.
@@ -60,6 +63,18 @@ class ShardOracle final : public DistanceOracle {
 /// reference stays valid for the life of the ShardedIndex. `shard` is the
 /// shard number (diagnostics / per-shard seeding).
 using ShardIndexFactory = std::function<Result<std::unique_ptr<RangeIndex>>(
+    const DistanceOracle& shard_oracle, int32_t shard)>;
+
+/// Serializes one shard's inner index as sections under `prefix`. The
+/// composition layer (frame) supplies this so ShardedIndex stays
+/// backend-agnostic.
+using ShardIndexSaver = std::function<Status(
+    const RangeIndex& inner, SnapshotWriter& writer,
+    const std::string& prefix)>;
+
+/// Loads one shard's inner index from sections under `prefix`.
+using ShardIndexLoader = std::function<Result<std::unique_ptr<RangeIndex>>(
+    const SnapshotFile& file, const std::string& prefix,
     const DistanceOracle& shard_oracle, int32_t shard)>;
 
 /// Sharding tunables.
@@ -122,6 +137,33 @@ class ShardedIndex final : public RangeIndex {
 
   /// Sum of the shards' build computations.
   BuildStats build_stats() const override;
+
+  /// Appends the sharded layout ("<prefix>meta", "begins") followed by
+  /// every shard's inner sections (under ShardPrefix(prefix, s)) via
+  /// `saver`.
+  Status SaveSections(SnapshotWriter& writer, const std::string& prefix,
+                      const ShardIndexSaver& saver) const;
+
+  /// Reconstructs a sharded index from snapshot sections. The stored
+  /// shard count must equal `expected_shards` (what the caller's options
+  /// resolve to) and the stored shard boundaries must equal the even
+  /// contiguous split — a loaded index must be the index a fresh build
+  /// would produce, including its per-shard stats roll-up.
+  static Result<std::unique_ptr<ShardedIndex>> LoadSections(
+      const SnapshotFile& file, const std::string& prefix,
+      const DistanceOracle& oracle, int32_t expected_shards,
+      const ShardIndexLoader& loader);
+
+  /// Writes just the layout sections SaveSections starts with, for a
+  /// k-shard index over n objects. The out-of-core builder uses this to
+  /// emit a byte-identical sharded block while holding only one shard
+  /// in memory at a time.
+  static Status WriteShardLayout(SnapshotWriter& writer,
+                                 const std::string& prefix, int32_t n,
+                                 int32_t k);
+
+  /// Section prefix of shard s: "<prefix>s<s>.".
+  static std::string ShardPrefix(const std::string& prefix, int32_t s);
 
   int32_t num_shards() const {
     return static_cast<int32_t>(shards_.size());

@@ -1,6 +1,7 @@
 #include "subseq/metric/vp_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <utility>
 
@@ -8,8 +9,36 @@
 #include "subseq/core/rng.h"
 #include "subseq/exec/parallel_for.h"
 #include "subseq/metric/knn.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
 
 namespace subseq {
+namespace {
+
+// Snapshot records (fixed layout, no hidden padding — asserted below).
+struct VpTreeMetaRec {
+  int32_t num_objects;
+  int32_t root;
+  int64_t node_count;
+  int64_t bucket_total;
+  int32_t leaf_size;
+  int32_t pad0;
+  uint64_t seed;
+  int64_t build_distance_computations;
+};
+static_assert(sizeof(VpTreeMetaRec) == 48);
+
+struct VpTreeNodeRec {
+  int32_t vantage;  // kInvalidId for leaves
+  int32_t inside;
+  int32_t outside;
+  int32_t bucket_count;
+  double mu;
+  double radius;
+};
+static_assert(sizeof(VpTreeNodeRec) == 32);
+
+}  // namespace
 
 VpTree::VpTree(const DistanceOracle& oracle, VpTreeOptions options)
     : oracle_(oracle), options_(options), num_objects_(oracle.size()) {
@@ -185,6 +214,219 @@ SpaceStats VpTree::ComputeSpaceStats() const {
   // node, 4B per bucket entry.
   s.approx_bytes = 32 * s.num_nodes + 4 * bucket_entries;
   return s;
+}
+
+Status VpTree::SaveSections(SnapshotWriter& writer,
+                            const std::string& prefix) const {
+  VpTreeMetaRec meta{};
+  meta.num_objects = num_objects_;
+  meta.root = root_;
+  meta.node_count = static_cast<int64_t>(nodes_.size());
+  meta.leaf_size = options_.leaf_size;
+  meta.seed = options_.seed;
+  meta.build_distance_computations = build_stats_.distance_computations;
+
+  std::vector<VpTreeNodeRec> recs(nodes_.size());
+  std::vector<ObjectId> buckets;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    VpTreeNodeRec& rec = recs[i];
+    rec.vantage = n.vantage;
+    rec.inside = n.inside;
+    rec.outside = n.outside;
+    rec.bucket_count = static_cast<int32_t>(n.bucket.size());
+    rec.mu = n.mu;
+    rec.radius = n.radius;
+    buckets.insert(buckets.end(), n.bucket.begin(), n.bucket.end());
+  }
+  meta.bucket_total = static_cast<int64_t>(buckets.size());
+
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "meta", meta));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<VpTreeNodeRec>(
+      prefix + "nodes", recs));
+  return writer.AppendPodSection<ObjectId>(prefix + "buckets", buckets);
+}
+
+Result<std::unique_ptr<VpTree>> VpTree::LoadSections(
+    const SnapshotFile& file, const std::string& prefix,
+    const DistanceOracle& oracle, const VpTreeOptions& options) {
+  VpTreeMetaRec meta{};
+  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(file, prefix + "meta", &meta));
+  const auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("vp-tree snapshot sections '" + prefix +
+                                   "*': " + why);
+  };
+  if (meta.num_objects != oracle.size()) {
+    return bad("indexes " + std::to_string(meta.num_objects) +
+               " objects but the oracle holds " +
+               std::to_string(oracle.size()));
+  }
+  if (meta.leaf_size != options.leaf_size || meta.seed != options.seed) {
+    return bad("saved with leaf_size=" + std::to_string(meta.leaf_size) +
+               " seed=" + std::to_string(meta.seed) +
+               " but the load requested leaf_size=" +
+               std::to_string(options.leaf_size) +
+               " seed=" + std::to_string(options.seed) +
+               "; a loaded index must equal the fresh build it replaces");
+  }
+
+  auto nodes = PodSectionView<VpTreeNodeRec>(file, prefix + "nodes");
+  if (!nodes.ok()) return nodes.status();
+  auto buckets = PodSectionView<ObjectId>(file, prefix + "buckets");
+  if (!buckets.ok()) return buckets.status();
+  const std::span<const VpTreeNodeRec> recs = nodes.value();
+  const std::span<const ObjectId> bucket_ids = buckets.value();
+
+  const int64_t count = static_cast<int64_t>(recs.size());
+  if (meta.node_count != count) {
+    return bad("meta records " + std::to_string(meta.node_count) +
+               " nodes but the section holds " + std::to_string(count));
+  }
+  if (meta.bucket_total != static_cast<int64_t>(bucket_ids.size())) {
+    return bad("meta records " + std::to_string(meta.bucket_total) +
+               " bucket entries but the section holds " +
+               std::to_string(bucket_ids.size()));
+  }
+  if ((count == 0) != (meta.root == -1) ||
+      (count > 0 && (meta.root < 0 || meta.root >= count))) {
+    return bad("root index " + std::to_string(meta.root) +
+               " is out of range for " + std::to_string(count) + " nodes");
+  }
+  if ((count == 0) != (meta.num_objects == 0)) {
+    return bad("node count and object count disagree about emptiness");
+  }
+
+  auto tree = std::unique_ptr<VpTree>(
+      new VpTree(oracle, options, LoadTag{}));
+  tree->num_objects_ = meta.num_objects;
+  tree->root_ = meta.root;
+  tree->build_stats_.distance_computations = meta.build_distance_computations;
+  tree->nodes_.resize(recs.size());
+
+  // Structural validation while reconstructing: every object appears
+  // exactly once (as a vantage or in a bucket), child indices are in
+  // range and claimed by exactly one parent, mu/radius are finite with
+  // mu <= radius, buckets partition the bucket section exactly.
+  std::vector<uint8_t> object_seen(static_cast<size_t>(meta.num_objects), 0);
+  std::vector<uint8_t> child_claimed(recs.size(), 0);
+  int64_t placed = 0;
+  size_t bucket_cursor = 0;
+  const auto place = [&](ObjectId id) -> Status {
+    if (id < 0 || id >= meta.num_objects) {
+      return bad("object id " + std::to_string(id) + " out of range");
+    }
+    if (object_seen[static_cast<size_t>(id)]) {
+      return bad("object id " + std::to_string(id) + " appears twice");
+    }
+    object_seen[static_cast<size_t>(id)] = 1;
+    ++placed;
+    return Status::OK();
+  };
+  for (int64_t i = 0; i < count; ++i) {
+    const VpTreeNodeRec& rec = recs[static_cast<size_t>(i)];
+    Node& n = tree->nodes_[static_cast<size_t>(i)];
+    if (rec.bucket_count < 0 ||
+        static_cast<size_t>(rec.bucket_count) >
+            bucket_ids.size() - bucket_cursor) {
+      return bad("node " + std::to_string(i) + " bucket overruns the section");
+    }
+    if (!std::isfinite(rec.mu) || !std::isfinite(rec.radius) ||
+        rec.mu > rec.radius) {
+      return bad("node " + std::to_string(i) + " has invalid mu/radius");
+    }
+    const bool leaf = rec.vantage == kInvalidId;
+    if (leaf) {
+      if (rec.inside != -1 || rec.outside != -1) {
+        return bad("leaf node " + std::to_string(i) + " has children");
+      }
+      if (rec.bucket_count < 1) {
+        return bad("leaf node " + std::to_string(i) + " has an empty bucket");
+      }
+    } else {
+      if (rec.bucket_count != 0) {
+        return bad("internal node " + std::to_string(i) + " has a bucket");
+      }
+      if (rec.inside < 0) {
+        return bad("internal node " + std::to_string(i) +
+                   " is missing its inside child");
+      }
+      SUBSEQ_RETURN_NOT_OK(place(rec.vantage));
+      for (const int32_t child : {rec.inside, rec.outside}) {
+        if (child == -1) continue;
+        if (child <= i || child >= count) {
+          // Children follow their parent in the pre-order layout the
+          // builder emits; anything else is not a canonical encoding.
+          return bad("node " + std::to_string(i) + " child index " +
+                     std::to_string(child) + " breaks pre-order layout");
+        }
+        if (child_claimed[static_cast<size_t>(child)]) {
+          return bad("node " + std::to_string(child) +
+                     " is claimed by two parents");
+        }
+        child_claimed[static_cast<size_t>(child)] = 1;
+      }
+    }
+    n.vantage = rec.vantage;
+    n.mu = rec.mu;
+    n.radius = rec.radius;
+    n.inside = rec.inside;
+    n.outside = rec.outside;
+    for (int32_t b = 0; b < rec.bucket_count; ++b) {
+      const ObjectId id = bucket_ids[bucket_cursor++];
+      SUBSEQ_RETURN_NOT_OK(place(id));
+      n.bucket.push_back(id);
+    }
+  }
+  if (bucket_cursor != bucket_ids.size()) {
+    return bad("bucket section holds entries no node references");
+  }
+  if (placed != meta.num_objects) {
+    return bad("nodes place " + std::to_string(placed) + " of " +
+               std::to_string(meta.num_objects) + " objects");
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    if (i != meta.root && !child_claimed[static_cast<size_t>(i)]) {
+      return bad("node " + std::to_string(i) + " is unreachable");
+    }
+  }
+
+  // Seeded spot-check against the oracle: for a deterministic sample of
+  // internal nodes, the first object of the inside child must lie within
+  // mu of the vantage and the first object of the outside child within
+  // (mu, radius]. Catches snapshots whose checksums are intact but that
+  // were saved for a different dataset or distance.
+  const auto first_object = [&](int32_t node_index) {
+    const Node& n = tree->nodes_[static_cast<size_t>(node_index)];
+    return n.vantage != kInvalidId ? n.vantage : n.bucket.front();
+  };
+  std::vector<int32_t> internal;
+  for (int64_t i = 0; i < count; ++i) {
+    if (recs[static_cast<size_t>(i)].vantage != kInvalidId) {
+      internal.push_back(static_cast<int32_t>(i));
+    }
+  }
+  Rng rng(0x5095C4E76D2B913FULL ^ static_cast<uint64_t>(count));
+  const size_t checks = std::min<size_t>(internal.size(), 64);
+  for (size_t c = 0; c < checks; ++c) {
+    const int32_t ni = internal[static_cast<size_t>(
+        rng.NextBounded(static_cast<uint64_t>(internal.size())))];
+    const Node& n = tree->nodes_[static_cast<size_t>(ni)];
+    if (n.inside >= 0) {
+      const double d = oracle.Distance(n.vantage, first_object(n.inside));
+      if (!(d <= n.mu)) {
+        return bad("stored mu disagrees with the oracle — was the tree "
+                   "saved for a different dataset or distance?");
+      }
+    }
+    if (n.outside >= 0) {
+      const double d = oracle.Distance(n.vantage, first_object(n.outside));
+      if (!(d > n.mu && d <= n.radius)) {
+        return bad("stored radius disagrees with the oracle — was the tree "
+                   "saved for a different dataset or distance?");
+      }
+    }
+  }
+  return tree;
 }
 
 }  // namespace subseq

@@ -9,11 +9,17 @@
 #ifndef SUBSEQ_METRIC_VP_TREE_H_
 #define SUBSEQ_METRIC_VP_TREE_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "subseq/core/status.h"
 #include "subseq/metric/range_index.h"
 
 namespace subseq {
+
+class SnapshotFile;
+class SnapshotWriter;
 
 /// Vp-tree tunables.
 struct VpTreeOptions {
@@ -47,7 +53,26 @@ class VpTree final : public RangeIndex {
   SpaceStats ComputeSpaceStats() const override;
   BuildStats build_stats() const override { return build_stats_; }
 
+  /// Appends this tree's snapshot sections ("<prefix>meta", "nodes",
+  /// "buckets") to `writer`. Canonical: identical trees produce
+  /// identical bytes.
+  Status SaveSections(SnapshotWriter& writer, const std::string& prefix) const;
+
+  /// Reconstructs a tree from snapshot sections. Validates the stored
+  /// structure (index ranges, every object placed exactly once, finite
+  /// mu <= radius) plus a seeded oracle spot-check, and requires the
+  /// stored leaf_size/seed to match `options` so a loaded tree is the
+  /// tree a fresh build with these options would produce. The oracle
+  /// and the file must outlive the tree.
+  static Result<std::unique_ptr<VpTree>> LoadSections(
+      const SnapshotFile& file, const std::string& prefix,
+      const DistanceOracle& oracle, const VpTreeOptions& options);
+
  private:
+  struct LoadTag {};
+  VpTree(const DistanceOracle& oracle, VpTreeOptions options, LoadTag)
+      : oracle_(oracle), options_(std::move(options)) {}
+
   struct Node {
     ObjectId vantage = kInvalidId;
     double mu = 0.0;      // median distance of the subset to the vantage

@@ -5,6 +5,8 @@
 
 #include "subseq/core/check.h"
 #include "subseq/exec/thread_pool.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
 
 namespace subseq {
 
@@ -39,10 +41,26 @@ Result<std::unique_ptr<MatchServer<T>>> MatchServer<T>::Start(
     server->cache_ =
         std::make_unique<SegmentResultCache>(options.cache_capacity_bytes);
   }
+  // Snapshot-backed start: open the file once and share it across every
+  // kind's load (each kind has its own "idx.<kind>.*" block; the catalog
+  // block is validated by each load against the live database). A load
+  // failure fails Start — a server must never come up over a snapshot it
+  // cannot fully verify.
+  std::shared_ptr<const SnapshotFile> snapshot;
+  if (!options.snapshot_path.empty()) {
+    auto file = SnapshotFile::Open(options.snapshot_path,
+                                   options.matcher.snapshot_load_mode);
+    SUBSEQ_RETURN_NOT_OK(file.status());
+    snapshot = std::move(file).ValueOrDie();
+  }
   for (const IndexKind kind : unique_kinds) {
     MatcherOptions matcher_options = options.matcher;
     matcher_options.index_kind = kind;
-    auto matcher = SubsequenceMatcher<T>::Build(db, dist, matcher_options);
+    auto matcher =
+        snapshot != nullptr
+            ? SubsequenceMatcher<T>::LoadIndexFrom(db, dist, matcher_options,
+                                                   snapshot)
+            : SubsequenceMatcher<T>::Build(db, dist, matcher_options);
     SUBSEQ_RETURN_NOT_OK(matcher.status());
     server->kinds_.push_back(kind);
     server->matchers_.push_back(std::move(matcher).ValueOrDie());
@@ -71,6 +89,24 @@ void MatchServer<T>::Shutdown() {
   idle_cv_.wait(lock, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
+}
+
+template <typename T>
+Status MatchServer<T>::SaveSnapshot(const std::string& path) const {
+  if (matchers_.empty()) {
+    return Status::Internal("MatchServer has no matcher to snapshot");
+  }
+  auto writer = SnapshotWriter::Create(path);
+  SUBSEQ_RETURN_NOT_OK(writer.status());
+  SnapshotWriter& w = *writer.value();
+  // Every kind partitions the database identically, so the catalog block
+  // is written once (the first matcher's) and each kind contributes only
+  // its own index block.
+  SUBSEQ_RETURN_NOT_OK(matchers_.front()->SaveCatalogSections(w));
+  for (const auto& matcher : matchers_) {
+    SUBSEQ_RETURN_NOT_OK(matcher->SaveIndexSections(w));
+  }
+  return w.Finish();
 }
 
 template <typename T>

@@ -76,6 +76,15 @@ struct MatchServerOptions {
   /// behavior). Results and per-request stats are bit-identical either
   /// way — the cache, like coalescing, changes executed work only.
   size_t cache_capacity_bytes = 64ull << 20;  // 64 MiB, on by default
+  /// When non-empty, Start loads every configured kind's index from this
+  /// snapshot (opened once, shared across kinds, per
+  /// matcher.snapshot_load_mode) instead of rebuilding — instant start.
+  /// The snapshot must have been saved by SaveSnapshot (or
+  /// SubsequenceMatcher::SaveIndex / BuildToSnapshot for a single kind)
+  /// over the same database and options; missing kind blocks or any
+  /// mismatch fail Start with a precise status. A server started from a
+  /// snapshot answers bit-identically to one that rebuilt.
+  std::string snapshot_path;
 };
 
 /// Aggregate serving counters; snapshot via MatchServer::stats().
@@ -159,6 +168,12 @@ class MatchServer {
   /// The configured kinds, in configuration order (requests default to
   /// the first).
   const std::vector<IndexKind>& index_kinds() const { return kinds_; }
+
+  /// Writes one snapshot holding the shared window catalog plus every
+  /// configured kind's index block — the file a later Start with
+  /// options.snapshot_path reloads. Safe to call while serving: indexes
+  /// are immutable after Start, so the save reads stable state.
+  Status SaveSnapshot(const std::string& path) const;
 
   /// Aggregate serving counters so far. Exact once quiescent (after
   /// Shutdown or with no request in flight); monotonic always.

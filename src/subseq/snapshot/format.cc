@@ -1,0 +1,94 @@
+#include "subseq/snapshot/format.h"
+
+#include <cstring>
+
+namespace subseq {
+namespace {
+
+constexpr uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr uint64_t kPrime5 = 2870177450012600261ULL;
+
+inline uint64_t RotL(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  return RotL(acc + input * kPrime2, 31) * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const uint8_t* const limit = end - 32;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = RotL(v1, 1) + RotL(v2, 7) + RotL(v3, 12) + RotL(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = RotL(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = RotL(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = RotL(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace subseq

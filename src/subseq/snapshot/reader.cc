@@ -1,0 +1,191 @@
+#include "subseq/snapshot/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace subseq {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const SnapshotFile>> SnapshotFile::Open(
+    const std::string& path, SnapshotLoadMode mode) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open snapshot", path));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status status =
+        Status::IoError(ErrnoMessage("cannot stat snapshot", path));
+    ::close(fd);
+    return status;
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+
+  auto file = std::shared_ptr<SnapshotFile>(new SnapshotFile());
+  file->path_ = path;
+  file->mode_ = mode;
+  file->size_ = size;
+
+  if (mode == SnapshotLoadMode::kMmap && size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      const Status status =
+          Status::IoError(ErrnoMessage("cannot mmap snapshot", path));
+      ::close(fd);
+      return status;
+    }
+    file->mapping_ = mapping;
+    file->data_ = static_cast<const uint8_t*>(mapping);
+  } else {
+    file->owned_.resize(size);
+    uint64_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::read(fd, file->owned_.data() + done, size - done);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        const Status status =
+            Status::IoError(ErrnoMessage("cannot read snapshot", path));
+        ::close(fd);
+        return status;
+      }
+      done += static_cast<uint64_t>(n);
+    }
+    file->data_ = file->owned_.data();
+  }
+  ::close(fd);
+
+  SUBSEQ_RETURN_NOT_OK(file->Validate());
+  return std::shared_ptr<const SnapshotFile>(std::move(file));
+}
+
+SnapshotFile::~SnapshotFile() {
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, size_);
+    mapping_ = nullptr;
+  }
+}
+
+Status SnapshotFile::Validate() {
+  const std::string where = "snapshot '" + path_ + "'";
+  if (size_ < sizeof(SnapshotHeader) + sizeof(SnapshotFooterTail)) {
+    return Status::InvalidArgument(
+        where + " is too small to be a snapshot (" + std::to_string(size_) +
+        " bytes; a valid file has at least " +
+        std::to_string(sizeof(SnapshotHeader) + sizeof(SnapshotFooterTail)) +
+        ")");
+  }
+
+  SnapshotHeader header;
+  std::memcpy(&header, data_, sizeof(header));
+  if (header.magic != kSnapshotMagic) {
+    return Status::InvalidArgument(where +
+                                   ": bad magic (not a subseq snapshot)");
+  }
+  if (header.format_version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        where + ": unsupported snapshot format version " +
+        std::to_string(header.format_version) + " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+
+  SnapshotFooterTail tail;
+  std::memcpy(&tail, data_ + size_ - sizeof(tail), sizeof(tail));
+  if (tail.footer_magic != kSnapshotFooterMagic) {
+    return Status::InvalidArgument(
+        where + ": footer magic missing (file truncated or the writer "
+                "never called Finish)");
+  }
+  if (tail.file_size != size_) {
+    return Status::InvalidArgument(
+        where + ": truncated — footer records " +
+        std::to_string(tail.file_size) + " bytes but the file holds " +
+        std::to_string(size_));
+  }
+  if (tail.table_offset % kSnapshotAlignment != 0 ||
+      tail.table_offset < sizeof(SnapshotHeader) ||
+      tail.section_count > (size_ - sizeof(tail)) / sizeof(SectionEntry) ||
+      tail.table_offset + tail.section_count * sizeof(SectionEntry) !=
+          size_ - sizeof(tail)) {
+    return Status::InvalidArgument(
+        where + ": section table out of bounds (offset " +
+        std::to_string(tail.table_offset) + ", " +
+        std::to_string(tail.section_count) + " sections)");
+  }
+
+  sections_.resize(tail.section_count);
+  std::memcpy(sections_.data(), data_ + tail.table_offset,
+              tail.section_count * sizeof(SectionEntry));
+
+  uint64_t min_payload_offset = sizeof(SnapshotHeader);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const SectionEntry& entry = sections_[i];
+    if (std::memchr(entry.name, '\0', sizeof(entry.name)) == nullptr) {
+      return Status::InvalidArgument(
+          where + ": section table entry " + std::to_string(i) +
+          " has an unterminated name");
+    }
+    const std::string_view name(entry.name);
+    if (name.empty()) {
+      return Status::InvalidArgument(where + ": section table entry " +
+                                     std::to_string(i) + " has an empty name");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (name == sections_[j].name) {
+        return Status::InvalidArgument(where + ": duplicate section '" +
+                                       std::string(name) + "'");
+      }
+    }
+    if (entry.offset % kSnapshotAlignment != 0) {
+      return Status::InvalidArgument(
+          where + " section '" + std::string(name) + "' at offset " +
+          std::to_string(entry.offset) + ": misaligned payload");
+    }
+    if (entry.offset < min_payload_offset || entry.offset > tail.table_offset ||
+        entry.size > tail.table_offset - entry.offset) {
+      return Status::InvalidArgument(
+          where + " section '" + std::string(name) + "' at offset " +
+          std::to_string(entry.offset) + ": payload of " +
+          std::to_string(entry.size) + " bytes reaches outside the file");
+    }
+    const uint64_t actual = XxHash64(data_ + entry.offset, entry.size);
+    if (actual != entry.checksum) {
+      return Status::InvalidArgument(
+          where + " section '" + std::string(name) + "' at offset " +
+          std::to_string(entry.offset) + ": checksum mismatch (stored " +
+          std::to_string(entry.checksum) + ", computed " +
+          std::to_string(actual) + ") — the file is corrupted");
+    }
+  }
+  return Status::OK();
+}
+
+bool SnapshotFile::has_section(std::string_view name) const {
+  for (const SectionEntry& entry : sections_) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+Result<std::span<const uint8_t>> SnapshotFile::section(
+    std::string_view name) const {
+  for (const SectionEntry& entry : sections_) {
+    if (name == entry.name) {
+      return std::span<const uint8_t>(data_ + entry.offset, entry.size);
+    }
+  }
+  return Status::NotFound("snapshot '" + path_ + "' has no section '" +
+                          std::string(name) + "'");
+}
+
+}  // namespace subseq

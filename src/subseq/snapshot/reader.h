@@ -1,0 +1,121 @@
+// SnapshotFile: validated read access to a snapshot, eager or mmap.
+//
+// Open() materializes the bytes (heap read or read-only mmap), then
+// validates the file fully before returning: magic, format version,
+// footer tail, recorded-vs-actual size, section-table bounds, and —
+// in BOTH load modes — every section's XXH64 checksum. Any corruption
+// is reported with the section name and file offset; a SnapshotFile
+// that Open() returned never hands out bytes that fail their checksum.
+//
+// Backends alias large arrays straight out of the file via
+// PodSectionView (the 8-byte section alignment guarantees int64/double
+// alignment), so they must keep the shared_ptr<const SnapshotFile>
+// alive for as long as the views are used. Eager and mmap mode differ
+// only in who owns the bytes, never in what the loaded index answers.
+
+#ifndef SUBSEQ_SNAPSHOT_READER_H_
+#define SUBSEQ_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "subseq/core/status.h"
+#include "subseq/snapshot/format.h"
+
+namespace subseq {
+
+class SnapshotFile {
+ public:
+  /// Opens and fully validates `path`. Every failure mode names what is
+  /// wrong and where (section + offset) — corrupted snapshots fail
+  /// loudly at Open, never at query time.
+  static Result<std::shared_ptr<const SnapshotFile>> Open(
+      const std::string& path, SnapshotLoadMode mode);
+
+  ~SnapshotFile();
+  SnapshotFile(const SnapshotFile&) = delete;
+  SnapshotFile& operator=(const SnapshotFile&) = delete;
+
+  SnapshotLoadMode mode() const { return mode_; }
+  const std::string& path() const { return path_; }
+  uint64_t file_size() const { return size_; }
+
+  /// Section table in file (append) order.
+  const std::vector<SectionEntry>& sections() const { return sections_; }
+
+  bool has_section(std::string_view name) const;
+
+  /// The payload bytes of a named section. NotFound when absent.
+  Result<std::span<const uint8_t>> section(std::string_view name) const;
+
+ private:
+  SnapshotFile() = default;
+
+  Status Validate();
+
+  std::string path_;
+  SnapshotLoadMode mode_ = SnapshotLoadMode::kEager;
+  const uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+  std::vector<uint8_t> owned_;   // eager mode storage
+  void* mapping_ = nullptr;      // mmap mode storage
+  std::vector<SectionEntry> sections_;
+};
+
+/// A typed view aliasing a section's bytes inside `file`. The section
+/// size must be a whole multiple of sizeof(T). The caller must keep the
+/// SnapshotFile alive while the span is in use.
+template <typename T>
+Result<std::span<const T>> PodSectionView(const SnapshotFile& file,
+                                          std::string_view name) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto bytes = file.section(name);
+  if (!bytes.ok()) return bytes.status();
+  const std::span<const uint8_t> raw = bytes.value();
+  if (raw.size() % sizeof(T) != 0) {
+    return Status::InvalidArgument(
+        "snapshot section '" + std::string(name) + "' holds " +
+        std::to_string(raw.size()) + " bytes, not a multiple of the " +
+        std::to_string(sizeof(T)) + "-byte record it should contain");
+  }
+  if (reinterpret_cast<uintptr_t>(raw.data()) % alignof(T) != 0) {
+    return Status::Internal("snapshot section '" + std::string(name) +
+                            "' is not aligned for its record type");
+  }
+  return std::span<const T>(reinterpret_cast<const T*>(raw.data()),
+                            raw.size() / sizeof(T));
+}
+
+/// Copies a section's records into `out` (use when the data must
+/// outlive the file or be mutated).
+template <typename T>
+Status ReadPodSection(const SnapshotFile& file, std::string_view name,
+                      std::vector<T>* out) {
+  auto view = PodSectionView<T>(file, name);
+  if (!view.ok()) return view.status();
+  out->assign(view.value().begin(), view.value().end());
+  return Status::OK();
+}
+
+/// Reads a section that must hold exactly one record of type T.
+template <typename T>
+Status ReadPodStruct(const SnapshotFile& file, std::string_view name, T* out) {
+  auto view = PodSectionView<T>(file, name);
+  if (!view.ok()) return view.status();
+  if (view.value().size() != 1) {
+    return Status::InvalidArgument(
+        "snapshot section '" + std::string(name) + "' holds " +
+        std::to_string(view.value().size()) + " records, expected exactly 1");
+  }
+  *out = view.value()[0];
+  return Status::OK();
+}
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SNAPSHOT_READER_H_

@@ -1,0 +1,109 @@
+#include "subseq/snapshot/writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace subseq {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SnapshotWriter>> SnapshotWriter::Create(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot create snapshot", path));
+  }
+  auto writer = std::unique_ptr<SnapshotWriter>(new SnapshotWriter());
+  writer->file_ = file;
+  writer->path_ = path;
+  SnapshotHeader header{};
+  header.magic = kSnapshotMagic;
+  header.format_version = kSnapshotFormatVersion;
+  header.reserved = 0;
+  SUBSEQ_RETURN_NOT_OK(writer->WriteRaw(&header, sizeof(header)));
+  return writer;
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status SnapshotWriter::WriteRaw(const void* data, size_t size) {
+  if (size == 0) return Status::OK();
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError(ErrnoMessage("short write to snapshot", path_));
+  }
+  offset_ += size;
+  return Status::OK();
+}
+
+Status SnapshotWriter::PadToAlignment() {
+  static constexpr char kZeros[kSnapshotAlignment] = {};
+  const size_t rem = offset_ % kSnapshotAlignment;
+  if (rem == 0) return Status::OK();
+  return WriteRaw(kZeros, kSnapshotAlignment - rem);
+}
+
+Status SnapshotWriter::AppendSection(std::string_view name, const void* data,
+                                     size_t size) {
+  if (finished_) {
+    return Status::Internal("AppendSection after Finish on snapshot '" +
+                            path_ + "'");
+  }
+  if (name.empty() || name.size() > kSnapshotMaxSectionName) {
+    return Status::InvalidArgument(
+        "snapshot section name must be 1.." +
+        std::to_string(kSnapshotMaxSectionName) + " characters, got '" +
+        std::string(name) + "'");
+  }
+  for (const SectionEntry& entry : entries_) {
+    if (name == entry.name) {
+      return Status::AlreadyExists("duplicate snapshot section '" +
+                                   std::string(name) + "'");
+    }
+  }
+  SUBSEQ_RETURN_NOT_OK(PadToAlignment());
+  SectionEntry entry{};
+  std::memcpy(entry.name, name.data(), name.size());
+  entry.offset = offset_;
+  entry.size = size;
+  entry.checksum = XxHash64(data, size);
+  SUBSEQ_RETURN_NOT_OK(WriteRaw(data, size));
+  entries_.push_back(entry);
+  return Status::OK();
+}
+
+Status SnapshotWriter::Finish() {
+  if (finished_) {
+    return Status::Internal("Finish called twice on snapshot '" + path_ + "'");
+  }
+  SUBSEQ_RETURN_NOT_OK(PadToAlignment());
+  SnapshotFooterTail tail{};
+  tail.table_offset = offset_;
+  tail.section_count = entries_.size();
+  tail.footer_magic = kSnapshotFooterMagic;
+  SUBSEQ_RETURN_NOT_OK(WriteRaw(entries_.data(),
+                                entries_.size() * sizeof(SectionEntry)));
+  tail.file_size = offset_ + sizeof(tail);
+  SUBSEQ_RETURN_NOT_OK(WriteRaw(&tail, sizeof(tail)));
+  finished_ = true;
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(ErrnoMessage("cannot flush snapshot", path_));
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IoError(ErrnoMessage("cannot close snapshot", path_));
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace subseq

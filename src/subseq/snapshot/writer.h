@@ -1,0 +1,86 @@
+// SnapshotWriter: append-only producer of the snapshot format.
+//
+// Sections are streamed to disk as they are appended — nothing is
+// buffered beyond stdio's block buffer and the 64-byte table entry per
+// section — so an out-of-core build can serialize one shard, free it,
+// and move on with O(shard) peak memory. Finish() writes the section
+// table and footer tail; a file without a valid footer (writer crashed
+// or Finish was never called) is rejected by SnapshotFile::Open.
+
+#ifndef SUBSEQ_SNAPSHOT_WRITER_H_
+#define SUBSEQ_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "subseq/core/status.h"
+#include "subseq/snapshot/format.h"
+
+namespace subseq {
+
+class SnapshotWriter {
+ public:
+  /// Creates (truncates) `path` and writes the header.
+  static Result<std::unique_ptr<SnapshotWriter>> Create(
+      const std::string& path);
+
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Appends one named section of raw bytes. Names must be unique
+  /// within the file, non-empty, and at most kSnapshotMaxSectionName
+  /// characters. Empty sections (size 0) are allowed.
+  Status AppendSection(std::string_view name, const void* data, size_t size);
+
+  /// Appends a section holding a flat array of trivially copyable
+  /// records.
+  template <typename T>
+  Status AppendPodSection(std::string_view name, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return AppendSection(name, values.data(), values.size() * sizeof(T));
+  }
+
+  /// Appends a section holding exactly one trivially copyable struct.
+  /// The caller must value-initialize the struct (zeroed padding) so
+  /// the encoding stays canonical.
+  template <typename T>
+  Status AppendPodStruct(std::string_view name, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return AppendSection(name, &value, sizeof(T));
+  }
+
+  /// Writes the section table and footer tail, flushes, and closes the
+  /// file. No appends are allowed afterwards. Must be called exactly
+  /// once for the file to be loadable.
+  Status Finish();
+
+  /// Bytes written so far (header + padded payloads; after Finish,
+  /// the final file size).
+  uint64_t bytes_written() const { return offset_; }
+
+  /// Number of sections appended so far.
+  size_t section_count() const { return entries_.size(); }
+
+ private:
+  SnapshotWriter() = default;
+
+  Status WriteRaw(const void* data, size_t size);
+  Status PadToAlignment();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t offset_ = 0;
+  std::vector<SectionEntry> entries_;
+  bool finished_ = false;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_SNAPSHOT_WRITER_H_

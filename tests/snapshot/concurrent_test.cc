@@ -1,0 +1,131 @@
+// Concurrent snapshot access under TSan (the CMake tsan preset's test
+// filter includes SnapshotConcurrent*): a server answers queries from a
+// mmap-loaded snapshot on several client threads while other threads
+// keep opening and loading the SAME file — the immutable-after-open
+// reader and the shared_ptr-pinned mapping must make that race-free,
+// and every concurrently computed answer must equal the direct library
+// call.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "subseq/data/protein_gen.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/frame/matcher.h"
+#include "subseq/serve/match_server.h"
+#include "subseq/snapshot/reader.h"
+
+namespace subseq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SnapshotConcurrentTest, ServeWhileReloadingTheSameFile) {
+  ProteinGenOptions gen_options;
+  gen_options.mean_length = 30;
+  gen_options.seed = 41;
+  ProteinGenerator gen(gen_options);
+  const SequenceDatabase<char> db =
+      gen.GenerateDatabaseWithWindows(/*num_windows=*/40,
+                                      /*window_length=*/4);
+  const LevenshteinDistance<char> dist;
+
+  MatcherOptions matcher_options;
+  matcher_options.lambda = 8;
+  matcher_options.lambda0 = 1;
+  matcher_options.index_kind = IndexKind::kReferenceNet;
+  matcher_options.snapshot_load_mode = SnapshotLoadMode::kMmap;
+
+  // Write the snapshot once, from a fresh build.
+  const std::string path = TempPath("concurrent.snap");
+  {
+    MatcherOptions build_options = matcher_options;
+    auto built = SubsequenceMatcher<char>::Build(db, dist, build_options);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    ASSERT_TRUE(built.value()->SaveIndex(path).ok());
+  }
+
+  // Ground truth: the direct library answers for every query.
+  auto direct = SubsequenceMatcher<char>::Build(db, dist, matcher_options);
+  ASSERT_TRUE(direct.ok());
+  std::vector<std::vector<char>> queries;
+  std::vector<std::vector<SubsequenceMatch>> expected;
+  for (int32_t q = 0; q < 4; ++q) {
+    const auto& seq = db.at(q);
+    const auto view = seq.view().first(
+        static_cast<size_t>(std::min(seq.size(), 12)));
+    queries.emplace_back(view.begin(), view.end());
+    auto want = direct.value()->RangeSearch(view, 1.0);
+    ASSERT_TRUE(want.ok());
+    expected.push_back(std::move(want).ValueOrDie());
+  }
+
+  // The server under test boots from the snapshot, mmap mode.
+  MatchServerOptions server_options;
+  server_options.matcher = matcher_options;
+  server_options.snapshot_path = path;
+  auto server = MatchServer<char>::Start(db, dist, server_options);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  constexpr int kClientThreads = 4;
+  constexpr int kLoaderThreads = 3;
+  constexpr int kRoundsPerThread = 8;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  // Clients hammer the serving path.
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const size_t qi = static_cast<size_t>((t + round) % 4);
+        MatchRequest<char> request;
+        request.type = MatchQueryType::kRangeSearch;
+        request.query = queries[qi];
+        request.epsilon = 1.0;
+        MatchResult result = server.value()->Submit(std::move(request)).Get();
+        if (!result.status.ok() || result.matches != expected[qi]) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Loaders keep re-opening and re-loading the same bytes concurrently.
+  for (int t = 0; t < kLoaderThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        auto file = SnapshotFile::Open(path, SnapshotLoadMode::kMmap);
+        if (!file.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto loaded = SubsequenceMatcher<char>::LoadIndexFrom(
+            db, dist, matcher_options, file.value());
+        if (!loaded.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto got = loaded.value()->RangeSearch(
+            std::span<const char>(queries[0]), 1.0);
+        if (!got.ok() || got.value() != expected[0]) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subseq

@@ -1,0 +1,110 @@
+// Regression battery for the reference-net load-time edge spot-check.
+// The old check verified only the FIRST 16 exported edges against the
+// oracle, so a corrupted edge anywhere past the head of the export
+// sailed through. The check now verifies every edge on small nets
+// (<= 256 edges) and a deterministic seeded sample on large ones. The
+// tests here plant exactly one bad edge deep in the export and require
+// Import to reject it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "subseq/metric/reference_net.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::ScalarPointOracle;
+
+std::vector<double> ScatteredPoints(int32_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<double> pts(static_cast<size_t>(n));
+  for (double& p : pts) p = dist(rng);
+  return pts;
+}
+
+int64_t TotalEdges(const std::vector<ReferenceNet::ExportedNode>& nodes) {
+  int64_t total = 0;
+  for (const auto& node : nodes) {
+    total += static_cast<int64_t>(node.edges.size());
+  }
+  return total;
+}
+
+TEST(SnapshotRefNetSpotCheckTest, PlantedBadEdgePastOldWindowIsRejected) {
+  const ScalarPointOracle oracle(ScatteredPoints(40, 77));
+  const ReferenceNet net = ReferenceNet::BuildAll(oracle);
+  std::vector<ReferenceNet::ExportedNode> nodes = net.Export();
+
+  // The regression needs an edge beyond the old fixed 16-edge window but
+  // within the all-edges regime (<= 256) where detection is guaranteed.
+  const int64_t total = TotalEdges(nodes);
+  ASSERT_GT(total, 16) << "fixture too small to exercise the regression";
+  ASSERT_LE(total, 256) << "fixture too large for the all-edges regime";
+
+  // Corrupt the LAST nonzero-distance edge in export order: shrinking a
+  // stored distance keeps every radius bound satisfied, so only a
+  // distance check against the live oracle can catch it.
+  bool planted = false;
+  for (auto node = nodes.rbegin(); node != nodes.rend() && !planted;
+       ++node) {
+    for (auto edge = node->edges.rbegin(); edge != node->edges.rend();
+         ++edge) {
+      double& stored = std::get<2>(*edge);
+      if (stored > 1e-9) {
+        stored *= 0.5;
+        planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(planted);
+
+  auto imported = ReferenceNet::Import(oracle, ReferenceNetOptions{}, nodes);
+  ASSERT_FALSE(imported.ok())
+      << "a single corrupted edge distance must fail the load spot-check";
+  EXPECT_EQ(imported.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRefNetSpotCheckTest, CleanExportImportsIdentically) {
+  const ScalarPointOracle oracle(ScatteredPoints(40, 77));
+  const ReferenceNet net = ReferenceNet::BuildAll(oracle);
+  auto imported = ReferenceNet::Import(oracle, ReferenceNetOptions{},
+                                       net.Export());
+  ASSERT_TRUE(imported.ok()) << imported.status().message();
+  EXPECT_EQ(imported.value().size(), net.size());
+  // Structure is reproduced exactly: re-export matches field for field.
+  const auto again = imported.value().Export();
+  const auto original = net.Export();
+  ASSERT_EQ(again.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(again[i].object, original[i].object);
+    EXPECT_EQ(again[i].top_level, original[i].top_level);
+    EXPECT_EQ(again[i].duplicates, original[i].duplicates);
+    EXPECT_EQ(again[i].edges, original[i].edges);
+  }
+}
+
+TEST(SnapshotRefNetSpotCheckTest, LargeNetSampleIsDeterministic) {
+  // Above 256 edges the check samples; the sample is seeded from the
+  // edge count, so two imports of the same export behave identically
+  // (both accept, or both reject the same corruption).
+  const ScalarPointOracle oracle(ScatteredPoints(300, 99));
+  const ReferenceNet net = ReferenceNet::BuildAll(oracle);
+  const auto nodes = net.Export();
+  ASSERT_GT(TotalEdges(nodes), 256);
+  auto first = ReferenceNet::Import(oracle, ReferenceNetOptions{}, nodes);
+  auto second = ReferenceNet::Import(oracle, ReferenceNetOptions{}, nodes);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(first.value().size(), second.value().size());
+}
+
+}  // namespace
+}  // namespace subseq
