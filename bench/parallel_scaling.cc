@@ -21,6 +21,7 @@
 #include "bench_common.h"
 #include "subseq/core/check.h"
 #include "subseq/distance/dtw.h"
+#include "subseq/distance/euclidean.h"
 #include "subseq/distance/levenshtein.h"
 #include "subseq/frame/lb_prefilter.h"
 #include "subseq/exec/exec_context.h"
@@ -31,6 +32,7 @@
 #include "subseq/metric/linear_scan.h"
 #include "subseq/metric/mv_index.h"
 #include "subseq/metric/reference_net.h"
+#include "subseq/metric/routed_index.h"
 #include "subseq/metric/sharded_index.h"
 #include "subseq/metric/vp_tree.h"
 
@@ -206,6 +208,100 @@ int Run() {
          {"shard_query_ms", query_ms},
          {"shard_query_computations",
           static_cast<double>(sink.distance_computations())}}});
+  }
+
+  // ----------------------------------------------------------- routing
+  // Pivot-routed cells vs the monolithic linear scan on SONGS /
+  // Euclidean — random-walk windows cluster by level, so k-center
+  // routing has real structure to exploit. Linear-scan cells make the
+  // accounting exact: the monolithic scan bills Q*n, the routed index
+  // bills Q*cells pivot distances plus every probed cell's members, so
+  // routed_computations_saved is precisely the skipped members minus the
+  // routing overhead. Both gated rows are deterministic count ratios
+  // (tight tolerance in CI — the routing decisions are fixed by the data
+  // and the padded cutoff, not by machine speed). Hit sets are CHECKed
+  // equal to the monolithic scan's at every cell count.
+  std::printf("\n%8s %12s %14s %15s %14s\n", "cells", "query_ms",
+              "query_comps", "skip_rate", "comps_saved");
+  {
+    const SequenceDatabase<double> route_db = MakeSongDb(num_windows, 55);
+    auto route_catalog =
+        WindowCatalog::PartitionDatabase(route_db, kWindowLength)
+            .ValueOrDie();
+    const EuclideanDistance1D euclid;
+    const WindowOracle<double> route_oracle(route_db, route_catalog,
+                                            euclid);
+    const auto route_queries =
+        MakeSongQueries(route_db, route_catalog, num_queries, 13);
+    const double route_epsilon = 4.0;
+    std::vector<QueryDistanceFn> route_fns;
+    route_fns.reserve(route_queries.size());
+    for (const auto& q : route_queries) {
+      route_fns.push_back(
+          route_oracle.SegmentQuery(std::span<const double>(q)));
+    }
+
+    const auto scan_factory =
+        [](const DistanceOracle& cell_oracle,
+           int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+      return std::unique_ptr<RangeIndex>(
+          std::make_unique<LinearScan>(cell_oracle.size()));
+    };
+
+    const LinearScan mono(route_oracle.size());
+    StatsSink mono_sink;
+    auto route_truth = mono.BatchRangeQuery(route_fns, route_epsilon,
+                                            shard_exec, &mono_sink);
+    for (auto& ids : route_truth) std::sort(ids.begin(), ids.end());
+    const int64_t mono_computations = mono_sink.distance_computations();
+    SUBSEQ_CHECK(mono_computations > 0);
+
+    for (const int32_t cells : {4, 8}) {
+      RoutedIndexOptions options;
+      options.num_cells = cells;
+      options.exec = shard_exec;
+      auto built = RoutedIndex::Build(route_oracle, scan_factory, options);
+      SUBSEQ_CHECK(built.ok());
+      const auto routed = std::move(built).ValueOrDie();
+
+      auto t0 = std::chrono::steady_clock::now();
+      StatsSink sink;
+      const auto results =
+          routed->BatchRangeQuery(route_fns, route_epsilon, shard_exec,
+                                  &sink);
+      const double query_ms = MillisSince(t0);
+
+      // Exactness at every cell count: routing must never lose a hit.
+      SUBSEQ_CHECK(results.size() == route_truth.size());
+      for (size_t q = 0; q < results.size(); ++q) {
+        std::vector<ObjectId> sorted = results[q];
+        std::sort(sorted.begin(), sorted.end());
+        SUBSEQ_CHECK(sorted == route_truth[q]);
+      }
+
+      const double probed = static_cast<double>(sink.cells_probed());
+      const double skipped = static_cast<double>(sink.cells_skipped());
+      SUBSEQ_CHECK(probed + skipped > 0.0);
+      const double skip_rate = skipped / (probed + skipped);
+      const double saved =
+          1.0 - static_cast<double>(sink.distance_computations()) /
+                    static_cast<double>(mono_computations);
+      SUBSEQ_CHECK(skip_rate > 0.0);
+      SUBSEQ_CHECK(saved > 0.0);
+      std::printf("%8d %12.1f %14lld %15.3f %14.3f\n",
+                  routed->num_cells(), query_ms,
+                  static_cast<long long>(sink.distance_computations()),
+                  skip_rate, saved);
+
+      records.push_back(BenchRecord{
+          "routing_cells=" + std::to_string(cells),
+          {{"routing_cells", static_cast<double>(cells)},
+           {"routed_query_ms", query_ms},
+           {"routed_query_computations",
+            static_cast<double>(sink.distance_computations())},
+           {"route_skip_rate", skip_rate},
+           {"routed_computations_saved", saved}}});
+    }
   }
 
   // ------------------------------------------------------ verify scaling

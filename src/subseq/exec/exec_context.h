@@ -50,6 +50,18 @@ struct ExecContext {
   /// and rolls stats up exactly.
   int32_t num_shards = 0;
 
+  /// Number of coarse routing cells index construction clusters the
+  /// object catalog into (consumed by RoutedIndex via
+  /// SubsequenceMatcher::Build; parallel loop sections ignore it). 0 or
+  /// 1 keeps one monolithic index. Unlike num_shards' contiguous split,
+  /// cells partition by *distance* to k-center pivots, and queries are
+  /// routed only to cells whose covering radius can contain an epsilon
+  /// match. Matches and verification stats stay element-wise identical
+  /// at any setting; filter distance_computations deliberately SHRINK
+  /// (skipped cells are not billed — that saving is the point; see
+  /// QueryStats::cells_skipped). Requires a metric distance.
+  int32_t routing_cells = 0;
+
   /// Worker budget for step-5 verification (candidate-region and chain
   /// verification in the frame layer), which is scheduled separately from
   /// the filter because its per-region costs are highly skewed. 0 (the
@@ -75,6 +87,14 @@ struct ExecContext {
   /// pointless), num_shards otherwise.
   int32_t ResolvedShards(int32_t num_objects) const {
     const int32_t floor = num_shards > 1 ? num_shards : 1;
+    return num_objects > 1 ? std::min(floor, num_objects) : 1;
+  }
+
+  /// The effective routing-cell count for a catalog of `num_objects`
+  /// objects — the same clamp as ResolvedShards (at least 1, never more
+  /// than the object count).
+  int32_t ResolvedCells(int32_t num_objects) const {
+    const int32_t floor = routing_cells > 1 ? routing_cells : 1;
     return num_objects > 1 ? std::min(floor, num_objects) : 1;
   }
 };

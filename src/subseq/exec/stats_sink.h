@@ -43,6 +43,14 @@ class StatsSink {
   void AddLowerBoundPruned(int64_t n) {
     lower_bound_pruned_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Routed-index cells probed / skipped across queries (see
+  /// QueryStats::cells_probed / cells_skipped).
+  void AddCellsProbed(int64_t n) {
+    cells_probed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCellsSkipped(int64_t n) {
+    cells_skipped_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   int64_t distance_computations() const {
     return distance_computations_.load(std::memory_order_relaxed);
@@ -56,12 +64,20 @@ class StatsSink {
   int64_t lower_bound_pruned() const {
     return lower_bound_pruned_.load(std::memory_order_relaxed);
   }
+  int64_t cells_probed() const {
+    return cells_probed_.load(std::memory_order_relaxed);
+  }
+  int64_t cells_skipped() const {
+    return cells_skipped_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
     distance_computations_.store(0, std::memory_order_relaxed);
     results_.store(0, std::memory_order_relaxed);
     shared_computations_.store(0, std::memory_order_relaxed);
     lower_bound_pruned_.store(0, std::memory_order_relaxed);
+    cells_probed_.store(0, std::memory_order_relaxed);
+    cells_skipped_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -69,6 +85,8 @@ class StatsSink {
   std::atomic<int64_t> results_{0};
   std::atomic<int64_t> shared_computations_{0};
   std::atomic<int64_t> lower_bound_pruned_{0};
+  std::atomic<int64_t> cells_probed_{0};
+  std::atomic<int64_t> cells_skipped_{0};
 };
 
 }  // namespace subseq

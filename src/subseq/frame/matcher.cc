@@ -20,6 +20,7 @@
 #include "subseq/exec/verify_budget.h"
 #include "subseq/frame/lb_prefilter.h"
 #include "subseq/metric/linear_scan.h"
+#include "subseq/metric/routed_index.h"
 #include "subseq/metric/sharded_index.h"
 
 namespace subseq {
@@ -328,10 +329,16 @@ Status MatcherOptions::Validate() const {
         "rather than unlimited — use a large positive cap");
   }
   if (exec.num_threads < 0 || exec.num_verify_threads < 0 ||
-      exec.num_shards < 0) {
+      exec.num_shards < 0 || exec.routing_cells < 0) {
     return Status::InvalidArgument(
-        "ExecContext knobs (num_threads, num_verify_threads, num_shards) "
-        "must be >= 0; 0 resolves to the default");
+        "ExecContext knobs (num_threads, num_verify_threads, num_shards, "
+        "routing_cells) must be >= 0; 0 resolves to the default");
+  }
+  if (exec.num_shards > 1 && exec.routing_cells > 1) {
+    return Status::InvalidArgument(
+        "num_shards and routing_cells are mutually exclusive partitioning "
+        "strategies (contiguous id split vs pivot-routed cells); set one "
+        "of them and leave the other at 0");
   }
   return Status::OK();
 }
@@ -351,6 +358,16 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::MakeShell(
     return Status::InvalidArgument(
         "metric indexes require a metric distance; use "
         "IndexKind::kLinearScan with " + std::string(dist.name()));
+  }
+  // Routing prunes whole cells with the triangle inequality, so it is
+  // unsound for any non-metric distance — even over a linear-scan cell
+  // backend, which would otherwise accept one (consistency alone keeps
+  // the window filter exact, but not the cell-skip rule).
+  if (options.exec.routing_cells > 1 && !dist.is_metric()) {
+    return Status::InvalidArgument(
+        "routing_cells requires a metric distance (cell skipping is the "
+        "triangle inequality); " + std::string(dist.name()) +
+        " does not advertise metricity — disable routing for it");
   }
 
   // One knob governs all parallel sections: the matcher's ExecContext is
@@ -388,13 +405,28 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
   // the resolved options, not the caller's.
   const MatcherOptions& resolved = matcher->options_;
 
-  // Step 2: one monolithic index, or — when the caller asked for
-  // sharding — K contiguous per-shard indexes of the same kind behind a
-  // ShardedIndex. The filter (step 4) and everything above it are
-  // agnostic: both shapes implement RangeIndex with identical hit sets.
+  // Step 2: one monolithic index; K contiguous per-shard indexes behind
+  // a ShardedIndex; or — when the caller asked for routing — K
+  // pivot-routed cells of the same kind behind a RoutedIndex. The filter
+  // (step 4) and everything above it are agnostic: all three shapes
+  // implement RangeIndex with identical hit sets.
   const int32_t num_shards =
       resolved.exec.ResolvedShards(matcher->oracle_->size());
-  if (num_shards > 1) {
+  const int32_t num_cells =
+      resolved.exec.ResolvedCells(matcher->oracle_->size());
+  if (num_cells > 1) {
+    RoutedIndexOptions routing;
+    routing.num_cells = num_cells;
+    routing.exec = resolved.exec;
+    auto routed = RoutedIndex::Build(
+        *matcher->oracle_,
+        [&resolved](const DistanceOracle& cell_oracle, int32_t) {
+          return BuildKindIndex(cell_oracle, resolved);
+        },
+        routing);
+    SUBSEQ_RETURN_NOT_OK(routed.status());
+    matcher->index_ = std::move(routed).ValueOrDie();
+  } else if (num_shards > 1) {
     ShardedIndexOptions sharding;
     sharding.num_shards = num_shards;
     sharding.exec = resolved.exec;

@@ -112,6 +112,18 @@ struct MatcherOptions {
   /// identical to the unsharded index at any shard count (pruning scope
   /// differs across K small indexes vs one large one; LinearScan is
   /// identical on that count too). 0 or 1 = one monolithic index.
+  ///
+  /// exec.routing_cells > 1 instead clusters the catalog into that many
+  /// pivot-routed cells behind a RoutedIndex (metric/routed_index.h):
+  /// deterministic k-center pivots, per-cell covering radii, and step 4
+  /// probes only the cells whose radius can contain an epsilon match —
+  /// the triangle inequality as *cross-cell* pruning. Builds parallelize
+  /// across cells like sharding, but filter_computations deliberately
+  /// SHRINK (skipped cells are neither evaluated nor billed; the
+  /// decisions are observable as cells_probed/cells_skipped). Matches
+  /// and verification stats stay element-wise identical to the
+  /// monolithic index at any cell count. Requires a metric distance and
+  /// is mutually exclusive with num_shards > 1. 0 or 1 = off.
   ExecContext exec;
 
   /// How LoadIndex / LoadIndexFrom materialize snapshot bytes: kEager

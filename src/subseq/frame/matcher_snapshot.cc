@@ -6,10 +6,13 @@
 //
 //   catalog.meta          window length + sequence count
 //   catalog.seq_lengths   int32 per sequence (database identity check)
-//   idx.<kind>.top        IndexKind + shard count of one index block
+//   idx.<kind>.top        IndexKind + shard/routing-cell counts of one
+//                         index block
 //   idx.<kind>.*          the index sections: monolithic backend
-//                         sections, or the sharded layout followed by
-//                         per-shard backend sections (idx.<kind>.s<s>.*)
+//                         sections, the sharded layout followed by
+//                         per-shard backend sections (idx.<kind>.s<s>.*),
+//                         or the routed layout followed by per-cell
+//                         backend sections (idx.<kind>.c<c>.*)
 //
 // Kind tokens (rn / ct / mv / vp / ls) keep blocks of different kinds
 // disjoint, so one file can host several matchers over one catalog (the
@@ -28,6 +31,7 @@
 #include "subseq/exec/peak_gauge.h"
 #include "subseq/frame/matcher.h"
 #include "subseq/metric/linear_scan.h"
+#include "subseq/metric/routed_index.h"
 #include "subseq/metric/sharded_index.h"
 #include "subseq/snapshot/reader.h"
 #include "subseq/snapshot/writer.h"
@@ -62,10 +66,33 @@ static_assert(sizeof(CatalogMetaRec) == 8);
 
 // "idx.<kind>.top": what one index block holds.
 struct IndexBlockMetaRec {
-  int32_t kind = 0;        // static_cast<int32_t>(IndexKind)
-  int32_t num_shards = 0;  // 1 = monolithic
+  int32_t kind = 0;           // static_cast<int32_t>(IndexKind)
+  int32_t num_shards = 0;     // 1 = not contiguously sharded
+  int32_t routing_cells = 0;  // requested routing cells; 1 = not routed
+  int32_t reserved = 0;
 };
-static_assert(sizeof(IndexBlockMetaRec) == 8);
+static_assert(sizeof(IndexBlockMetaRec) == 16);
+
+// Reads an index block's top record, accepting both the current 16-byte
+// layout and the pre-routing 8-byte {kind, num_shards} layout (older
+// files load as unrouted; saving them back upgrades the record).
+Status ReadIndexBlockMeta(const SnapshotFile& file, const std::string& name,
+                          IndexBlockMetaRec* out) {
+  auto view = PodSectionView<int32_t>(file, name);
+  SUBSEQ_RETURN_NOT_OK(view.status());
+  const std::span<const int32_t> v = view.value();
+  if (v.size() != 2 && v.size() != 4) {
+    return Status::InvalidArgument(
+        "snapshot section '" + name + "' holds " +
+        std::to_string(v.size() * sizeof(int32_t)) +
+        " bytes; expected an 8- or 16-byte index block record");
+  }
+  out->kind = v[0];
+  out->num_shards = v[1];
+  out->routing_cells = v.size() == 4 ? v[2] : 1;
+  out->reserved = v.size() == 4 ? v[3] : 0;
+  return Status::OK();
+}
 
 // Serializes one (monolithic or per-shard) inner index of the given
 // kind under `prefix`. The kind comes from the options the index was
@@ -225,19 +252,24 @@ Status SubsequenceMatcher<T>::SaveIndexSections(SnapshotWriter& writer) const {
   const IndexKind kind = options_.index_kind;
   const std::string prefix = IndexPrefix(kind);
   const auto* sharded = dynamic_cast<const ShardedIndex*>(index_.get());
+  const auto* routed = dynamic_cast<const RoutedIndex*>(index_.get());
 
   IndexBlockMetaRec top;
   top.kind = static_cast<int32_t>(kind);
   top.num_shards = sharded != nullptr ? sharded->num_shards() : 1;
+  top.routing_cells = routed != nullptr ? routed->requested_cells() : 1;
   SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "top", top));
 
+  const ShardIndexSaver inner_saver =
+      [kind](const RangeIndex& inner, SnapshotWriter& w,
+             const std::string& inner_prefix) {
+        return SaveInnerSections(inner, kind, w, inner_prefix);
+      };
   if (sharded != nullptr) {
-    return sharded->SaveSections(
-        writer, prefix,
-        [kind](const RangeIndex& inner, SnapshotWriter& w,
-               const std::string& shard_prefix) {
-          return SaveInnerSections(inner, kind, w, shard_prefix);
-        });
+    return sharded->SaveSections(writer, prefix, inner_saver);
+  }
+  if (routed != nullptr) {
+    return routed->SaveSections(writer, prefix, inner_saver);
   }
   return SaveInnerSections(*index_, kind, writer, prefix);
 }
@@ -316,7 +348,7 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
         "'); it was saved under a different index_kind");
   }
   IndexBlockMetaRec top;
-  SUBSEQ_RETURN_NOT_OK(ReadPodStruct(*file, top_name, &top));
+  SUBSEQ_RETURN_NOT_OK(ReadIndexBlockMeta(*file, top_name, &top));
   if (top.kind != static_cast<int32_t>(resolved.index_kind)) {
     return Status::InvalidArgument(
         "snapshot '" + file->path() + "' section '" + top_name +
@@ -329,6 +361,18 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
         "' records " + std::to_string(top.num_shards) +
         " shards; at least 1 is required");
   }
+  if (top.routing_cells < 1) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' section '" + top_name +
+        "' records " + std::to_string(top.routing_cells) +
+        " routing cells; at least 1 is required");
+  }
+  if (top.num_shards > 1 && top.routing_cells > 1) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' section '" + top_name +
+        "' records an index both sharded and routed — the strategies are "
+        "mutually exclusive, so the file is corrupted");
+  }
   const int32_t expected_shards =
       resolved.exec.ResolvedShards(matcher->oracle_->size());
   if (top.num_shards != expected_shards) {
@@ -339,16 +383,33 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
         " shards; set exec.num_shards = " + std::to_string(top.num_shards) +
         " — a loaded index must equal the fresh build it replaces");
   }
+  const int32_t expected_cells =
+      resolved.exec.ResolvedCells(matcher->oracle_->size());
+  if (top.routing_cells != expected_cells) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' holds a " +
+        std::to_string(top.routing_cells) + "-cell routed index but the "
+        "options resolve to " + std::to_string(expected_cells) +
+        " cells; set exec.routing_cells = " +
+        std::to_string(top.routing_cells) +
+        " — a loaded index must equal the fresh build it replaces");
+  }
 
+  const ShardIndexLoader inner_loader =
+      [&file, &resolved](const SnapshotFile&, const std::string& sp,
+                         const DistanceOracle& inner_oracle, int32_t) {
+        return LoadInnerSections(file, sp, inner_oracle, resolved);
+      };
   if (top.num_shards > 1) {
     auto sharded = ShardedIndex::LoadSections(
-        *file, prefix, *matcher->oracle_, expected_shards,
-        [&file, &resolved](const SnapshotFile&, const std::string& sp,
-                           const DistanceOracle& shard_oracle, int32_t) {
-          return LoadInnerSections(file, sp, shard_oracle, resolved);
-        });
+        *file, prefix, *matcher->oracle_, expected_shards, inner_loader);
     SUBSEQ_RETURN_NOT_OK(sharded.status());
     matcher->index_ = std::move(sharded).ValueOrDie();
+  } else if (top.routing_cells > 1) {
+    auto routed = RoutedIndex::LoadSections(
+        *file, prefix, *matcher->oracle_, expected_cells, inner_loader);
+    SUBSEQ_RETURN_NOT_OK(routed.status());
+    matcher->index_ = std::move(routed).ValueOrDie();
   } else {
     auto inner =
         LoadInnerSections(file, prefix, *matcher->oracle_, resolved);
@@ -395,10 +456,19 @@ Status SubsequenceMatcher<T>::BuildToSnapshot(
   const std::string prefix = IndexPrefix(kind);
   const int32_t n = matcher->oracle_->size();
   const int32_t k = resolved.exec.ResolvedShards(n);
+  if (resolved.exec.ResolvedCells(n) > 1) {
+    return Status::InvalidArgument(
+        "BuildToSnapshot does not support routing_cells: pivot selection "
+        "needs the whole window catalog resident, which defeats the "
+        "O(shard) streaming contract — Build(...) + SaveIndex(path) "
+        "produces the routed snapshot (out-of-core routed builds are a "
+        "planned follow-on)");
+  }
 
   IndexBlockMetaRec top;
   top.kind = static_cast<int32_t>(kind);
   top.num_shards = k;
+  top.routing_cells = 1;
   SUBSEQ_RETURN_NOT_OK(w.AppendPodStruct(prefix + "top", top));
 
   if (k > 1) {

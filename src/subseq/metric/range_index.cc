@@ -15,6 +15,8 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                 int64_t computations = 0;
                 int64_t result_count = 0;
                 int64_t pruned = 0;
+                int64_t probed = 0;
+                int64_t skipped = 0;
                 for (int64_t i = begin; i < end; ++i) {
                   QueryStats qs;
                   results[static_cast<size_t>(i)] = RangeQueryWithScratch(
@@ -33,11 +35,15 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                   computations += qs.distance_computations;
                   result_count += qs.result_count;
                   pruned += qs.lower_bound_pruned;
+                  probed += qs.cells_probed;
+                  skipped += qs.cells_skipped;
                 }
                 if (sink != nullptr) {
                   sink->AddDistanceComputations(computations);
                   sink->AddResults(result_count);
                   sink->AddLowerBoundPruned(pruned);
+                  sink->AddCellsProbed(probed);
+                  sink->AddCellsSkipped(skipped);
                 }
               });
   return results;

@@ -36,6 +36,17 @@ struct QueryStats {
   /// prefilter (see QueryLowerBound). Observability only — the saved
   /// work; these candidates remain counted in distance_computations.
   int64_t lower_bound_pruned = 0;
+  /// Routed-index cells this query was fanned into (RoutedIndex only;
+  /// 0 elsewhere). The routing distance of every cell — probed or not —
+  /// is billed in distance_computations.
+  int64_t cells_probed = 0;
+  /// Routed-index cells the triangle inequality proved empty of hits,
+  /// whose members were therefore neither evaluated NOR billed. This is
+  /// the one sanctioned departure from the billing invariants above:
+  /// routing exists to shrink distance_computations, and
+  /// cells_probed/cells_skipped make the decision deterministic and
+  /// observable (the CI routing gates ride on these counts).
+  int64_t cells_skipped = 0;
 };
 
 /// Index construction accounting.

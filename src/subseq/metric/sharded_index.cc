@@ -103,6 +103,8 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
   std::vector<ObjectId> merged;
   int64_t computations = 0;
   int64_t pruned = 0;
+  int64_t probed = 0;
+  int64_t skipped = 0;
   for (int32_t s = 0; s < num_shards(); ++s) {
     const int32_t offset = shards_[static_cast<size_t>(s)].oracle->offset();
     QueryStats shard_stats;
@@ -113,6 +115,8 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
                  static_cast<int64_t>(local.size()));
     computations += shard_stats.distance_computations;
     pruned += shard_stats.lower_bound_pruned;
+    probed += shard_stats.cells_probed;
+    skipped += shard_stats.cells_skipped;
     merged.reserve(merged.size() + local.size());
     for (const ObjectId id : local) merged.push_back(id + offset);
   }
@@ -120,6 +124,8 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
     stats->distance_computations = computations;
     stats->result_count = static_cast<int64_t>(merged.size());
     stats->lower_bound_pruned = pruned;
+    stats->cells_probed = probed;
+    stats->cells_skipped = skipped;
   }
   return merged;
 }
@@ -178,6 +184,10 @@ std::vector<std::vector<ObjectId>> ShardedIndex::BatchRangeQuery(
             shard_splits[static_cast<size_t>(s)][q].result_count;
         rolled.lower_bound_pruned +=
             shard_splits[static_cast<size_t>(s)][q].lower_bound_pruned;
+        rolled.cells_probed +=
+            shard_splits[static_cast<size_t>(s)][q].cells_probed;
+        rolled.cells_skipped +=
+            shard_splits[static_cast<size_t>(s)][q].cells_skipped;
       }
     }
     if (per_query != nullptr) {

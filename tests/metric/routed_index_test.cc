@@ -1,0 +1,534 @@
+// RoutedIndex unit tests: deterministic pivot/cell layout invariants,
+// triangle-inequality routing soundness (never skips a true hit),
+// equivalence with the monolithic index across inner backends, exact
+// billing of routing distances plus probed-cell work, batch == single
+// stats splits (including cells_probed / cells_skipped), kNN exactness,
+// skew rebalancing, duplicate-driven early stop, build-failure
+// propagation, and snapshot round-trip byte stability.
+
+#include "subseq/metric/routed_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subseq/core/rng.h"
+#include "subseq/exec/stats_sink.h"
+#include "subseq/metric/linear_scan.h"
+#include "subseq/metric/reference_net.h"
+#include "subseq/metric/vp_tree.h"
+#include "subseq/snapshot/reader.h"
+#include "subseq/snapshot/writer.h"
+#include "testing/helpers.h"
+
+namespace subseq {
+namespace {
+
+using ::subseq::testing::RandomSeries;
+using ::subseq::testing::ScalarPointOracle;
+
+ShardIndexFactory LinearScanFactory() {
+  return [](const DistanceOracle& oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    return std::unique_ptr<RangeIndex>(
+        std::make_unique<LinearScan>(oracle.size()));
+  };
+}
+
+ShardIndexFactory VpTreeFactory() {
+  return [](const DistanceOracle& oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    return std::unique_ptr<RangeIndex>(std::make_unique<VpTree>(oracle));
+  };
+}
+
+ShardIndexFactory ReferenceNetFactory() {
+  return [](const DistanceOracle& oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    auto net = std::make_unique<ReferenceNet>(oracle);
+    for (ObjectId id = 0; id < oracle.size(); ++id) {
+      SUBSEQ_RETURN_NOT_OK(net->Insert(id));
+    }
+    return std::unique_ptr<RangeIndex>(std::move(net));
+  };
+}
+
+std::unique_ptr<RoutedIndex> BuildRouted(const DistanceOracle& oracle,
+                                         const ShardIndexFactory& factory,
+                                         int32_t num_cells,
+                                         int32_t num_threads = 1) {
+  RoutedIndexOptions options;
+  options.num_cells = num_cells;
+  options.exec.num_threads = num_threads;
+  auto built = RoutedIndex::Build(oracle, factory, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).ValueOrDie();
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Every member of every cell sits within the cell's covering radius of
+/// its pivot, the pivot lives in its own cell, and the member map is a
+/// permutation of [0, n) ascending within each cell. These are the
+/// invariants the skip rule's soundness proof leans on.
+void CheckCellLayout(const RoutedIndex& routed,
+                     const ScalarPointOracle& oracle) {
+  std::vector<int> seen(static_cast<size_t>(oracle.size()), 0);
+  for (int32_t c = 0; c < routed.num_cells(); ++c) {
+    const auto members = routed.cell_members(c);
+    ASSERT_FALSE(members.empty()) << "cell " << c;
+    EXPECT_EQ(static_cast<int32_t>(members.size()), routed.cell(c).size());
+    EXPECT_GE(routed.radius(c), 0.0);
+    bool pivot_in_cell = false;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(members[i - 1], members[i]);
+      }
+      ++seen[static_cast<size_t>(members[i])];
+      if (members[i] == routed.pivot(c)) pivot_in_cell = true;
+      EXPECT_LE(oracle.Distance(routed.pivot(c), members[i]),
+                routed.radius(c))
+          << "cell " << c << " member " << members[i];
+    }
+    EXPECT_TRUE(pivot_in_cell) << "cell " << c;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "object " << i;
+  }
+}
+
+TEST(RoutedIndexTest, CellLayoutInvariantsHold) {
+  Rng rng(31);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 60, 0.0, 100.0));
+  for (const int32_t k : {1, 4, 7}) {
+    const auto routed = BuildRouted(oracle, LinearScanFactory(), k);
+    EXPECT_EQ(routed->requested_cells(), k);
+    EXPECT_GE(routed->num_cells(), 1);
+    EXPECT_EQ(routed->size(), oracle.size());
+    CheckCellLayout(*routed, oracle);
+  }
+}
+
+TEST(RoutedIndexTest, CellCountClampsToObjectCount) {
+  Rng rng(32);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 5, 0.0, 100.0));
+  const auto routed = BuildRouted(oracle, LinearScanFactory(), 64);
+  EXPECT_EQ(routed->requested_cells(), 5);
+  EXPECT_LE(routed->num_cells(), 5);
+  EXPECT_EQ(routed->size(), 5);
+  CheckCellLayout(*routed, oracle);
+}
+
+TEST(RoutedIndexTest, NameReflectsCellCountAndInnerBackend) {
+  Rng rng(33);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 24, 0.0, 100.0));
+  const auto routed = BuildRouted(oracle, VpTreeFactory(), 3);
+  EXPECT_EQ(routed->name(), "routed[" +
+                                std::to_string(routed->num_cells()) +
+                                "]:vp-tree");
+}
+
+TEST(RoutedIndexTest, RangeQueryEquivalentToMonolithicIndex) {
+  Rng rng(34);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 90, 0.0, 100.0));
+  const LinearScan monolithic(oracle.size());
+  for (const int32_t k : {1, 4, 7}) {
+    const auto scan = BuildRouted(oracle, LinearScanFactory(), k);
+    const auto vp = BuildRouted(oracle, VpTreeFactory(), k);
+    const auto rn = BuildRouted(oracle, ReferenceNetFactory(), k);
+    for (const double center : {-3.0, 5.0, 37.5, 93.0, 140.0}) {
+      const QueryDistanceFn query = oracle.QueryFrom(center);
+      const auto expected =
+          Sorted(monolithic.RangeQuery(query, 8.0, nullptr));
+      EXPECT_EQ(Sorted(scan->RangeQuery(query, 8.0, nullptr)), expected);
+      EXPECT_EQ(Sorted(vp->RangeQuery(query, 8.0, nullptr)), expected);
+      EXPECT_EQ(Sorted(rn->RangeQuery(query, 8.0, nullptr)), expected);
+    }
+  }
+}
+
+TEST(RoutedIndexTest, NeverSkipsACellContainingATrueHit) {
+  // Property test: for random queries and epsilons, the routed hit set
+  // must equal brute force exactly — in particular the skip rule
+  // d(q, pivot) > r_c + cutoff(eps) must never drop a cell that holds a
+  // true hit.
+  Rng rng(35);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 150, 0.0, 100.0));
+  const auto routed = BuildRouted(oracle, VpTreeFactory(), 6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double q = rng.NextDouble(-20.0, 120.0);
+    const double eps = rng.NextDouble(0.0, 15.0);
+    std::vector<ObjectId> expected;
+    for (ObjectId id = 0; id < oracle.size(); ++id) {
+      if (std::fabs(q - oracle.points()[static_cast<size_t>(id)]) <= eps) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(Sorted(routed->RangeQuery(oracle.QueryFrom(q), eps, nullptr)),
+              expected)
+        << "q=" << q << " eps=" << eps;
+  }
+}
+
+TEST(RoutedIndexTest, BillsRoutingPlusProbedCellsExactly) {
+  Rng rng(36);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 80, 0.0, 100.0));
+  const auto routed = BuildRouted(oracle, LinearScanFactory(), 5);
+  const int32_t cells = routed->num_cells();
+
+  for (const double center : {2.0, 48.0, 97.0}) {
+    const double eps = 4.0;
+    // Recompute the routing decision from the published layout: a cell
+    // is probed iff d(q, pivot) <= r_c + cutoff(eps).
+    int64_t expected_computations = cells;  // one routing distance/cell
+    int64_t expected_probed = 0;
+    for (int32_t c = 0; c < cells; ++c) {
+      const double pd = std::fabs(
+          center -
+          oracle.points()[static_cast<size_t>(routed->pivot(c))]);
+      if (pd <= routed->radius(c) + LowerBoundPruneCutoff(eps)) {
+        ++expected_probed;
+        // LinearScan cells compute every member's distance.
+        expected_computations += routed->cell(c).size();
+      }
+    }
+    QueryStats stats;
+    routed->RangeQuery(oracle.QueryFrom(center), eps, &stats);
+    EXPECT_EQ(stats.distance_computations, expected_computations);
+    EXPECT_EQ(stats.cells_probed, expected_probed);
+    EXPECT_EQ(stats.cells_skipped, cells - expected_probed);
+  }
+}
+
+TEST(RoutedIndexTest, TightEpsilonSkipsCellsAndSavesComputations) {
+  // The point of routing: at a selective epsilon, some cells are
+  // skipped, and the routed scan performs strictly fewer distance
+  // computations than the monolithic scan.
+  Rng rng(37);
+  std::vector<double> points;
+  for (int i = 0; i < 40; ++i) points.push_back(rng.NextDouble(0.0, 10.0));
+  for (int i = 0; i < 40; ++i) points.push_back(rng.NextDouble(90.0, 100.0));
+  const ScalarPointOracle oracle(points);
+  const LinearScan monolithic(oracle.size());
+  const auto routed = BuildRouted(oracle, LinearScanFactory(), 4);
+
+  const QueryDistanceFn query = oracle.QueryFrom(5.0);
+  QueryStats mono_stats;
+  QueryStats routed_stats;
+  const auto expected = Sorted(monolithic.RangeQuery(query, 2.0, &mono_stats));
+  EXPECT_EQ(Sorted(routed->RangeQuery(query, 2.0, &routed_stats)), expected);
+  EXPECT_GT(routed_stats.cells_skipped, 0);
+  EXPECT_LT(routed_stats.distance_computations,
+            mono_stats.distance_computations);
+}
+
+TEST(RoutedIndexTest, BatchMatchesSingleQueriesWithExactStatsRollup) {
+  Rng rng(38);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 120, 0.0, 100.0));
+  const auto routed = BuildRouted(oracle, ReferenceNetFactory(), 5);
+
+  std::vector<QueryDistanceFn> queries;
+  for (int i = 0; i < 17; ++i) {
+    queries.push_back(oracle.QueryFrom(rng.NextDouble(0.0, 100.0)));
+  }
+
+  std::vector<std::vector<ObjectId>> expected;
+  std::vector<QueryStats> expected_stats(queries.size());
+  int64_t total_computations = 0;
+  int64_t total_results = 0;
+  int64_t total_probed = 0;
+  int64_t total_skipped = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(
+        routed->RangeQuery(queries[q], 6.0, &expected_stats[q]));
+    total_computations += expected_stats[q].distance_computations;
+    total_results += expected_stats[q].result_count;
+    total_probed += expected_stats[q].cells_probed;
+    total_skipped += expected_stats[q].cells_skipped;
+  }
+
+  for (const int32_t threads : {1, 8}) {
+    StatsSink sink;
+    std::vector<QueryStats> per_query(queries.size());
+    const auto batched = routed->BatchRangeQuery(
+        queries, 6.0, ExecContext{threads}, &sink, per_query.data());
+    EXPECT_EQ(batched, expected) << "threads=" << threads;
+    EXPECT_EQ(sink.distance_computations(), total_computations);
+    EXPECT_EQ(sink.results(), total_results);
+    EXPECT_EQ(sink.cells_probed(), total_probed);
+    EXPECT_EQ(sink.cells_skipped(), total_skipped);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(per_query[q].distance_computations,
+                expected_stats[q].distance_computations);
+      EXPECT_EQ(per_query[q].result_count, expected_stats[q].result_count);
+      EXPECT_EQ(per_query[q].cells_probed, expected_stats[q].cells_probed);
+      EXPECT_EQ(per_query[q].cells_skipped,
+                expected_stats[q].cells_skipped);
+    }
+  }
+}
+
+TEST(RoutedIndexTest, NearestNeighborsExactAcrossCells) {
+  Rng rng(39);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 80, 0.0, 100.0));
+  const LinearScan monolithic(oracle.size());
+  const auto routed = BuildRouted(oracle, VpTreeFactory(), 6);
+
+  for (const double center : {1.0, 50.0, 99.0}) {
+    const QueryDistanceFn query = oracle.QueryFrom(center);
+    for (const int32_t k : {1, 5, 13}) {
+      const auto expected = monolithic.NearestNeighbors(query, k, nullptr);
+      const auto merged = routed->NearestNeighbors(query, k, nullptr);
+      ASSERT_EQ(merged.size(), expected.size());
+      for (size_t i = 0; i < merged.size(); ++i) {
+        // The distance multiset is optimal; id choice among exact ties
+        // is index-dependent (the RangeIndex contract).
+        EXPECT_DOUBLE_EQ(merged[i].distance, expected[i].distance);
+      }
+      for (size_t i = 1; i < merged.size(); ++i) {
+        EXPECT_LE(merged[i - 1].distance, merged[i].distance);
+      }
+    }
+  }
+}
+
+TEST(RoutedIndexTest, RebalancingSplitsOversizedCell) {
+  // 97 points in a tight cluster plus 3 far outliers: farthest-point
+  // pivots land on the outliers, leaving the cluster as one cell of 97
+  // members — far beyond twice the mean — so the rebalance pass must
+  // split it into additional cells, and answers must stay exact.
+  Rng rng(40);
+  std::vector<double> points = RandomSeries(&rng, 97, 0.0, 1.0);
+  points.push_back(100.0);
+  points.push_back(200.0);
+  points.push_back(300.0);
+  const ScalarPointOracle oracle(points);
+  const auto routed = BuildRouted(oracle, LinearScanFactory(), 4);
+  EXPECT_EQ(routed->requested_cells(), 4);
+  EXPECT_GT(routed->num_cells(), 4);
+  CheckCellLayout(*routed, oracle);
+
+  const LinearScan monolithic(oracle.size());
+  for (const double center : {0.5, 100.0, 250.0}) {
+    const QueryDistanceFn query = oracle.QueryFrom(center);
+    EXPECT_EQ(Sorted(routed->RangeQuery(query, 5.0, nullptr)),
+              Sorted(monolithic.RangeQuery(query, 5.0, nullptr)));
+  }
+}
+
+TEST(RoutedIndexTest, DuplicateHeavyCatalogStopsEarly) {
+  // Every object at the same point: after the first pivot, every
+  // remaining object sits at distance 0, so pivot selection stops at one
+  // cell instead of manufacturing empty ones.
+  const ScalarPointOracle oracle(std::vector<double>(20, 7.0));
+  const auto routed = BuildRouted(oracle, LinearScanFactory(), 4);
+  EXPECT_EQ(routed->num_cells(), 1);
+  EXPECT_EQ(routed->radius(0), 0.0);
+  CheckCellLayout(*routed, oracle);
+  EXPECT_EQ(routed->RangeQuery(oracle.QueryFrom(7.0), 0.5, nullptr).size(),
+            20u);
+  EXPECT_TRUE(
+      routed->RangeQuery(oracle.QueryFrom(30.0), 0.5, nullptr).empty());
+}
+
+TEST(RoutedIndexTest, ParallelBuildMatchesSequentialBuild) {
+  Rng rng(41);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 100, 0.0, 100.0));
+  const auto sequential = BuildRouted(oracle, ReferenceNetFactory(), 5,
+                                      /*num_threads=*/1);
+  const auto parallel = BuildRouted(oracle, ReferenceNetFactory(), 5,
+                                    /*num_threads=*/8);
+  // Pivot selection is a serial argmax over exact nearest distances and
+  // cells are independent closed problems: the thread budget must not
+  // change what gets built.
+  ASSERT_EQ(parallel->num_cells(), sequential->num_cells());
+  for (int32_t c = 0; c < sequential->num_cells(); ++c) {
+    EXPECT_EQ(parallel->pivot(c), sequential->pivot(c));
+    EXPECT_EQ(parallel->radius(c), sequential->radius(c));
+  }
+  EXPECT_EQ(sequential->build_stats().distance_computations,
+            parallel->build_stats().distance_computations);
+  const QueryDistanceFn query = oracle.QueryFrom(33.0);
+  EXPECT_EQ(sequential->RangeQuery(query, 7.0, nullptr),
+            parallel->RangeQuery(query, 7.0, nullptr));
+}
+
+TEST(RoutedIndexTest, AggregateSpaceAndBuildStats) {
+  Rng rng(42);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 70, 0.0, 100.0));
+  const auto routed = BuildRouted(oracle, ReferenceNetFactory(), 4);
+
+  const SpaceStats space = routed->ComputeSpaceStats();
+  EXPECT_EQ(space.num_objects, oracle.size());
+  int64_t nodes = 0;
+  int64_t inner_build = 0;
+  for (int32_t c = 0; c < routed->num_cells(); ++c) {
+    nodes += routed->cell(c).ComputeSpaceStats().num_nodes;
+    inner_build += routed->cell(c).build_stats().distance_computations;
+  }
+  EXPECT_EQ(space.num_nodes, nodes);
+  // Total build work = routing (pivot selection, assignment, rebalance)
+  // plus the cells' inner builds — routing is never free.
+  EXPECT_GT(routed->build_stats().distance_computations, inner_build);
+  EXPECT_GT(inner_build, 0);
+}
+
+TEST(RoutedIndexTest, BuildFailurePropagatesFirstCellError) {
+  Rng rng(43);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 30, 0.0, 100.0));
+  RoutedIndexOptions options;
+  options.num_cells = 3;
+  const auto built = RoutedIndex::Build(
+      oracle,
+      [](const DistanceOracle& cell_oracle,
+         int32_t cell) -> Result<std::unique_ptr<RangeIndex>> {
+        if (cell >= 1) {
+          return Status::Internal("cell " + std::to_string(cell) +
+                                  " exploded");
+        }
+        return std::unique_ptr<RangeIndex>(
+            std::make_unique<LinearScan>(cell_oracle.size()));
+      },
+      options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(built.status().message(), "cell 1 exploded");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trip.
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+/// LinearScan cells carry no state beyond their size (which the routing
+/// layout already pins down), so the inner saver writes nothing and the
+/// loader rebuilds a scan over the cell oracle.
+ShardIndexSaver ScanSaver() {
+  return [](const RangeIndex&, SnapshotWriter&, const std::string&) {
+    return Status::OK();
+  };
+}
+
+ShardIndexLoader ScanLoader() {
+  return [](const SnapshotFile&, const std::string&,
+            const DistanceOracle& cell_oracle,
+            int32_t) -> Result<std::unique_ptr<RangeIndex>> {
+    return std::unique_ptr<RangeIndex>(
+        std::make_unique<LinearScan>(cell_oracle.size()));
+  };
+}
+
+Status SaveRoutedTo(const RoutedIndex& routed, const std::string& path) {
+  auto writer = SnapshotWriter::Create(path);
+  SUBSEQ_RETURN_NOT_OK(writer.status());
+  SUBSEQ_RETURN_NOT_OK(
+      routed.SaveSections(*writer.value(), "idx.", ScanSaver()));
+  return writer.value()->Finish();
+}
+
+TEST(RoutedIndexSnapshotTest, RoundTripPreservesLayoutAndQueries) {
+  Rng rng(44);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 75, 0.0, 100.0));
+  const auto original = BuildRouted(oracle, LinearScanFactory(), 4);
+  const std::string path = TempPath("routed_roundtrip.snap");
+  ASSERT_TRUE(SaveRoutedTo(*original, path).ok());
+
+  auto file = SnapshotFile::Open(path, SnapshotLoadMode::kEager);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  auto loaded = RoutedIndex::LoadSections(
+      *file.value(), "idx.", oracle, original->requested_cells(),
+      ScanLoader());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const RoutedIndex& reborn = *loaded.value();
+  ASSERT_EQ(reborn.num_cells(), original->num_cells());
+  EXPECT_EQ(reborn.requested_cells(), original->requested_cells());
+  EXPECT_EQ(reborn.name(), original->name());
+  for (int32_t c = 0; c < original->num_cells(); ++c) {
+    EXPECT_EQ(reborn.pivot(c), original->pivot(c));
+    EXPECT_EQ(reborn.radius(c), original->radius(c));
+    ASSERT_EQ(reborn.cell_members(c).size(),
+              original->cell_members(c).size());
+    for (size_t i = 0; i < reborn.cell_members(c).size(); ++i) {
+      EXPECT_EQ(reborn.cell_members(c)[i], original->cell_members(c)[i]);
+    }
+  }
+  EXPECT_EQ(reborn.build_stats().distance_computations,
+            original->build_stats().distance_computations);
+
+  Rng qrng(45);
+  for (int q = 0; q < 20; ++q) {
+    const double center = qrng.NextDouble(-10.0, 110.0);
+    const double eps = qrng.NextDouble(0.0, 12.0);
+    QueryStats orig_stats;
+    QueryStats load_stats;
+    EXPECT_EQ(reborn.RangeQuery(oracle.QueryFrom(center), eps, &load_stats),
+              original->RangeQuery(oracle.QueryFrom(center), eps,
+                                   &orig_stats));
+    EXPECT_EQ(load_stats.distance_computations,
+              orig_stats.distance_computations);
+    EXPECT_EQ(load_stats.cells_probed, orig_stats.cells_probed);
+  }
+
+  // Canonical encoding: saving the loaded index reproduces the file
+  // byte for byte.
+  const std::string resaved = TempPath("routed_roundtrip_resave.snap");
+  ASSERT_TRUE(SaveRoutedTo(reborn, resaved).ok());
+  EXPECT_EQ(ReadFileBytes(resaved), ReadFileBytes(path));
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(RoutedIndexSnapshotTest, LoadRejectsCellCountMismatch) {
+  Rng rng(46);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 40, 0.0, 100.0));
+  const auto original = BuildRouted(oracle, LinearScanFactory(), 4);
+  const std::string path = TempPath("routed_mismatch.snap");
+  ASSERT_TRUE(SaveRoutedTo(*original, path).ok());
+
+  auto file = SnapshotFile::Open(path, SnapshotLoadMode::kEager);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  // Asking for a different cell count than the file was built with must
+  // fail loudly: a loaded index must be what a fresh build under the
+  // caller's options would produce.
+  const auto loaded = RoutedIndex::LoadSections(
+      *file.value(), "idx.", oracle, /*expected_cells=*/7, ScanLoader());
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RoutedIndexSnapshotTest, LoadRejectsOracleSizeMismatch) {
+  Rng rng(47);
+  const ScalarPointOracle oracle(RandomSeries(&rng, 40, 0.0, 100.0));
+  const auto original = BuildRouted(oracle, LinearScanFactory(), 3);
+  const std::string path = TempPath("routed_wrong_oracle.snap");
+  ASSERT_TRUE(SaveRoutedTo(*original, path).ok());
+
+  auto file = SnapshotFile::Open(path, SnapshotLoadMode::kEager);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const ScalarPointOracle smaller(RandomSeries(&rng, 30, 0.0, 100.0));
+  const auto loaded = RoutedIndex::LoadSections(
+      *file.value(), "idx.", smaller, /*expected_cells=*/3, ScanLoader());
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subseq

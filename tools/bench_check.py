@@ -10,17 +10,28 @@ measurements taken on the same machine in the same run, so a committed
 baseline from one box gates a fresh run on another without chasing
 absolute wall-clock numbers.
 
-Tolerance rules:
-  * a record present in the baseline but missing from the fresh run fails
-    (a silently dropped row is how regressions hide);
-  * new records in the fresh run pass (benchmarks may grow rows);
+Coverage rules (all hard failures — a silently dropped row or key is how
+regressions hide):
+  * a record present in the baseline but missing from the fresh run fails;
+  * ANY numeric metric present in a baseline record but missing from the
+    corresponding fresh record fails, whether or not it is gated — the
+    fresh run must produce at least everything the baseline promises;
+  * a gated metric that matched zero records fails (renamed key or wrong
+    --metric);
+  * new records / new metrics in the fresh run pass (benchmarks may grow).
+
+Gating rules (gated metrics only):
   * baseline values below --min-baseline are skipped (ratios of noise);
   * otherwise fresh >= baseline * (1 - --max-regression) must hold.
+
+Every run prints the full baseline-vs-fresh table, gated or not, so a CI
+log always shows what moved.
 
 Usage:
   tools/bench_check.py --baseline old.json --fresh new.json \
       --metric speedup [--metric other ...] \
       [--max-regression 0.25] [--min-baseline 0.05]
+  tools/bench_check.py --baseline old.json --list
 """
 
 import argparse
@@ -37,64 +48,72 @@ def load_records(path):
     return doc.get("benchmark", "?"), records
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Fail on benchmark regressions vs a committed baseline.")
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_*.json")
-    parser.add_argument("--fresh", required=True,
-                        help="freshly produced BENCH_*.json")
-    parser.add_argument("--metric", action="append", required=True,
-                        dest="metrics",
-                        help="higher-is-better metric key to gate "
-                             "(repeatable)")
-    parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional drop (default 0.25)")
-    parser.add_argument("--min-baseline", type=float, default=0.05,
-                        help="skip records whose baseline value is below "
-                             "this (default 0.05)")
-    args = parser.parse_args()
+def numeric_metrics(record):
+    """The gateable keys of one record: numeric values, 'name' excluded."""
+    return sorted(
+        key for key, value in record.items()
+        if key != "name" and isinstance(value, (int, float))
+        and not isinstance(value, bool))
 
+
+def list_baseline(name, records):
+    print(f"bench_check: {name} ({len(records)} record(s))")
+    for record_name, record in sorted(records.items()):
+        print(f"  {record_name}: {', '.join(numeric_metrics(record))}")
+    return 0
+
+
+def run_check(args):
     name, baseline = load_records(args.baseline)
+    if args.list:
+        return list_baseline(name, baseline)
+
     fresh_name, fresh = load_records(args.fresh)
     if name != fresh_name:
         print(f"FAIL: comparing different benchmarks: "
               f"baseline={name!r} fresh={fresh_name!r}")
         return 1
 
+    gated = set(args.metrics)
     failures = 0
     checked_per_metric = {metric: 0 for metric in args.metrics}
     floor = 1.0 - args.max_regression
     print(f"bench_check: {name} "
           f"(max regression {args.max_regression:.0%}, "
-          f"metrics: {', '.join(args.metrics)})")
+          f"gated metrics: {', '.join(args.metrics)})")
     for record_name, record in sorted(baseline.items()):
         if record_name not in fresh:
             print(f"  FAIL {record_name}: missing from fresh run")
             failures += 1
             continue
-        for metric in args.metrics:
-            if metric not in record:
-                continue  # metric not applicable to this row
+        for metric in numeric_metrics(record):
             base_value = float(record[metric])
             if metric not in fresh[record_name]:
+                # Hard failure even for ungated metrics: the committed
+                # baseline is the contract for what a fresh run emits.
                 print(f"  FAIL {record_name}.{metric}: "
                       f"missing from fresh run")
                 failures += 1
                 continue
             fresh_value = float(fresh[record_name][metric])
+            ratio = (fresh_value / base_value) if base_value != 0 else None
+            shown = f"{ratio:.0%}" if ratio is not None else "n/a"
+            if metric not in gated:
+                print(f"  info {record_name}.{metric}: "
+                      f"baseline {base_value:.4g} -> fresh "
+                      f"{fresh_value:.4g} ({shown})")
+                continue
             if base_value < args.min_baseline:
                 print(f"  skip {record_name}.{metric}: baseline "
                       f"{base_value:.4g} below noise floor")
                 continue
             checked_per_metric[metric] += 1
-            ratio = fresh_value / base_value
-            verdict = "ok  " if ratio >= floor else "FAIL"
-            if ratio < floor:
+            ok = ratio is not None and ratio >= floor
+            if not ok:
                 failures += 1
-            print(f"  {verdict} {record_name}.{metric}: "
+            print(f"  {'ok  ' if ok else 'FAIL'} {record_name}.{metric}: "
                   f"baseline {base_value:.4g} -> fresh {fresh_value:.4g} "
-                  f"({ratio:.0%})")
+                  f"({shown})")
 
     # Per-metric coverage: a gated metric that matched zero records is a
     # silently-lost regression surface (renamed key, regenerated
@@ -110,6 +129,34 @@ def main():
     print(f"bench_check: {sum(checked_per_metric.values())} "
           f"comparison(s) clean")
     return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark regressions vs a committed baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--fresh",
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--metric", action="append", dest="metrics",
+                        default=[],
+                        help="higher-is-better metric key to gate "
+                             "(repeatable)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop (default 0.25)")
+    parser.add_argument("--min-baseline", type=float, default=0.05,
+                        help="skip records whose baseline value is below "
+                             "this (default 0.05)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the baseline's records and gateable "
+                             "metric keys, then exit")
+    args = parser.parse_args(argv)
+    if not args.list and not args.fresh:
+        parser.error("--fresh is required unless --list is given")
+    if not args.list and not args.metrics:
+        parser.error("at least one --metric is required unless --list "
+                     "is given")
+    return run_check(args)
 
 
 if __name__ == "__main__":

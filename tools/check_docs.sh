@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Doc-consistency gate: every source file under src/subseq/** must be
+# mentioned (by stem) in docs/ARCHITECTURE.md, so the architecture doc
+# cannot silently fall behind the tree. A stem match is enough — the doc
+# may say `metric/sharded_index.*` or name the .h and .cc individually.
+#
+# CI calls this script; run it locally before sending a PR that adds a
+# file. Exits non-zero listing every undocumented stem.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$root/docs/ARCHITECTURE.md"
+if [ ! -f "$doc" ]; then
+  echo "check_docs: $doc not found" >&2
+  exit 2
+fi
+
+missing=0
+# find (not a hand-kept directory list) so new subdirectories are gated
+# the day they appear.
+while IFS= read -r f; do
+  stem="$(basename "$f" | sed 's/\.[^.]*$//')"
+  if ! grep -q "$stem" "$doc"; then
+    echo "docs/ARCHITECTURE.md does not mention $stem (from ${f#"$root"/})"
+    missing=1
+  fi
+done < <(find "$root/src/subseq" -type f \( -name '*.h' -o -name '*.cc' \) | sort)
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_docs: FAIL — document the files above in docs/ARCHITECTURE.md"
+  exit 1
+fi
+echo "check_docs: OK — every src/subseq/** stem is documented"
+exit 0
