@@ -175,6 +175,39 @@ void BM_ErpAvx2(benchmark::State& state) {
   LevelKernel(state, d, simd::SimdLevel::kAvx2);
 }
 
+// The anti-diagonal (wavefront) single-pair DP at a forced dispatch
+// level, forced on at every length so short args measure it too; the
+// row-DP counterpart is the plain BM_Dtw/BM_Erp row at the same length.
+template <typename Dist>
+void AntidiagKernel(benchmark::State& state, const Dist& dist,
+                    simd::SimdLevel level) {
+  if (!simd::SetSimdLevelForTesting(level)) {
+    state.SkipWithError("dispatch level unavailable on this machine");
+    return;
+  }
+  simd::SetAntidiagThresholdForTesting(1);
+  ScalarKernel(state, dist);
+  simd::ClearAntidiagThresholdForTesting();
+  simd::ClearSimdLevelForTesting();
+}
+
+void BM_DtwAntidiagPortable(benchmark::State& state) {
+  DtwDistance1D d;
+  AntidiagKernel(state, d, simd::SimdLevel::kPortable);
+}
+void BM_DtwAntidiagAvx2(benchmark::State& state) {
+  DtwDistance1D d;
+  AntidiagKernel(state, d, simd::SimdLevel::kAvx2);
+}
+void BM_ErpAntidiagPortable(benchmark::State& state) {
+  ErpDistance1D d;
+  AntidiagKernel(state, d, simd::SimdLevel::kPortable);
+}
+void BM_ErpAntidiagAvx2(benchmark::State& state) {
+  ErpDistance1D d;
+  AntidiagKernel(state, d, simd::SimdLevel::kAvx2);
+}
+
 BENCHMARK(BM_Erp)->Arg(20)->Arg(50)->Arg(100);
 BENCHMARK(BM_Dtw)->Arg(20)->Arg(50)->Arg(100);
 BENCHMARK(BM_Frechet)->Arg(20)->Arg(50)->Arg(100);
@@ -193,6 +226,10 @@ BENCHMARK(BM_DtwPortable)->Arg(20)->Arg(100);
 BENCHMARK(BM_DtwAvx2)->Arg(20)->Arg(100);
 BENCHMARK(BM_ErpPortable)->Arg(20)->Arg(100);
 BENCHMARK(BM_ErpAvx2)->Arg(20)->Arg(100);
+BENCHMARK(BM_DtwAntidiagPortable)->Arg(100)->Arg(1000);
+BENCHMARK(BM_DtwAntidiagAvx2)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ErpAntidiagPortable)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ErpAntidiagAvx2)->Arg(100)->Arg(1000);
 
 }  // namespace
 }  // namespace subseq

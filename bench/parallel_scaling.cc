@@ -20,9 +20,12 @@
 
 #include "bench_common.h"
 #include "subseq/core/check.h"
+#include "subseq/core/rng.h"
 #include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
 #include "subseq/distance/euclidean.h"
 #include "subseq/distance/levenshtein.h"
+#include "subseq/distance/simd/cpu_features.h"
 #include "subseq/frame/lb_prefilter.h"
 #include "subseq/exec/exec_context.h"
 #include "subseq/exec/stats_sink.h"
@@ -542,6 +545,127 @@ int Run() {
         {{"simd_loop_ms", loop_ms},
          {"simd_batch_ms", batch_ms},
          {"simd_batch_speedup", batch_speedup}}});
+
+    // --------------------------------------------- staged LB cascade
+    // The same SONGS scan with the full cascade: a feature table turns
+    // the DTW prefilter into Kim -> Keogh and enables the ERP sum
+    // bound. Hits and billing are CHECKed against the plain scans; the
+    // gated rows are the per-stage prune rates — deterministic count
+    // ratios (decisions fixed by the data and the padded cutoff).
+    const auto song_features = BuildLbFeatureTable(song_db, song_catalog);
+    const auto make_prunable =
+        [&](const SequenceDistance<double>& cascade_dist,
+            const WindowOracle<double>& cascade_oracle) {
+          std::vector<QueryDistanceFn> out;
+          for (const auto& q : song_queries) {
+            const std::span<const double> seg(q);
+            auto lb = MakeSegmentLowerBound(song_db, song_catalog,
+                                            cascade_dist, seg,
+                                            song_features);
+            SUBSEQ_CHECK(lb != nullptr);
+            PrunableQueryFn prunable;
+            prunable.fn = cascade_oracle.SegmentQuery(seg);
+            prunable.lower_bound = std::move(lb);
+            out.push_back(QueryDistanceFn(std::move(prunable)));
+          }
+          return out;
+        };
+
+    StatsSink cascade_sink;
+    t0 = std::chrono::steady_clock::now();
+    const auto cascade_results = song_scan.BatchRangeQuery(
+        make_prunable(dtw, song_oracle), song_epsilon, song_exec,
+        &cascade_sink);
+    const double cascade_ms = MillisSince(t0);
+    SUBSEQ_CHECK(cascade_results == plain_results);
+    SUBSEQ_CHECK(cascade_sink.distance_computations() ==
+                 plain_sink.distance_computations());
+    SUBSEQ_CHECK(cascade_sink.lb_kim_pruned() > 0);
+    const double lb_kim_prune_rate =
+        static_cast<double>(cascade_sink.lb_kim_pruned()) / scanned;
+
+    const ErpDistance1D erp;
+    const WindowOracle<double> erp_oracle(song_db, song_catalog, erp);
+    std::vector<QueryDistanceFn> erp_plain_fns;
+    for (const auto& q : song_queries) {
+      erp_plain_fns.push_back(
+          erp_oracle.SegmentQuery(std::span<const double>(q)));
+    }
+    StatsSink erp_plain_sink;
+    t0 = std::chrono::steady_clock::now();
+    const auto erp_plain_results = song_scan.BatchRangeQuery(
+        erp_plain_fns, song_epsilon, song_exec, &erp_plain_sink);
+    const double erp_plain_ms = MillisSince(t0);
+    StatsSink erp_cascade_sink;
+    t0 = std::chrono::steady_clock::now();
+    const auto erp_cascade_results = song_scan.BatchRangeQuery(
+        make_prunable(erp, erp_oracle), song_epsilon, song_exec,
+        &erp_cascade_sink);
+    const double erp_cascade_ms = MillisSince(t0);
+    SUBSEQ_CHECK(erp_cascade_results == erp_plain_results);
+    SUBSEQ_CHECK(erp_cascade_sink.distance_computations() ==
+                 erp_plain_sink.distance_computations());
+    SUBSEQ_CHECK(erp_cascade_sink.lb_erp_pruned() ==
+                 erp_cascade_sink.lower_bound_pruned());
+    SUBSEQ_CHECK(erp_cascade_sink.lb_erp_pruned() > 0);
+    const double erp_prune_rate =
+        static_cast<double>(erp_cascade_sink.lb_erp_pruned()) /
+        static_cast<double>(erp_plain_sink.distance_computations());
+
+    std::printf("%-18s %12.1f %12.1f %13.3f %14.3f\n", "lb_cascade",
+                cascade_ms, erp_cascade_ms, lb_kim_prune_rate,
+                erp_prune_rate);
+    records.push_back(BenchRecord{
+        "lb_cascade",
+        {{"cascade_dtw_ms", cascade_ms},
+         {"erp_plain_ms", erp_plain_ms},
+         {"erp_cascade_ms", erp_cascade_ms},
+         {"lb_kim_prune_rate", lb_kim_prune_rate},
+         {"erp_prune_rate", erp_prune_rate}}});
+
+    // ------------------------------------------- anti-diagonal DP
+    // One long single pair per distance — the plain-Compute path the
+    // wavefront kernels accelerate (no batch of 4 to fill). Values are
+    // CHECKed identical with the wavefront forced vs disabled; the
+    // gated row is the wall-clock ratio (same machine, same run).
+    {
+      Rng rng(4242);
+      const int32_t long_n = Scaled(1200, 3000);
+      std::vector<double> a, b;
+      for (int32_t i = 0; i < long_n; ++i) {
+        a.push_back(rng.NextDouble(0.0, 10.0));
+        b.push_back(rng.NextDouble(0.0, 10.0));
+      }
+      const int ad_reps = Scaled(3, 8);
+      simd::SetAntidiagThresholdForTesting(-1);
+      t0 = std::chrono::steady_clock::now();
+      double rows_dtw = 0.0, rows_erp = 0.0;
+      for (int r = 0; r < ad_reps; ++r) {
+        rows_dtw = dtw.Compute(a, b);
+        rows_erp = erp.Compute(a, b);
+      }
+      const double rows_ms = MillisSince(t0);
+      simd::SetAntidiagThresholdForTesting(1);
+      t0 = std::chrono::steady_clock::now();
+      double waves_dtw = 0.0, waves_erp = 0.0;
+      for (int r = 0; r < ad_reps; ++r) {
+        waves_dtw = dtw.Compute(a, b);
+        waves_erp = erp.Compute(a, b);
+      }
+      const double waves_ms = MillisSince(t0);
+      simd::ClearAntidiagThresholdForTesting();
+      SUBSEQ_CHECK(waves_dtw == rows_dtw);
+      SUBSEQ_CHECK(waves_erp == rows_erp);
+      const double antidiag_speedup =
+          waves_ms > 0.0 ? rows_ms / waves_ms : 0.0;
+      std::printf("%-18s %12.1f %12.1f %14.2f\n", "antidiag", rows_ms,
+                  waves_ms, antidiag_speedup);
+      records.push_back(BenchRecord{
+          "antidiag",
+          {{"antidiag_rows_ms", rows_ms},
+           {"antidiag_waves_ms", waves_ms},
+           {"antidiag_speedup", antidiag_speedup}}});
+    }
   }
 
   const std::string path = "BENCH_parallel_scaling.json";

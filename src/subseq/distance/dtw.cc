@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <type_traits>
 #include <vector>
 
+#include "subseq/distance/simd/cpu_features.h"
 #include "subseq/distance/simd/ground_rows.h"
 #include "subseq/distance/simd/kernels.h"
 
@@ -36,10 +38,30 @@ double DtwDistance<T, Ground>::ComputeBounded(std::span<const T> a,
     return kInfiniteDistance;
   }
 
+  const simd::Kernels& kernels = simd::GetKernels();
+
+  // Long unconstrained single-pair calls take the anti-diagonal
+  // wavefront kernel (bit-identical to the row path per kernels.h; the
+  // threshold knob trades wall-clock only).
+  if (band_ < 0) {
+    const int wavefront = simd::AntidiagThreshold();
+    if (wavefront >= 0 &&
+        std::min(n, m) >= static_cast<size_t>(wavefront)) {
+      if constexpr (std::is_same_v<T, double> &&
+                    std::is_same_v<Ground, ScalarGround>) {
+        return kernels.dtw_antidiag_f64(a.data(), n, b.data(), m,
+                                        upper_bound);
+      } else if constexpr (std::is_same_v<T, Point2d> &&
+                           std::is_same_v<Ground, Point2dGround>) {
+        return kernels.dtw_antidiag_p2d(a.data(), n, b.data(), m,
+                                        upper_bound);
+      }
+    }
+  }
+
   // Two-row DP over the (n+1) x (m+1) grid; row 0 / col 0 are +inf walls
   // except the (0,0) corner. The cost row and the row combine go through
   // the dispatched kernels (bit-identical at every level).
-  const simd::Kernels& kernels = simd::GetKernels();
   std::vector<double> prev(m + 1, kInfiniteDistance);
   std::vector<double> curr(m + 1, kInfiniteDistance);
   std::vector<double> cost(m + 1, 0.0);

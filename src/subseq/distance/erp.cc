@@ -1,8 +1,10 @@
 #include "subseq/distance/erp.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
+#include "subseq/distance/simd/cpu_features.h"
 #include "subseq/distance/simd/ground_rows.h"
 #include "subseq/distance/simd/kernels.h"
 
@@ -22,10 +24,30 @@ double ErpDistance<T, Ground>::ComputeBounded(std::span<const T> a,
   const size_t m = b.size();
   const T gap = Ground::GapElement();
 
+  const simd::Kernels& kernels = simd::GetKernels();
+
+  // Long single-pair calls take the anti-diagonal wavefront kernel
+  // (bit-identical to the row path per kernels.h; the threshold knob
+  // trades wall-clock only). The kernel requires n, m >= 1.
+  if (n >= 1 && m >= 1) {
+    const int wavefront = simd::AntidiagThreshold();
+    if (wavefront >= 0 &&
+        std::min(n, m) >= static_cast<size_t>(wavefront)) {
+      if constexpr (std::is_same_v<T, double> &&
+                    std::is_same_v<Ground, ScalarGround>) {
+        return kernels.erp_antidiag_f64(a.data(), n, b.data(), m, gap,
+                                        upper_bound);
+      } else if constexpr (std::is_same_v<T, Point2d> &&
+                           std::is_same_v<Ground, Point2dGround>) {
+        return kernels.erp_antidiag_p2d(a.data(), n, b.data(), m, gap,
+                                        upper_bound);
+      }
+    }
+  }
+
   // prev/curr are rows of the (n+1) x (m+1) table. The per-row cost
   // rows (substitution against b, gap against b) and the row combine
   // run through the dispatched kernels (bit-identical at every level).
-  const simd::Kernels& kernels = simd::GetKernels();
   std::vector<double> prev(m + 1, 0.0);
   std::vector<double> curr(m + 1, 0.0);
   std::vector<double> sub(m + 1, 0.0);

@@ -1,0 +1,26 @@
+#include "subseq/distance/lb_erp.h"
+
+#include "subseq/distance/simd/kernels.h"
+
+namespace subseq {
+
+LbErpSumBound::LbErpSumBound(std::span<const double> query) {
+  double sum = 0.0;
+  for (const double v : query) sum += v;
+  query_sum_ = sum;
+}
+
+double LbErpSumBound::LowerBound(std::span<const double> candidate) const {
+  double sum = 0.0;
+  for (const double v : candidate) sum += v;
+  double out;
+  simd::GetKernels().abs_diff_row(query_sum_, &sum, &out, 1);
+  return out;
+}
+
+void LbErpSumBound::LowerBoundMany(const double* sums, size_t count,
+                                   double* out) const {
+  simd::GetKernels().abs_diff_row(query_sum_, sums, out, count);
+}
+
+}  // namespace subseq

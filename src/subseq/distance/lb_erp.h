@@ -1,0 +1,48 @@
+// LB_ERP (Chen & Ng, VLDB 2004) — the |sum(Q) - sum(C)| lower bound
+// for 1-D ERP with gap element 0. Every ERP path cost term is either
+// |q_i - c_j| (a match) or |q_i - 0| / |c_j - 0| (a gap); summing the
+// triangle inequality over any path telescopes to
+//   |sum(Q) - sum(C)| <= ERP(Q, C).
+// The bound needs only the candidate's element sum, so batched
+// evaluation over a per-window sums array is a single abs-diff row —
+// cheaper even than LB_Kim, and the ONLY cascade stage for ERP
+// (LB_Kim and LB_Keogh are DTW bounds and are not admissible here).
+//
+// Admissibility requires the gap element to be exactly 0.0; the
+// cascade wiring in frame/lb_prefilter.cc gates on that.
+
+#ifndef SUBSEQ_DISTANCE_LB_ERP_H_
+#define SUBSEQ_DISTANCE_LB_ERP_H_
+
+#include <cstdint>
+#include <span>
+
+namespace subseq {
+
+/// Precomputed element sum of one query sequence.
+class LbErpSumBound {
+ public:
+  /// Captures sum(query), accumulated sequentially in ascending order —
+  /// the same order the feature table sums candidate windows.
+  explicit LbErpSumBound(std::span<const double> query);
+
+  /// Scalar reference bound |sum(query) - sum(candidate)|. Valid for
+  /// ANY candidate length (ERP aligns unequal lengths via gaps), so
+  /// there is no length-mismatch escape hatch.
+  double LowerBound(std::span<const double> candidate) const;
+
+  /// Batched bounds over `count` candidates given their precomputed
+  /// element sums: out[i] = |query_sum() - sums[i]|. Element-wise and
+  /// exact — values are identical across dispatch levels and any
+  /// regrouping into blocks.
+  void LowerBoundMany(const double* sums, size_t count, double* out) const;
+
+  double query_sum() const { return query_sum_; }
+
+ private:
+  double query_sum_;
+};
+
+}  // namespace subseq
+
+#endif  // SUBSEQ_DISTANCE_LB_ERP_H_

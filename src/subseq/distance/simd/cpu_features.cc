@@ -1,6 +1,7 @@
 #include "subseq/distance/simd/cpu_features.h"
 
 #include <atomic>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 
@@ -38,6 +39,28 @@ SimdLevel ResolveDetectedLevel() {
 std::atomic<int>& OverrideSlot() {
   static std::atomic<int> slot{-1};
   return slot;
+}
+
+constexpr int kDefaultAntidiagThreshold = 64;
+constexpr long kNoAntidiagOverride = LONG_MIN;
+
+// LONG_MIN = no override; any other value (negative = disabled) wins.
+std::atomic<long>& AntidiagOverrideSlot() {
+  static std::atomic<long> slot{kNoAntidiagOverride};
+  return slot;
+}
+
+int ResolveAntidiagThreshold() {
+  const char* knob = std::getenv("SUBSEQ_ANTIDIAG");
+  if (knob != nullptr) {
+    if (std::strcmp(knob, "off") == 0) return -1;
+    char* end = nullptr;
+    const long parsed = std::strtol(knob, &end, 10);
+    if (end != knob && *end == '\0') return static_cast<int>(parsed);
+    // Unrecognized: fall through to the default (best-effort, like
+    // SUBSEQ_SIMD).
+  }
+  return kDefaultAntidiagThreshold;
 }
 
 }  // namespace
@@ -80,6 +103,23 @@ bool SetSimdLevelForTesting(SimdLevel level) {
 
 void ClearSimdLevelForTesting() {
   OverrideSlot().store(-1, std::memory_order_relaxed);
+}
+
+int AntidiagThreshold() {
+  const long forced =
+      AntidiagOverrideSlot().load(std::memory_order_relaxed);
+  if (forced != kNoAntidiagOverride) return static_cast<int>(forced);
+  static const int resolved = ResolveAntidiagThreshold();
+  return resolved;
+}
+
+void SetAntidiagThresholdForTesting(int threshold) {
+  AntidiagOverrideSlot().store(threshold, std::memory_order_relaxed);
+}
+
+void ClearAntidiagThresholdForTesting() {
+  AntidiagOverrideSlot().store(kNoAntidiagOverride,
+                               std::memory_order_relaxed);
 }
 
 }  // namespace subseq::simd

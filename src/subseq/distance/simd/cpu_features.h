@@ -52,6 +52,22 @@ bool SetSimdLevelForTesting(SimdLevel level);
 /// Clears the test override; dispatch returns to DetectedSimdLevel().
 void ClearSimdLevelForTesting();
 
+/// Minimum min(n, m) at which unconstrained single-pair DTW/ERP calls
+/// take the anti-diagonal wavefront kernels instead of the row kernels
+/// (short pairs are dominated by setup cost). Negative = wavefront
+/// disabled. Resolution mirrors the SIMD level: the test override wins,
+/// then the SUBSEQ_ANTIDIAG environment knob ("off" disables; a decimal
+/// integer sets the threshold), then the built-in default. Both paths
+/// are bit-identical (kernels.h), so the knob trades wall-clock only.
+int AntidiagThreshold();
+
+/// Forces the wavefront threshold for the current process (exactness
+/// tests force both code paths on every length). Negative disables.
+void SetAntidiagThresholdForTesting(int threshold);
+
+/// Clears the test override; the env knob / default applies again.
+void ClearAntidiagThresholdForTesting();
+
 }  // namespace subseq::simd
 
 #endif  // SUBSEQ_DISTANCE_SIMD_CPU_FEATURES_H_

@@ -109,6 +109,45 @@ struct Kernels {
                           size_t len, const double* c0, const double* c1,
                           const double* c2, const double* c3, double cutoff,
                           double* out4);
+  /// LB_Kim bounds of `count` candidates from precomputed O(1)
+  /// per-candidate features (first/last/min/max element), the cascade's
+  /// cheapest stage. out[i] = max(E_i, |q_max - cmax[i]|,
+  /// |q_min - cmin[i]|) where E_i is |q_first - first[i]| +
+  /// |q_last - last[i]| when use_endpoint_sum != 0 (admissible only when
+  /// the DP has more than one matched pair, i.e. n + m > 2) and
+  /// max(|q_first - first[i]|, |q_last - last[i]|) otherwise. No early
+  /// abandon: each output is O(1) and exact, so values — not just
+  /// decisions — are bit-identical across levels.
+  void (*lb_kim_block)(double q_first, double q_last, double q_min,
+                       double q_max, int use_endpoint_sum,
+                       const double* first, const double* last,
+                       const double* cmin, const double* cmax, size_t count,
+                       double* out);
+
+  // ----------------------- anti-diagonal single-pair DP kernels
+  // Wavefront evaluation of ONE unconstrained DP matrix: anti-diagonal
+  // s = i + j depends only on s - 1 and s - 2, so all its cells compute
+  // in parallel — the single-pair counterpart of the >= 4-candidate
+  // vertical kernels. Cell values are bit-identical to the row kernels:
+  // min(min(a, b) + c, d + c) == min3(a, b, d) + c under the no-NaN /
+  // no--0.0 value domain (see the contract above), and every per-cell
+  // cost is the same single scalar expression. Early abandon follows the
+  // ComputeBounded contract: the exact distance is returned whenever it
+  // is <= bound; otherwise any value > bound (here +inf) may be
+  // returned. Abandonment requires TWO consecutive anti-diagonal minima
+  // above the bound — a warping path's diagonal move skips one
+  // anti-diagonal but can never skip two, so the decision is sound.
+  /// Unconstrained DTW of a (n elements) vs b (m elements); n, m >= 1.
+  double (*dtw_antidiag_f64)(const double* a, size_t n, const double* b,
+                             size_t m, double bound);
+  double (*dtw_antidiag_p2d)(const Point2d* a, size_t n, const Point2d* b,
+                             size_t m, double bound);
+  /// ERP with the given gap element; boundary prefix sums accumulate in
+  /// the same sequential order as the row kernels. n, m >= 1.
+  double (*erp_antidiag_f64)(const double* a, size_t n, const double* b,
+                             size_t m, double gap, double bound);
+  double (*erp_antidiag_p2d)(const Point2d* a, size_t n, const Point2d* b,
+                             size_t m, Point2d gap, double bound);
 };
 
 /// The portable (scalar/auto-vectorizable) table. Always available.

@@ -260,11 +260,205 @@ void LbKeoghBlock4(const double* upper, const double* lower, size_t len,
   _mm256_storeu_pd(out4, acc);
 }
 
+void LbKimBlock(double q_first, double q_last, double q_min, double q_max,
+                int use_endpoint_sum, const double* first,
+                const double* last, const double* cmin, const double* cmax,
+                size_t count, double* out) {
+  const __m256d vqf = _mm256_set1_pd(q_first);
+  const __m256d vql = _mm256_set1_pd(q_last);
+  const __m256d vqmin = _mm256_set1_pd(q_min);
+  const __m256d vqmax = _mm256_set1_pd(q_max);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d df = Abs(_mm256_sub_pd(vqf, _mm256_loadu_pd(first + i)));
+    const __m256d dl = Abs(_mm256_sub_pd(vql, _mm256_loadu_pd(last + i)));
+    const __m256d ends =
+        use_endpoint_sum ? _mm256_add_pd(df, dl) : _mm256_max_pd(df, dl);
+    const __m256d dmax =
+        Abs(_mm256_sub_pd(vqmax, _mm256_loadu_pd(cmax + i)));
+    const __m256d dmin =
+        Abs(_mm256_sub_pd(vqmin, _mm256_loadu_pd(cmin + i)));
+    _mm256_storeu_pd(out + i,
+                     _mm256_max_pd(_mm256_max_pd(ends, dmax), dmin));
+  }
+  for (; i < count; ++i) {
+    const double df = std::abs(q_first - first[i]);
+    const double dl = std::abs(q_last - last[i]);
+    const double ends = use_endpoint_sum ? df + dl : std::max(df, dl);
+    const double dmax = std::abs(q_max - cmax[i]);
+    const double dmin = std::abs(q_min - cmin[i]);
+    out[i] = std::max(std::max(ends, dmax), dmin);
+  }
+}
+
+// Reverses the 4 lanes of a vector — anti-diagonal cells walk b (and the
+// gap-cost rows) backwards as the row index i walks forwards.
+inline __m256d Reverse(__m256d v) { return _mm256_permute4x64_pd(v, 0x1B); }
+
+inline double HorizontalMin(__m256d v) {
+  double lanes[4];
+  _mm256_storeu_pd(lanes, v);
+  return std::min(std::min(lanes[0], lanes[1]),
+                  std::min(lanes[2], lanes[3]));
+}
+
+double DtwAntidiagF64(const double* a, size_t n, const double* b, size_t m,
+                      double bound) {
+  std::vector<double> buf(3 * (n + 1), kInf);
+  double* prev2 = buf.data();
+  double* prev = prev2 + (n + 1);
+  double* curr = prev + (n + 1);
+  prev[0] = 0.0;
+  int hot = 0;
+  const __m256d vinf = _mm256_set1_pd(kInf);
+  for (size_t s = 1; s <= n + m; ++s) {
+    if (s <= m) curr[0] = kInf;
+    if (s <= n) curr[s] = kInf;
+    const size_t ilo = s > m ? s - m : 1;
+    const size_t ihi = std::min(n, s - 1);
+    double diag_min = kInf;
+    size_t i = ilo;
+    __m256d vmin = vinf;
+    // Lanes i..i+3 need b[s-i-1]..b[s-i-4]; i + 3 <= ihi <= s - 1
+    // guarantees s - i - 4 >= 0, so the reversed load stays in range.
+    for (; i + 3 <= ihi; i += 4) {
+      const __m256d best = _mm256_min_pd(
+          _mm256_min_pd(_mm256_loadu_pd(prev + i - 1),
+                        _mm256_loadu_pd(prev + i)),
+          _mm256_loadu_pd(prev2 + i - 1));
+      const __m256d cost = Abs(
+          _mm256_sub_pd(_mm256_loadu_pd(a + i - 1),
+                        Reverse(_mm256_loadu_pd(b + (s - i - 4)))));
+      const __m256d v = _mm256_add_pd(best, cost);
+      _mm256_storeu_pd(curr + i, v);
+      vmin = _mm256_min_pd(vmin, v);
+    }
+    diag_min = HorizontalMin(vmin);
+    for (; i <= ihi; ++i) {
+      const double best =
+          std::min(std::min(prev[i - 1], prev[i]), prev2[i - 1]);
+      const double v = best + std::abs(a[i - 1] - b[s - i - 1]);
+      curr[i] = v;
+      diag_min = std::min(diag_min, v);
+    }
+    const size_t lo = s > m ? s - m : 0;
+    const size_t hi = std::min(n, s);
+    if (lo > 0) curr[lo - 1] = kInf;
+    if (hi < n) curr[hi + 1] = kInf;
+    if (s >= 2) {
+      if (diag_min > bound) {
+        if (++hot == 2) return kInf;
+      } else {
+        hot = 0;
+      }
+    }
+    double* rot = prev2;
+    prev2 = prev;
+    prev = curr;
+    curr = rot;
+  }
+  return prev[n];
+}
+
+double ErpAntidiagF64(const double* a, size_t n, const double* b, size_t m,
+                      double gap, double bound) {
+  std::vector<double> gap_a(n + 1), col0(n + 1);
+  std::vector<double> gap_b(m + 1), row0(m + 1);
+  gap_a[0] = col0[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    gap_a[i] = std::abs(a[i - 1] - gap);
+    col0[i] = col0[i - 1] + gap_a[i];
+  }
+  gap_b[0] = row0[0] = 0.0;
+  for (size_t j = 1; j <= m; ++j) {
+    gap_b[j] = std::abs(b[j - 1] - gap);
+    row0[j] = row0[j - 1] + gap_b[j];
+  }
+  std::vector<double> buf(3 * (n + 1), kInf);
+  double* prev2 = buf.data();
+  double* prev = prev2 + (n + 1);
+  double* curr = prev + (n + 1);
+  prev[0] = 0.0;
+  int hot = 0;
+  const __m256d vinf = _mm256_set1_pd(kInf);
+  for (size_t s = 1; s <= n + m; ++s) {
+    double diag_min = kInf;
+    if (s <= m) {
+      curr[0] = row0[s];
+      diag_min = curr[0];
+    }
+    if (s <= n) {
+      curr[s] = col0[s];
+      diag_min = std::min(diag_min, curr[s]);
+    }
+    const size_t ilo = s > m ? s - m : 1;
+    const size_t ihi = std::min(n, s - 1);
+    size_t i = ilo;
+    __m256d vmin = vinf;
+    for (; i + 3 <= ihi; i += 4) {
+      // Lanes i..i+3: gap_b index s-i >= 4 and b index s-i-1 >= 4
+      // whenever i + 3 <= s - 1, so both reversed loads are in range.
+      const __m256d sub = Abs(
+          _mm256_sub_pd(_mm256_loadu_pd(a + i - 1),
+                        Reverse(_mm256_loadu_pd(b + (s - i - 4)))));
+      const __m256d match =
+          _mm256_add_pd(_mm256_loadu_pd(prev2 + i - 1), sub);
+      const __m256d del_a = _mm256_add_pd(_mm256_loadu_pd(prev + i - 1),
+                                          _mm256_loadu_pd(gap_a.data() + i));
+      const __m256d del_b =
+          _mm256_add_pd(_mm256_loadu_pd(prev + i),
+                        Reverse(_mm256_loadu_pd(gap_b.data() + (s - i - 3))));
+      const __m256d v =
+          _mm256_min_pd(_mm256_min_pd(match, del_a), del_b);
+      _mm256_storeu_pd(curr + i, v);
+      vmin = _mm256_min_pd(vmin, v);
+    }
+    diag_min = std::min(diag_min, HorizontalMin(vmin));
+    for (; i <= ihi; ++i) {
+      const double v =
+          std::min(std::min(prev2[i - 1] + std::abs(a[i - 1] - b[s - i - 1]),
+                            prev[i - 1] + gap_a[i]),
+                   prev[i] + gap_b[s - i]);
+      curr[i] = v;
+      diag_min = std::min(diag_min, v);
+    }
+    const size_t lo = s > m ? s - m : 0;
+    const size_t hi = std::min(n, s);
+    if (lo > 0) curr[lo - 1] = kInf;
+    if (hi < n) curr[hi + 1] = kInf;
+    if (diag_min > bound) {
+      if (++hot == 2) return kInf;
+    } else {
+      hot = 0;
+    }
+    double* rot = prev2;
+    prev2 = prev;
+    prev = curr;
+    curr = rot;
+  }
+  return prev[n];
+}
+
+// The Point2d wavefronts are sqrt-latency-bound, so vectorizing the
+// min/add halo buys nothing measurable; reuse the portable reference
+// implementation to keep one source of truth (bit-identity is then
+// trivial).
+double DtwAntidiagP2d(const Point2d* a, size_t n, const Point2d* b,
+                      size_t m, double bound) {
+  return GetPortableKernels()->dtw_antidiag_p2d(a, n, b, m, bound);
+}
+
+double ErpAntidiagP2d(const Point2d* a, size_t n, const Point2d* b,
+                      size_t m, Point2d gap, double bound) {
+  return GetPortableKernels()->erp_antidiag_p2d(a, n, b, m, gap, bound);
+}
+
 constexpr Kernels kAvx2Table = {
     "avx2",        AbsDiffRow,    PointDistRow,      GatherRow,
     DtwCombineRow, GapCombineRow, FrechetCombineRow, Euclidean4F64,
     Euclidean4P2d, Linf4F64,      Linf4P2d,          Dtw4F64,
-    Dtw4P2d,       LbKeoghBlock4,
+    Dtw4P2d,       LbKeoghBlock4, LbKimBlock,        DtwAntidiagF64,
+    DtwAntidiagP2d, ErpAntidiagF64, ErpAntidiagP2d,
 };
 
 }  // namespace

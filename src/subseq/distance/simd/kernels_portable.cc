@@ -190,11 +190,166 @@ void LbKeoghBlock4(const double* upper, const double* lower, size_t len,
   }
 }
 
+void LbKimBlock(double q_first, double q_last, double q_min, double q_max,
+                int use_endpoint_sum, const double* first,
+                const double* last, const double* cmin, const double* cmax,
+                size_t count, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const double df = std::abs(q_first - first[i]);
+    const double dl = std::abs(q_last - last[i]);
+    const double ends = use_endpoint_sum ? df + dl : std::max(df, dl);
+    const double dmax = std::abs(q_max - cmax[i]);
+    const double dmin = std::abs(q_min - cmin[i]);
+    out[i] = std::max(std::max(ends, dmax), dmin);
+  }
+}
+
+// Shared wavefront DP for the two DTW anti-diagonal kernels. Buffers are
+// indexed by row i in [0, n]; slot i of the diag-s buffer holds
+// D(i, s - i). Active row ranges shift by at most one per diagonal, so
+// clearing one slot on each side of the written range keeps every read
+// of a rotated buffer either a freshly written value or +inf.
+template <typename CostAt>
+double DtwAntidiag(size_t n, size_t m, double bound, const CostAt& cost_at) {
+  std::vector<double> buf(3 * (n + 1), kInf);
+  double* prev2 = buf.data();        // diag s - 2
+  double* prev = prev2 + (n + 1);    // diag s - 1
+  double* curr = prev + (n + 1);     // diag s
+  prev[0] = 0.0;                     // diag 0: the (0, 0) corner
+  int hot = 0;  // consecutive diagonals whose minimum exceeded the bound
+  for (size_t s = 1; s <= n + m; ++s) {
+    // Walls: D(0, s) and D(s, 0) are +inf for s > 0.
+    if (s <= m) curr[0] = kInf;
+    if (s <= n) curr[s] = kInf;
+    const size_t ilo = s > m ? s - m : 1;      // interior: i, j >= 1
+    const size_t ihi = std::min(n, s - 1);
+    double diag_min = kInf;
+    for (size_t i = ilo; i <= ihi; ++i) {
+      const double best =
+          std::min(std::min(prev[i - 1], prev[i]), prev2[i - 1]);
+      const double v = best + cost_at(i - 1, s - i - 1);
+      curr[i] = v;
+      diag_min = std::min(diag_min, v);
+    }
+    const size_t lo = s > m ? s - m : 0;
+    const size_t hi = std::min(n, s);
+    if (lo > 0) curr[lo - 1] = kInf;
+    if (hi < n) curr[hi + 1] = kInf;
+    // Diag 1 holds walls only (paths start at (1, 1), diag 2); a path's
+    // diagonal move skips one anti-diagonal, never two.
+    if (s >= 2) {
+      if (diag_min > bound) {
+        if (++hot == 2) return kInf;
+      } else {
+        hot = 0;
+      }
+    }
+    double* rot = prev2;
+    prev2 = prev;
+    prev = curr;
+    curr = rot;
+  }
+  return prev[n];
+}
+
+double DtwAntidiagF64(const double* a, size_t n, const double* b, size_t m,
+                      double bound) {
+  return DtwAntidiag(n, m, bound, [&](size_t i, size_t j) {
+    return std::abs(a[i] - b[j]);
+  });
+}
+
+double DtwAntidiagP2d(const Point2d* a, size_t n, const Point2d* b,
+                      size_t m, double bound) {
+  return DtwAntidiag(n, m, bound, [&](size_t i, size_t j) {
+    return PointDistance(a[i], b[j]);
+  });
+}
+
+// ERP wavefront: unlike DTW, row 0 and column 0 are real path cells
+// (prefix gap costs), accumulated in the same sequential order as the
+// row kernels' boundary passes so values match them bit for bit.
+template <typename T, typename GroundCost>
+double ErpAntidiag(const T* a, size_t n, const T* b, size_t m, const T& gap,
+                   double bound, const GroundCost& cost) {
+  std::vector<double> gap_a(n + 1), col0(n + 1);
+  std::vector<double> gap_b(m + 1), row0(m + 1);
+  gap_a[0] = col0[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    gap_a[i] = cost(a[i - 1], gap);
+    col0[i] = col0[i - 1] + gap_a[i];
+  }
+  gap_b[0] = row0[0] = 0.0;
+  for (size_t j = 1; j <= m; ++j) {
+    gap_b[j] = cost(b[j - 1], gap);
+    row0[j] = row0[j - 1] + gap_b[j];
+  }
+  std::vector<double> buf(3 * (n + 1), kInf);
+  double* prev2 = buf.data();
+  double* prev = prev2 + (n + 1);
+  double* curr = prev + (n + 1);
+  prev[0] = 0.0;
+  int hot = 0;
+  for (size_t s = 1; s <= n + m; ++s) {
+    double diag_min = kInf;
+    if (s <= m) {
+      curr[0] = row0[s];
+      diag_min = curr[0];
+    }
+    if (s <= n) {
+      curr[s] = col0[s];
+      diag_min = std::min(diag_min, curr[s]);
+    }
+    const size_t ilo = s > m ? s - m : 1;
+    const size_t ihi = std::min(n, s - 1);
+    for (size_t i = ilo; i <= ihi; ++i) {
+      // Same association as the row kernel: min(min(match, delete-a),
+      // delete-b) over D(i-1,j-1), D(i-1,j), D(i,j-1).
+      const double v =
+          std::min(std::min(prev2[i - 1] + cost(a[i - 1], b[s - i - 1]),
+                            prev[i - 1] + gap_a[i]),
+                   prev[i] + gap_b[s - i]);
+      curr[i] = v;
+      diag_min = std::min(diag_min, v);
+    }
+    const size_t lo = s > m ? s - m : 0;
+    const size_t hi = std::min(n, s);
+    if (lo > 0) curr[lo - 1] = kInf;
+    if (hi < n) curr[hi + 1] = kInf;
+    if (diag_min > bound) {
+      if (++hot == 2) return kInf;
+    } else {
+      hot = 0;
+    }
+    double* rot = prev2;
+    prev2 = prev;
+    prev = curr;
+    curr = rot;
+  }
+  return prev[n];
+}
+
+double ErpAntidiagF64(const double* a, size_t n, const double* b, size_t m,
+                      double gap, double bound) {
+  return ErpAntidiag(a, n, b, m, gap, bound, [](double x, double y) {
+    return std::abs(x - y);
+  });
+}
+
+double ErpAntidiagP2d(const Point2d* a, size_t n, const Point2d* b,
+                      size_t m, Point2d gap, double bound) {
+  return ErpAntidiag(a, n, b, m, gap, bound,
+                     [](const Point2d& x, const Point2d& y) {
+                       return PointDistance(x, y);
+                     });
+}
+
 constexpr Kernels kPortableTable = {
     "portable",    AbsDiffRow,    PointDistRow,      GatherRow,
     DtwCombineRow, GapCombineRow, FrechetCombineRow, Euclidean4F64,
     Euclidean4P2d, Linf4F64,      Linf4P2d,          Dtw4F64,
-    Dtw4P2d,       LbKeoghBlock4,
+    Dtw4P2d,       LbKeoghBlock4, LbKimBlock,        DtwAntidiagF64,
+    DtwAntidiagP2d, ErpAntidiagF64, ErpAntidiagP2d,
 };
 
 }  // namespace

@@ -43,6 +43,14 @@ class StatsSink {
   void AddLowerBoundPruned(int64_t n) {
     lower_bound_pruned_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Per-stage attribution of lower_bound_pruned (see
+  /// QueryStats::lb_kim_pruned / lb_erp_pruned).
+  void AddLbKimPruned(int64_t n) {
+    lb_kim_pruned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddLbErpPruned(int64_t n) {
+    lb_erp_pruned_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// Routed-index cells probed / skipped across queries (see
   /// QueryStats::cells_probed / cells_skipped).
   void AddCellsProbed(int64_t n) {
@@ -64,6 +72,12 @@ class StatsSink {
   int64_t lower_bound_pruned() const {
     return lower_bound_pruned_.load(std::memory_order_relaxed);
   }
+  int64_t lb_kim_pruned() const {
+    return lb_kim_pruned_.load(std::memory_order_relaxed);
+  }
+  int64_t lb_erp_pruned() const {
+    return lb_erp_pruned_.load(std::memory_order_relaxed);
+  }
   int64_t cells_probed() const {
     return cells_probed_.load(std::memory_order_relaxed);
   }
@@ -76,6 +90,8 @@ class StatsSink {
     results_.store(0, std::memory_order_relaxed);
     shared_computations_.store(0, std::memory_order_relaxed);
     lower_bound_pruned_.store(0, std::memory_order_relaxed);
+    lb_kim_pruned_.store(0, std::memory_order_relaxed);
+    lb_erp_pruned_.store(0, std::memory_order_relaxed);
     cells_probed_.store(0, std::memory_order_relaxed);
     cells_skipped_.store(0, std::memory_order_relaxed);
   }
@@ -85,6 +101,8 @@ class StatsSink {
   std::atomic<int64_t> results_{0};
   std::atomic<int64_t> shared_computations_{0};
   std::atomic<int64_t> lower_bound_pruned_{0};
+  std::atomic<int64_t> lb_kim_pruned_{0};
+  std::atomic<int64_t> lb_erp_pruned_{0};
   std::atomic<int64_t> cells_probed_{0};
   std::atomic<int64_t> cells_skipped_{0};
 };

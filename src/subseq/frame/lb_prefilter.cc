@@ -1,46 +1,285 @@
 #include "subseq/frame/lb_prefilter.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "subseq/core/check.h"
 #include "subseq/distance/dtw.h"
+#include "subseq/distance/erp.h"
+#include "subseq/distance/simd/kernels.h"
 
 namespace subseq {
 
-WindowLbKeogh::WindowLbKeogh(const SequenceDatabase<double>& db,
-                             const WindowCatalog& catalog,
-                             std::span<const double> segment)
-    : db_(db), catalog_(catalog), envelope_(segment, /*band=*/-1) {
-  SUBSEQ_CHECK(static_cast<int32_t>(segment.size()) ==
-               catalog.window_length());
+namespace {
+
+// One window's features, accumulated element-sequentially in ascending
+// order — the exact order LbKimBound / LbErpSumBound use on the query
+// side, so feature arithmetic rounds identically on both sides.
+void AccumulateWindowFeatures(std::span<const double> view, size_t i,
+                              LbFeatureTable* out) {
+  if (view.empty()) {
+    out->first[i] = out->last[i] = out->min[i] = out->max[i] = 0.0;
+    out->sum[i] = 0.0;
+    return;
+  }
+  out->first[i] = view.front();
+  out->last[i] = view.back();
+  double mn = view[0];
+  double mx = view[0];
+  for (size_t j = 1; j < view.size(); ++j) {
+    mn = std::min(mn, view[j]);
+    mx = std::max(mx, view[j]);
+  }
+  out->min[i] = mn;
+  out->max[i] = mx;
+  double sum = 0.0;
+  for (const double v : view) sum += v;
+  out->sum[i] = sum;
 }
 
-void WindowLbKeogh::LowerBoundBlock(ObjectId begin, int32_t count,
-                                    double cutoff, double* out) const {
-  const size_t stride = static_cast<size_t>(catalog_.window_length());
+void ResizeFeatures(size_t n, LbFeatureTable* out) {
+  out->first.resize(n);
+  out->last.resize(n);
+  out->min.resize(n);
+  out->max.resize(n);
+  out->sum.resize(n);
+}
+
+}  // namespace
+
+std::shared_ptr<const LbFeatureTable> BuildLbFeatureTable(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog) {
+  auto table = std::make_shared<LbFeatureTable>();
+  const int32_t n = catalog.num_windows();
+  ResizeFeatures(static_cast<size_t>(n), table.get());
+  for (int32_t w = 0; w < n; ++w) {
+    const WindowRef& ref = catalog.at(w);
+    AccumulateWindowFeatures(db.at(ref.seq).Subsequence(ref.span),
+                             static_cast<size_t>(w), table.get());
+  }
+  return table;
+}
+
+std::shared_ptr<const WindowLbPayloads> MakeWindowLbPayloads(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    std::span<const ObjectId> members) {
+  auto payload = std::make_shared<WindowLbPayloads>();
+  const size_t l = static_cast<size_t>(catalog.window_length());
+  payload->count = static_cast<int32_t>(members.size());
+  payload->window_length = catalog.window_length();
+  payload->elems.resize(members.size() * l);
+  ResizeFeatures(members.size(), &payload->features);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const WindowRef& ref = catalog.at(members[i]);
+    const std::span<const double> view = db.at(ref.seq).Subsequence(ref.span);
+    SUBSEQ_CHECK(view.size() == l);
+    std::copy(view.begin(), view.end(),
+              payload->elems.begin() + static_cast<ptrdiff_t>(i * l));
+    AccumulateWindowFeatures(view, i, &payload->features);
+  }
+  return payload;
+}
+
+std::shared_ptr<const LbCascade> LbCascade::MakeDtw(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    std::span<const double> segment,
+    std::shared_ptr<const LbFeatureTable> features) {
+  SUBSEQ_CHECK(static_cast<int32_t>(segment.size()) ==
+               catalog.window_length());
+  auto side = std::make_shared<QuerySide>();
+  side->envelope = std::make_unique<LbKeoghEnvelope>(segment, /*band=*/-1);
+  if (features != nullptr) {
+    side->use_kim = true;
+    side->kim = std::make_unique<LbKimBound>(segment);
+  }
+  auto cascade = std::shared_ptr<LbCascade>(new LbCascade());
+  cascade->query_ = std::move(side);
+  cascade->db_ = &db;
+  cascade->catalog_ = &catalog;
+  cascade->features_ = std::move(features);
+  cascade->window_length_ = catalog.window_length();
+  return cascade;
+}
+
+std::shared_ptr<const LbCascade> LbCascade::MakeErp(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    std::span<const double> segment,
+    std::shared_ptr<const LbFeatureTable> features) {
+  SUBSEQ_CHECK(static_cast<int32_t>(segment.size()) ==
+               catalog.window_length());
+  SUBSEQ_CHECK(features != nullptr);
+  auto side = std::make_shared<QuerySide>();
+  side->use_erp = true;
+  side->erp = std::make_unique<LbErpSumBound>(segment);
+  auto cascade = std::shared_ptr<LbCascade>(new LbCascade());
+  cascade->query_ = std::move(side);
+  cascade->db_ = &db;
+  cascade->catalog_ = &catalog;
+  cascade->features_ = std::move(features);
+  cascade->window_length_ = catalog.window_length();
+  return cascade;
+}
+
+const double* LbCascade::WindowBase(ObjectId id) const {
+  if (payload_ != nullptr) {
+    return payload_->elems.data() +
+           static_cast<size_t>(id) * static_cast<size_t>(window_length_);
+  }
+  const WindowRef& ref = catalog_->at(id);
+  return db_->at(ref.seq).Subsequence(ref.span).data();
+}
+
+const LbFeatureTable* LbCascade::Features() const {
+  return payload_ != nullptr ? &payload_->features : features_.get();
+}
+
+void LbCascade::LowerBoundBlock(ObjectId begin, int32_t count,
+                                double cutoff, double* out) const {
+  LbBlockCounts ignored;
+  LowerBoundBlockStaged(begin, count, cutoff, out, &ignored);
+}
+
+void LbCascade::LowerBoundBlockStaged(ObjectId begin, int32_t count,
+                                      double cutoff, double* out,
+                                      LbBlockCounts* counts) const {
+  if (query_->use_erp) {
+    query_->erp->LowerBoundMany(Features()->sum.data() + begin,
+                                static_cast<size_t>(count), out);
+    for (int32_t i = 0; i < count; ++i) {
+      if (out[i] > cutoff) ++counts->erp_pruned;
+    }
+    return;
+  }
+  DtwBlockStaged(begin, count, cutoff, out, counts);
+}
+
+void LbCascade::DtwBlockStaged(ObjectId begin, int32_t count, double cutoff,
+                               double* out, LbBlockCounts* counts) const {
+  const LbKeoghEnvelope& env = *query_->envelope;
+  const size_t stride = static_cast<size_t>(window_length_);
+
+  if (!query_->use_kim) {
+    // Envelope-only cascade (no feature table): the block decomposes
+    // into memory-adjacent strided runs — one per sequence crossed in
+    // the global catalog, exactly one against a payload.
+    if (payload_ != nullptr) {
+      env.LowerBoundMany(
+          payload_->elems.data() + static_cast<size_t>(begin) * stride,
+          stride, count, cutoff, out);
+    } else {
+      int32_t done = 0;
+      while (done < count) {
+        const WindowRef& ref = catalog_->at(begin + done);
+        const int32_t run = std::min(
+            count - done, catalog_->WindowsInSequence(ref.seq) - ref.index);
+        const double* base = db_->at(ref.seq).Subsequence(ref.span).data();
+        env.LowerBoundMany(base, stride, run, cutoff, out + done);
+        done += run;
+      }
+    }
+    for (int32_t i = 0; i < count; ++i) {
+      if (out[i] > cutoff) ++counts->envelope_pruned;
+    }
+    return;
+  }
+
+  // Stage 1 — LB_Kim over the dense feature arrays: O(1) per candidate,
+  // exact values (no abandon), so the survivor set is independent of
+  // block grouping and dispatch level.
+  const LbFeatureTable* f = Features();
+  query_->kim->LowerBoundMany(f->first.data() + begin,
+                              f->last.data() + begin, f->min.data() + begin,
+                              f->max.data() + begin,
+                              static_cast<size_t>(count), out);
+
+  // Stage 2 — LB_Keogh over Kim survivors: gather survivor window
+  // pointers four at a time through lb_keogh_block4 (its lanes are
+  // independent, so scattered pointers bound identically to the strided
+  // path), with LowerBoundAbandoning as the tail — the two produce
+  // bitwise-identical values by the LowerBoundMany contract.
+  const simd::Kernels& kernels = simd::GetKernels();
+  const double* upper = env.upper().data();
+  const double* lower = env.lower().data();
+  const double* ptrs[4];
+  int32_t idxs[4];
+  int32_t pending = 0;
+  const auto flush = [&] {
+    if (pending == 4) {
+      double out4[4];
+      kernels.lb_keogh_block4(upper, lower, stride, ptrs[0], ptrs[1],
+                              ptrs[2], ptrs[3], cutoff, out4);
+      for (int32_t g = 0; g < 4; ++g) out[idxs[g]] = out4[g];
+    } else {
+      for (int32_t g = 0; g < pending; ++g) {
+        out[idxs[g]] = env.LowerBoundAbandoning(
+            std::span<const double>(ptrs[g], stride), cutoff);
+      }
+    }
+    for (int32_t g = 0; g < pending; ++g) {
+      if (out[idxs[g]] > cutoff) ++counts->envelope_pruned;
+    }
+    pending = 0;
+  };
+  for (int32_t i = 0; i < count; ++i) {
+    if (out[i] > cutoff) {
+      ++counts->kim_pruned;
+      continue;
+    }
+    ptrs[pending] = WindowBase(begin + i);
+    idxs[pending] = i;
+    if (++pending == 4) flush();
+  }
+  flush();
+}
+
+std::shared_ptr<const QueryLowerBound> LbCascade::BindTo(
+    std::shared_ptr<const LowerBoundPayloads> payloads) const {
+  auto windows =
+      std::dynamic_pointer_cast<const WindowLbPayloads>(payloads);
+  if (windows == nullptr || windows->window_length != window_length_) {
+    return nullptr;
+  }
+  auto clone = std::shared_ptr<LbCascade>(new LbCascade());
+  clone->query_ = query_;
+  clone->payload_ = std::move(windows);
+  clone->window_length_ = window_length_;
+  return clone;
+}
+
+int64_t LbCascade::AdjacentRuns(ObjectId begin, int32_t count) const {
+  if (count <= 0) return 0;
+  if (payload_ != nullptr) return 1;
+  int64_t runs = 0;
   int32_t done = 0;
   while (done < count) {
-    const WindowRef& ref = catalog_.at(begin + done);
-    // Maximal run of ids staying inside ref's sequence: their windows
-    // are contiguous in memory with the window length as stride.
+    const WindowRef& ref = catalog_->at(begin + done);
     const int32_t run = std::min(
-        count - done, catalog_.WindowsInSequence(ref.seq) - ref.index);
-    const double* base = db_.at(ref.seq).Subsequence(ref.span).data();
-    envelope_.LowerBoundMany(base, stride, run, cutoff, out + done);
+        count - done, catalog_->WindowsInSequence(ref.seq) - ref.index);
+    ++runs;
     done += run;
   }
+  return runs;
 }
 
 template <>
 std::shared_ptr<const QueryLowerBound> MakeSegmentLowerBound<double>(
     const SequenceDatabase<double>& db, const WindowCatalog& catalog,
-    const SequenceDistance<double>& dist, std::span<const double> segment) {
-  const auto* dtw = dynamic_cast<const DtwDistance1D*>(&dist);
-  if (dtw == nullptr || dtw->band() >= 0) return nullptr;
+    const SequenceDistance<double>& dist, std::span<const double> segment,
+    std::shared_ptr<const LbFeatureTable> features) {
   if (static_cast<int32_t>(segment.size()) != catalog.window_length()) {
     return nullptr;
   }
-  return std::make_shared<WindowLbKeogh>(db, catalog, segment);
+  if (const auto* dtw = dynamic_cast<const DtwDistance1D*>(&dist)) {
+    if (dtw->band() >= 0) return nullptr;
+    return LbCascade::MakeDtw(db, catalog, segment, std::move(features));
+  }
+  // ErpDistance1D's gap element is the constant 0.0 (ScalarGround), the
+  // premise of the sum bound's admissibility proof.
+  if (dynamic_cast<const ErpDistance1D*>(&dist) != nullptr &&
+      features != nullptr) {
+    return LbCascade::MakeErp(db, catalog, segment, std::move(features));
+  }
+  return nullptr;
 }
 
 }  // namespace subseq

@@ -1,80 +1,201 @@
-// The step-4 lower-bound prefilter: an admissible per-window bound that
-// lets the linear scan skip most exact DTW evaluations.
+// The step-4 lower-bound pruning cascade: ordered admissible per-window
+// bounds that let the linear scan skip most exact DTW/ERP evaluations.
 //
-// Soundness chain (no false dismissals anywhere):
-//   LB_Keogh(c) <= DTW_band(q, c) for any band r and equal-length c
-//   (Keogh, VLDB 2002); with r = |q| - 1 the bound covers the
-//   unconstrained DTW the matcher's filter runs. The scan prunes only
-//   when LB > LowerBoundPruneCutoff(epsilon) > epsilon, so floating-
-//   point rounding at the boundary cannot drop a true match either.
+// Stage order (by per-candidate cost, cheapest first — NOT by
+// tightness; see distance/lb_kim.h for the counterexample showing
+// LB_Kim can exceed LB_Keogh):
+//   DTW:  LB_Kim (O(1) over precomputed window features, when a feature
+//         table is supplied) -> LB_Keogh envelope over Kim survivors;
+//   ERP:  |sum(Q) - sum(C)| over precomputed window sums (the only
+//         stage — LB_Kim and LB_Keogh bound DTW, not ERP).
 //
-// Billing: pruned windows stay counted in distance_computations (the
-// scan bills every candidate it is responsible for), so the matcher's
-// filter_computations and every determinism invariant — sharded ==
-// unsharded, cache-on == cache-off, prefilter-on == prefilter-off —
-// hold bit-exactly; QueryStats::lower_bound_pruned reports the work
-// actually saved.
+// Soundness chain (no false dismissals anywhere): every stage is an
+// admissible lower bound of the exact distance — LB_Keogh(c) <=
+// DTW_band(q, c) for any band r and equal-length c (Keogh, VLDB 2002;
+// r = |q| - 1 covers the matcher's unconstrained DTW), LB_Kim's terms
+// each bound DTW (distance/lb_kim.h), and the ERP sum bound telescopes
+// the triangle inequality (distance/lb_erp.h). The scan prunes only
+// when a bound > LowerBoundPruneCutoff(epsilon) > epsilon, so
+// floating-point rounding at the boundary cannot drop a true match
+// either.
+//
+// Billing: pruned windows stay counted in distance_computations
+// whichever stage cut them (the scan bills every candidate it is
+// responsible for), so the matcher's filter_computations and every
+// determinism invariant — sharded == unsharded, cache-on == cache-off,
+// cascade-on == cascade-off — hold bit-exactly;
+// QueryStats::lower_bound_pruned reports the work actually saved and
+// lb_kim_pruned / lb_erp_pruned attribute it per stage.
 
 #ifndef SUBSEQ_FRAME_LB_PREFILTER_H_
 #define SUBSEQ_FRAME_LB_PREFILTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "subseq/core/sequence.h"
 #include "subseq/distance/distance.h"
+#include "subseq/distance/lb_erp.h"
 #include "subseq/distance/lb_keogh.h"
+#include "subseq/distance/lb_kim.h"
 #include "subseq/frame/windowing.h"
 #include "subseq/metric/oracle.h"
 
 namespace subseq {
 
-/// QueryLowerBound over a window catalog: LB_Keogh of one query segment
-/// against the catalog's fixed-length windows. Consecutive window ids of
-/// one sequence are memory-adjacent with stride window_length (windows
-/// align at offsets 0, l, 2l, ...), so a block of ids decomposes into a
-/// few contiguous strided runs and each run feeds the batched envelope
-/// kernel directly — no per-window gather.
-class WindowLbKeogh final : public QueryLowerBound {
+/// Per-window candidate features feeding the cascade's O(1) stages,
+/// id-indexed SoA over a whole catalog (or, inside a WindowLbPayloads,
+/// over one cell's members). Each array is accumulated element-
+/// sequentially per window, the same order LbKimBound / LbErpSumBound
+/// use on the query side, so feature arithmetic rounds identically.
+struct LbFeatureTable {
+  std::vector<double> first;
+  std::vector<double> last;
+  std::vector<double> min;
+  std::vector<double> max;
+  std::vector<double> sum;
+};
+
+/// Builds the feature table of every window in the catalog. One O(total
+/// elements) sequential pass; the result is query-independent and meant
+/// to be built once per (db, catalog) and shared across queries.
+std::shared_ptr<const LbFeatureTable> BuildLbFeatureTable(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog);
+
+/// Cell-contiguous materialization of a member subset's windows: local
+/// id i holds members[i]'s window elements at elems[i * window_length]
+/// and its features at index i of every feature array. A cascade bound
+/// to this payload sees ONE dense strided run per block — the
+/// memory-adjacent-run decomposition that scattered routed-cell ids
+/// would otherwise break into per-window fragments.
+class WindowLbPayloads final : public LowerBoundPayloads {
  public:
-  /// `segment` must have exactly catalog.window_length() elements; the
-  /// envelope is built at full width, valid for unconstrained DTW. The
-  /// database and catalog must outlive this object.
-  WindowLbKeogh(const SequenceDatabase<double>& db,
-                const WindowCatalog& catalog,
-                std::span<const double> segment);
+  int32_t count = 0;
+  int32_t window_length = 0;
+  std::vector<double> elems;  // count * window_length, cell-contiguous
+  LbFeatureTable features;    // per local id
+};
+
+/// Materializes the payload of `members` (global window ids, ascending).
+std::shared_ptr<const WindowLbPayloads> MakeWindowLbPayloads(
+    const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+    std::span<const ObjectId> members);
+
+/// QueryLowerBound over a window catalog: the staged cascade of one
+/// query segment against the catalog's fixed-length windows.
+///
+/// Candidate access: consecutive window ids of one sequence are
+/// memory-adjacent with stride window_length (windows align at offsets
+/// 0, l, 2l, ...), so a block of ids decomposes into a few contiguous
+/// strided runs and each run feeds the batched envelope kernel directly
+/// — no per-window gather. Kim survivors are gathered in groups of four
+/// through the same lb_keogh_block4 kernel, with
+/// LbKeoghEnvelope::LowerBoundAbandoning as the survivor tail — both
+/// bitwise-consistent with the strided path, so pruning decisions are
+/// independent of block grouping AND of whether the Kim stage ran.
+class LbCascade final : public QueryLowerBound {
+ public:
+  /// DTW cascade: Kim (when `features` != nullptr) -> Keogh. `segment`
+  /// must have exactly catalog.window_length() elements; the envelope
+  /// is built at full width, valid for unconstrained DTW. The database,
+  /// catalog and feature table must outlive this object.
+  static std::shared_ptr<const LbCascade> MakeDtw(
+      const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+      std::span<const double> segment,
+      std::shared_ptr<const LbFeatureTable> features);
+
+  /// ERP cascade: the sum bound only. Requires a feature table (the
+  /// bound reads precomputed window sums; recomputing them per query
+  /// would cost as much as the distance's own early abandon).
+  static std::shared_ptr<const LbCascade> MakeErp(
+      const SequenceDatabase<double>& db, const WindowCatalog& catalog,
+      std::span<const double> segment,
+      std::shared_ptr<const LbFeatureTable> features);
 
   void LowerBoundBlock(ObjectId begin, int32_t count, double cutoff,
                        double* out) const override;
 
+  void LowerBoundBlockStaged(ObjectId begin, int32_t count, double cutoff,
+                             double* out,
+                             LbBlockCounts* counts) const override;
+
+  /// Rebinds to a routed cell's WindowLbPayloads (window_length must
+  /// match; nullptr otherwise). The bound cascade runs the SAME stages
+  /// over the payload's local ids and produces the same bound values
+  /// the parent produces for the corresponding global ids.
+  std::shared_ptr<const QueryLowerBound> BindTo(
+      std::shared_ptr<const LowerBoundPayloads> payloads) const override;
+
+  /// Number of memory-adjacent strided runs the block [begin,
+  /// begin + count) decomposes into — 1 when bound to a payload
+  /// (cell-contiguous by construction), the catalog run count
+  /// otherwise. Observability for the routed-permutation regression
+  /// test; does not affect bounds.
+  int64_t AdjacentRuns(ObjectId begin, int32_t count) const;
+
  private:
-  const SequenceDatabase<double>& db_;
-  const WindowCatalog& catalog_;
-  LbKeoghEnvelope envelope_;
+  /// Query-side precomputation, shared between a cascade and its
+  /// payload-bound clones (BindTo), so clones stay cheap and bitwise
+  /// consistent with the parent.
+  struct QuerySide {
+    bool use_kim = false;
+    bool use_erp = false;
+    std::unique_ptr<LbKeoghEnvelope> envelope;  // DTW stages only
+    std::unique_ptr<LbKimBound> kim;
+    std::unique_ptr<LbErpSumBound> erp;
+  };
+
+  LbCascade() = default;
+
+  /// Base pointer of candidate window `id` (payload-local or global).
+  const double* WindowBase(ObjectId id) const;
+  /// Feature table in effect (payload's when bound, global otherwise).
+  const LbFeatureTable* Features() const;
+
+  void DtwBlockStaged(ObjectId begin, int32_t count, double cutoff,
+                      double* out, LbBlockCounts* counts) const;
+
+  std::shared_ptr<const QuerySide> query_;
+  // Global candidate source (unbound cascades)...
+  const SequenceDatabase<double>* db_ = nullptr;
+  const WindowCatalog* catalog_ = nullptr;
+  std::shared_ptr<const LbFeatureTable> features_;
+  // ...or one cell's materialized windows (payload-bound clones).
+  std::shared_ptr<const WindowLbPayloads> payload_;
+  int32_t window_length_ = 0;
 };
 
 /// Builds an admissible per-window lower bound for `segment` under
 /// `dist`, or nullptr when no sound bound applies. The generic overload
 /// declines: prefilters exist per (element type, distance) pair and
-/// must each prove admissibility.
+/// must each prove admissibility. `features` (optional) enables the
+/// O(1) stages; without it DTW falls back to the envelope-only cascade
+/// and ERP gets no bound at all.
 template <typename T>
 std::shared_ptr<const QueryLowerBound> MakeSegmentLowerBound(
     const SequenceDatabase<T>& db, const WindowCatalog& catalog,
-    const SequenceDistance<T>& dist, std::span<const T> segment) {
+    const SequenceDistance<T>& dist, std::span<const T> segment,
+    std::shared_ptr<const LbFeatureTable> features = nullptr) {
   (void)db;
   (void)catalog;
   (void)dist;
   (void)segment;
+  (void)features;
   return nullptr;
 }
 
-/// Scalar series: LB_Keogh applies when the distance is unconstrained
-/// DTW and the segment has window length (LB_Keogh requires equal
-/// lengths, and only the l-length segment family matches the windows).
+/// Scalar series: the DTW cascade applies when the distance is
+/// unconstrained DTW and the segment has window length (LB_Keogh
+/// requires equal lengths, and only the l-length segment family matches
+/// the windows); the ERP cascade applies for 1-D ERP (gap element 0,
+/// making the sum bound admissible) when a feature table is supplied.
 template <>
 std::shared_ptr<const QueryLowerBound> MakeSegmentLowerBound<double>(
     const SequenceDatabase<double>& db, const WindowCatalog& catalog,
-    const SequenceDistance<double>& dist, std::span<const double> segment);
+    const SequenceDistance<double>& dist, std::span<const double> segment,
+    std::shared_ptr<const LbFeatureTable> features);
 
 }  // namespace subseq
 

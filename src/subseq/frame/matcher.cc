@@ -11,6 +11,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 
 #include "subseq/core/check.h"
@@ -391,6 +392,11 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::MakeShell(
       std::make_unique<WindowCatalog>(std::move(catalog).value());
   matcher->oracle_ =
       std::make_unique<WindowOracle<T>>(db, *matcher->catalog_, dist);
+  if constexpr (std::is_same_v<T, double>) {
+    if (matcher->options_.lb_prefilter) {
+      matcher->lb_features_ = BuildLbFeatureTable(db, *matcher->catalog_);
+    }
+  }
   return matcher;
 }
 
@@ -466,7 +472,7 @@ SegmentQueryBatch SubsequenceMatcher<T>::MakeSegmentQueries(
       // everything else just calls the function. Results and billed
       // stats are identical either way (see MatcherOptions::lb_prefilter).
       std::shared_ptr<const QueryLowerBound> lb =
-          MakeSegmentLowerBound(db_, *catalog_, dist_, view);
+          MakeSegmentLowerBound(db_, *catalog_, dist_, view, lb_features_);
       if (lb != nullptr) {
         PrunableQueryFn prunable;
         prunable.fn = std::move(fn);

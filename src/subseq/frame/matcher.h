@@ -45,6 +45,7 @@ namespace subseq {
 class ResidencyGauge;
 class SnapshotFile;
 class SnapshotWriter;
+struct LbFeatureTable;
 
 /// Which index backs the window filter.
 enum class IndexKind {
@@ -69,17 +70,22 @@ struct MatcherOptions {
   CoverTreeOptions cover_tree;
   MvIndexOptions mv_index;
   VpTreeOptions vp_tree;
-  /// Step-4 lower-bound prefilter (frame/lb_prefilter.h): when an
-  /// admissible per-window lower bound exists for a segment's distance
-  /// (today: unconstrained 1-D DTW, whose LB_Keogh envelope the scan
-  /// batches through the SIMD kernels), the linear scan skips exact
-  /// evaluations the bound already rules out. Matches, per-query stats,
+  /// Step-4 lower-bound pruning cascade (frame/lb_prefilter.h): when
+  /// admissible per-window lower bounds exist for a segment's distance
+  /// — unconstrained 1-D DTW runs LB_Kim over precomputed window
+  /// features, then the LB_Keogh envelope over the survivors; 1-D ERP
+  /// runs the |sum(Q) - sum(C)| bound over precomputed window sums; all
+  /// batched through the SIMD kernels — the linear scan skips exact
+  /// evaluations a stage already rules out. Matches, per-query stats,
   /// and billed filter_computations are identical on or off — pruned
-  /// candidates stay billed, and the padded cutoff
-  /// (metric/oracle.h:LowerBoundPruneCutoff) forbids false dismissals —
-  /// so the knob trades wall-clock time only;
+  /// candidates stay billed whichever stage cut them, and the padded
+  /// cutoff (metric/oracle.h:LowerBoundPruneCutoff) forbids false
+  /// dismissals — so the knob trades wall-clock time only;
   /// MatchQueryStats is unaffected, and the work actually saved is
-  /// visible in QueryStats::lower_bound_pruned / the StatsSink.
+  /// visible in QueryStats::lower_bound_pruned (attributed per stage by
+  /// lb_kim_pruned / lb_erp_pruned) / the StatsSink. Under routing the
+  /// cascade is rebound to each probed cell's materialized member
+  /// windows, so it keeps pruning inside cells.
   bool lb_prefilter = true;
   /// Safety cap on step-5 distance verifications per query; exceeded =>
   /// Status::OutOfRange (Type I can be combinatorial by design). Must be
@@ -423,6 +429,11 @@ class SubsequenceMatcher {
   MatcherOptions options_;
   std::unique_ptr<WindowCatalog> catalog_;
   std::unique_ptr<WindowOracle<T>> oracle_;
+  /// Per-window cascade features (first/last/min/max/sum), built once at
+  /// MakeShell when the prefilter is on and the element type has a
+  /// cascade (scalar series); nullptr otherwise. Shared into every
+  /// segment's LbCascade.
+  std::shared_ptr<const LbFeatureTable> lb_features_;
   std::unique_ptr<RangeIndex> index_;
   /// Non-null iff this matcher was loaded from a snapshot whose bytes a
   /// backend may still alias (mmap mode); keeps the mapping alive.

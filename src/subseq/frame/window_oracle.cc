@@ -1,6 +1,22 @@
 #include "subseq/frame/window_oracle.h"
 
+#include <type_traits>
+
+#include "subseq/frame/lb_prefilter.h"
+
 namespace subseq {
+
+template <typename T>
+std::shared_ptr<const LowerBoundPayloads>
+WindowOracle<T>::MaterializeLbPayloads(
+    std::span<const ObjectId> members) const {
+  if constexpr (std::is_same_v<T, double>) {
+    return MakeWindowLbPayloads(db_, catalog_, members);
+  } else {
+    (void)members;
+    return nullptr;
+  }
+}
 
 template class WindowOracle<char>;
 template class WindowOracle<double>;

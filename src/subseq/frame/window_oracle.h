@@ -16,9 +16,14 @@
 namespace subseq {
 
 /// Adapts (database, catalog, distance) to the metric layer. The three
-/// referenced objects must outlive the oracle.
+/// referenced objects must outlive the oracle. Also a
+/// LowerBoundPayloadSource: the routed index asks it to materialize a
+/// cell's member windows cell-contiguously so the scan prefilter's
+/// cascade keeps pruning inside probed cells (scalar series only —
+/// other element types have no cascade and yield nullptr).
 template <typename T>
-class WindowOracle final : public DistanceOracle {
+class WindowOracle final : public DistanceOracle,
+                           public LowerBoundPayloadSource {
  public:
   WindowOracle(const SequenceDatabase<T>& db, const WindowCatalog& catalog,
                const SequenceDistance<T>& dist)
@@ -49,6 +54,11 @@ class WindowOracle final : public DistanceOracle {
       return dist_.Compute(segment, WindowView(window));
     };
   }
+
+  /// Cell-contiguous windows + cascade features of `members` (see
+  /// frame/lb_prefilter.h); nullptr for non-scalar element types.
+  std::shared_ptr<const LowerBoundPayloads> MaterializeLbPayloads(
+      std::span<const ObjectId> members) const override;
 
   const SequenceDistance<T>& distance() const { return dist_; }
   const WindowCatalog& catalog() const { return catalog_; }

@@ -26,13 +26,16 @@ const PrunableQueryFn* PrunableOf(const QueryDistanceFn& query) {
 
 // Scans ids [begin, end): appends ids within epsilon to `out` in
 // ascending order and returns how many candidates the prefilter
-// skipped (0 for unpruned scans). Results are identical with and
-// without a prefilter — the lower bound is admissible and the cutoff
-// is padded above epsilon (LowerBoundPruneCutoff), so no candidate
-// within epsilon can ever be skipped.
+// skipped (0 for unpruned scans). `stage_counts` (accumulated, never
+// reset here) attributes the skips to cascade stages. Results are
+// identical with and without a prefilter — the lower bound is
+// admissible and the cutoff is padded above epsilon
+// (LowerBoundPruneCutoff), so no candidate within epsilon can ever be
+// skipped.
 int64_t ScanRange(const QueryDistanceFn& query,
                   const PrunableQueryFn* prunable, int64_t begin,
-                  int64_t end, double epsilon, std::vector<ObjectId>* out) {
+                  int64_t end, double epsilon, std::vector<ObjectId>* out,
+                  LbBlockCounts* stage_counts) {
   if (prunable == nullptr) {
     for (int64_t id = begin; id < end; ++id) {
       if (query(static_cast<ObjectId>(id)) <= epsilon) {
@@ -47,9 +50,9 @@ int64_t ScanRange(const QueryDistanceFn& query,
   for (int64_t block = begin; block < end; block += kLbBlock) {
     const int32_t count =
         static_cast<int32_t>(std::min<int64_t>(kLbBlock, end - block));
-    prunable->lower_bound->LowerBoundBlock(
+    prunable->lower_bound->LowerBoundBlockStaged(
         static_cast<ObjectId>(block) + prunable->lb_offset, count, cutoff,
-        lb);
+        lb, stage_counts);
     for (int32_t i = 0; i < count; ++i) {
       if (lb[i] > cutoff) {
         ++pruned;
@@ -68,8 +71,9 @@ std::vector<ObjectId> LinearScan::RangeQuery(const QueryDistanceFn& query,
                                              double epsilon,
                                              QueryStats* stats) const {
   std::vector<ObjectId> results;
-  const int64_t pruned =
-      ScanRange(query, PrunableOf(query), 0, num_objects_, epsilon, &results);
+  LbBlockCounts stages;
+  const int64_t pruned = ScanRange(query, PrunableOf(query), 0, num_objects_,
+                                   epsilon, &results, &stages);
   if (stats != nullptr) {
     // Billing invariant: the scan is responsible for every candidate,
     // so it bills all of them whether or not the prefilter skipped the
@@ -77,6 +81,8 @@ std::vector<ObjectId> LinearScan::RangeQuery(const QueryDistanceFn& query,
     stats->distance_computations = num_objects_;
     stats->result_count = static_cast<int64_t>(results.size());
     stats->lower_bound_pruned = pruned;
+    stats->lb_kim_pruned = stages.kim_pruned;
+    stats->lb_erp_pruned = stages.erp_pruned;
   }
   return results;
 }
@@ -94,35 +100,47 @@ std::vector<std::vector<ObjectId>> LinearScan::BatchRangeQuery(
   std::vector<std::vector<ObjectId>> parts(
       static_cast<size_t>(exec.ResolvedThreads()));
   std::vector<int64_t> parts_pruned(parts.size(), 0);
+  std::vector<LbBlockCounts> parts_stages(parts.size());
   for (int64_t q = 0; q < num_queries; ++q) {
     const QueryDistanceFn& query = queries[static_cast<size_t>(q)];
     const PrunableQueryFn* prunable = PrunableOf(query);
     std::fill(parts_pruned.begin(), parts_pruned.end(), 0);
+    std::fill(parts_stages.begin(), parts_stages.end(), LbBlockCounts{});
     const int32_t chunks = ParallelFor(
         exec, num_objects_,
         [&](int64_t begin, int64_t end, int32_t chunk) {
           std::vector<ObjectId>& out = parts[static_cast<size_t>(chunk)];
           out.clear();
           parts_pruned[static_cast<size_t>(chunk)] =
-              ScanRange(query, prunable, begin, end, epsilon, &out);
+              ScanRange(query, prunable, begin, end, epsilon, &out,
+                        &parts_stages[static_cast<size_t>(chunk)]);
         },
         /*grain=*/64);
     std::vector<ObjectId>& merged = results[static_cast<size_t>(q)];
     int64_t pruned = 0;
+    LbBlockCounts stages;
     for (int32_t c = 0; c < chunks; ++c) {
       const std::vector<ObjectId>& part = parts[static_cast<size_t>(c)];
       merged.insert(merged.end(), part.begin(), part.end());
       pruned += parts_pruned[static_cast<size_t>(c)];
+      stages.kim_pruned += parts_stages[static_cast<size_t>(c)].kim_pruned;
+      stages.envelope_pruned +=
+          parts_stages[static_cast<size_t>(c)].envelope_pruned;
+      stages.erp_pruned += parts_stages[static_cast<size_t>(c)].erp_pruned;
     }
     if (per_query != nullptr) {
       per_query[q].distance_computations = num_objects_;
       per_query[q].result_count = static_cast<int64_t>(merged.size());
       per_query[q].lower_bound_pruned = pruned;
+      per_query[q].lb_kim_pruned = stages.kim_pruned;
+      per_query[q].lb_erp_pruned = stages.erp_pruned;
     }
     if (sink != nullptr) {
       sink->AddDistanceComputations(num_objects_);
       sink->AddResults(static_cast<int64_t>(merged.size()));
       sink->AddLowerBoundPruned(pruned);
+      sink->AddLbKimPruned(stages.kim_pruned);
+      sink->AddLbErpPruned(stages.erp_pruned);
     }
   }
   return results;

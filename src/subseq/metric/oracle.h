@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "subseq/core/types.h"
@@ -46,12 +47,43 @@ class DistanceOracle {
 /// Distance from an (external) query object to a database object.
 using QueryDistanceFn = std::function<double(ObjectId)>;
 
-/// Per-query lower-bound provider for scan prefiltering (LB_Keogh is
-/// the shipped instance; see frame/lb_prefilter.h). LowerBoundBlock
-/// fills out[i] with an admissible lower bound on query(begin + i) for
-/// i in [0, count): a candidate whose bound exceeds the scan's cutoff
-/// can be skipped without ever evaluating the exact distance, with no
-/// false dismissals. Bounds follow the early-abandon contract — exact
+/// Per-stage prune attribution for one LowerBoundBlock call. The
+/// counters are observability only — pruned candidates stay fully
+/// billed in distance_computations regardless of which stage cut them.
+struct LbBlockCounts {
+  int64_t kim_pruned = 0;       // cut by the O(1) LB_Kim stage
+  int64_t envelope_pruned = 0;  // cut by the LB_Keogh envelope stage
+  int64_t erp_pruned = 0;       // cut by the |sum(Q)-sum(C)| ERP stage
+};
+
+/// Opaque candidate-side precomputation a QueryLowerBound can be bound
+/// to: a routed cell materializes its members' windows (and their
+/// cascade features) cell-contiguously so bounds evaluate over dense
+/// cell-local ids instead of scattered global ones. Concrete providers
+/// downcast to the payload type they materialized.
+class LowerBoundPayloads {
+ public:
+  virtual ~LowerBoundPayloads() = default;
+};
+
+/// Implemented by oracles whose lower-bound providers can be rebound to
+/// a member subset (see frame/window_oracle.h). `members[i]` is the
+/// global id that becomes local id i in the returned payload.
+class LowerBoundPayloadSource {
+ public:
+  virtual ~LowerBoundPayloadSource() = default;
+
+  virtual std::shared_ptr<const LowerBoundPayloads> MaterializeLbPayloads(
+      std::span<const ObjectId> members) const = 0;
+};
+
+/// Per-query lower-bound provider for scan prefiltering (the LB_Kim →
+/// LB_Keogh / LB_ERP cascade is the shipped instance; see
+/// frame/lb_prefilter.h). LowerBoundBlock fills out[i] with an
+/// admissible lower bound on query(begin + i) for i in [0, count): a
+/// candidate whose bound exceeds the scan's cutoff can be skipped
+/// without ever evaluating the exact distance, with no false
+/// dismissals. Bounds follow the early-abandon contract — exact
 /// when <= cutoff, any value > cutoff otherwise — and the
 /// (bound > cutoff) DECISION must be independent of how candidates are
 /// grouped into blocks, so sharded == unsharded pruning holds.
@@ -61,6 +93,34 @@ class QueryLowerBound {
 
   virtual void LowerBoundBlock(ObjectId begin, int32_t count, double cutoff,
                                double* out) const = 0;
+
+  /// LowerBoundBlock plus per-stage prune attribution. The default
+  /// forwards to LowerBoundBlock and attributes every pruned candidate
+  /// to the envelope stage, so single-stage providers (tests, custom
+  /// bounds) need not override. Implementations must keep the bounds
+  /// in `out` — and therefore the prune decisions — identical to
+  /// LowerBoundBlock's; `counts` is additive observability only.
+  virtual void LowerBoundBlockStaged(ObjectId begin, int32_t count,
+                                     double cutoff, double* out,
+                                     LbBlockCounts* counts) const {
+    LowerBoundBlock(begin, count, cutoff, out);
+    for (int32_t i = 0; i < count; ++i) {
+      if (out[i] > cutoff) ++counts->envelope_pruned;
+    }
+  }
+
+  /// Rebinds this provider to a materialized candidate payload (a
+  /// routed cell's contiguous member windows), returning a provider
+  /// that speaks payload-local ids 0..count-1 and produces the SAME
+  /// bound values the original produces for the corresponding global
+  /// ids. The default — correct for providers without payload support —
+  /// returns nullptr, and callers must then fall back to scanning
+  /// unpruned (or to the global provider, where ids allow).
+  virtual std::shared_ptr<const QueryLowerBound> BindTo(
+      std::shared_ptr<const LowerBoundPayloads> payloads) const {
+    (void)payloads;
+    return nullptr;
+  }
 };
 
 /// A QueryDistanceFn payload carrying an optional lower-bound provider

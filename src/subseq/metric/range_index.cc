@@ -15,6 +15,8 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                 int64_t computations = 0;
                 int64_t result_count = 0;
                 int64_t pruned = 0;
+                int64_t kim_pruned = 0;
+                int64_t erp_pruned = 0;
                 int64_t probed = 0;
                 int64_t skipped = 0;
                 for (int64_t i = begin; i < end; ++i) {
@@ -35,6 +37,8 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                   computations += qs.distance_computations;
                   result_count += qs.result_count;
                   pruned += qs.lower_bound_pruned;
+                  kim_pruned += qs.lb_kim_pruned;
+                  erp_pruned += qs.lb_erp_pruned;
                   probed += qs.cells_probed;
                   skipped += qs.cells_skipped;
                 }
@@ -42,6 +46,8 @@ std::vector<std::vector<ObjectId>> RangeIndex::BatchRangeQuery(
                   sink->AddDistanceComputations(computations);
                   sink->AddResults(result_count);
                   sink->AddLowerBoundPruned(pruned);
+                  sink->AddLbKimPruned(kim_pruned);
+                  sink->AddLbErpPruned(erp_pruned);
                   sink->AddCellsProbed(probed);
                   sink->AddCellsSkipped(skipped);
                 }

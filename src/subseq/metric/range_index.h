@@ -35,7 +35,15 @@ struct QueryStats {
   /// Candidates whose exact distance was skipped by a lower-bound
   /// prefilter (see QueryLowerBound). Observability only — the saved
   /// work; these candidates remain counted in distance_computations.
+  /// Equals the sum of the per-stage counters below for the shipped
+  /// cascade (single-stage providers report everything here).
   int64_t lower_bound_pruned = 0;
+  /// Of lower_bound_pruned, candidates cut by the O(1) LB_Kim stage
+  /// before the LB_Keogh envelope ran (DTW cascade only; 0 elsewhere).
+  int64_t lb_kim_pruned = 0;
+  /// Of lower_bound_pruned, candidates cut by the |sum(Q) - sum(C)|
+  /// ERP sum bound (ERP cascade only; 0 elsewhere).
+  int64_t lb_erp_pruned = 0;
   /// Routed-index cells this query was fanned into (RoutedIndex only;
   /// 0 elsewhere). The routing distance of every cell — probed or not —
   /// is billed in distance_computations.

@@ -219,11 +219,22 @@ Result<std::unique_ptr<RoutedIndex>> RoutedIndex::Build(
 void RoutedIndex::WireCells(const DistanceOracle& oracle) {
   const int32_t cells = static_cast<int32_t>(pivots_.size());
   cells_.resize(static_cast<size_t>(cells));
+  cell_payloads_.assign(static_cast<size_t>(cells), nullptr);
+  // Per-cell lower-bound payloads are derived data (a permutation of
+  // windows the oracle already holds): built here both on fresh builds
+  // and on snapshot loads, never serialized.
+  const auto* payload_source =
+      dynamic_cast<const LowerBoundPayloadSource*>(&oracle);
   for (int32_t c = 0; c < cells; ++c) {
     const int32_t begin = begins_[static_cast<size_t>(c)];
     const int32_t end = begins_[static_cast<size_t>(c) + 1];
     cells_[static_cast<size_t>(c)].oracle = std::make_unique<CellOracle>(
         oracle, members_.data() + begin, end - begin);
+    if (payload_source != nullptr) {
+      cell_payloads_[static_cast<size_t>(c)] =
+          payload_source->MaterializeLbPayloads(std::span<const ObjectId>(
+              members_.data() + begin, static_cast<size_t>(end - begin)));
+    }
   }
 }
 
@@ -244,10 +255,29 @@ std::span<const ObjectId> RoutedIndex::cell_members(int32_t c) const {
 QueryDistanceFn RoutedIndex::CellQuery(const QueryDistanceFn& query,
                                        int32_t c) const {
   const ObjectId* members = members_.data() + begins_[static_cast<size_t>(c)];
-  // Cells are scattered id subsets, so a PrunableQueryFn payload cannot
-  // ride through (its lower-bound provider speaks contiguous global id
-  // blocks; see the class comment). The plain wrapper sheds it, which
-  // only affects lower_bound_pruned observability — never the hit set.
+  // Cells are scattered id subsets, so the query's lower-bound provider
+  // (which speaks contiguous global id blocks) cannot ride through
+  // as-is. When the cell holds a materialized payload — its members'
+  // windows permuted cell-contiguously at build time — the provider is
+  // rebound to it and the inner scan prunes over dense cell-local ids
+  // 0..size-1. Without a payload (or a provider that cannot bind) the
+  // plain wrapper sheds prunability, which only affects
+  // lower_bound_pruned observability — never the hit set.
+  if (const PrunableQueryFn* prunable = GetPrunable(query);
+      prunable != nullptr && prunable->lower_bound != nullptr &&
+      cell_payloads_[static_cast<size_t>(c)] != nullptr) {
+    if (std::shared_ptr<const QueryLowerBound> bound =
+            prunable->lower_bound->BindTo(
+                cell_payloads_[static_cast<size_t>(c)])) {
+      PrunableQueryFn local;
+      local.fn = [&query, members](ObjectId id) {
+        return query(members[id]);
+      };
+      local.lower_bound = std::move(bound);
+      local.lb_offset = 0;
+      return QueryDistanceFn(std::move(local));
+    }
+  }
   return [&query, members](ObjectId local) { return query(members[local]); };
 }
 
@@ -271,6 +301,8 @@ std::vector<ObjectId> RoutedIndex::RangeQuery(const QueryDistanceFn& query,
   // evaluation: one per cell, probed or not.
   int64_t computations = cells;
   int64_t pruned = 0;
+  int64_t kim_pruned = 0;
+  int64_t erp_pruned = 0;
   int64_t probed = 0;
   for (int32_t c = 0; c < cells; ++c) {
     const double d = query(pivots_[static_cast<size_t>(c)]);
@@ -286,6 +318,8 @@ std::vector<ObjectId> RoutedIndex::RangeQuery(const QueryDistanceFn& query,
                  static_cast<int64_t>(local.size()));
     computations += cell_stats.distance_computations;
     pruned += cell_stats.lower_bound_pruned;
+    kim_pruned += cell_stats.lb_kim_pruned;
+    erp_pruned += cell_stats.lb_erp_pruned;
     merged.reserve(merged.size() + local.size());
     for (const ObjectId id : local) merged.push_back(members[id]);
   }
@@ -293,6 +327,8 @@ std::vector<ObjectId> RoutedIndex::RangeQuery(const QueryDistanceFn& query,
     stats->distance_computations = computations;
     stats->result_count = static_cast<int64_t>(merged.size());
     stats->lower_bound_pruned = pruned;
+    stats->lb_kim_pruned = kim_pruned;
+    stats->lb_erp_pruned = erp_pruned;
     stats->cells_probed = probed;
     stats->cells_skipped = cells - probed;
   }
@@ -386,6 +422,8 @@ std::vector<std::vector<ObjectId>> RoutedIndex::BatchRangeQuery(
         rolled[q].distance_computations += split.distance_computations;
         rolled[q].result_count += split.result_count;
         rolled[q].lower_bound_pruned += split.lower_bound_pruned;
+        rolled[q].lb_kim_pruned += split.lb_kim_pruned;
+        rolled[q].lb_erp_pruned += split.lb_erp_pruned;
         ++rolled[q].cells_probed;
       }
     }

@@ -104,10 +104,17 @@ struct RoutedIndexOptions {
 ///  * per-query stats are exact stand-alone splits (the BatchRangeQuery
 ///    slot contract), so serving-cache billing invariants hold
 ///    unchanged;
-///  * cell queries shed any PrunableQueryFn payload (the LB_Keogh
-///    provider speaks contiguous global id blocks; cell members are
-///    scattered), so lower_bound_pruned is 0 under routing — cross-cell
-///    pruning replaces the scan prefilter.
+///  * cell queries REBIND any PrunableQueryFn payload to the cell's
+///    materialized member windows when the oracle implements
+///    LowerBoundPayloadSource (frame/window_oracle.h does): each cell
+///    stores its members' windows — and their cascade features —
+///    cell-contiguously at build/load time, so the provider sees one
+///    dense id range per cell instead of scattered global ids, and the
+///    scan prefilter keeps pruning inside probed cells
+///    (lower_bound_pruned is live under routing). Oracles without
+///    payload support keep the old behavior: the payload is shed and
+///    cell members scan unpruned — never affecting the hit set either
+///    way.
 class RoutedIndex final : public RangeIndex {
  public:
   /// Selects resolved-K pivots by deterministic farthest-point k-center
@@ -204,18 +211,25 @@ class RoutedIndex final : public RangeIndex {
   RoutedIndex() = default;
 
   /// Shared tail of Build / LoadSections: materializes cell oracles over
-  /// the member map and names the index.
+  /// the member map, materializes per-cell lower-bound payloads when the
+  /// oracle is a LowerBoundPayloadSource (payloads are derived data —
+  /// snapshots never store them; a loaded index rebuilds them here), and
+  /// names the index.
   void WireCells(const DistanceOracle& oracle);
 
   /// The query seen by cell c: parent-id query composed with the cell's
-  /// local-to-parent member map. Sheds prunable payloads (see class
-  /// comment).
+  /// local-to-parent member map. Rebinds prunable payloads to the cell's
+  /// materialized windows, or sheds them when the oracle/provider has no
+  /// payload support (see class comment).
   QueryDistanceFn CellQuery(const QueryDistanceFn& query, int32_t c) const;
 
   /// True when the cell must be probed for a range query at epsilon.
   bool Probes(double pivot_distance, int32_t c, double epsilon) const;
 
   std::vector<Cell> cells_;
+  /// Cell-contiguous member windows + cascade features (nullptr per cell
+  /// when the oracle is not a LowerBoundPayloadSource).
+  std::vector<std::shared_ptr<const LowerBoundPayloads>> cell_payloads_;
   std::vector<ObjectId> pivots_;   // one per cell
   std::vector<double> radii_;      // covering radius per cell
   std::vector<ObjectId> members_;  // concatenated, ascending within a cell

@@ -103,6 +103,8 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
   std::vector<ObjectId> merged;
   int64_t computations = 0;
   int64_t pruned = 0;
+  int64_t kim_pruned = 0;
+  int64_t erp_pruned = 0;
   int64_t probed = 0;
   int64_t skipped = 0;
   for (int32_t s = 0; s < num_shards(); ++s) {
@@ -115,6 +117,8 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
                  static_cast<int64_t>(local.size()));
     computations += shard_stats.distance_computations;
     pruned += shard_stats.lower_bound_pruned;
+    kim_pruned += shard_stats.lb_kim_pruned;
+    erp_pruned += shard_stats.lb_erp_pruned;
     probed += shard_stats.cells_probed;
     skipped += shard_stats.cells_skipped;
     merged.reserve(merged.size() + local.size());
@@ -124,6 +128,8 @@ std::vector<ObjectId> ShardedIndex::RangeQuery(const QueryDistanceFn& query,
     stats->distance_computations = computations;
     stats->result_count = static_cast<int64_t>(merged.size());
     stats->lower_bound_pruned = pruned;
+    stats->lb_kim_pruned = kim_pruned;
+    stats->lb_erp_pruned = erp_pruned;
     stats->cells_probed = probed;
     stats->cells_skipped = skipped;
   }
@@ -184,6 +190,10 @@ std::vector<std::vector<ObjectId>> ShardedIndex::BatchRangeQuery(
             shard_splits[static_cast<size_t>(s)][q].result_count;
         rolled.lower_bound_pruned +=
             shard_splits[static_cast<size_t>(s)][q].lower_bound_pruned;
+        rolled.lb_kim_pruned +=
+            shard_splits[static_cast<size_t>(s)][q].lb_kim_pruned;
+        rolled.lb_erp_pruned +=
+            shard_splits[static_cast<size_t>(s)][q].lb_erp_pruned;
         rolled.cells_probed +=
             shard_splits[static_cast<size_t>(s)][q].cells_probed;
         rolled.cells_skipped +=

@@ -63,6 +63,16 @@ class ScopedSimdLevel {
   bool ok_;
 };
 
+// Forces (or disables, with -1) the anti-diagonal single-pair DP for a
+// scope; restores the default threshold resolution on exit.
+class ScopedAntidiagThreshold {
+ public:
+  explicit ScopedAntidiagThreshold(int threshold) {
+    simd::SetAntidiagThresholdForTesting(threshold);
+  }
+  ~ScopedAntidiagThreshold() { simd::ClearAntidiagThresholdForTesting(); }
+};
+
 // Randomized lengths spanning sub-lane, lane-boundary, and long cases.
 std::vector<int32_t> TestLengths(Rng* rng) {
   std::vector<int32_t> lengths = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32,
@@ -305,6 +315,140 @@ TEST_F(KernelEquivalenceTest, LbKeoghBlock4DecisionInvariance) {
   }
 }
 
+TEST_F(KernelEquivalenceTest, LbKimBlock) {
+  Rng rng(88);
+  for (const int32_t n : TestLengths(&rng)) {
+    const size_t un = static_cast<size_t>(n);
+    const double qf = rng.NextDouble(-5.0, 5.0);
+    const double ql = rng.NextDouble(-5.0, 5.0);
+    const double qmin = rng.NextDouble(-8.0, 0.0);
+    const double qmax = qmin + rng.NextDouble(0.0, 10.0);
+    const std::vector<double> first = RandomSeries(&rng, n, -5.0, 5.0);
+    const std::vector<double> last = RandomSeries(&rng, n, -5.0, 5.0);
+    std::vector<double> cmin = RandomSeries(&rng, n, -8.0, 0.0);
+    std::vector<double> cmax(un);
+    for (size_t j = 0; j < un; ++j) {
+      cmax[j] = cmin[j] + rng.NextDouble(0.0, 10.0);
+    }
+    for (const int use_endpoint_sum : {0, 1}) {
+      std::vector<double> p(un), v(un);
+      portable_->lb_kim_block(qf, ql, qmin, qmax, use_endpoint_sum,
+                              first.data(), last.data(), cmin.data(),
+                              cmax.data(), un, p.data());
+      avx2_->lb_kim_block(qf, ql, qmin, qmax, use_endpoint_sum, first.data(),
+                          last.data(), cmin.data(), cmax.data(), un,
+                          v.data());
+      for (size_t j = 0; j < un; ++j) {
+        // Exact O(1) outputs — values, not just decisions, match the
+        // documented formula bitwise at every level.
+        const double df = std::fabs(qf - first[j]);
+        const double dl = std::fabs(ql - last[j]);
+        const double ends =
+            use_endpoint_sum != 0 ? df + dl : std::max(df, dl);
+        const double expected =
+            std::max(std::max(ends, std::fabs(qmax - cmax[j])),
+                     std::fabs(qmin - cmin[j]));
+        ASSERT_BITEQ(p[j], expected);
+        ASSERT_BITEQ(v[j], expected);
+      }
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, AntidiagSinglePairF64) {
+  // Anti-diagonal kernels against the row-kernel reference (the same
+  // distance with the wavefront disabled) and across levels, bitwise;
+  // bounded calls follow the ComputeBounded contract.
+  Rng rng(99);
+  const DtwDistance1D dtw;
+  const ErpDistance1D erp;
+  for (int iter = 0; iter < 30; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 160));
+    const int32_t m = static_cast<int32_t>(rng.NextInt(1, 160));
+    const std::vector<double> a = RandomSeries(&rng, n, -5.0, 5.0);
+    const std::vector<double> b = RandomSeries(&rng, m, -5.0, 5.0);
+    const size_t sn = static_cast<size_t>(n), sm = static_cast<size_t>(m);
+
+    double row_dtw, row_erp;
+    {
+      ScopedAntidiagThreshold off(-1);
+      ScopedSimdLevel scoped(simd::SimdLevel::kPortable);
+      row_dtw = dtw.Compute(a, b);
+      row_erp = erp.Compute(a, b);
+    }
+    const double pd =
+        portable_->dtw_antidiag_f64(a.data(), sn, b.data(), sm, kInf);
+    const double vd =
+        avx2_->dtw_antidiag_f64(a.data(), sn, b.data(), sm, kInf);
+    ASSERT_BITEQ(pd, row_dtw);
+    ASSERT_BITEQ(vd, row_dtw);
+    const double pe =
+        portable_->erp_antidiag_f64(a.data(), sn, b.data(), sm, 0.0, kInf);
+    const double ve =
+        avx2_->erp_antidiag_f64(a.data(), sn, b.data(), sm, 0.0, kInf);
+    ASSERT_BITEQ(pe, row_erp);
+    ASSERT_BITEQ(ve, row_erp);
+
+    const double bound = rng.NextDouble(0.0, 2.0 * (row_dtw + 1.0));
+    for (const double got :
+         {portable_->dtw_antidiag_f64(a.data(), sn, b.data(), sm, bound),
+          avx2_->dtw_antidiag_f64(a.data(), sn, b.data(), sm, bound)}) {
+      if (row_dtw <= bound) {
+        ASSERT_BITEQ(got, row_dtw);
+      } else {
+        ASSERT_GT(got, bound);
+      }
+    }
+    for (const double got :
+         {portable_->erp_antidiag_f64(a.data(), sn, b.data(), sm, 0.0,
+                                      bound),
+          avx2_->erp_antidiag_f64(a.data(), sn, b.data(), sm, 0.0, bound)}) {
+      if (row_erp <= bound) {
+        ASSERT_BITEQ(got, row_erp);
+      } else {
+        ASSERT_GT(got, bound);
+      }
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, AntidiagSinglePairP2d) {
+  Rng rng(111);
+  const DtwDistance2D dtw;
+  const ErpDistance2D erp;
+  const Point2d gap{0.0, 0.0};
+  for (int iter = 0; iter < 20; ++iter) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 120));
+    const int32_t m = static_cast<int32_t>(rng.NextInt(1, 120));
+    const std::vector<Point2d> a = RandomTrack(&rng, n);
+    const std::vector<Point2d> b = RandomTrack(&rng, m);
+    const size_t sn = static_cast<size_t>(n), sm = static_cast<size_t>(m);
+
+    double row_dtw, row_erp;
+    {
+      ScopedAntidiagThreshold off(-1);
+      ScopedSimdLevel scoped(simd::SimdLevel::kPortable);
+      row_dtw = dtw.Compute(a, b);
+      row_erp = erp.Compute(a, b);
+    }
+    for (const simd::Kernels* k : {portable_, avx2_}) {
+      ASSERT_BITEQ(k->dtw_antidiag_p2d(a.data(), sn, b.data(), sm, kInf),
+                   row_dtw);
+      ASSERT_BITEQ(
+          k->erp_antidiag_p2d(a.data(), sn, b.data(), sm, gap, kInf),
+          row_erp);
+      const double bound = rng.NextDouble(0.0, 2.0 * (row_dtw + 1.0));
+      const double bounded =
+          k->dtw_antidiag_p2d(a.data(), sn, b.data(), sm, bound);
+      if (row_dtw <= bound) {
+        ASSERT_BITEQ(bounded, row_dtw);
+      } else {
+        ASSERT_GT(bounded, bound);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Distance-level: Compute / ComputeBounded / ComputeMany across levels.
 
@@ -427,6 +571,67 @@ TEST(SimdDistanceEquivalence, ComputeManyMatchesComputeLoop) {
   CheckComputeManyMatchesLoop(L1Distance1D(1.0), &rng, make1d);
   CheckComputeManyMatchesLoop(DtwDistance2D(), &rng, make2d);
   CheckComputeManyMatchesLoop(EuclideanDistance2D(), &rng, make2d);
+}
+
+// The SUBSEQ_ANTIDIAG knob is value-invisible: forcing the wavefront DP
+// at every length produces bitwise the row-DP results, for Compute and
+// under the ComputeBounded contract, at every dispatch level.
+template <typename T, typename MakeSeq>
+void CheckAntidiagForcedMatchesDisabled(const SequenceDistance<T>& dist,
+                                        Rng* rng, const MakeSeq& make) {
+  const std::vector<simd::SimdLevel> levels =
+      HaveAvx2() ? std::vector<simd::SimdLevel>{simd::SimdLevel::kPortable,
+                                                simd::SimdLevel::kAvx2}
+                 : std::vector<simd::SimdLevel>{simd::SimdLevel::kPortable};
+  for (const simd::SimdLevel level : levels) {
+    ScopedSimdLevel scoped(level);
+    ASSERT_TRUE(scoped.ok());
+    for (int iter = 0; iter < 20; ++iter) {
+      const int32_t n = static_cast<int32_t>(rng->NextInt(1, 96));
+      const int32_t m = static_cast<int32_t>(rng->NextInt(1, 96));
+      const std::vector<T> a = make(n);
+      const std::vector<T> b = make(m);
+
+      double rows, waves;
+      {
+        ScopedAntidiagThreshold off(-1);
+        rows = dist.Compute(a, b);
+      }
+      {
+        ScopedAntidiagThreshold on(1);
+        waves = dist.Compute(a, b);
+      }
+      ASSERT_BITEQ(rows, waves);
+
+      const double bound = rng->NextDouble(0.0, 2.0 * (rows + 1.0));
+      double rows_bounded, waves_bounded;
+      {
+        ScopedAntidiagThreshold off(-1);
+        rows_bounded = dist.ComputeBounded(a, b, bound);
+      }
+      {
+        ScopedAntidiagThreshold on(1);
+        waves_bounded = dist.ComputeBounded(a, b, bound);
+      }
+      if (rows <= bound) {
+        ASSERT_BITEQ(rows_bounded, rows);
+        ASSERT_BITEQ(waves_bounded, rows);
+      } else {
+        ASSERT_GT(rows_bounded, bound);
+        ASSERT_GT(waves_bounded, bound);
+      }
+    }
+  }
+}
+
+TEST(SimdAntidiagEquivalence, ForcedMatchesDisabledBitwise) {
+  Rng rng(707);
+  const auto make1d = [&rng](int32_t n) { return RandomSeries(&rng, n); };
+  const auto make2d = [&rng](int32_t n) { return RandomTrack(&rng, n); };
+  CheckAntidiagForcedMatchesDisabled(DtwDistance1D(), &rng, make1d);
+  CheckAntidiagForcedMatchesDisabled(ErpDistance1D(), &rng, make1d);
+  CheckAntidiagForcedMatchesDisabled(DtwDistance2D(), &rng, make2d);
+  CheckAntidiagForcedMatchesDisabled(ErpDistance2D(), &rng, make2d);
 }
 
 // ---------------------------------------------------------------------------
