@@ -30,6 +30,15 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(elapsed).count();
 }
 
+/// Nearest-rank percentile over an ALREADY SORTED vector of per-request
+/// latencies in seconds, reported in milliseconds.
+double PercentileMs(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const size_t idx =
+      static_cast<size_t>(q * static_cast<double>(sorted_seconds.size() - 1));
+  return sorted_seconds[idx] * 1000.0;
+}
+
 /// The serving workload: a pool of `pool_size` distinct queries cut from
 /// database sequences (overlapping offsets, so even distinct queries
 /// share segment content), drawn `count` times in a deterministic
@@ -137,6 +146,9 @@ int Run() {
             .ValueOrDie();
     std::vector<std::optional<SubsequenceMatch>> served_results(
         queries.size());
+    // Per-request submit-to-result latency, indexed by request (each
+    // slot written by exactly one client thread).
+    std::vector<double> latencies(queries.size(), 0.0);
     t0 = std::chrono::steady_clock::now();
     {
       std::vector<std::thread> workers;
@@ -148,7 +160,9 @@ int Run() {
             request.type = MatchQueryType::kLongestMatch;
             request.query = queries[i];
             request.epsilon = epsilon;
+            const auto sent = std::chrono::steady_clock::now();
             MatchResult result = server->Submit(std::move(request)).Get();
+            latencies[i] = SecondsSince(sent);
             SUBSEQ_CHECK(result.status.ok());
             served_results[i] = result.best;
           }
@@ -157,6 +171,9 @@ int Run() {
       for (std::thread& w : workers) w.join();
     }
     const double server_s = SecondsSince(t0);
+    std::sort(latencies.begin(), latencies.end());
+    const double p50_ms = PercentileMs(latencies, 0.50);
+    const double p99_ms = PercentileMs(latencies, 0.99);
     const ServeStats stats = server->stats();
     server->Shutdown();
 
@@ -182,16 +199,19 @@ int Run() {
                                  static_cast<double>(
                                      stats.billed_filter_computations))
             : 0.0;
-    std::printf("%8d %14.1f %14.1f %9.2fx %18lld %15.1f%%\n", clients,
-                library_qps, server_qps, speedup,
+    std::printf("%8d %14.1f %14.1f %9.2fx %18lld %15.1f%%  p50=%.1fms "
+                "p99=%.1fms\n",
+                clients, library_qps, server_qps, speedup,
                 static_cast<long long>(stats.coalesced_queries),
-                shared_work_pct);
+                shared_work_pct, p50_ms, p99_ms);
     records.push_back(BenchRecord{
         "clients=" + std::to_string(clients),
         {{"clients", static_cast<double>(clients)},
          {"library_qps", library_qps},
          {"server_qps", server_qps},
          {"speedup", speedup},
+         {"server_p50_ms", p50_ms},
+         {"server_p99_ms", p99_ms},
          {"admission_batches", static_cast<double>(stats.admission_batches)},
          {"filter_calls", static_cast<double>(stats.filter_calls)},
          {"coalesced_queries", static_cast<double>(stats.coalesced_queries)},
@@ -292,6 +312,230 @@ int Run() {
          {"cache_evictions", static_cast<double>(total.cache_evictions)},
          {"cache_shared_computations",
           static_cast<double>(total.cache_shared_computations)}}});
+  }
+
+  // ---- live_ingest phase: serving while the database grows. Two
+  // measurements over one workload:
+  //
+  //  (a) Cache across an epoch swap, with background merging disabled so
+  //      the epoch sequence is deterministic: a cold round populates the
+  //      cache at the bulk epoch, one synchronous AppendSequence swaps to
+  //      the next epoch, and the first post-swap round must re-miss on
+  //      every unique segment exactly like the cold round did
+  //      (swap_miss_parity = 1.0 — a cross-epoch hit would be silently
+  //      wrong and would shave post-swap misses) while the second
+  //      post-swap round hits on every lookup (rewarm_hit_rate = 1.0).
+  //      The appended windows are served from the per-kind delta
+  //      (delta_window_share > 0).
+  //  (b) Throughput while ingesting, with an aggressive merge threshold:
+  //      8 closed-loop clients answer the workload while the bench
+  //      thread appends sequences and retires one, then the phase waits
+  //      for the background merges to compact the delta away
+  //      (merge_drained = 1.0) and cross-checks a post-ingest round
+  //      element-wise against a cold matcher built over the final
+  //      contents — the live-ingest determinism contract.
+  //
+  // The gated metrics (swap_miss_parity, rewarm_hit_rate,
+  // delta_window_share, merge_drained, ingested_window_ratio) are all
+  // deterministic counts/ratios, so the committed baseline transfers
+  // across machines; live_qps and the latency percentiles are
+  // informational wall-clock.
+  {
+    std::printf("\nlive_ingest: qps while appending, cache across the "
+                "epoch swap, delta vs merged serving\n");
+    // Sequences to ingest. Sized in windows (~25 windows per generated
+    // protein), so ask for enough to cover the append count below.
+    const SequenceDatabase<char> donor = MakeProteinDb(Scaled(200, 400), 1234);
+
+    // (a) Epoch swap under a merge-free server.
+    double swap_miss_parity = 0.0;
+    double rewarm_hit_rate = 0.0;
+    double delta_window_share = 0.0;
+    {
+      MatchServerOptions server_options;
+      server_options.matcher = matcher_options;
+      server_options.matcher.delta_merge_threshold = 1 << 30;  // never merge
+      auto server =
+          std::move(MatchServer<char>::Start(db, dist, server_options))
+              .ValueOrDie();
+      const SequenceDatabase<char> db1 = db.Append(donor.at(0));
+      auto post_matcher = std::move(SubsequenceMatcher<char>::Build(
+                              db1, dist, matcher_options))
+                              .ValueOrDie();
+      std::vector<std::optional<SubsequenceMatch>> post_expected(
+          queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        post_expected[i] =
+            post_matcher
+                ->LongestMatch(std::span<const char>(queries[i]), epsilon)
+                .ValueOrDie();
+      }
+      const int32_t clients = 8;
+      const auto run_round =
+          [&](const std::vector<std::optional<SubsequenceMatch>>& want) {
+            std::vector<std::optional<SubsequenceMatch>> results(
+                queries.size());
+            std::vector<std::thread> workers;
+            for (int32_t c = 0; c < clients; ++c) {
+              workers.emplace_back([&, c] {
+                for (size_t i = static_cast<size_t>(c); i < queries.size();
+                     i += static_cast<size_t>(clients)) {
+                  MatchRequest<char> request;
+                  request.type = MatchQueryType::kLongestMatch;
+                  request.query = queries[i];
+                  request.epsilon = epsilon;
+                  MatchResult result =
+                      server->Submit(std::move(request)).Get();
+                  SUBSEQ_CHECK(result.status.ok());
+                  results[i] = result.best;
+                }
+              });
+            }
+            for (std::thread& w : workers) w.join();
+            for (size_t i = 0; i < queries.size(); ++i) {
+              SUBSEQ_CHECK(results[i].has_value() == want[i].has_value());
+              if (want[i].has_value()) SUBSEQ_CHECK(*results[i] == *want[i]);
+            }
+          };
+
+      run_round(expected);  // cold: populates the cache at the bulk epoch
+      const ServeStats pre = server->stats();
+      SUBSEQ_CHECK(server->AppendSequence(donor.at(0)).ok());
+      run_round(post_expected);  // first post-swap round: all misses
+      const ServeStats swap = server->stats();
+      run_round(post_expected);  // second post-swap round: re-hits
+      const ServeStats rewarm = server->stats();
+      server->Shutdown();
+
+      // The cold round misses once per unique segment (then re-hits its
+      // own insertions); the post-swap round must repeat that pattern
+      // exactly at the new epoch. Both counts are batching-invariant, so
+      // parity is a deterministic 1.0; a cross-epoch hit would shave
+      // post-swap misses and drop it.
+      const double cold_misses = static_cast<double>(pre.cache_misses);
+      const double swap_misses =
+          static_cast<double>(swap.cache_misses - pre.cache_misses);
+      swap_miss_parity = cold_misses > 0.0 ? swap_misses / cold_misses : 0.0;
+      const double re_hits =
+          static_cast<double>(rewarm.cache_hits - swap.cache_hits);
+      const double re_misses =
+          static_cast<double>(rewarm.cache_misses - swap.cache_misses);
+      rewarm_hit_rate = re_hits + re_misses > 0.0
+                            ? re_hits / (re_hits + re_misses)
+                            : 0.0;
+      delta_window_share =
+          static_cast<double>(rewarm.delta_windows) /
+          static_cast<double>(rewarm.base_windows + rewarm.delta_windows);
+      std::printf("  swap: miss parity %.3f across the epoch swap, rewarm "
+                  "hit rate %.3f, delta window share %.4f\n",
+                  swap_miss_parity, rewarm_hit_rate, delta_window_share);
+    }
+
+    // (b) Closed-loop clients racing AppendSequence / RetireSequence,
+    // then merge drain + post-ingest determinism cross-check.
+    MatchServerOptions server_options;
+    server_options.matcher = matcher_options;
+    server_options.matcher.delta_merge_threshold = 1;  // merge eagerly
+    auto server =
+        std::move(MatchServer<char>::Start(db, dist, server_options))
+            .ValueOrDie();
+    const ServeStats before = server->stats();
+    const int32_t clients = 8;
+    const int32_t num_appends = Scaled(3, 6);
+    SUBSEQ_CHECK(donor.size() >= num_appends);
+    std::vector<double> latencies(queries.size(), 0.0);
+    std::vector<std::thread> workers;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int32_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        for (size_t i = static_cast<size_t>(c); i < queries.size();
+             i += static_cast<size_t>(clients)) {
+          MatchRequest<char> request;
+          request.type = MatchQueryType::kLongestMatch;
+          request.query = queries[i];
+          request.epsilon = epsilon;
+          const auto sent = std::chrono::steady_clock::now();
+          MatchResult result = server->Submit(std::move(request)).Get();
+          latencies[i] = SecondsSince(sent);
+          // Mid-ingest answers are epoch-dependent (the epoch-equality
+          // tests pin them down); here only delivery is asserted.
+          SUBSEQ_CHECK(result.status.ok());
+        }
+      });
+    }
+    SequenceDatabase<char> final_db = db;
+    for (int32_t a = 0; a < num_appends; ++a) {
+      SUBSEQ_CHECK(server->AppendSequence(donor.at(a)).ok());
+      final_db = final_db.Append(donor.at(a));
+    }
+    const SeqId retired_id = db.size();  // the first appended sequence
+    SUBSEQ_CHECK(server->RetireSequence(retired_id).ok());
+    final_db = final_db.Retire(retired_id);
+    for (std::thread& w : workers) w.join();
+    const double live_s = SecondsSince(t0);
+    std::sort(latencies.begin(), latencies.end());
+
+    // Wait for the background merges to compact the delta away.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    ServeStats after = server->stats();
+    while (after.delta_windows > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      after = server->stats();
+    }
+    const double merge_drained = after.delta_windows == 0 ? 1.0 : 0.0;
+
+    // Post-ingest determinism cross-check: the served answers over the
+    // merged epoch equal a cold matcher built over the final contents.
+    auto final_matcher = std::move(SubsequenceMatcher<char>::Build(
+                             final_db, dist, matcher_options))
+                             .ValueOrDie();
+    for (size_t i = 0; i < queries.size(); i += 4) {  // every 4th: bounded
+      MatchRequest<char> request;
+      request.type = MatchQueryType::kLongestMatch;
+      request.query = queries[i];
+      request.epsilon = epsilon;
+      MatchResult result = server->Submit(std::move(request)).Get();
+      SUBSEQ_CHECK(result.status.ok());
+      const auto want =
+          final_matcher
+              ->LongestMatch(std::span<const char>(queries[i]), epsilon)
+              .ValueOrDie();
+      SUBSEQ_CHECK(result.best.has_value() == want.has_value());
+      if (want.has_value()) SUBSEQ_CHECK(*result.best == *want);
+    }
+    server->Shutdown();
+
+    const double live_qps = static_cast<double>(queries.size()) / live_s;
+    const double live_p50_ms = PercentileMs(latencies, 0.50);
+    const double live_p99_ms = PercentileMs(latencies, 0.99);
+    const double ingested_window_ratio =
+        static_cast<double>(after.base_windows - before.base_windows) /
+        static_cast<double>(before.base_windows);
+    std::printf("  ingest: %.1f qps while appending (p50=%.1fms "
+                "p99=%.1fms), %lld appends, %lld merges, epoch %llu, "
+                "delta drained=%s, +%.2f%% windows\n",
+                live_qps, live_p50_ms, live_p99_ms,
+                static_cast<long long>(after.appends),
+                static_cast<long long>(after.merges),
+                static_cast<unsigned long long>(after.epoch),
+                merge_drained == 1.0 ? "yes" : "NO",
+                100.0 * ingested_window_ratio);
+    records.push_back(BenchRecord{
+        "live_ingest",
+        {{"clients", static_cast<double>(clients)},
+         {"live_qps", live_qps},
+         {"live_p50_ms", live_p50_ms},
+         {"live_p99_ms", live_p99_ms},
+         {"appends", static_cast<double>(after.appends)},
+         {"retires", static_cast<double>(after.retires)},
+         {"merges", static_cast<double>(after.merges)},
+         {"swap_miss_parity", swap_miss_parity},
+         {"rewarm_hit_rate", rewarm_hit_rate},
+         {"delta_window_share", delta_window_share},
+         {"merge_drained", merge_drained},
+         {"ingested_window_ratio", ingested_window_ratio}}});
   }
 
   const std::string path = "BENCH_serve_throughput.json";

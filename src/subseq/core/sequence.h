@@ -10,6 +10,9 @@
 #define SUBSEQ_CORE_SEQUENCE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -92,15 +95,60 @@ inline Sequence<char> MakeStringSequence(std::string_view s,
 }
 
 /// An in-memory collection of sequences addressed by dense SeqId.
+///
+/// The database is epoch-versioned: `Append` and `Retire` return a NEW
+/// database value one epoch later, never mutating this one. Element
+/// storage is shared between epochs (sequences are held by shared_ptr),
+/// so deriving an epoch is O(size) pointer copies, not a deep copy.
+/// Retiring never renumbers: the retired sequence keeps its SeqId and
+/// its elements (so window ObjectIds derived from it stay stable) and
+/// is merely marked, to be masked downstream by the frame layer.
 template <typename T>
 class SequenceDatabase {
  public:
   SequenceDatabase() = default;
 
-  /// Appends a sequence; returns its id.
+  /// Appends a sequence in place; returns its id. The epoch does not
+  /// advance — Add is the bulk-loading path for epoch 0 (or for staging
+  /// a database before its first Build).
   SeqId Add(Sequence<T> seq) {
-    sequences_.push_back(std::move(seq));
+    sequences_.push_back(
+        std::make_shared<const Sequence<T>>(std::move(seq)));
+    retired_.push_back(0);
     return static_cast<SeqId>(sequences_.size() - 1);
+  }
+
+  /// A new database one epoch later with `seq` appended at the end
+  /// (its id is the old size()). This database is unchanged.
+  SequenceDatabase Append(Sequence<T> seq) const {
+    SequenceDatabase next = *this;
+    next.sequences_.push_back(
+        std::make_shared<const Sequence<T>>(std::move(seq)));
+    next.retired_.push_back(0);
+    next.epoch_id_ = epoch_id_ + 1;
+    return next;
+  }
+
+  /// A new database one epoch later with sequence `id` marked retired.
+  /// The sequence keeps its id and its elements (ids are never
+  /// renumbered); queries against indexes built over the new epoch mask
+  /// its windows. Retiring an already-retired id is a checked error.
+  SequenceDatabase Retire(SeqId id) const {
+    SUBSEQ_CHECK(id >= 0 && id < size());
+    SUBSEQ_CHECK(retired_[static_cast<size_t>(id)] == 0);
+    SequenceDatabase next = *this;
+    next.retired_[static_cast<size_t>(id)] = 1;
+    next.epoch_id_ = epoch_id_ + 1;
+    return next;
+  }
+
+  /// A new database with identical contents one epoch later. Used when
+  /// downstream derived state (a compacted index, epoch-keyed caches)
+  /// must roll over even though no sequence changed.
+  SequenceDatabase NextEpoch() const {
+    SequenceDatabase next = *this;
+    next.epoch_id_ = epoch_id_ + 1;
+    return next;
   }
 
   int32_t size() const { return static_cast<int32_t>(sequences_.size()); }
@@ -108,21 +156,74 @@ class SequenceDatabase {
 
   const Sequence<T>& at(SeqId id) const {
     SUBSEQ_CHECK(id >= 0 && id < size());
-    return sequences_[static_cast<size_t>(id)];
+    return *sequences_[static_cast<size_t>(id)];
   }
 
-  /// Total number of elements across all sequences.
+  /// True if `id` has been retired in some ancestor epoch.
+  bool is_retired(SeqId id) const {
+    SUBSEQ_CHECK(id >= 0 && id < size());
+    return retired_[static_cast<size_t>(id)] != 0;
+  }
+
+  /// Number of retired sequences.
+  int32_t num_retired() const {
+    int32_t n = 0;
+    for (uint8_t r : retired_) n += r != 0 ? 1 : 0;
+    return n;
+  }
+
+  /// Monotone epoch counter: 0 for a freshly loaded database, +1 per
+  /// Append / Retire / NextEpoch.
+  uint64_t epoch_id() const { return epoch_id_; }
+
+  /// Total number of elements across all sequences (retired included —
+  /// their storage is still live).
   int64_t TotalLength() const {
     int64_t total = 0;
-    for (const auto& s : sequences_) total += s.size();
+    for (const auto& s : sequences_) total += s->size();
     return total;
   }
 
-  auto begin() const { return sequences_.begin(); }
-  auto end() const { return sequences_.end(); }
+  /// Const iterator dereferencing to the sequence itself, so range-for
+  /// over a database sees `const Sequence<T>&` regardless of the shared
+  /// storage representation.
+  class const_iterator {
+   public:
+    using inner = typename std::vector<
+        std::shared_ptr<const Sequence<T>>>::const_iterator;
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Sequence<T>;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Sequence<T>*;
+    using reference = const Sequence<T>&;
+
+    explicit const_iterator(inner it) : it_(it) {}
+    reference operator*() const { return **it_; }
+    pointer operator->() const { return it_->get(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++it_;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.it_ == b.it_;
+    }
+
+   private:
+    inner it_;
+  };
+
+  const_iterator begin() const { return const_iterator(sequences_.begin()); }
+  const_iterator end() const { return const_iterator(sequences_.end()); }
 
  private:
-  std::vector<Sequence<T>> sequences_;
+  std::vector<std::shared_ptr<const Sequence<T>>> sequences_;
+  std::vector<uint8_t> retired_;  // parallel to sequences_
+  uint64_t epoch_id_ = 0;
 };
 
 }  // namespace subseq

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -59,6 +59,15 @@ class StatsSink {
   void AddCellsSkipped(int64_t n) {
     cells_skipped_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Delta-index windows scanned / tombstoned hits masked by the frame
+  /// layer's base+delta merge (see QueryStats::delta_windows_probed /
+  /// tombstones_masked).
+  void AddDeltaWindowsProbed(int64_t n) {
+    delta_windows_probed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddTombstonesMasked(int64_t n) {
+    tombstones_masked_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   int64_t distance_computations() const {
     return distance_computations_.load(std::memory_order_relaxed);
@@ -84,6 +93,12 @@ class StatsSink {
   int64_t cells_skipped() const {
     return cells_skipped_.load(std::memory_order_relaxed);
   }
+  int64_t delta_windows_probed() const {
+    return delta_windows_probed_.load(std::memory_order_relaxed);
+  }
+  int64_t tombstones_masked() const {
+    return tombstones_masked_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
     distance_computations_.store(0, std::memory_order_relaxed);
@@ -94,6 +109,8 @@ class StatsSink {
     lb_erp_pruned_.store(0, std::memory_order_relaxed);
     cells_probed_.store(0, std::memory_order_relaxed);
     cells_skipped_.store(0, std::memory_order_relaxed);
+    delta_windows_probed_.store(0, std::memory_order_relaxed);
+    tombstones_masked_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -105,6 +122,8 @@ class StatsSink {
   std::atomic<int64_t> lb_erp_pruned_{0};
   std::atomic<int64_t> cells_probed_{0};
   std::atomic<int64_t> cells_skipped_{0};
+  std::atomic<int64_t> delta_windows_probed_{0};
+  std::atomic<int64_t> tombstones_masked_{0};
 };
 
 }  // namespace subseq

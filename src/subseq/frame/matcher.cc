@@ -114,6 +114,22 @@ void FillHitDistancesBlocked(const SequenceDistance<T>& dist,
               /*grain=*/1);
 }
 
+// Marks every window whose sequence is retired. No-op (empty mask) when
+// nothing is retired, so the common path stays branch-free.
+template <typename T>
+void ComputeTombstoneMask(const SequenceDatabase<T>& db,
+                          const WindowCatalog& catalog,
+                          std::vector<uint8_t>* mask, int64_t* count) {
+  if (db.num_retired() == 0) return;
+  mask->assign(static_cast<size_t>(catalog.num_windows()), 0);
+  for (ObjectId w = 0; w < catalog.num_windows(); ++w) {
+    if (db.is_retired(catalog.at(w).seq)) {
+      (*mask)[static_cast<size_t>(w)] = 1;
+      ++(*count);
+    }
+  }
+}
+
 // One backend of options.index_kind over the given oracle — the whole
 // window catalog (monolithic) or one shard's view of it (the ShardedIndex
 // factory path: every shard gets an independent index of the same kind
@@ -341,6 +357,12 @@ Status MatcherOptions::Validate() const {
         "strategies (contiguous id split vs pivot-routed cells); set one "
         "of them and leave the other at 0");
   }
+  if (delta_merge_threshold < 1) {
+    return Status::InvalidArgument(
+        "delta_merge_threshold must be >= 1 (it is the delta window count "
+        "at which the serving layer compacts delta into base; 1 compacts "
+        "after every append)");
+  }
   return Status::OK();
 }
 
@@ -384,20 +406,49 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::MakeShell(
     options.vp_tree.exec = options.exec;
   }
 
-  auto matcher = std::unique_ptr<SubsequenceMatcher<T>>(
-      new SubsequenceMatcher<T>(db, dist, options));
-  auto catalog = WindowCatalog::PartitionDatabase(db, l);
+  auto matcher = std::unique_ptr<SubsequenceMatcher<T>>(new SubsequenceMatcher<T>(
+      std::make_shared<const SequenceDatabase<T>>(db), dist, options));
+  auto catalog = WindowCatalog::PartitionDatabase(*matcher->db_, l);
   SUBSEQ_RETURN_NOT_OK(catalog.status());
   matcher->catalog_ =
-      std::make_unique<WindowCatalog>(std::move(catalog).value());
-  matcher->oracle_ =
-      std::make_unique<WindowOracle<T>>(db, *matcher->catalog_, dist);
+      std::make_shared<const WindowCatalog>(std::move(catalog).value());
+  matcher->oracle_ = std::make_shared<const WindowOracle<T>>(
+      *matcher->db_, *matcher->catalog_, dist);
   if constexpr (std::is_same_v<T, double>) {
     if (matcher->options_.lb_prefilter) {
-      matcher->lb_features_ = BuildLbFeatureTable(db, *matcher->catalog_);
+      matcher->lb_features_ =
+          BuildLbFeatureTable(*matcher->db_, *matcher->catalog_);
     }
   }
+  // Tombstone mask: a window is dead iff its sequence is retired.
+  // Retired windows stay in the catalog AND the index (ids are never
+  // renumbered); BatchFilterWindows subtracts them from every hit list.
+  ComputeTombstoneMask(*matcher->db_, *matcher->catalog_,
+                       &matcher->window_tombstones_,
+                       &matcher->num_tombstoned_windows_);
   return matcher;
+}
+
+template <typename T>
+void SubsequenceMatcher<T>::AdoptBase(
+    std::unique_ptr<RangeIndex> index, std::unique_ptr<PrefixOracle> prefix,
+    std::shared_ptr<const SnapshotFile> snapshot, int32_t base_windows) {
+  SUBSEQ_CHECK(index != nullptr);
+  SUBSEQ_CHECK(base_windows >= 0 &&
+               base_windows <= catalog_->num_windows());
+  auto base = std::make_shared<EpochBase<T>>();
+  base->db = db_;
+  base->catalog = catalog_;
+  base->oracle = oracle_;
+  base->prefix = std::move(prefix);
+  base->index = std::move(index);
+  base->snapshot = std::move(snapshot);
+  base->num_windows = base_windows;
+  base_ = std::move(base);
+  const int32_t delta = catalog_->num_windows() - base_windows;
+  if (delta > 0) {
+    delta_index_ = std::make_unique<LinearScan>(delta);
+  }
 }
 
 template <typename T>
@@ -431,7 +482,8 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
         },
         routing);
     SUBSEQ_RETURN_NOT_OK(routed.status());
-    matcher->index_ = std::move(routed).ValueOrDie();
+    matcher->AdoptBase(std::move(routed).ValueOrDie(), nullptr, nullptr,
+                       matcher->catalog_->num_windows());
   } else if (num_shards > 1) {
     ShardedIndexOptions sharding;
     sharding.num_shards = num_shards;
@@ -443,13 +495,78 @@ Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Build(
         },
         sharding);
     SUBSEQ_RETURN_NOT_OK(sharded.status());
-    matcher->index_ = std::move(sharded).ValueOrDie();
+    matcher->AdoptBase(std::move(sharded).ValueOrDie(), nullptr, nullptr,
+                       matcher->catalog_->num_windows());
   } else {
     auto index = BuildKindIndex(*matcher->oracle_, resolved);
     SUBSEQ_RETURN_NOT_OK(index.status());
-    matcher->index_ = std::move(index).ValueOrDie();
+    matcher->AdoptBase(std::move(index).ValueOrDie(), nullptr, nullptr,
+                       matcher->catalog_->num_windows());
   }
   return matcher;
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>>
+SubsequenceMatcher<T>::DeriveEpoch(SequenceDatabase<T> db) const {
+  SUBSEQ_CHECK(base_ != nullptr);
+  auto matcher = std::unique_ptr<SubsequenceMatcher<T>>(new SubsequenceMatcher<T>(
+      std::make_shared<const SequenceDatabase<T>>(std::move(db)), dist_,
+      options_));
+  // Extend the current catalog in place rather than re-partitioning:
+  // WindowCatalog::Append is documented equivalent, and keeps the
+  // derivation O(new windows) for the catalog itself.
+  WindowCatalog catalog = *catalog_;
+  for (SeqId s = catalog.num_sequences(); s < matcher->db_->size(); ++s) {
+    SUBSEQ_RETURN_NOT_OK(catalog.Append(matcher->db_->at(s).size()));
+  }
+  matcher->catalog_ = std::make_shared<const WindowCatalog>(std::move(catalog));
+  matcher->oracle_ = std::make_shared<const WindowOracle<T>>(
+      *matcher->db_, *matcher->catalog_, dist_);
+  if constexpr (std::is_same_v<T, double>) {
+    if (options_.lb_prefilter) {
+      matcher->lb_features_ =
+          BuildLbFeatureTable(*matcher->db_, *matcher->catalog_);
+    }
+  }
+  matcher->base_ = base_;
+  const int32_t delta =
+      matcher->catalog_->num_windows() - base_->num_windows;
+  if (delta > 0) {
+    matcher->delta_index_ = std::make_unique<LinearScan>(delta);
+  }
+  ComputeTombstoneMask(*matcher->db_, *matcher->catalog_,
+                       &matcher->window_tombstones_,
+                       &matcher->num_tombstoned_windows_);
+  return matcher;
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>>
+SubsequenceMatcher<T>::WithAppended(Sequence<T> seq) const {
+  return DeriveEpoch(db_->Append(std::move(seq)));
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>>
+SubsequenceMatcher<T>::WithRetired(SeqId seq) const {
+  if (seq < 0 || seq >= db_->size()) {
+    return Status::OutOfRange(
+        "WithRetired: sequence id " + std::to_string(seq) +
+        " out of range [0, " + std::to_string(db_->size()) + ")");
+  }
+  if (db_->is_retired(seq)) {
+    return Status::AlreadyExists("WithRetired: sequence id " +
+                                 std::to_string(seq) +
+                                 " is already retired");
+  }
+  return DeriveEpoch(db_->Retire(seq));
+}
+
+template <typename T>
+Result<std::unique_ptr<SubsequenceMatcher<T>>> SubsequenceMatcher<T>::Compact()
+    const {
+  return Build(*db_, dist_, options_);
 }
 
 template <typename T>
@@ -472,7 +589,7 @@ SegmentQueryBatch SubsequenceMatcher<T>::MakeSegmentQueries(
       // everything else just calls the function. Results and billed
       // stats are identical either way (see MatcherOptions::lb_prefilter).
       std::shared_ptr<const QueryLowerBound> lb =
-          MakeSegmentLowerBound(db_, *catalog_, dist_, view, lb_features_);
+          MakeSegmentLowerBound(*db_, *catalog_, dist_, view, lb_features_);
       if (lb != nullptr) {
         PrunableQueryFn prunable;
         prunable.fn = std::move(fn);
@@ -589,16 +706,111 @@ std::vector<std::vector<double>> SubsequenceMatcher<T>::SegmentHitDistances(
 }
 
 template <typename T>
+QueryDistanceFn SubsequenceMatcher<T>::DeltaQuery(const QueryDistanceFn& query,
+                                                  int32_t offset) {
+  // Preserve prunability across the delta remap exactly as the sharded
+  // index does for shards: the delta scan sees delta-local ids, so the
+  // lower-bound offset advances by the delta's base while the exact
+  // function keeps translating ids.
+  if (const PrunableQueryFn* prunable = GetPrunable(query)) {
+    PrunableQueryFn local;
+    local.fn = [&query, offset](ObjectId id) { return query(id + offset); };
+    local.lower_bound = prunable->lower_bound;
+    local.lb_offset = prunable->lb_offset + offset;
+    return QueryDistanceFn(std::move(local));
+  }
+  return [&query, offset](ObjectId local) { return query(local + offset); };
+}
+
+template <typename T>
+std::vector<std::vector<ObjectId>> SubsequenceMatcher<T>::BatchFilterWindows(
+    std::span<const QueryDistanceFn> queries, double epsilon,
+    const ExecContext& exec, StatsSink* sink, QueryStats* per_query) const {
+  // Base epoch first: the expensive index answers windows [0, base).
+  std::vector<std::vector<ObjectId>> results =
+      base_->index->BatchRangeQuery(queries, epsilon, exec, sink, per_query);
+
+  // Delta scan: windows appended since the base epoch live in a small
+  // LinearScan with local ids; hits translate back by the base offset
+  // and append after the base hits (callers canonicalize order per
+  // segment). Every delta window is billed — the scan is responsible
+  // for all its candidates — and counted in delta_windows_probed.
+  if (delta_index_ != nullptr) {
+    const int32_t offset = base_->num_windows;
+    const int64_t delta = delta_index_->size();
+    std::vector<QueryDistanceFn> local;
+    local.reserve(queries.size());
+    for (const QueryDistanceFn& query : queries) {
+      local.push_back(DeltaQuery(query, offset));
+    }
+    std::vector<QueryStats> delta_split(
+        per_query != nullptr ? queries.size() : 0);
+    const std::vector<std::vector<ObjectId>> delta_results =
+        delta_index_->BatchRangeQuery(
+            local, epsilon, exec, sink,
+            per_query != nullptr ? delta_split.data() : nullptr);
+    if (sink != nullptr) {
+      sink->AddDeltaWindowsProbed(static_cast<int64_t>(queries.size()) *
+                                  delta);
+    }
+    for (size_t q = 0; q < queries.size(); ++q) {
+      std::vector<ObjectId>& merged = results[q];
+      merged.reserve(merged.size() + delta_results[q].size());
+      for (const ObjectId id : delta_results[q]) merged.push_back(id + offset);
+      if (per_query != nullptr) {
+        per_query[q].distance_computations +=
+            delta_split[q].distance_computations;
+        per_query[q].result_count += delta_split[q].result_count;
+        per_query[q].lower_bound_pruned += delta_split[q].lower_bound_pruned;
+        per_query[q].lb_kim_pruned += delta_split[q].lb_kim_pruned;
+        per_query[q].lb_erp_pruned += delta_split[q].lb_erp_pruned;
+        per_query[q].delta_windows_probed += delta;
+      }
+    }
+  }
+
+  // Tombstone mask: drop hits whose window belongs to a retired
+  // sequence so no masked window ever reaches step 5. Masking is
+  // observable (tombstones_masked) but unbilled, like routed cell
+  // skips; result_count tracks the returned (masked) size so the
+  // per-query slot contract stays exact.
+  if (num_tombstoned_windows_ > 0) {
+    int64_t masked_total = 0;
+    for (size_t q = 0; q < results.size(); ++q) {
+      std::vector<ObjectId>& hits = results[q];
+      const size_t before = hits.size();
+      hits.erase(std::remove_if(hits.begin(), hits.end(),
+                                [this](ObjectId w) {
+                                  return window_tombstones_
+                                             [static_cast<size_t>(w)] != 0;
+                                }),
+                 hits.end());
+      const int64_t masked = static_cast<int64_t>(before - hits.size());
+      masked_total += masked;
+      if (per_query != nullptr && masked > 0) {
+        per_query[q].result_count -= masked;
+        per_query[q].tombstones_masked += masked;
+      }
+    }
+    if (sink != nullptr && masked_total > 0) {
+      sink->AddResults(-masked_total);
+      sink->AddTombstonesMasked(masked_total);
+    }
+  }
+  return results;
+}
+
+template <typename T>
 std::vector<SegmentHit> SubsequenceMatcher<T>::FilterSegments(
     std::span<const T> query, double epsilon, MatchQueryStats* stats) const {
   const SegmentQueryBatch batch = MakeSegmentQueries(query, stats);
 
   // Step 4 as ONE batch: a query function per segment, all issued to the
-  // index together. The index fans the batch out over options_.exec and
-  // accounts exactly through the sink.
+  // base index + delta together. The filter fans the batch out over
+  // options_.exec and accounts exactly through the sink.
   StatsSink sink;
   const std::vector<std::vector<ObjectId>> batched =
-      index_->BatchRangeQuery(batch.queries, epsilon, options_.exec, &sink);
+      BatchFilterWindows(batch.queries, epsilon, options_.exec, &sink);
   if (stats != nullptr) {
     stats->filter_computations += sink.distance_computations();
   }
@@ -617,7 +829,7 @@ bool SubsequenceMatcher<T>::VerifyRegion(std::span<const T> query,
                                          OnMatch&& on_match) const {
   const int32_t lambda = options_.lambda;
   const int32_t lambda0 = options_.lambda0;
-  const Sequence<T>& seq = db_.at(region.seq);
+  const Sequence<T>& seq = db_->at(region.seq);
 
   for (int32_t qb = region.q_begin_min; qb <= region.q_begin_max; ++qb) {
     const int32_t qe_lo = std::max(region.q_end_min, qb + lambda);
@@ -665,7 +877,7 @@ Result<std::vector<SubsequenceMatch>> SubsequenceMatcher<T>::RangeSearchFromHits
     regions.push_back(ExpandHit(hit, *catalog_, options_.lambda,
                                 options_.lambda0,
                                 static_cast<int32_t>(query.size()),
-                                db_.at(ref.seq).size()));
+                                db_->at(ref.seq).size()));
   }
 
   // Exact budget accounting before any verification: every region fully
@@ -778,11 +990,11 @@ SubsequenceMatcher<T>::LongestMatchFromHits(std::span<const T> query,
     ExecContext verify_exec = options_.exec;
     verify_exec.num_threads = verify_threads;
     memos.resize(chains.size());
-    SpeculateChains(db_, dist_, *catalog_, options_, query,
+    SpeculateChains(*db_, dist_, *catalog_, options_, query,
                     std::span<const WindowChain>(chains), epsilon,
                     verify_exec, &memos);
   }
-  return ChainSearchReplay(db_, dist_, *catalog_, options_, query,
+  return ChainSearchReplay(*db_, dist_, *catalog_, options_, query,
                            std::span<const WindowChain>(chains), epsilon,
                            std::span<const ChainMemo>(memos), stats);
 }

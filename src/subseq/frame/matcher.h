@@ -31,9 +31,11 @@
 #include "subseq/distance/distance.h"
 #include "subseq/exec/exec_context.h"
 #include "subseq/frame/candidates.h"
+#include "subseq/frame/epoch_base.h"
 #include "subseq/frame/window_oracle.h"
 #include "subseq/frame/windowing.h"
 #include "subseq/metric/cover_tree.h"
+#include "subseq/metric/linear_scan.h"
 #include "subseq/metric/mv_index.h"
 #include "subseq/metric/range_index.h"
 #include "subseq/metric/reference_net.h"
@@ -132,6 +134,17 @@ struct MatcherOptions {
   /// is mutually exclusive with num_shards > 1. 0 or 1 = off.
   ExecContext exec;
 
+  /// Live-ingest compaction point: when a matcher's delta (windows
+  /// appended since the base epoch, served by a per-epoch LinearScan on
+  /// top of the base index) reaches this many windows, the serving
+  /// layer (serve/MatchServer) compacts delta into base off-thread by
+  /// rebuilding the index cold over the current epoch's contents — the
+  /// merge output is byte-identical to a cold Build of that epoch
+  /// (ascending-id insertion invariance). Matches and verification
+  /// stats are identical at any threshold; only where filter work is
+  /// billed (delta scan vs merged index) moves. Must be >= 1.
+  int32_t delta_merge_threshold = 256;
+
   /// How LoadIndex / LoadIndexFrom materialize snapshot bytes: kEager
   /// copies the file into private memory; kMmap maps it read-only so
   /// large arrays (the MV-index pivot table) stay demand-paged on disk.
@@ -195,8 +208,22 @@ struct SegmentQueryBatch {
   std::vector<QueryDistanceFn> queries;
 };
 
-/// The framework. Holds references to the database and the distance,
-/// which must outlive the matcher. Move-only.
+/// The framework. Holds a shared copy of the (epoch-versioned) database
+/// — cheap: sequence storage is shared between epochs — and a reference
+/// to the distance, which must outlive the matcher. Move-only.
+///
+/// Epoch versioning: a matcher built by Build covers exactly its
+/// database's epoch with an empty delta. WithAppended / WithRetired
+/// derive a NEW matcher one epoch later that shares this matcher's
+/// immutable base index (frame/epoch_base.h) and serves the difference
+/// through a small LinearScan delta (appended windows) plus a tombstone
+/// mask (retired windows, never renumbered). Every query entry point
+/// answers element-wise identically — matches AND verification stats —
+/// to a cold Build over the same epoch's database; of the filter
+/// accounting, only where distance computations are billed (delta scan
+/// vs merged index; masked tombstones are observable via
+/// QueryStats::delta_windows_probed / tombstones_masked) can move, the
+/// same sanctioned freedom sharding and routing already have.
 template <typename T>
 class SubsequenceMatcher {
  public:
@@ -209,13 +236,54 @@ class SubsequenceMatcher {
   SubsequenceMatcher(const SubsequenceMatcher&) = delete;
   SubsequenceMatcher& operator=(const SubsequenceMatcher&) = delete;
 
+  /// A new matcher one epoch later with `seq` appended: shares this
+  /// matcher's base index, extends the catalog (the new sequence's
+  /// windows get the next dense ids), and grows the LinearScan delta.
+  /// This matcher is unchanged and stays fully usable.
+  Result<std::unique_ptr<SubsequenceMatcher<T>>> WithAppended(
+      Sequence<T> seq) const;
+
+  /// A new matcher one epoch later with sequence `seq` retired: shares
+  /// the base index and masks the sequence's windows via the tombstone
+  /// set — no window is renumbered, so ObjectIds stay stable. Fails if
+  /// `seq` is out of range or already retired.
+  Result<std::unique_ptr<SubsequenceMatcher<T>>> WithRetired(SeqId seq) const;
+
+  /// A cold rebuild over this matcher's current epoch: the delta is
+  /// merged into a fresh base (empty delta; tombstoned windows remain
+  /// in the index, masked at query time). The result is byte-identical
+  /// — SaveIndex for SaveIndex — to Build over database() and answers
+  /// every query element-wise identically to this matcher (matches AND
+  /// verification stats; see the class comment for the filter-billing
+  /// caveat). The serving layer runs this off-thread when the delta
+  /// passes MatcherOptions::delta_merge_threshold.
+  Result<std::unique_ptr<SubsequenceMatcher<T>>> Compact() const;
+
   /// Steps 3-4: all (query segment, window) pairs within epsilon.
-  /// Equivalent to MakeSegmentQueries + one BatchRangeQuery over
+  /// Equivalent to MakeSegmentQueries + one BatchFilterWindows over
   /// options().exec + MergeSegmentHits; callers that coalesce the filter
   /// across queries (serve/MatchServer) use those entry points directly.
   std::vector<SegmentHit> FilterSegments(std::span<const T> query,
                                          double epsilon,
                                          MatchQueryStats* stats = nullptr) const;
+
+  /// The single step-4 filter entry point: answers a batch of window
+  /// queries against base index + delta scan, then subtracts tombstoned
+  /// windows — result[i] holds every LIVE window within epsilon of
+  /// queries[i], with delta hits appended after the base index's hits
+  /// (callers restore the canonical order per segment, exactly as they
+  /// already do for backend-order hits). Billing: the base index bills
+  /// as always; every delta window scanned is billed into the sink /
+  /// per_query splits (and counted in delta_windows_probed); masked
+  /// tombstones are observable-but-unbilled (tombstones_masked), like
+  /// routed cell skips. per_query[i].result_count reflects the masked
+  /// (returned) hit count, keeping the slot contract exact. With an
+  /// empty delta and no tombstones this is exactly
+  /// index().BatchRangeQuery. Thread-safe.
+  std::vector<std::vector<ObjectId>> BatchFilterWindows(
+      std::span<const QueryDistanceFn> queries, double epsilon,
+      const ExecContext& exec, StatsSink* sink = nullptr,
+      QueryStats* per_query = nullptr) const;
 
   /// Step 3 alone: extracts the query's segments and builds one index
   /// query function per segment (the range-query constructions step 4
@@ -400,22 +468,58 @@ class SubsequenceMatcher {
                                 ResidencyGauge* gauge = nullptr);
 
   const WindowCatalog& catalog() const { return *catalog_; }
-  const RangeIndex& index() const { return *index_; }
+  /// The BASE index (windows [0, base_windows())). Step 4 goes through
+  /// BatchFilterWindows, which adds the delta scan and tombstone mask
+  /// on top; direct index() queries see the base alone.
+  const RangeIndex& index() const { return *base_->index; }
   const MatcherOptions& options() const { return options_; }
   int32_t window_length() const { return catalog_->window_length(); }
+  /// The current epoch's database (retired sequences included, marked).
+  const SequenceDatabase<T>& database() const { return *db_; }
+  const SequenceDistance<T>& distance() const { return dist_; }
+  /// The database's monotone epoch id this matcher serves.
+  uint64_t epoch() const { return db_->epoch_id(); }
+  /// Windows covered by the base index / appended since the base epoch.
+  int32_t base_windows() const { return base_->num_windows; }
+  int32_t delta_windows() const {
+    return catalog_->num_windows() - base_->num_windows;
+  }
+  /// Catalog windows masked because their sequence is retired.
+  int64_t num_tombstoned_windows() const { return num_tombstoned_windows_; }
 
  private:
-  SubsequenceMatcher(const SequenceDatabase<T>& db,
+  SubsequenceMatcher(std::shared_ptr<const SequenceDatabase<T>> db,
                      const SequenceDistance<T>& dist, MatcherOptions options)
-      : db_(db), dist_(dist), options_(options) {}
+      : db_(std::move(db)), dist_(dist), options_(options) {}
 
   /// The shared front half of Build / LoadIndexFrom / BuildToSnapshot:
   /// validates options and the distance's properties, applies the exec
   /// pushdown, and materializes the catalog + window oracle (steps 1 and
-  /// 3's machinery) — everything except the index itself.
+  /// 3's machinery) plus the tombstone mask — everything except the
+  /// base index and the delta.
   static Result<std::unique_ptr<SubsequenceMatcher<T>>> MakeShell(
       const SequenceDatabase<T>& db, const SequenceDistance<T>& dist,
       MatcherOptions options);
+
+  /// Wraps a freshly built/loaded index (covering the first
+  /// `base_windows` catalog windows) into this matcher's shared
+  /// EpochBase and builds the LinearScan delta over the rest. MakeShell
+  /// must have run; `snapshot` is non-null for loaded indexes.
+  void AdoptBase(std::unique_ptr<RangeIndex> index,
+                 std::unique_ptr<PrefixOracle> prefix,
+                 std::shared_ptr<const SnapshotFile> snapshot,
+                 int32_t base_windows);
+
+  /// The shared tail of WithAppended / WithRetired: a matcher over
+  /// `db` (one epoch past this matcher's) sharing this matcher's base.
+  Result<std::unique_ptr<SubsequenceMatcher<T>>> DeriveEpoch(
+      SequenceDatabase<T> db) const;
+
+  /// The query seen by the delta index: global query composed with the
+  /// delta's local-id offset, lower-bound payload preserved (mirrors
+  /// ShardedIndex::ShardQuery).
+  static QueryDistanceFn DeltaQuery(const QueryDistanceFn& query,
+                                    int32_t offset);
 
   /// Verifies all pairs in a region; invokes `on_match` for each pair
   /// within epsilon. Returns false if the verification cap was exhausted.
@@ -424,20 +528,32 @@ class SubsequenceMatcher {
                     double epsilon, int64_t* budget,
                     MatchQueryStats* stats, OnMatch&& on_match) const;
 
-  const SequenceDatabase<T>& db_;
+  /// The current epoch's database. Heap-held so the window oracle (and
+  /// the shared EpochBase, for a fresh build) can reference it beyond
+  /// any single matcher's lifetime.
+  std::shared_ptr<const SequenceDatabase<T>> db_;
   const SequenceDistance<T>& dist_;
   MatcherOptions options_;
-  std::unique_ptr<WindowCatalog> catalog_;
-  std::unique_ptr<WindowOracle<T>> oracle_;
+  /// Current epoch's catalog/oracle (all windows, delta included). For
+  /// a fresh build these are shared into base_; a derived matcher owns
+  /// fresh ones while base_ keeps the base epoch's.
+  std::shared_ptr<const WindowCatalog> catalog_;
+  std::shared_ptr<const WindowOracle<T>> oracle_;
   /// Per-window cascade features (first/last/min/max/sum), built once at
   /// MakeShell when the prefilter is on and the element type has a
   /// cascade (scalar series); nullptr otherwise. Shared into every
-  /// segment's LbCascade.
+  /// segment's LbCascade. Covers ALL current windows (delta included).
   std::shared_ptr<const LbFeatureTable> lb_features_;
-  std::unique_ptr<RangeIndex> index_;
-  /// Non-null iff this matcher was loaded from a snapshot whose bytes a
-  /// backend may still alias (mmap mode); keeps the mapping alive.
-  std::shared_ptr<const SnapshotFile> snapshot_;
+  /// The immutable base: index over windows [0, base_->num_windows),
+  /// shared across every matcher derived from the same build/load.
+  std::shared_ptr<const EpochBase<T>> base_;
+  /// LinearScan over the delta windows [base, num_windows) with local
+  /// ids 0..delta-1; nullptr when the delta is empty.
+  std::unique_ptr<LinearScan> delta_index_;
+  /// window_tombstones_[w] != 0 iff window w's sequence is retired.
+  /// Empty when nothing is retired.
+  std::vector<uint8_t> window_tombstones_;
+  int64_t num_tombstoned_windows_ = 0;
 };
 
 extern template class SubsequenceMatcher<char>;

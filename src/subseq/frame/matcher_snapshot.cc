@@ -64,6 +64,30 @@ struct CatalogMetaRec {
 };
 static_assert(sizeof(CatalogMetaRec) == 8);
 
+// "epoch.meta": identity of a non-initial epoch. Present only when the
+// matcher's epoch state is nontrivial (epoch_id != 0, retired
+// sequences, or a base index narrower than the catalog) — snapshots of
+// never-ingested matchers keep the pre-epoch byte layout, and legacy
+// files load as epoch 0.
+struct EpochMetaRec {
+  uint64_t epoch_id = 0;
+  int32_t base_windows = 0;
+  // Retired SEQUENCES (the "epoch.tombstones" SeqId list's length); the
+  // per-window mask is derived from the database at load time.
+  int32_t num_tombstones = 0;
+};
+static_assert(sizeof(EpochMetaRec) == 16);
+
+// "epoch.delta.meta": width of the delta scan, present iff the saved
+// base index covers fewer windows than the catalog. The delta index is
+// a LinearScan — pure derived state — so only its width is persisted;
+// loading rebuilds it from the database.
+struct EpochDeltaMetaRec {
+  int32_t delta_windows = 0;
+  int32_t reserved = 0;
+};
+static_assert(sizeof(EpochDeltaMetaRec) == 8);
+
 // "idx.<kind>.top": what one index block holds.
 struct IndexBlockMetaRec {
   int32_t kind = 0;           // static_cast<int32_t>(IndexKind)
@@ -238,21 +262,55 @@ Status SubsequenceMatcher<T>::SaveCatalogSections(
     SnapshotWriter& writer) const {
   CatalogMetaRec meta;
   meta.window_length = catalog_->window_length();
-  meta.num_sequences = static_cast<int32_t>(db_.size());
+  meta.num_sequences = static_cast<int32_t>(db_->size());
   SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct("catalog.meta", meta));
   std::vector<int32_t> lengths;
-  lengths.reserve(static_cast<size_t>(db_.size()));
-  for (const auto& seq : db_) lengths.push_back(seq.size());
-  return writer.AppendPodSection<int32_t>(
-      "catalog.seq_lengths", std::span<const int32_t>(lengths));
+  lengths.reserve(static_cast<size_t>(db_->size()));
+  for (const auto& seq : *db_) lengths.push_back(seq.size());
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<int32_t>(
+      "catalog.seq_lengths", std::span<const int32_t>(lengths)));
+
+  // Epoch sections, only when nontrivial (see EpochMetaRec). A matcher
+  // mid-ingest saves its BASE index plus these small sections; loading
+  // re-derives the delta scan and the tombstone mask, so save -> load ->
+  // save round-trips byte-stably at any epoch.
+  const int32_t base_windows =
+      base_ != nullptr ? base_->num_windows : catalog_->num_windows();
+  if (db_->epoch_id() == 0 && db_->num_retired() == 0 &&
+      base_windows == catalog_->num_windows()) {
+    return Status::OK();
+  }
+  EpochMetaRec epoch;
+  epoch.epoch_id = db_->epoch_id();
+  epoch.base_windows = base_windows;
+  epoch.num_tombstones = db_->num_retired();
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct("epoch.meta", epoch));
+  if (epoch.num_tombstones > 0) {
+    std::vector<SeqId> retired;
+    retired.reserve(static_cast<size_t>(epoch.num_tombstones));
+    for (SeqId s = 0; s < db_->size(); ++s) {
+      if (db_->is_retired(s)) retired.push_back(s);
+    }
+    SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<SeqId>(
+        "epoch.tombstones", std::span<const SeqId>(retired)));
+  }
+  if (base_windows < catalog_->num_windows()) {
+    EpochDeltaMetaRec delta;
+    delta.delta_windows = catalog_->num_windows() - base_windows;
+    SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct("epoch.delta.meta", delta));
+  }
+  return Status::OK();
 }
 
 template <typename T>
 Status SubsequenceMatcher<T>::SaveIndexSections(SnapshotWriter& writer) const {
+  // Only the BASE index is serialized; the delta scan and tombstone mask
+  // are derived state re-created at load time from the epoch sections.
   const IndexKind kind = options_.index_kind;
   const std::string prefix = IndexPrefix(kind);
-  const auto* sharded = dynamic_cast<const ShardedIndex*>(index_.get());
-  const auto* routed = dynamic_cast<const RoutedIndex*>(index_.get());
+  const RangeIndex* index = base_->index.get();
+  const auto* sharded = dynamic_cast<const ShardedIndex*>(index);
+  const auto* routed = dynamic_cast<const RoutedIndex*>(index);
 
   IndexBlockMetaRec top;
   top.kind = static_cast<int32_t>(kind);
@@ -271,7 +329,7 @@ Status SubsequenceMatcher<T>::SaveIndexSections(SnapshotWriter& writer) const {
   if (routed != nullptr) {
     return routed->SaveSections(writer, prefix, inner_saver);
   }
-  return SaveInnerSections(*index_, kind, writer, prefix);
+  return SaveInnerSections(*index, kind, writer, prefix);
 }
 
 template <typename T>
@@ -339,6 +397,69 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
     }
   }
 
+  // Epoch identity: a snapshot captures one exact epoch, so the caller
+  // must supply the database at that epoch — same epoch id, same retired
+  // set. Files without epoch sections are epoch 0 (pre-ingest format).
+  EpochMetaRec epoch;
+  if (file->has_section("epoch.meta")) {
+    SUBSEQ_RETURN_NOT_OK(ReadPodStruct(*file, "epoch.meta", &epoch));
+  } else {
+    epoch.base_windows = matcher->catalog_->num_windows();
+  }
+  if (epoch.epoch_id != db.epoch_id()) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' captures epoch " +
+        std::to_string(epoch.epoch_id) + " but the database is at epoch " +
+        std::to_string(db.epoch_id()) +
+        " — snapshots must be loaded against the epoch they were saved at");
+  }
+  if (epoch.num_tombstones != db.num_retired()) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' records " +
+        std::to_string(epoch.num_tombstones) +
+        " retired sequences but the database has " +
+        std::to_string(db.num_retired()) +
+        " — snapshots must be loaded against the epoch they were saved at");
+  }
+  if (epoch.num_tombstones > 0) {
+    auto tombs = PodSectionView<SeqId>(*file, "epoch.tombstones");
+    SUBSEQ_RETURN_NOT_OK(tombs.status());
+    if (tombs.value().size() != static_cast<size_t>(epoch.num_tombstones)) {
+      return Status::InvalidArgument(
+          "snapshot '" + file->path() + "' section 'epoch.tombstones' "
+          "holds " + std::to_string(tombs.value().size()) +
+          " entries, expected " + std::to_string(epoch.num_tombstones));
+    }
+    for (const SeqId s : tombs.value()) {
+      if (s < 0 || s >= db.size() || !db.is_retired(s)) {
+        return Status::InvalidArgument(
+            "snapshot '" + file->path() + "' tombstones sequence " +
+            std::to_string(s) +
+            ", which the database does not retire — snapshots must be "
+            "loaded against the epoch they were saved at");
+      }
+    }
+  }
+  const int32_t num_windows = matcher->catalog_->num_windows();
+  if (epoch.base_windows < 0 || epoch.base_windows > num_windows) {
+    return Status::InvalidArgument(
+        "snapshot '" + file->path() + "' records a base of " +
+        std::to_string(epoch.base_windows) + " windows but the catalog "
+        "holds " + std::to_string(num_windows) + " — the file is corrupted");
+  }
+  if (epoch.base_windows < num_windows) {
+    EpochDeltaMetaRec delta;
+    SUBSEQ_RETURN_NOT_OK(ReadPodStruct(*file, "epoch.delta.meta", &delta));
+    if (delta.delta_windows != num_windows - epoch.base_windows) {
+      return Status::InvalidArgument(
+          "snapshot '" + file->path() + "' records " +
+          std::to_string(delta.delta_windows) + " delta windows but the "
+          "catalog implies " +
+          std::to_string(num_windows - epoch.base_windows) +
+          " — the file is corrupted");
+    }
+  }
+
   const std::string prefix = IndexPrefix(resolved.index_kind);
   const std::string top_name = prefix + "top";
   if (!file->has_section(top_name)) {
@@ -373,8 +494,11 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
         "' records an index both sharded and routed — the strategies are "
         "mutually exclusive, so the file is corrupted");
   }
+  // Shard / cell counts resolve against the BASE width: the saved index
+  // was built when the catalog held base_windows windows, so that is the
+  // object count its layout was resolved over.
   const int32_t expected_shards =
-      resolved.exec.ResolvedShards(matcher->oracle_->size());
+      resolved.exec.ResolvedShards(epoch.base_windows);
   if (top.num_shards != expected_shards) {
     return Status::InvalidArgument(
         "snapshot '" + file->path() + "' holds a " +
@@ -384,7 +508,7 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
         " — a loaded index must equal the fresh build it replaces");
   }
   const int32_t expected_cells =
-      resolved.exec.ResolvedCells(matcher->oracle_->size());
+      resolved.exec.ResolvedCells(epoch.base_windows);
   if (top.routing_cells != expected_cells) {
     return Status::InvalidArgument(
         "snapshot '" + file->path() + "' holds a " +
@@ -395,28 +519,41 @@ SubsequenceMatcher<T>::LoadIndexFrom(const SequenceDatabase<T>& db,
         " — a loaded index must equal the fresh build it replaces");
   }
 
+  // A mid-ingest snapshot's base index covers only the first
+  // base_windows windows of the current catalog; wire it over a clipped
+  // prefix view so stored ids resolve identically to the epoch it was
+  // saved at. AdoptBase then rebuilds the delta scan over the remainder.
+  std::unique_ptr<PrefixOracle> prefix_oracle;
+  const DistanceOracle* load_oracle = matcher->oracle_.get();
+  if (epoch.base_windows < num_windows) {
+    prefix_oracle =
+        std::make_unique<PrefixOracle>(*matcher->oracle_, epoch.base_windows);
+    load_oracle = prefix_oracle.get();
+  }
+
   const ShardIndexLoader inner_loader =
       [&file, &resolved](const SnapshotFile&, const std::string& sp,
                          const DistanceOracle& inner_oracle, int32_t) {
         return LoadInnerSections(file, sp, inner_oracle, resolved);
       };
+  std::unique_ptr<RangeIndex> index;
   if (top.num_shards > 1) {
     auto sharded = ShardedIndex::LoadSections(
-        *file, prefix, *matcher->oracle_, expected_shards, inner_loader);
+        *file, prefix, *load_oracle, expected_shards, inner_loader);
     SUBSEQ_RETURN_NOT_OK(sharded.status());
-    matcher->index_ = std::move(sharded).ValueOrDie();
+    index = std::move(sharded).ValueOrDie();
   } else if (top.routing_cells > 1) {
     auto routed = RoutedIndex::LoadSections(
-        *file, prefix, *matcher->oracle_, expected_cells, inner_loader);
+        *file, prefix, *load_oracle, expected_cells, inner_loader);
     SUBSEQ_RETURN_NOT_OK(routed.status());
-    matcher->index_ = std::move(routed).ValueOrDie();
+    index = std::move(routed).ValueOrDie();
   } else {
-    auto inner =
-        LoadInnerSections(file, prefix, *matcher->oracle_, resolved);
+    auto inner = LoadInnerSections(file, prefix, *load_oracle, resolved);
     SUBSEQ_RETURN_NOT_OK(inner.status());
-    matcher->index_ = std::move(inner).ValueOrDie();
+    index = std::move(inner).ValueOrDie();
   }
-  matcher->snapshot_ = std::move(file);
+  matcher->AdoptBase(std::move(index), std::move(prefix_oracle),
+                     std::move(file), epoch.base_windows);
   return matcher;
 }
 
@@ -456,22 +593,41 @@ Status SubsequenceMatcher<T>::BuildToSnapshot(
   const std::string prefix = IndexPrefix(kind);
   const int32_t n = matcher->oracle_->size();
   const int32_t k = resolved.exec.ResolvedShards(n);
-  if (resolved.exec.ResolvedCells(n) > 1) {
-    return Status::InvalidArgument(
-        "BuildToSnapshot does not support routing_cells: pivot selection "
-        "needs the whole window catalog resident, which defeats the "
-        "O(shard) streaming contract — Build(...) + SaveIndex(path) "
-        "produces the routed snapshot (out-of-core routed builds are a "
-        "planned follow-on)");
-  }
+  const int32_t cells = resolved.exec.ResolvedCells(n);
 
   IndexBlockMetaRec top;
   top.kind = static_cast<int32_t>(kind);
   top.num_shards = k;
-  top.routing_cells = 1;
+  top.routing_cells = cells;
   SUBSEQ_RETURN_NOT_OK(w.AppendPodStruct(prefix + "top", top));
 
-  if (k > 1) {
+  if (cells > 1) {
+    // Routed: the pivot-selection pass reads the whole catalog (charged
+    // to the gauge up front — routing cannot stream that decision), but
+    // the inner indexes build and serialize ONE CELL AT A TIME, so peak
+    // residency past selection is a single cell. The layout and the
+    // per-cell builds are exactly what RoutedIndex::Build computes, so
+    // the file is byte-identical to Build(...) + SaveIndex(path).
+    if (gauge != nullptr) gauge->Acquire(n);
+    const RoutedLayout layout =
+        RoutedIndex::ComputeLayout(*matcher->oracle_, cells, resolved.exec);
+    if (gauge != nullptr) gauge->Release(n);
+    SUBSEQ_RETURN_NOT_OK(RoutedIndex::SaveLayoutSections(layout, w, prefix));
+    const int32_t actual = static_cast<int32_t>(layout.pivots.size());
+    for (int32_t c = 0; c < actual; ++c) {
+      const int32_t begin = layout.begins[static_cast<size_t>(c)];
+      const int32_t size = layout.begins[static_cast<size_t>(c) + 1] - begin;
+      const CellOracle cell_oracle(*matcher->oracle_,
+                                   layout.members.data() + begin, size);
+      auto inner = BuildShardBatched(cell_oracle, resolved,
+                                     build.batch_windows, gauge);
+      SUBSEQ_RETURN_NOT_OK(inner.status());
+      SUBSEQ_RETURN_NOT_OK(SaveInnerSections(
+          *inner.value(), kind, w, RoutedIndex::CellPrefix(prefix, c)));
+      std::move(inner).ValueOrDie().reset();
+      if (gauge != nullptr) gauge->Release(size);
+    }
+  } else if (k > 1) {
     SUBSEQ_RETURN_NOT_OK(ShardedIndex::WriteShardLayout(w, prefix, n, k));
     for (int32_t s = 0; s < k; ++s) {
       const int32_t begin = SplitBegin(n, k, s);

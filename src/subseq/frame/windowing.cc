@@ -33,6 +33,27 @@ Result<WindowCatalog> WindowCatalog::Partition(
   return catalog;
 }
 
+Status WindowCatalog::Append(int32_t sequence_length) {
+  SUBSEQ_CHECK(window_length_ >= 1);  // only a partitioned catalog grows
+  if (sequence_length < 0) {
+    return Status::InvalidArgument("sequence length must be >= 0");
+  }
+  // first_window_ carries a trailing sentinel: the new sequence starts
+  // exactly where the sentinel pointed, and a fresh sentinel follows the
+  // appended windows.
+  const SeqId seq = static_cast<SeqId>(num_sequences());
+  const int32_t count = sequence_length / window_length_;
+  for (int32_t w = 0; w < count; ++w) {
+    WindowRef ref;
+    ref.seq = seq;
+    ref.index = w;
+    ref.span = Interval{w * window_length_, (w + 1) * window_length_};
+    windows_.push_back(ref);
+  }
+  first_window_.push_back(static_cast<int32_t>(windows_.size()));
+  return Status::OK();
+}
+
 const WindowRef& WindowCatalog::at(ObjectId window) const {
   SUBSEQ_CHECK(window >= 0 && window < num_windows());
   return windows_[static_cast<size_t>(window)];

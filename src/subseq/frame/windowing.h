@@ -51,6 +51,14 @@ class WindowCatalog {
     return Partition(lengths, window_length);
   }
 
+  /// Appends one sequence of length `sequence_length` to the partition:
+  /// its windows receive the next dense ObjectIds, and no existing
+  /// window id, ref, or adjacency changes. Appending to a catalog and
+  /// re-partitioning the extended length list produce identical
+  /// catalogs — the epoch layer relies on that equivalence. Fails if
+  /// sequence_length < 0.
+  Status Append(int32_t sequence_length);
+
   int32_t window_length() const { return window_length_; }
   int32_t num_windows() const {
     return static_cast<int32_t>(windows_.size());

@@ -55,6 +55,18 @@ struct QueryStats {
   /// cells_probed/cells_skipped make the decision deterministic and
   /// observable (the CI routing gates ride on these counts).
   int64_t cells_skipped = 0;
+  /// Delta-index windows (appended since the base epoch) this query was
+  /// scanned against by the frame layer's base+delta merge (0 when the
+  /// matcher's delta is empty). Every probed delta window is billed in
+  /// distance_computations — delta scan costs land in
+  /// filter_computations like any other filter work.
+  int64_t delta_windows_probed = 0;
+  /// Hits dropped because their window belongs to a retired (tombstoned)
+  /// sequence. Like cells_skipped, masking is a sanctioned departure
+  /// from strict billing equality versus an index that never held the
+  /// window: the mask itself is not billed, and this counter makes the
+  /// masking decisions observable and deterministic.
+  int64_t tombstones_masked = 0;
 };
 
 /// Index construction accounting.

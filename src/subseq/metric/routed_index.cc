@@ -14,26 +14,16 @@ namespace subseq {
 
 namespace {
 
-/// Deterministic cell layout produced by pivot selection + rebalancing,
-/// before any inner index exists.
-struct CellLayout {
-  std::vector<ObjectId> pivots;
-  std::vector<double> radii;
-  std::vector<ObjectId> members;  // concatenated, ascending per cell
-  std::vector<int32_t> begins;
-  int64_t computations = 0;
-};
-
 /// Farthest-point k-center + nearest-pivot assignment + oversized-cell
 /// splitting. Fully deterministic: every tie breaks toward the lowest
 /// object id / lowest cell, and all parallel passes write slot-addressed
 /// state only. `nearest` holds the exact distance of every object to its
 /// owning pivot throughout (DistanceBounded may lie only about objects
 /// that keep their previous, closer owner).
-CellLayout SelectCells(const DistanceOracle& oracle, int32_t k,
-                       const ExecContext& exec) {
+RoutedLayout SelectCells(const DistanceOracle& oracle, int32_t k,
+                         const ExecContext& exec) {
   const int32_t n = oracle.size();
-  CellLayout layout;
+  RoutedLayout layout;
   std::vector<double> nearest(static_cast<size_t>(n));
   std::vector<int32_t> owner(static_cast<size_t>(n), 0);
 
@@ -182,7 +172,7 @@ Result<std::unique_ptr<RoutedIndex>> RoutedIndex::Build(
 
   auto routed = std::unique_ptr<RoutedIndex>(new RoutedIndex());
   routed->requested_cells_ = k;
-  CellLayout layout = SelectCells(oracle, k, exec);
+  RoutedLayout layout = ComputeLayout(oracle, k, exec);
   routed->pivots_ = std::move(layout.pivots);
   routed->radii_ = std::move(layout.radii);
   routed->members_ = std::move(layout.members);
@@ -214,6 +204,14 @@ Result<std::unique_ptr<RoutedIndex>> RoutedIndex::Build(
   routed->name_ = "routed[" + std::to_string(cells) + "]:" +
                   std::string(routed->cells_.front().index->name());
   return routed;
+}
+
+RoutedLayout RoutedIndex::ComputeLayout(const DistanceOracle& oracle,
+                                        int32_t num_cells,
+                                        const ExecContext& exec) {
+  RoutedLayout layout = SelectCells(oracle, num_cells, exec);
+  layout.requested_cells = num_cells;
+  return layout;
 }
 
 void RoutedIndex::WireCells(const DistanceOracle& oracle) {
@@ -424,6 +422,8 @@ std::vector<std::vector<ObjectId>> RoutedIndex::BatchRangeQuery(
         rolled[q].lower_bound_pruned += split.lower_bound_pruned;
         rolled[q].lb_kim_pruned += split.lb_kim_pruned;
         rolled[q].lb_erp_pruned += split.lb_erp_pruned;
+        rolled[q].delta_windows_probed += split.delta_windows_probed;
+        rolled[q].tombstones_masked += split.tombstones_masked;
         ++rolled[q].cells_probed;
       }
     }
@@ -572,6 +572,28 @@ Status RoutedIndex::SaveSections(SnapshotWriter& writer,
                                CellPrefix(prefix, c)));
   }
   return Status::OK();
+}
+
+Status RoutedIndex::SaveLayoutSections(const RoutedLayout& layout,
+                                       SnapshotWriter& writer,
+                                       const std::string& prefix) {
+  // Must stay byte-identical to the head of SaveSections: an index built
+  // from `layout` records total_objects = sum of cell sizes, which is
+  // exactly the member-map length (the map is a permutation of [0, n)).
+  RoutedMetaRec meta{};
+  meta.requested_cells = layout.requested_cells;
+  meta.actual_cells = static_cast<int32_t>(layout.pivots.size());
+  meta.total_objects = static_cast<int32_t>(layout.members.size());
+  meta.build_computations = layout.computations;
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodStruct(prefix + "meta", meta));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<ObjectId>(
+      prefix + "pivots", layout.pivots));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<double>(
+      prefix + "radii", layout.radii));
+  SUBSEQ_RETURN_NOT_OK(writer.AppendPodSection<int32_t>(
+      prefix + "cell_begins", layout.begins));
+  return writer.AppendPodSection<ObjectId>(prefix + "members",
+                                           layout.members);
 }
 
 Result<std::unique_ptr<RoutedIndex>> RoutedIndex::LoadSections(

@@ -73,6 +73,25 @@ class CellOracle final : public DistanceOracle {
   int32_t size_;
 };
 
+/// The deterministic cell layout produced by pivot selection, nearest-
+/// pivot assignment, and skew rebalancing — the routing half of a
+/// RoutedIndex before any inner index exists. Exposed so the out-of-core
+/// snapshot builder can compute the layout once, serialize it, and then
+/// build + serialize one cell at a time (matcher_snapshot.cc); Build
+/// consumes the same layout in-core, so both paths share one routing
+/// decision.
+struct RoutedLayout {
+  std::vector<ObjectId> pivots;    // one per cell
+  std::vector<double> radii;       // covering radius per cell
+  std::vector<ObjectId> members;   // concatenated, ascending within a cell
+  std::vector<int32_t> begins;     // cell c owns members[begins[c],
+                                   // begins[c + 1])
+  int32_t requested_cells = 0;     // the resolved count the layout was
+                                   // asked for (may differ from
+                                   // pivots.size() after rebalancing)
+  int64_t computations = 0;        // selection + assignment distances
+};
+
 /// Routing tunables.
 struct RoutedIndexOptions {
   /// Requested coarse cell count; resolved via ExecContext::ResolvedCells
@@ -127,6 +146,23 @@ class RoutedIndex final : public RangeIndex {
   static Result<std::unique_ptr<RoutedIndex>> Build(
       const DistanceOracle& oracle, const ShardIndexFactory& factory,
       RoutedIndexOptions options = {});
+
+  /// The routing decision alone: pivots, assignment, radii, rebalancing —
+  /// exactly what Build computes before building inner indexes, for the
+  /// given resolved cell count. Deterministic for a fixed oracle and
+  /// num_cells at any thread budget.
+  static RoutedLayout ComputeLayout(const DistanceOracle& oracle,
+                                    int32_t num_cells,
+                                    const ExecContext& exec);
+
+  /// Appends the routing-layout sections ("<prefix>meta", "pivots",
+  /// "radii", "cell_begins", "members") byte-identically to the head of
+  /// SaveSections of an index built from `layout` — the out-of-core
+  /// builder writes these, then streams each cell's inner sections
+  /// under CellPrefix(prefix, c).
+  static Status SaveLayoutSections(const RoutedLayout& layout,
+                                   SnapshotWriter& writer,
+                                   const std::string& prefix);
 
   std::string_view name() const override { return name_; }
   int32_t size() const override;

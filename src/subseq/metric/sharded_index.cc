@@ -198,6 +198,10 @@ std::vector<std::vector<ObjectId>> ShardedIndex::BatchRangeQuery(
             shard_splits[static_cast<size_t>(s)][q].cells_probed;
         rolled.cells_skipped +=
             shard_splits[static_cast<size_t>(s)][q].cells_skipped;
+        rolled.delta_windows_probed +=
+            shard_splits[static_cast<size_t>(s)][q].delta_windows_probed;
+        rolled.tombstones_masked +=
+            shard_splits[static_cast<size_t>(s)][q].tombstones_masked;
       }
     }
     if (per_query != nullptr) {

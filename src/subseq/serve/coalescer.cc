@@ -129,13 +129,14 @@ CoalescedFilter CoalescedFilterSegments(
   // remainder goes to the index. Lookup never evicts, so warm entry
   // pointers stay valid until the Inserts at the end of this call.
   const IndexKind kind = matcher.options().index_kind;
+  const uint64_t epoch = matcher.epoch();
   std::vector<const SegmentResultCache::Entry*> warm(num_unique, nullptr);
   std::vector<size_t> cold;
   cold.reserve(num_unique);
   for (size_t u = 0; u < num_unique; ++u) {
     if (cache != nullptr) {
       warm[u] = cache->Lookup(
-          kind, epsilon,
+          epoch, kind, epsilon,
           reinterpret_cast<const char*>(unique_views[u].data()),
           unique_views[u].size_bytes());
     }
@@ -161,9 +162,13 @@ CoalescedFilter CoalescedFilterSegments(
   std::vector<QueryStats> per_query(cold.size());
   std::vector<std::vector<ObjectId>> batched;
   if (!cold.empty()) {
-    batched = matcher.index().BatchRangeQuery(cold_queries, epsilon,
-                                              matcher.options().exec, &sink,
-                                              per_query.data());
+    // The matcher's own step-4 entry point: base index + delta scan +
+    // tombstone mask, so coalesced serving sees exactly the hit sets and
+    // per-query billing a stand-alone FilterSegments would produce at
+    // this epoch.
+    batched = matcher.BatchFilterWindows(cold_queries, epsilon,
+                                         matcher.options().exec, &sink,
+                                         per_query.data());
   }
   out.total_filter_computations = sink.distance_computations();
 
@@ -232,7 +237,7 @@ CoalescedFilter CoalescedFilterSegments(
   if (cache != nullptr) {
     for (size_t c = 0; c < cold.size(); ++c) {
       const size_t u = cold[c];
-      cache->Insert(kind, epsilon,
+      cache->Insert(epoch, kind, epsilon,
                     reinterpret_cast<const char*>(unique_views[u].data()),
                     unique_views[u].size_bytes(),
                     SegmentResultCache::Entry{

@@ -53,6 +53,7 @@ Result<std::unique_ptr<MatchServer<T>>> MatchServer<T>::Start(
     SUBSEQ_RETURN_NOT_OK(file.status());
     snapshot = std::move(file).ValueOrDie();
   }
+  auto state = std::make_shared<EpochState>();
   for (const IndexKind kind : unique_kinds) {
     MatcherOptions matcher_options = options.matcher;
     matcher_options.index_kind = kind;
@@ -63,10 +64,150 @@ Result<std::unique_ptr<MatchServer<T>>> MatchServer<T>::Start(
             : SubsequenceMatcher<T>::Build(db, dist, matcher_options);
     SUBSEQ_RETURN_NOT_OK(matcher.status());
     server->kinds_.push_back(kind);
-    server->matchers_.push_back(std::move(matcher).ValueOrDie());
+    state->matchers.push_back(std::move(matcher).ValueOrDie());
+  }
+  state->epoch = state->matchers.front()->epoch();
+  server->state_ = std::move(state);
+  server->delta_merge_threshold_ = options.matcher.delta_merge_threshold;
+  // A server started mid-epoch (a snapshot saved between ingests) may
+  // already carry a delta past the threshold; merge it like any other.
+  {
+    std::lock_guard<std::mutex> lock(server->ingest_mu_);
+    server->MaybeScheduleMerge();
   }
   server->service_ = std::thread([raw = server.get()] { raw->ServeLoop(); });
   return server;
+}
+
+template <typename T>
+auto MatchServer<T>::AcquireState() const
+    -> std::shared_ptr<const EpochState> {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+template <typename T>
+void MatchServer<T>::PublishState(std::shared_ptr<const EpochState> next) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_ = std::move(next);
+}
+
+template <typename T>
+Result<uint64_t> MatchServer<T>::AppendSequence(Sequence<T> seq) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (ingest_closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("MatchServer: AppendSequence after Shutdown");
+  }
+  const std::shared_ptr<const EpochState> current = AcquireState();
+  auto next = std::make_shared<EpochState>();
+  next->matchers.reserve(current->matchers.size());
+  for (const auto& m : current->matchers) {
+    // Each kind's pipeline owns its database value, so each derives from
+    // its own copy of the sequence; all advance to the same epoch id.
+    auto derived = m->WithAppended(Sequence<T>(seq));
+    SUBSEQ_RETURN_NOT_OK(derived.status());
+    next->matchers.push_back(std::move(derived).ValueOrDie());
+  }
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return PublishDerived(std::move(next));
+}
+
+template <typename T>
+Result<uint64_t> MatchServer<T>::RetireSequence(SeqId seq) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (ingest_closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("MatchServer: RetireSequence after Shutdown");
+  }
+  const std::shared_ptr<const EpochState> current = AcquireState();
+  auto next = std::make_shared<EpochState>();
+  next->matchers.reserve(current->matchers.size());
+  for (const auto& m : current->matchers) {
+    auto derived = m->WithRetired(seq);
+    SUBSEQ_RETURN_NOT_OK(derived.status());
+    next->matchers.push_back(std::move(derived).ValueOrDie());
+  }
+  retires_.fetch_add(1, std::memory_order_relaxed);
+  return PublishDerived(std::move(next));
+}
+
+template <typename T>
+Result<uint64_t> MatchServer<T>::PublishDerived(
+    std::shared_ptr<EpochState> next) {
+  next->epoch = next->matchers.front()->epoch();
+  const uint64_t epoch = next->epoch;
+  PublishState(std::move(next));
+  MaybeScheduleMerge();
+  return epoch;
+}
+
+template <typename T>
+void MatchServer<T>::MaybeScheduleMerge() {
+  if (merge_in_flight_) return;
+  if (ingest_closed_.load(std::memory_order_acquire)) return;
+  const std::shared_ptr<const EpochState> from = AcquireState();
+  if (from == nullptr ||
+      from->matchers.front()->delta_windows() < delta_merge_threshold_) {
+    return;
+  }
+  merge_in_flight_ = true;
+  // Dispatch-style accounting: Shutdown's idle wait covers the merge
+  // task, so a live merge can never outlast the server.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  ThreadPool::Shared().SubmitDetached([this, from] { RunMerge(from); },
+                                      [this] {
+                                        std::lock_guard<std::mutex> lock(
+                                            idle_mu_);
+                                        if (in_flight_.fetch_sub(
+                                                1, std::memory_order_acq_rel) ==
+                                            1) {
+                                          idle_cv_.notify_all();
+                                        }
+                                      });
+}
+
+template <typename T>
+void MatchServer<T>::RunMerge(std::shared_ptr<const EpochState> from) {
+  // Cold rebuild of every kind over the database's NEXT epoch id — not
+  // the same one. The bump is what keeps the epoch-keyed segment cache
+  // exact: pre-merge entries bill the base+delta filter split, merged
+  // entries the monolithic one, and the two must never share a cache
+  // key. The rebuild runs outside every lock (it is the expensive part);
+  // only the publish decision is serialized.
+  auto next = std::make_shared<EpochState>();
+  next->matchers.reserve(from->matchers.size());
+  bool ok = true;
+  for (const auto& m : from->matchers) {
+    if (ingest_closed_.load(std::memory_order_acquire)) {
+      ok = false;
+      break;
+    }
+    auto merged = SubsequenceMatcher<T>::Build(m->database().NextEpoch(),
+                                               m->distance(), m->options());
+    if (!merged.ok()) {
+      ok = false;  // leave the current epoch serving; never publish half
+      break;
+    }
+    next->matchers.push_back(std::move(merged).ValueOrDie());
+  }
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  merge_in_flight_ = false;
+  // A failed rebuild leaves the current epoch serving and does NOT
+  // reschedule (it would spin); the next ingest re-arms merging.
+  if (!ok || ingest_closed_.load(std::memory_order_acquire)) return;
+  bool current = true;
+  {
+    std::lock_guard<std::mutex> state_lock(state_mu_);
+    current = state_->epoch == from->epoch;
+  }
+  if (current) {
+    next->epoch = next->matchers.front()->epoch();
+    PublishState(std::move(next));
+    merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Ingest that landed while this merge built saw merge_in_flight_ and
+  // skipped scheduling; re-check (publish or discard alike) so a
+  // backlog cannot wedge unmerged.
+  MaybeScheduleMerge();
 }
 
 template <typename T>
@@ -76,6 +217,10 @@ MatchServer<T>::~MatchServer() {
 
 template <typename T>
 void MatchServer<T>::Shutdown() {
+  // Close ingest first: no new epoch publishes, and an in-flight merge
+  // discards itself at its publish check. The idle wait below covers
+  // merge tasks too (they share the in_flight_ accounting).
+  ingest_closed_.store(true, std::memory_order_release);
   queue_.Close();
   {
     // Serialize the join: concurrent Shutdown callers all block here
@@ -93,7 +238,11 @@ void MatchServer<T>::Shutdown() {
 
 template <typename T>
 Status MatchServer<T>::SaveSnapshot(const std::string& path) const {
-  if (matchers_.empty()) {
+  // One coherent epoch: the state is acquired once, so a snapshot taken
+  // mid-ingest captures exactly one published epoch (base + epoch
+  // sections) even while newer epochs publish concurrently.
+  const std::shared_ptr<const EpochState> state = AcquireState();
+  if (state == nullptr || state->matchers.empty()) {
     return Status::Internal("MatchServer has no matcher to snapshot");
   }
   auto writer = SnapshotWriter::Create(path);
@@ -102,8 +251,8 @@ Status MatchServer<T>::SaveSnapshot(const std::string& path) const {
   // Every kind partitions the database identically, so the catalog block
   // is written once (the first matcher's) and each kind contributes only
   // its own index block.
-  SUBSEQ_RETURN_NOT_OK(matchers_.front()->SaveCatalogSections(w));
-  for (const auto& matcher : matchers_) {
+  SUBSEQ_RETURN_NOT_OK(state->matchers.front()->SaveCatalogSections(w));
+  for (const auto& matcher : state->matchers) {
     SUBSEQ_RETURN_NOT_OK(matcher->SaveIndexSections(w));
   }
   return w.Finish();
@@ -111,8 +260,11 @@ Status MatchServer<T>::SaveSnapshot(const std::string& path) const {
 
 template <typename T>
 const SubsequenceMatcher<T>* MatchServer<T>::matcher(IndexKind kind) const {
+  const std::shared_ptr<const EpochState> state = AcquireState();
   for (size_t i = 0; i < kinds_.size(); ++i) {
-    if (kinds_[i] == kind) return matchers_[i].get();
+    // The raw pointer outlives this call because state_ keeps the
+    // EpochState alive until the next publish (see the accessor's doc).
+    if (kinds_[i] == kind) return state->matchers[i].get();
   }
   return nullptr;
 }
@@ -134,6 +286,15 @@ ServeStats MatchServer<T>::stats() const {
   s.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
   s.cache_shared_computations =
       cache_shared_computations_.load(std::memory_order_relaxed);
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.retires = retires_.load(std::memory_order_relaxed);
+  s.merges = merges_.load(std::memory_order_relaxed);
+  const std::shared_ptr<const EpochState> state = AcquireState();
+  if (state != nullptr && !state->matchers.empty()) {
+    s.epoch = state->epoch;
+    s.base_windows = state->matchers.front()->base_windows();
+    s.delta_windows = state->matchers.front()->delta_windows();
+  }
   return s;
 }
 
@@ -155,7 +316,7 @@ Future<MatchResult> MatchServer<T>::Submit(MatchRequest<T> request) {
   }
   if (!queue_.Push(std::move(pending))) {
     promise.Set(ErrorResult(
-        Status::Internal("MatchServer: submitted after Shutdown")));
+        Status::Unavailable("MatchServer: submitted after Shutdown")));
   }
   return future;
 }
@@ -173,6 +334,20 @@ void MatchServer<T>::ServeLoop() {
 
 template <typename T>
 void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
+  // THE epoch for this whole admission round: acquired once, captured by
+  // every dispatched verification task. Every request in the batch runs
+  // start to finish against these matchers even if ingest publishes a
+  // newer epoch mid-round — and the shared_ptr keeps a superseded
+  // epoch's indexes alive until the round's last task drops it.
+  const std::shared_ptr<const EpochState> state = AcquireState();
+  if (cache_ != nullptr) {
+    // Amortized reclamation of dead-epoch entries (they can never be
+    // served — they miss by key — this only returns their bytes).
+    cache_->SweepDeadEpochs(state->epoch, 64);
+    cache_evictions_.store(cache_->counters().evictions,
+                           std::memory_order_relaxed);
+  }
+
   // Resolve each request's pipeline; requests naming an unconfigured
   // kind fail fast and drop out of the plan.
   const size_t n = batch->size();
@@ -181,7 +356,12 @@ void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
   for (size_t i = 0; i < n; ++i) {
     Pending& p = (*batch)[i];
     const IndexKind kind = p.request.index_kind.value_or(kinds_.front());
-    pipelines[i] = matcher(kind);
+    for (size_t k = 0; k < kinds_.size(); ++k) {
+      if (kinds_[k] == kind) {
+        pipelines[i] = state->matchers[k].get();
+        break;
+      }
+    }
     if (pipelines[i] == nullptr) {
       p.promise.Set(ErrorResult(Status::InvalidArgument(
           "MatchRequest names an IndexKind the server was not started "
@@ -211,7 +391,7 @@ void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
       Pending& p = (*batch)[alive[group.members.front()]];
       const SubsequenceMatcher<T>* m = pipelines[alive[group.members.front()]];
       Dispatch(
-          [this, m, request = std::move(p.request)] {
+          [this, state, m, request = std::move(p.request)] {
             return RunDirect(*m, request);
           },
           p.promise);
@@ -269,7 +449,7 @@ void MatchServer<T>::ServeBatch(std::vector<Pending>* batch) {
     for (size_t g = 0; g < group.members.size(); ++g) {
       Pending& p = (*batch)[alive[group.members[g]]];
       Dispatch(
-          [this, m, request = std::move(p.request),
+          [this, state, m, request = std::move(p.request),
            hits = std::move(filtered.hits[g]),
            filter_stats = filtered.stats[g]] {
             return RunFromHits(*m, request, hits, filter_stats);

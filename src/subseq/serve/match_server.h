@@ -29,6 +29,22 @@
 // directly on a SubsequenceMatcher with the same options, at any
 // concurrency level and any exec.num_threads setting. Coalescing, like
 // threading, buys wall-clock time only.
+//
+// Live ingest: AppendSequence / RetireSequence derive a new immutable
+// epoch (frame/matcher.h WithAppended / WithRetired — the old base
+// index is shared, only the delta scan and tombstone mask rebuild) and
+// publish it RCU-style: the whole serving state lives in one
+// shared_ptr<const EpochState> that ServeBatch acquires ONCE per
+// admission round, so every in-flight query runs start to finish
+// against exactly one epoch while the next is built off-thread. When an
+// epoch's delta grows past MatcherOptions::delta_merge_threshold
+// windows, a background merge on the shared ThreadPool cold-rebuilds
+// every kind over the database's next epoch and publishes the result —
+// unless ingest advanced the epoch meanwhile, in which case the stale
+// merge is discarded (publishes serialize on ingest_mu_, so an epoch id
+// is only ever published once). The segment cache keys on the epoch, so
+// a swap can never serve a stale hit; dead-epoch entries are swept
+// lazily, a bounded slice per admission round.
 
 #ifndef SUBSEQ_SERVE_MATCH_SERVER_H_
 #define SUBSEQ_SERVE_MATCH_SERVER_H_
@@ -124,6 +140,19 @@ struct ServeStats {
   /// billed_filter_computations >= filter_computations +
   /// cache_shared_computations always.
   int64_t cache_shared_computations = 0;
+  /// The database epoch currently being served (a fresh Start serves
+  /// its database's epoch, 0 for a bulk-loaded one; each ingest or
+  /// merge publish advances it by one).
+  uint64_t epoch = 0;
+  /// Sequences appended / retired through the server so far.
+  int64_t appends = 0;
+  int64_t retires = 0;
+  /// Background delta merges published (scheduled merges that lost the
+  /// publish race to a newer epoch are not counted).
+  int64_t merges = 0;
+  /// Windows covered by the serving epoch's base index / its delta scan.
+  int64_t base_windows = 0;
+  int64_t delta_windows = 0;
 };
 
 /// The serving frontend over one sequence database. Move-pinned (neither
@@ -160,9 +189,29 @@ class MatchServer {
   /// thread. Idempotent; called by the destructor.
   void Shutdown();
 
-  /// The prebuilt pipeline for one configured kind (nullptr if the kind
+  /// Appends one sequence as a new epoch: every configured kind derives
+  /// its matcher (shared base + grown delta), and the new EpochState is
+  /// published atomically. Requests admitted before the publish run
+  /// entirely against the previous epoch; requests admitted after see
+  /// the appended sequence. Synchronous (the epoch is serving on
+  /// return); callable from any thread, serialized against other ingest
+  /// calls. May schedule a background merge (see file comment). Returns
+  /// the new epoch id, or Unavailable after Shutdown.
+  Result<uint64_t> AppendSequence(Sequence<T> seq);
+
+  /// Retires one sequence as a new epoch: its windows are tombstoned —
+  /// masked out of every subsequent filter result — but never
+  /// renumbered, so ObjectIds stay stable. Fails on out-of-range or
+  /// already-retired ids, or Unavailable after Shutdown. Returns the
+  /// new epoch id.
+  Result<uint64_t> RetireSequence(SeqId seq);
+
+  /// The serving pipeline for one configured kind (nullptr if the kind
   /// was not configured). The window catalog is shared state: every
-  /// kind's pipeline partitions the database identically.
+  /// kind's pipeline partitions the database identically. The pointer
+  /// is valid until the NEXT epoch publish (AppendSequence /
+  /// RetireSequence / background merge) — callers interleaving ingest
+  /// must re-fetch after each ingest call.
   const SubsequenceMatcher<T>* matcher(IndexKind kind) const;
 
   /// The configured kinds, in configuration order (requests default to
@@ -185,7 +234,34 @@ class MatchServer {
     Promise<MatchResult> promise;
   };
 
+  /// One immutable epoch's complete serving state: every configured
+  /// kind's matcher, all at the same database epoch. Published behind a
+  /// shared_ptr (RCU): readers acquire it once per admission round,
+  /// dispatched verification tasks keep their round's state alive via
+  /// the captured shared_ptr, and a dead epoch's matchers (and the base
+  /// indexes only they reference) free when the last in-flight query
+  /// drops the last reference.
+  struct EpochState {
+    std::vector<std::unique_ptr<SubsequenceMatcher<T>>> matchers;  // by kinds_
+    uint64_t epoch = 0;
+  };
+
   MatchServer() = default;
+
+  /// The serving state for this instant (never null after Start).
+  std::shared_ptr<const EpochState> AcquireState() const;
+  /// Swaps the serving state (callers serialize on ingest_mu_).
+  void PublishState(std::shared_ptr<const EpochState> next);
+  /// Schedules a background merge if the current delta passed the
+  /// threshold and none is in flight. Caller holds ingest_mu_.
+  void MaybeScheduleMerge();
+  /// Background merge body (pool task): cold-rebuilds `from`'s kinds at
+  /// the next epoch id and publishes unless ingest advanced past
+  /// `from->epoch` meanwhile.
+  void RunMerge(std::shared_ptr<const EpochState> from);
+  /// Shared tail of AppendSequence / RetireSequence.
+  Result<uint64_t> PublishDerived(
+      std::shared_ptr<EpochState> next);
 
   /// The admission/coalescing loop body (service thread).
   void ServeLoop();
@@ -203,7 +279,18 @@ class MatchServer {
                           MatchQueryStats filter_stats) const;
 
   std::vector<IndexKind> kinds_;
-  std::vector<std::unique_ptr<SubsequenceMatcher<T>>> matchers_;  // by kinds_
+  /// The published epoch (guarded by state_mu_; read via AcquireState —
+  /// the lock covers only the shared_ptr copy, never any index work).
+  std::shared_ptr<const EpochState> state_;
+  mutable std::mutex state_mu_;
+  /// Serializes ingest (append / retire / merge publish). Epoch ids are
+  /// assigned and published only under this mutex, which is what makes
+  /// them unique: a merge re-checks the current epoch at publish time
+  /// and discards itself if ingest won the race.
+  std::mutex ingest_mu_;
+  bool merge_in_flight_ = false;  // guarded by ingest_mu_
+  std::atomic<bool> ingest_closed_{false};
+  int32_t delta_merge_threshold_ = 0;
   size_t max_batch_ = 0;
   /// Cross-round segment-result cache; nullptr when disabled. Touched
   /// only from the service thread (ServeBatch), so it needs no lock; the
@@ -231,6 +318,9 @@ class MatchServer {
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> cache_evictions_{0};
   std::atomic<int64_t> cache_shared_computations_{0};
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int64_t> retires_{0};
+  std::atomic<int64_t> merges_{0};
 };
 
 extern template class MatchServer<char>;

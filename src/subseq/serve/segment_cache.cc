@@ -29,8 +29,9 @@ uint64_t EpsilonBits(double epsilon) {
 }  // namespace
 
 const SegmentResultCache::Entry* SegmentResultCache::Lookup(
-    IndexKind kind, double epsilon, const char* data, size_t bytes) {
-  const KeyView key{kind, EpsilonBits(epsilon),
+    uint64_t epoch, IndexKind kind, double epsilon, const char* data,
+    size_t bytes) {
+  const KeyView key{epoch, kind, EpsilonBits(epsilon),
                     std::string_view(data, bytes)};
   const auto it = map_.find(key);
   if (it == map_.end()) {
@@ -42,13 +43,14 @@ const SegmentResultCache::Entry* SegmentResultCache::Lookup(
   return &it->second->entry;
 }
 
-void SegmentResultCache::Insert(IndexKind kind, double epsilon,
-                                const char* data, size_t bytes, Entry entry) {
+void SegmentResultCache::Insert(uint64_t epoch, IndexKind kind,
+                                double epsilon, const char* data,
+                                size_t bytes, Entry entry) {
   const size_t charge = EntryCharge(bytes, entry);
   if (charge > capacity_bytes_) return;  // could never survive eviction
   const uint64_t epsilon_bits = EpsilonBits(epsilon);
 
-  const auto it = map_.find(KeyView{kind, epsilon_bits,
+  const auto it = map_.find(KeyView{epoch, kind, epsilon_bits,
                                     std::string_view(data, bytes)});
   if (it != map_.end()) {
     // Refresh in place: swap the payload, fix the byte accounting.
@@ -59,9 +61,10 @@ void SegmentResultCache::Insert(IndexKind kind, double epsilon,
     node.charge = charge;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Node{kind, epsilon_bits, std::string(data, bytes),
-                         std::move(entry), charge});
-    map_.emplace(KeyView{lru_.front().kind, lru_.front().epsilon_bits,
+    lru_.push_front(Node{epoch, kind, epsilon_bits,
+                         std::string(data, bytes), std::move(entry), charge});
+    map_.emplace(KeyView{lru_.front().epoch, lru_.front().kind,
+                         lru_.front().epsilon_bits,
                          std::string_view(lru_.front().bytes)},
                  lru_.begin());
     counters_.bytes_used += static_cast<int64_t>(charge);
@@ -70,13 +73,35 @@ void SegmentResultCache::Insert(IndexKind kind, double epsilon,
 
   while (counters_.bytes_used > static_cast<int64_t>(capacity_bytes_)) {
     const Node& victim = lru_.back();
-    map_.erase(KeyView{victim.kind, victim.epsilon_bits,
+    map_.erase(KeyView{victim.epoch, victim.kind, victim.epsilon_bits,
                        std::string_view(victim.bytes)});
     counters_.bytes_used -= static_cast<int64_t>(victim.charge);
     --counters_.entries;
     ++counters_.evictions;
     lru_.pop_back();
   }
+}
+
+size_t SegmentResultCache::SweepDeadEpochs(uint64_t live_epoch,
+                                           size_t max_scan) {
+  size_t scanned = 0;
+  size_t evicted = 0;
+  auto it = lru_.end();
+  while (it != lru_.begin() && scanned < max_scan) {
+    --it;
+    ++scanned;
+    if (it->epoch == live_epoch) continue;
+    map_.erase(KeyView{it->epoch, it->kind, it->epsilon_bits,
+                       std::string_view(it->bytes)});
+    counters_.bytes_used -= static_cast<int64_t>(it->charge);
+    --counters_.entries;
+    ++counters_.evictions;
+    ++evicted;
+    // erase returns the node after the victim; the loop's --it then
+    // steps onto the (older) node before it, so no node is skipped.
+    it = lru_.erase(it);
+  }
+  return evicted;
 }
 
 }  // namespace subseq

@@ -13,17 +13,21 @@
 // charges). A warm lookup replaces both the index traversal and the
 // per-hit distance pass.
 //
-// Correctness rests on two facts. First, the server's indexes are
-// immutable for its whole life, and every index is exact: the hit set,
-// the per-hit distances, and the stand-alone distance-computation count
-// of a (segment, epsilon, kind) triple are pure functions of the key —
-// so entries never need invalidation while the server lives, and a warm
-// answer is bit-identical (hits, distances, AND billed stats) to the
-// cold one. Second, billing reads the *stored* stand-alone cost, so a
-// query answered warm reports exactly the MatchQueryStats the direct
-// library call would — the cache, like coalescing, changes executed
-// work only (surfaced via ServeStats::cache_* counters and
-// cache_shared_computations).
+// Correctness rests on two facts. First, every key carries the EPOCH of
+// the index that produced the entry: within one epoch the indexes are
+// immutable and exact, so the hit set, the per-hit distances, and the
+// stand-alone distance-computation count of a (epoch, kind, epsilon,
+// segment bytes) key are pure functions of that key, and a warm answer
+// is bit-identical (hits, distances, AND billed stats) to the cold one.
+// Live ingest makes the epoch part of the key load-bearing: an epoch
+// swap changes both the hit sets (appended/retired windows) and the
+// billing splits (delta scan vs merged base), so entries of a dead
+// epoch can never be served — they simply miss, and SweepDeadEpochs
+// lazily evicts them a bounded slice per admission round. Second,
+// billing reads the *stored* stand-alone cost, so a query answered warm
+// reports exactly the MatchQueryStats the direct library call would —
+// the cache, like coalescing, changes executed work only (surfaced via
+// ServeStats::cache_* counters and cache_shared_computations).
 //
 // Threading: externally synchronized. The cache is owned by MatchServer
 // and touched only from its admission loop (the service thread), which
@@ -112,18 +116,29 @@ class SegmentResultCache {
   SegmentResultCache(const SegmentResultCache&) = delete;
   SegmentResultCache& operator=(const SegmentResultCache&) = delete;
 
-  /// Returns the entry for (kind, epsilon, bytes) and marks it most
-  /// recently used, or nullptr (counting a miss). The pointer stays
-  /// valid until the next Insert — Lookup never evicts.
-  const Entry* Lookup(IndexKind kind, double epsilon, const char* data,
-                      size_t bytes);
+  /// Returns the entry for (epoch, kind, epsilon, bytes) and marks it
+  /// most recently used, or nullptr (counting a miss). An entry stored
+  /// under any other epoch never matches — the epoch in the key is what
+  /// makes a cross-epoch stale hit structurally impossible. The pointer
+  /// stays valid until the next Insert — Lookup never evicts.
+  const Entry* Lookup(uint64_t epoch, IndexKind kind, double epsilon,
+                      const char* data, size_t bytes);
 
-  /// Stores an entry under (kind, epsilon, bytes), evicting LRU entries
-  /// until the capacity holds. An entry larger than the whole capacity
-  /// is not stored at all (it could never be re-used before eviction).
-  /// Inserting an existing key refreshes the entry.
-  void Insert(IndexKind kind, double epsilon, const char* data, size_t bytes,
-              Entry entry);
+  /// Stores an entry under (epoch, kind, epsilon, bytes), evicting LRU
+  /// entries until the capacity holds. An entry larger than the whole
+  /// capacity is not stored at all (it could never be re-used before
+  /// eviction). Inserting an existing key refreshes the entry.
+  void Insert(uint64_t epoch, IndexKind kind, double epsilon,
+              const char* data, size_t bytes, Entry entry);
+
+  /// Lazily reclaims entries of dead epochs: scans up to `max_scan`
+  /// nodes from the LRU tail and evicts every one whose epoch differs
+  /// from `live_epoch` (counted in Counters::evictions). Bounded so the
+  /// admission loop can amortize reclamation across rounds instead of
+  /// stalling on a swap; dead entries that escape a sweep still can
+  /// never be served (they miss by key) and age out of the LRU tail
+  /// anyway. Returns the number evicted.
+  size_t SweepDeadEpochs(uint64_t live_epoch, size_t max_scan);
 
   Counters counters() const { return counters_; }
   size_t capacity_bytes() const { return capacity_bytes_; }
@@ -132,6 +147,7 @@ class SegmentResultCache {
   /// Nodes own their key bytes; the map's keys are views into them
   /// (std::list nodes are address-stable, and splice moves no storage).
   struct Node {
+    uint64_t epoch;
     IndexKind kind;
     uint64_t epsilon_bits;
     std::string bytes;
@@ -140,13 +156,14 @@ class SegmentResultCache {
   };
 
   struct KeyView {
+    uint64_t epoch;
     IndexKind kind;
     uint64_t epsilon_bits;
     std::string_view bytes;
 
     friend bool operator==(const KeyView& a, const KeyView& b) {
-      return a.kind == b.kind && a.epsilon_bits == b.epsilon_bits &&
-             a.bytes == b.bytes;
+      return a.epoch == b.epoch && a.kind == b.kind &&
+             a.epsilon_bits == b.epsilon_bits && a.bytes == b.bytes;
     }
   };
 
@@ -155,6 +172,7 @@ class SegmentResultCache {
       uint64_t h = HashSegmentBytes(key.bytes.data(), key.bytes.size());
       h ^= key.epsilon_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
       h ^= static_cast<uint64_t>(key.kind) * 0x2545f4914f6cdd1dull;
+      h ^= (key.epoch + 0x9e3779b97f4a7c15ull) * 0xff51afd7ed558ccdull;
       return static_cast<size_t>(h);
     }
   };

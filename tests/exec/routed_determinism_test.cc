@@ -384,22 +384,42 @@ TEST(RoutedDeterminismTest, SnapshotRoundTripMatchesFreshRoutedBuild) {
   std::remove(resaved.c_str());
 }
 
-TEST(RoutedDeterminismTest, BuildToSnapshotRejectsRouting) {
-  // The out-of-core builder streams shard by shard; pivot selection
-  // needs the whole catalog resident, so routed out-of-core builds are
-  // refused (Build + SaveIndex is the supported path).
+TEST(RoutedDeterminismTest, BuildToSnapshotMatchesInCoreRoutedBuild) {
+  // The out-of-core builder computes the routing layout once (that pass
+  // needs the whole catalog), then builds and serializes ONE CELL AT A
+  // TIME. The file must be byte-identical to Build + SaveIndex — the
+  // same out-of-core == in-core bar the sharded path meets.
   ProteinGenerator gen(ProteinGenOptions{.mean_length = 80, .seed = 609});
   const auto db = gen.GenerateDatabaseWithWindows(20, 10);
   const LevenshteinDistance<char> dist;
   MatcherOptions options;
   options.lambda = 20;
   options.lambda0 = 2;
-  options.index_kind = IndexKind::kReferenceNet;
   options.exec.routing_cells = 4;
-  const Status status = SubsequenceMatcher<char>::BuildToSnapshot(
-      db, dist, options, TempPath("routed_oocore.snap"));
-  ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  for (const IndexKind kind :
+       {IndexKind::kReferenceNet, IndexKind::kCoverTree, IndexKind::kVpTree,
+        IndexKind::kLinearScan}) {
+    options.index_kind = kind;
+    auto fresh =
+        std::move(SubsequenceMatcher<char>::Build(db, dist, options))
+            .ValueOrDie();
+    const std::string in_core = TempPath("routed_incore.snap");
+    ASSERT_TRUE(fresh->SaveIndex(in_core).ok());
+
+    const std::string streamed = TempPath("routed_oocore.snap");
+    const Status status = SubsequenceMatcher<char>::BuildToSnapshot(
+        db, dist, options, streamed);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(ReadFileBytes(streamed), ReadFileBytes(in_core))
+        << "kind " << static_cast<int>(kind);
+
+    auto loaded =
+        SubsequenceMatcher<char>::LoadIndex(db, dist, options, streamed);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value()->index().name(), fresh->index().name());
+    std::remove(in_core.c_str());
+    std::remove(streamed.c_str());
+  }
 }
 
 }  // namespace

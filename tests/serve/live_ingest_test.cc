@@ -1,0 +1,416 @@
+// Live ingest through the MatchServer: epoch publishes under serving.
+//
+// The serving-layer half of the epoch determinism contract. AppendSequence /
+// RetireSequence publish new epochs RCU-style while clients submit
+// concurrently; a background merge compacts the delta off-thread. The
+// tests pin down the four load-bearing properties: (1) a server that
+// ingested live answers element-wise identically to a server freshly
+// started over the final epoch's database; (2) the segment cache can
+// never serve a hit produced at a dead epoch (the regression that keyed
+// this PR: pre-epoch keys WOULD serve stale results bit-for-bit); (3) a
+// query admitted mid-swap runs against exactly one epoch — its answer
+// is one of the per-epoch ground truths, never a blend; (4) a snapshot
+// saved mid-ingest (live delta + tombstones) round-trips byte-stably
+// and reloads into an identically-answering server. The concurrent
+// tests double as the TSan suite for Append/Submit/merge races (see the
+// tsan preset filter).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "subseq/data/protein_gen.h"
+#include "subseq/distance/levenshtein.h"
+#include "subseq/serve/match_server.h"
+
+namespace subseq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+std::vector<char> CutQuery(const SequenceDatabase<char>& db, SeqId seq,
+                           int32_t offset) {
+  const Sequence<char>& s = db.at(seq);
+  EXPECT_GE(s.size(), offset + 26);
+  const auto view = s.Subsequence(Interval{offset, offset + 26});
+  return std::vector<char>(view.begin(), view.end());
+}
+
+void ExpectStatsEqual(const MatchQueryStats& a, const MatchQueryStats& b,
+                      bool full, const std::string& where) {
+  EXPECT_EQ(a.segments, b.segments) << where;
+  EXPECT_EQ(a.hits, b.hits) << where;
+  EXPECT_EQ(a.chains, b.chains) << where;
+  EXPECT_EQ(a.verifications, b.verifications) << where;
+  // filter_computations may move between the delta scan and the merged
+  // base for the tree backends; LinearScan's bill is split-invariant.
+  if (full) EXPECT_EQ(a.filter_computations, b.filter_computations) << where;
+}
+
+/// A mixed workload against one kind (queries cut from live sequences).
+std::vector<MatchRequest<char>> KindWorkload(const SequenceDatabase<char>& db,
+                                             IndexKind kind, double epsilon) {
+  std::vector<MatchRequest<char>> requests;
+  for (int i = 0; i < 6; ++i) {
+    SeqId s = i % db.size();
+    while (db.is_retired(s) || db.at(s).size() < 30) s = (s + 1) % db.size();
+    MatchRequest<char> request;
+    request.query = CutQuery(db, s, (i * 3) % (db.at(s).size() - 26));
+    request.index_kind = kind;
+    switch (i % 3) {
+      case 0:
+        request.type = MatchQueryType::kRangeSearch;
+        request.epsilon = epsilon;
+        break;
+      case 1:
+        request.type = MatchQueryType::kLongestMatch;
+        request.epsilon = epsilon;
+        break;
+      default:
+        request.type = MatchQueryType::kNearestMatch;
+        request.epsilon_max = 2.0 * epsilon + 1.0;
+        request.epsilon_increment = 0.5;
+        break;
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void ExpectResultsIdentical(MatchServer<char>* live,
+                            MatchServer<char>* fresh,
+                            const std::vector<MatchRequest<char>>& workload,
+                            bool full_stats, const std::string& where) {
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const std::string at = where + " request " + std::to_string(i);
+    MatchRequest<char> a = workload[i];
+    MatchRequest<char> b = workload[i];
+    const MatchResult live_result = live->Submit(std::move(a)).Get();
+    const MatchResult fresh_result = fresh->Submit(std::move(b)).Get();
+    EXPECT_EQ(live_result.status, fresh_result.status) << at;
+    EXPECT_EQ(live_result.matches, fresh_result.matches) << at;
+    EXPECT_EQ(live_result.best, fresh_result.best) << at;
+    ExpectStatsEqual(live_result.stats, fresh_result.stats, full_stats, at);
+  }
+}
+
+MatchServerOptions BaseOptions() {
+  MatchServerOptions options;
+  options.matcher.lambda = 20;
+  options.matcher.lambda0 = 5;
+  options.index_kinds = {IndexKind::kLinearScan, IndexKind::kCoverTree};
+  return options;
+}
+
+TEST(LiveIngestTest, IngestedServerMatchesFreshServerElementWise) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 60, .seed = 81});
+  const SequenceDatabase<char> db = gen.GenerateDatabaseWithWindows(24, 10);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options = BaseOptions();
+  // Pure delta serving: no merge interferes with the epoch ids, so the
+  // fresh server (same ops applied to the database directly) lands on
+  // the identical epoch and the comparison covers the delta path.
+  options.matcher.delta_merge_threshold = 1 << 20;
+
+  auto live = std::move(MatchServer<char>::Start(db, dist, options))
+                  .ValueOrDie();
+  ProteinGenerator op_gen(ProteinGenOptions{.mean_length = 60, .seed = 82});
+  const Sequence<char> a = op_gen.GenerateWithLength(60);
+  const Sequence<char> b = op_gen.GenerateWithLength(44);
+  const Sequence<char> c = op_gen.GenerateWithLength(52);
+
+  auto e1 = live->AppendSequence(a);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(e1.value(), 1u);
+  auto e2 = live->AppendSequence(b);
+  ASSERT_TRUE(e2.ok());
+  auto e3 = live->RetireSequence(1);
+  ASSERT_TRUE(e3.ok());
+  auto e4 = live->AppendSequence(c);
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ(e4.value(), 4u);
+
+  const SequenceDatabase<char> final_db =
+      db.Append(a).Append(b).Retire(1).Append(c);
+  auto fresh = std::move(MatchServer<char>::Start(final_db, dist, options))
+                   .ValueOrDie();
+
+  for (const IndexKind kind : options.index_kinds) {
+    ExpectResultsIdentical(live.get(), fresh.get(),
+                           KindWorkload(final_db, kind, 2.0),
+                           /*full_stats=*/kind == IndexKind::kLinearScan,
+                           "kind " + std::to_string(static_cast<int>(kind)));
+  }
+
+  const ServeStats stats = live->stats();
+  EXPECT_EQ(stats.epoch, 4u);
+  EXPECT_EQ(stats.appends, 3);
+  EXPECT_EQ(stats.retires, 1);
+  EXPECT_EQ(stats.merges, 0);
+  EXPECT_GT(stats.delta_windows, 0);
+}
+
+TEST(LiveIngestTest, BackgroundMergePublishesAndKeepsAnswersExact) {
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 60, .seed = 83});
+  const SequenceDatabase<char> db = gen.GenerateDatabaseWithWindows(20, 10);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options = BaseOptions();
+  options.matcher.delta_merge_threshold = 1;  // merge after every ingest
+
+  auto live = std::move(MatchServer<char>::Start(db, dist, options))
+                  .ValueOrDie();
+  ProteinGenerator op_gen(ProteinGenOptions{.mean_length = 60, .seed = 84});
+  SequenceDatabase<char> final_db = db;
+  for (int i = 0; i < 4; ++i) {
+    const Sequence<char> seq = op_gen.GenerateWithLength(40 + 4 * i);
+    final_db = final_db.Append(seq);
+    ASSERT_TRUE(live->AppendSequence(seq).ok());
+  }
+
+  // The merge is asynchronous; wait (bounded) for the delta to drain.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (live->stats().delta_windows > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const ServeStats stats = live->stats();
+  EXPECT_EQ(stats.delta_windows, 0) << "merge never drained the delta";
+  EXPECT_GE(stats.merges, 1);
+  EXPECT_GE(stats.epoch, 5u);  // 4 ingests + at least one merge publish
+
+  // Post-merge serving is element-wise identical to a fresh server over
+  // the same contents (the merged index IS the cold build's bytes).
+  auto fresh = std::move(MatchServer<char>::Start(final_db, dist, options))
+                   .ValueOrDie();
+  for (const IndexKind kind : options.index_kinds) {
+    // Both sides serve an empty delta (fresh trivially; live post-merge),
+    // so even filter billing must agree for every kind.
+    ExpectResultsIdentical(live.get(), fresh.get(),
+                           KindWorkload(final_db, kind, 2.0),
+                           /*full_stats=*/true,
+                           "kind " + std::to_string(static_cast<int>(kind)));
+  }
+}
+
+TEST(LiveIngestTest, CacheNeverServesHitsFromADeadEpoch) {
+  // THE cache regression this PR's epoch-keying fixes: warm the cache,
+  // change the answer by ingesting, re-submit the bit-identical query.
+  // A pre-epoch cache key would serve the stale hit list (and its stale
+  // billing) bit-for-bit; the epoch-keyed cache must miss and re-filter.
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 60, .seed = 85});
+  const SequenceDatabase<char> db = gen.GenerateDatabaseWithWindows(16, 10);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options = BaseOptions();
+  options.index_kinds = {IndexKind::kLinearScan};
+  options.matcher.delta_merge_threshold = 1 << 20;
+
+  auto server = std::move(MatchServer<char>::Start(db, dist, options))
+                    .ValueOrDie();
+  const auto submit = [&] {
+    MatchRequest<char> request;
+    request.type = MatchQueryType::kRangeSearch;
+    request.query = CutQuery(db, 0, 0);
+    request.epsilon = 0.0;
+    return server->Submit(std::move(request)).Get();
+  };
+
+  const MatchResult before = submit();
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_FALSE(before.matches.empty()) << "exact self-region must match";
+  const MatchResult warm = submit();  // second round answers warm
+  EXPECT_EQ(warm.matches, before.matches);
+  EXPECT_GT(server->stats().cache_hits, 0) << "cache should be warm now";
+
+  // Append a verbatim copy of sequence 0: the same query now ALSO
+  // matches inside the new sequence.
+  const SeqId copy_id = db.size();
+  {
+    const auto view = db.at(0).Subsequence(Interval{0, db.at(0).size()});
+    ASSERT_TRUE(server
+                    ->AppendSequence(Sequence<char>(
+                        std::vector<char>(view.begin(), view.end())))
+                    .ok());
+  }
+  const MatchResult appended = submit();
+  ASSERT_TRUE(appended.status.ok());
+  bool hits_copy = false;
+  for (const SubsequenceMatch& m : appended.matches) {
+    hits_copy |= m.seq == copy_id;
+  }
+  EXPECT_TRUE(hits_copy)
+      << "stale cache hit: the appended copy is invisible";
+  EXPECT_GT(appended.matches.size(), before.matches.size());
+
+  // Retire the original: its matches must vanish just as promptly.
+  ASSERT_TRUE(server->RetireSequence(0).ok());
+  const MatchResult retired = submit();
+  ASSERT_TRUE(retired.status.ok());
+  ASSERT_FALSE(retired.matches.empty());
+  for (const SubsequenceMatch& m : retired.matches) {
+    EXPECT_NE(m.seq, 0) << "stale cache hit: retired windows served";
+  }
+}
+
+TEST(LiveIngestTest, ConcurrentSubmitsSeeExactlyOneEpochEach) {
+  // Clients hammer one bit-identical query while ingest publishes five
+  // epochs and background merges race the publishes. Every concurrently
+  // admitted query must come back equal to ONE of the per-epoch ground
+  // truths — a blended answer (e.g. appended windows visible but a
+  // concurrent retire's mask also applied) proves a torn epoch. Doubles
+  // as the TSan exercise for Append/Submit/merge.
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 60, .seed = 86});
+  const SequenceDatabase<char> db = gen.GenerateDatabaseWithWindows(16, 10);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options = BaseOptions();
+  options.index_kinds = {IndexKind::kLinearScan};
+  options.matcher.delta_merge_threshold = 2;  // merges race the stress
+
+  ProteinGenerator op_gen(ProteinGenOptions{.mean_length = 60, .seed = 87});
+  const Sequence<char> a = op_gen.GenerateWithLength(60);
+  const Sequence<char> b = op_gen.GenerateWithLength(44);
+  const SeqId first_appended = db.size();
+
+  // Ground truth per content state e0..e4 (merge publishes repeat a
+  // content state under a new epoch id, so they add no new answers).
+  const std::vector<char> query = CutQuery(db, 0, 4);
+  std::vector<SequenceDatabase<char>> epochs;
+  epochs.push_back(db);
+  epochs.push_back(epochs.back().Append(a));
+  epochs.push_back(epochs.back().Append(b));
+  epochs.push_back(epochs.back().Retire(0));
+  epochs.push_back(epochs.back().Retire(first_appended));
+  std::vector<std::vector<SubsequenceMatch>> expected;
+  for (const auto& edb : epochs) {
+    MatcherOptions mo = options.matcher;
+    mo.index_kind = IndexKind::kLinearScan;
+    auto m = std::move(SubsequenceMatcher<char>::Build(edb, dist, mo))
+                 .ValueOrDie();
+    expected.push_back(
+        std::move(m->RangeSearch(query, 0.0)).ValueOrDie());
+  }
+
+  auto server = std::move(MatchServer<char>::Start(db, dist, options))
+                    .ValueOrDie();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 24;
+  std::vector<std::vector<Future<MatchResult>>> futures(kClients);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerClient; ++i) {
+        MatchRequest<char> request;
+        request.type = MatchQueryType::kRangeSearch;
+        request.query = query;
+        request.epsilon = 0.0;
+        futures[c].push_back(server->Submit(std::move(request)));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  ASSERT_TRUE(server->AppendSequence(a).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(server->AppendSequence(b).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(server->RetireSequence(0).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(server->RetireSequence(first_appended).ok());
+  for (std::thread& t : clients) t.join();
+
+  // A request admitted after the last publish sees exactly e4.
+  MatchRequest<char> last;
+  last.type = MatchQueryType::kRangeSearch;
+  last.query = query;
+  last.epsilon = 0.0;
+  const MatchResult final_result = server->Submit(std::move(last)).Get();
+  ASSERT_TRUE(final_result.status.ok());
+  EXPECT_EQ(final_result.matches, expected.back());
+
+  server->Shutdown();
+  for (const auto& per_client : futures) {
+    for (const Future<MatchResult>& future : per_client) {
+      Future<MatchResult> f = future;
+      const MatchResult result = f.Get();
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      bool matches_some_epoch = false;
+      for (const auto& e : expected) {
+        matches_some_epoch |= result.matches == e;
+      }
+      EXPECT_TRUE(matches_some_epoch)
+          << "a result matched NO single epoch's ground truth — the "
+             "query must have observed a torn (mid-swap) state";
+    }
+  }
+}
+
+TEST(LiveIngestTest, MidIngestSnapshotRoundTripsByteStably) {
+  // A snapshot taken while the server carries a live delta AND
+  // tombstones must (a) reload into a server that answers element-wise
+  // identically — same base/delta split, so even filter billing agrees —
+  // and (b) re-save to the identical bytes.
+  ProteinGenerator gen(ProteinGenOptions{.mean_length = 60, .seed = 88});
+  const SequenceDatabase<char> db = gen.GenerateDatabaseWithWindows(20, 10);
+  const LevenshteinDistance<char> dist;
+  MatchServerOptions options = BaseOptions();
+  options.matcher.delta_merge_threshold = 1 << 20;  // keep the delta live
+
+  auto live = std::move(MatchServer<char>::Start(db, dist, options))
+                  .ValueOrDie();
+  ProteinGenerator op_gen(ProteinGenOptions{.mean_length = 60, .seed = 89});
+  ASSERT_TRUE(live->AppendSequence(op_gen.GenerateWithLength(56)).ok());
+  ASSERT_TRUE(live->RetireSequence(2).ok());
+  ASSERT_TRUE(live->AppendSequence(op_gen.GenerateWithLength(40)).ok());
+  ASSERT_GT(live->stats().delta_windows, 0);
+
+  const std::string saved = TempPath("live_ingest_snapshot");
+  ASSERT_TRUE(live->SaveSnapshot(saved).ok());
+
+  // Reload over the LIVE epoch's database (a fresh copy of it).
+  const SequenceDatabase<char> live_db =
+      live->matcher(IndexKind::kLinearScan)->database();
+  MatchServerOptions load_options = options;
+  load_options.snapshot_path = saved;
+  auto reloaded = MatchServer<char>::Start(live_db, dist, load_options);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  const std::string resaved = TempPath("live_ingest_snapshot_resaved");
+  ASSERT_TRUE(reloaded.value()->SaveSnapshot(resaved).ok());
+  EXPECT_EQ(ReadFileBytes(saved), ReadFileBytes(resaved))
+      << "mid-ingest save -> load -> save must be byte-stable";
+
+  for (const IndexKind kind : options.index_kinds) {
+    ExpectResultsIdentical(live.get(), reloaded.value().get(),
+                           KindWorkload(live_db, kind, 2.0),
+                           /*full_stats=*/true,
+                           "kind " + std::to_string(static_cast<int>(kind)));
+  }
+  EXPECT_EQ(reloaded.value()->stats().epoch, live->stats().epoch);
+  EXPECT_EQ(reloaded.value()->stats().delta_windows,
+            live->stats().delta_windows);
+
+  // Loading the mid-ingest snapshot over the WRONG epoch's database is
+  // refused — the epoch id is validated, not trusted.
+  auto wrong = MatchServer<char>::Start(db, dist, load_options);
+  EXPECT_FALSE(wrong.ok());
+}
+
+}  // namespace
+}  // namespace subseq

@@ -656,7 +656,7 @@ TEST(MatchServerTest, ShutdownConcurrentWithSubmitCompletesEveryFuture) {
       if (result.status.ok()) {
         ++completed_ok;
       } else {
-        EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+        EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
         ++rejected;
       }
     }
@@ -703,7 +703,16 @@ TEST(MatchServerTest, SubmitAfterShutdownFailsFast) {
   request.epsilon = 1.0;
   Future<MatchResult> future = server->Submit(std::move(request));
   ASSERT_TRUE(future.Ready());
-  EXPECT_EQ(future.Get().status.code(), StatusCode::kInternal);
+  EXPECT_EQ(future.Get().status.code(), StatusCode::kUnavailable);
+
+  // Ingest after Shutdown gets the same precise status, synchronously.
+  std::vector<char> elements = ShortQuery(db);
+  EXPECT_EQ(server->AppendSequence(Sequence<char>(std::move(elements)))
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(server->RetireSequence(0).status().code(),
+            StatusCode::kUnavailable);
 }
 
 TEST(MatchServerTest, ErrorResultsCarryTheSameStatsAsTheLibrary) {

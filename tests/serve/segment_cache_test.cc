@@ -29,11 +29,11 @@ constexpr size_t kEmptyEntryCharge = 8 + 96;
 TEST(SegmentCacheTest, HitReturnsStoredEntryAndCounts) {
   SegmentResultCache cache(1 << 20);
   const std::string key = "SEGMENTA";
-  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
                MakeEntry({3, 7}, 42));
 
   const SegmentResultCache::Entry* entry =
-      cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size());
+      cache.Lookup(0, IndexKind::kLinearScan, 1.0, key.data(), key.size());
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->windows, (std::vector<ObjectId>{3, 7}));
   ASSERT_EQ(entry->distances.size(), 2u);
@@ -49,22 +49,22 @@ TEST(SegmentCacheTest, HitReturnsStoredEntryAndCounts) {
 TEST(SegmentCacheTest, EpsilonAndKindAndBytesAllDistinguishKeys) {
   SegmentResultCache cache(1 << 20);
   const std::string key = "SEGMENTA";
-  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
                MakeEntry({1}, 1));
 
   // Same bytes, different epsilon: the hit list depends on epsilon.
-  EXPECT_EQ(cache.Lookup(IndexKind::kLinearScan, 2.0, key.data(), key.size()),
+  EXPECT_EQ(cache.Lookup(0, IndexKind::kLinearScan, 2.0, key.data(), key.size()),
             nullptr);
   // Same bytes, same epsilon, different index kind: costs differ by kind.
-  EXPECT_EQ(cache.Lookup(IndexKind::kCoverTree, 1.0, key.data(), key.size()),
+  EXPECT_EQ(cache.Lookup(0, IndexKind::kCoverTree, 1.0, key.data(), key.size()),
             nullptr);
   // Different bytes.
   const std::string other = "SEGMENTB";
   EXPECT_EQ(
-      cache.Lookup(IndexKind::kLinearScan, 1.0, other.data(), other.size()),
+      cache.Lookup(0, IndexKind::kLinearScan, 1.0, other.data(), other.size()),
       nullptr);
   // The original triple still hits.
-  EXPECT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size()),
+  EXPECT_NE(cache.Lookup(0, IndexKind::kLinearScan, 1.0, key.data(), key.size()),
             nullptr);
   EXPECT_EQ(cache.counters().misses, 3);
   EXPECT_EQ(cache.counters().hits, 1);
@@ -76,14 +76,14 @@ TEST(SegmentCacheTest, NegativeZeroEpsilonSharesTheZeroKeyspace) {
   // two must hit each other's entries.
   SegmentResultCache cache(1 << 20);
   const std::string key = "SEGMENTA";
-  cache.Insert(IndexKind::kLinearScan, -0.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, -0.0, key.data(), key.size(),
                MakeEntry({4}, 5));
   const SegmentResultCache::Entry* entry =
-      cache.Lookup(IndexKind::kLinearScan, 0.0, key.data(), key.size());
+      cache.Lookup(0, IndexKind::kLinearScan, 0.0, key.data(), key.size());
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->windows, (std::vector<ObjectId>{4}));
   // And only one entry exists for the logical zero epsilon.
-  cache.Insert(IndexKind::kLinearScan, 0.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 0.0, key.data(), key.size(),
                MakeEntry({4}, 5));
   EXPECT_EQ(cache.counters().entries, 1);
 }
@@ -94,21 +94,21 @@ TEST(SegmentCacheTest, LruEvictsLeastRecentlyUsedFirst) {
   const std::string a = "AAAAAAAA";
   const std::string b = "BBBBBBBB";
   const std::string c = "CCCCCCCC";
-  cache.Insert(IndexKind::kLinearScan, 1.0, a.data(), a.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, a.data(), a.size(),
                MakeEntry({}, 1));
-  cache.Insert(IndexKind::kLinearScan, 1.0, b.data(), b.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, b.data(), b.size(),
                MakeEntry({}, 2));
   // Touch A so B becomes the LRU victim.
-  ASSERT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, a.data(), a.size()),
+  ASSERT_NE(cache.Lookup(0, IndexKind::kLinearScan, 1.0, a.data(), a.size()),
             nullptr);
-  cache.Insert(IndexKind::kLinearScan, 1.0, c.data(), c.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, c.data(), c.size(),
                MakeEntry({}, 3));
 
-  EXPECT_EQ(cache.Lookup(IndexKind::kLinearScan, 1.0, b.data(), b.size()),
+  EXPECT_EQ(cache.Lookup(0, IndexKind::kLinearScan, 1.0, b.data(), b.size()),
             nullptr);  // evicted
-  EXPECT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, a.data(), a.size()),
+  EXPECT_NE(cache.Lookup(0, IndexKind::kLinearScan, 1.0, a.data(), a.size()),
             nullptr);
-  EXPECT_NE(cache.Lookup(IndexKind::kLinearScan, 1.0, c.data(), c.size()),
+  EXPECT_NE(cache.Lookup(0, IndexKind::kLinearScan, 1.0, c.data(), c.size()),
             nullptr);
   EXPECT_EQ(cache.counters().evictions, 1);
   EXPECT_EQ(cache.counters().entries, 2);
@@ -117,9 +117,9 @@ TEST(SegmentCacheTest, LruEvictsLeastRecentlyUsedFirst) {
 TEST(SegmentCacheTest, OversizedEntryIsNotStored) {
   SegmentResultCache cache(32);  // smaller than any entry's overhead
   const std::string key = "SEGMENTA";
-  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
                MakeEntry({1, 2, 3}, 9));
-  EXPECT_EQ(cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size()),
+  EXPECT_EQ(cache.Lookup(0, IndexKind::kLinearScan, 1.0, key.data(), key.size()),
             nullptr);
   EXPECT_EQ(cache.counters().entries, 0);
   EXPECT_EQ(cache.counters().bytes_used, 0);
@@ -129,15 +129,71 @@ TEST(SegmentCacheTest, OversizedEntryIsNotStored) {
 TEST(SegmentCacheTest, ReinsertingAKeyRefreshesTheEntryInPlace) {
   SegmentResultCache cache(1 << 20);
   const std::string key = "SEGMENTA";
-  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
                MakeEntry({1}, 10));
-  cache.Insert(IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+  cache.Insert(0, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
                MakeEntry({1, 2, 3}, 10));
   const SegmentResultCache::Entry* entry =
-      cache.Lookup(IndexKind::kLinearScan, 1.0, key.data(), key.size());
+      cache.Lookup(0, IndexKind::kLinearScan, 1.0, key.data(), key.size());
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->windows, (std::vector<ObjectId>{1, 2, 3}));
   EXPECT_EQ(cache.counters().entries, 1);
+}
+
+TEST(SegmentCacheTest, EpochIsPartOfTheKey) {
+  // Live ingest correctness: an entry produced at one epoch must be
+  // invisible at every other — the hit set AND the billed stand-alone
+  // cost both change across epochs (appended/retired windows, delta scan
+  // vs merged base), so a cross-epoch hit would be silently wrong.
+  SegmentResultCache cache(1 << 20);
+  const std::string key = "SEGMENTA";
+  cache.Insert(3, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({1, 2}, 7));
+  EXPECT_EQ(cache.Lookup(2, IndexKind::kLinearScan, 1.0, key.data(),
+                         key.size()),
+            nullptr);
+  EXPECT_EQ(cache.Lookup(4, IndexKind::kLinearScan, 1.0, key.data(),
+                         key.size()),
+            nullptr);
+  const SegmentResultCache::Entry* entry =
+      cache.Lookup(3, IndexKind::kLinearScan, 1.0, key.data(), key.size());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->filter_computations, 7);
+  // Both epochs' entries coexist (distinct keys), each hit by its own.
+  cache.Insert(4, IndexKind::kLinearScan, 1.0, key.data(), key.size(),
+               MakeEntry({1, 2, 3}, 9));
+  EXPECT_EQ(cache.counters().entries, 2);
+  EXPECT_EQ(cache.Lookup(4, IndexKind::kLinearScan, 1.0, key.data(),
+                         key.size())
+                ->filter_computations,
+            9);
+}
+
+TEST(SegmentCacheTest, SweepDeadEpochsEvictsOnlyDeadEntriesBounded) {
+  SegmentResultCache cache(1 << 20);
+  const std::string a = "AAAAAAAA";
+  const std::string b = "BBBBBBBB";
+  const std::string c = "CCCCCCCC";
+  cache.Insert(1, IndexKind::kLinearScan, 1.0, a.data(), a.size(),
+               MakeEntry({}, 1));
+  cache.Insert(1, IndexKind::kLinearScan, 1.0, b.data(), b.size(),
+               MakeEntry({}, 2));
+  cache.Insert(2, IndexKind::kLinearScan, 1.0, c.data(), c.size(),
+               MakeEntry({}, 3));
+
+  // Bounded: max_scan = 1 looks only at the LRU tail (epoch 1's "A").
+  EXPECT_EQ(cache.SweepDeadEpochs(/*live_epoch=*/2, /*max_scan=*/1), 1u);
+  EXPECT_EQ(cache.counters().entries, 2);
+  // A full sweep reclaims the remaining dead entry and keeps the live one.
+  EXPECT_EQ(cache.SweepDeadEpochs(/*live_epoch=*/2, /*max_scan=*/100), 1u);
+  EXPECT_EQ(cache.counters().entries, 1);
+  EXPECT_NE(cache.Lookup(2, IndexKind::kLinearScan, 1.0, c.data(), c.size()),
+            nullptr);
+  EXPECT_EQ(cache.counters().evictions, 2);
+  EXPECT_EQ(cache.counters().bytes_used,
+            static_cast<int64_t>(kEmptyEntryCharge));
+  // Idempotent once everything resident is live.
+  EXPECT_EQ(cache.SweepDeadEpochs(/*live_epoch=*/2, /*max_scan=*/100), 0u);
 }
 
 TEST(SegmentCacheTest, HashDistinguishesLongBuffersDifferingAnywhere) {
